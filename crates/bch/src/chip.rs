@@ -1,0 +1,304 @@
+//! A memory chip whose on-die ECC is the double-error-correcting BCH code.
+//!
+//! This mirrors [`harp_memsim::MemoryChip`] (which models the paper's SEC
+//! Hamming on-die ECC) so the extension experiments can exercise HARP's two
+//! read paths — the normal decoded read and the raw-data *bypass* read — on a
+//! chip with stronger on-die ECC. The fault model is shared with the SEC
+//! chip: data-dependent Bernoulli errors in individual cells.
+
+use rand::Rng;
+
+use harp_gf2::BitVec;
+use harp_memsim::FaultModel;
+
+use crate::code::BchCode;
+use crate::decoder::BchDecodeResult;
+
+/// Everything the simulator knows about one read of a BCH-protected word.
+///
+/// As with the SEC chip, the memory controller only ever sees the
+/// post-correction dataword (normal read) or the raw data bits (bypass
+/// read); the raw error pattern is simulator-side ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BchReadObservation {
+    written_data: BitVec,
+    raw_error: BitVec,
+    decode: BchDecodeResult,
+}
+
+impl BchReadObservation {
+    /// The dataword that was written to the word.
+    pub fn written_data(&self) -> &BitVec {
+        &self.written_data
+    }
+
+    /// The post-correction dataword returned by the normal read path.
+    pub fn post_correction_data(&self) -> &BitVec {
+        &self.decode.dataword
+    }
+
+    /// The raw (pre-correction) data bits returned by the bypass read path.
+    /// Parity bits are not exposed, exactly as in the SEC chip.
+    pub fn raw_data_bits(&self) -> BitVec {
+        let k = self.written_data.len();
+        let mut raw = self.written_data.clone();
+        for pos in self.raw_error.iter_ones() {
+            if pos < k {
+                raw.flip(pos);
+            }
+        }
+        raw
+    }
+
+    /// The full decode result (outcome and syndromes).
+    pub fn decode_result(&self) -> &BchDecodeResult {
+        &self.decode
+    }
+
+    /// Dataword positions where the post-correction data differs from the
+    /// written data.
+    pub fn post_correction_errors(&self) -> Vec<usize> {
+        self.decode.post_correction_errors(&self.written_data)
+    }
+
+    /// Dataword positions of raw errors within the data bits (direct
+    /// errors), as the bypass path exposes them.
+    pub fn direct_errors(&self) -> Vec<usize> {
+        let k = self.written_data.len();
+        self.raw_error.iter_ones().filter(|&p| p < k).collect()
+    }
+
+    /// The injected raw error pattern over the whole codeword
+    /// (simulator-side ground truth).
+    pub fn raw_error_pattern(&self) -> &BitVec {
+        &self.raw_error
+    }
+}
+
+/// A memory chip with DEC BCH on-die ECC and per-word fault models.
+///
+/// # Example
+///
+/// ```
+/// use harp_bch::{BchCode, BchMemoryChip};
+/// use harp_gf2::BitVec;
+/// use harp_memsim::FaultModel;
+/// use rand::SeedableRng;
+///
+/// let code = BchCode::dec(64)?;
+/// let mut chip = BchMemoryChip::new(code, 1);
+/// chip.set_fault_model(0, FaultModel::uniform(&[3, 40], 1.0));
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// chip.write(0, &BitVec::ones(64));
+/// let obs = chip.read(0, &mut rng);
+/// // A DEC code absorbs the double raw error entirely...
+/// assert!(obs.post_correction_errors().is_empty());
+/// // ...but the bypass path still exposes both raw errors to HARP's active
+/// // profiler.
+/// assert_eq!(obs.direct_errors(), vec![3, 40]);
+/// # Ok::<(), harp_bch::BchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BchMemoryChip {
+    code: BchCode,
+    written: Vec<BitVec>,
+    faults: Vec<FaultModel>,
+}
+
+impl BchMemoryChip {
+    /// Creates a chip with `num_words` words, all initialised to zero and
+    /// fault-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_words` is zero.
+    pub fn new(code: BchCode, num_words: usize) -> Self {
+        assert!(num_words > 0, "a chip needs at least one word");
+        let written = vec![BitVec::zeros(code.data_len()); num_words];
+        let faults = vec![FaultModel::none(); num_words];
+        Self {
+            code,
+            written,
+            faults,
+        }
+    }
+
+    /// The on-die ECC code of this chip.
+    pub fn code(&self) -> &BchCode {
+        &self.code
+    }
+
+    /// Number of words the chip stores.
+    pub fn num_words(&self) -> usize {
+        self.written.len()
+    }
+
+    /// Sets the fault model of one word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn set_fault_model(&mut self, word: usize, model: FaultModel) {
+        assert!(word < self.num_words(), "word {word} out of range");
+        self.faults[word] = model;
+    }
+
+    /// The fault model of one word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn fault_model(&self, word: usize) -> &FaultModel {
+        assert!(word < self.num_words(), "word {word} out of range");
+        &self.faults[word]
+    }
+
+    /// Writes a dataword into a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range or the data length does not match
+    /// the code.
+    pub fn write(&mut self, word: usize, data: &BitVec) {
+        assert!(word < self.num_words(), "word {word} out of range");
+        assert_eq!(
+            data.len(),
+            self.code.data_len(),
+            "dataword length mismatch: expected {}, got {}",
+            self.code.data_len(),
+            data.len()
+        );
+        self.written[word] = data.clone();
+    }
+
+    /// The dataword most recently written to a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn written_data(&self, word: usize) -> &BitVec {
+        assert!(word < self.num_words(), "word {word} out of range");
+        &self.written[word]
+    }
+
+    /// Reads a word: samples raw errors from its fault model against the
+    /// stored codeword, decodes with the DEC BCH on-die ECC, and returns the
+    /// full observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn read<R: Rng + ?Sized>(&self, word: usize, rng: &mut R) -> BchReadObservation {
+        assert!(word < self.num_words(), "word {word} out of range");
+        let written_data = self.written[word].clone();
+        let stored = self.code.encode(&written_data);
+        let raw_error = self.faults[word].sample_errors(&stored, rng);
+        let decode = self.code.decode(&(&stored ^ &raw_error));
+        BchReadObservation {
+            written_data,
+            raw_error,
+            decode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0xBC4)
+    }
+
+    fn chip_with_faults(at_risk: &[usize], probability: f64) -> BchMemoryChip {
+        let code = BchCode::dec(64).unwrap();
+        let mut chip = BchMemoryChip::new(code, 2);
+        chip.set_fault_model(0, FaultModel::uniform(at_risk, probability));
+        chip
+    }
+
+    #[test]
+    fn fault_free_reads_round_trip() {
+        let code = BchCode::dec(32).unwrap();
+        let mut chip = BchMemoryChip::new(code, 3);
+        let data = BitVec::from_u64(32, 0xCAFE_F00D);
+        chip.write(2, &data);
+        let obs = chip.read(2, &mut rng());
+        assert_eq!(obs.post_correction_data(), &data);
+        assert_eq!(obs.raw_data_bits(), data);
+        assert!(obs.post_correction_errors().is_empty());
+        assert!(obs.direct_errors().is_empty());
+        assert_eq!(chip.written_data(2), &data);
+        assert_eq!(chip.num_words(), 3);
+        assert!(chip.fault_model(0).is_error_free());
+    }
+
+    #[test]
+    fn double_errors_are_invisible_on_the_decoded_path_but_not_the_bypass_path() {
+        let mut chip = chip_with_faults(&[7, 50], 1.0);
+        chip.write(0, &BitVec::ones(64));
+        let obs = chip.read(0, &mut rng());
+        assert!(obs.post_correction_errors().is_empty());
+        assert_eq!(obs.direct_errors(), vec![7, 50]);
+        assert!(!obs.raw_data_bits().get(7));
+        assert!(!obs.raw_data_bits().get(50));
+        assert_eq!(obs.decode_result().outcome.correction_count(), 2);
+    }
+
+    #[test]
+    fn data_dependence_is_respected() {
+        // True cells storing '0' cannot fail.
+        let mut chip = chip_with_faults(&[7, 50], 1.0);
+        chip.write(0, &BitVec::zeros(64));
+        let obs = chip.read(0, &mut rng());
+        assert!(obs.raw_error_pattern().is_zero());
+    }
+
+    #[test]
+    fn triple_errors_may_leak_but_never_exceed_two_indirect_errors() {
+        let mut chip = chip_with_faults(&[1, 2, 3], 1.0);
+        chip.write(0, &BitVec::ones(64));
+        let obs = chip.read(0, &mut rng());
+        let direct: std::collections::BTreeSet<usize> = obs.direct_errors().into_iter().collect();
+        let post: std::collections::BTreeSet<usize> =
+            obs.post_correction_errors().into_iter().collect();
+        let indirect = post.difference(&direct).count();
+        assert!(indirect <= 2);
+        assert_eq!(direct.len(), 3);
+    }
+
+    #[test]
+    fn bypass_reads_give_harp_active_profiling_full_direct_coverage() {
+        // HARP-U's active phase is unchanged by the stronger on-die ECC: the
+        // bypass path identifies every at-risk data bit within a few rounds,
+        // independent of which error combinations occur.
+        let at_risk = [5usize, 23, 44, 60];
+        let mut chip = chip_with_faults(&at_risk, 0.5);
+        chip.write(0, &BitVec::ones(64));
+        let mut rng = rng();
+        let mut identified = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            let obs = chip.read(0, &mut rng);
+            identified.extend(obs.direct_errors());
+        }
+        let expected: std::collections::BTreeSet<usize> = at_risk.iter().copied().collect();
+        assert_eq!(identified, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_word_is_rejected() {
+        let code = BchCode::dec(16).unwrap();
+        BchMemoryChip::new(code, 1).read(3, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_dataword_is_rejected() {
+        let code = BchCode::dec(16).unwrap();
+        BchMemoryChip::new(code, 1).write(0, &BitVec::ones(8));
+    }
+}

@@ -1,0 +1,146 @@
+//! Decode-result types for the double-error-correcting BCH decoder.
+//!
+//! These mirror [`harp_ecc::DecodeOutcome`]/[`harp_ecc::DecodeResult`] for
+//! the SEC Hamming code, extended with a double-correction outcome. As with
+//! the Hamming decoder, a reported correction may in truth be a
+//! *miscorrection* when the number of raw errors exceeds the correction
+//! capability — that is exactly the mechanism behind the paper's indirect
+//! errors, and with a `t = 2` code up to two indirect errors can appear
+//! concurrently.
+
+use serde::{Deserialize, Serialize};
+
+use harp_gf2::BitVec;
+
+/// What the BCH decoder believes happened during a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BchDecodeOutcome {
+    /// Both syndromes were zero: no error, or an undetectable error pattern.
+    NoErrorDetected,
+    /// The syndromes were consistent with a single raw error, which the
+    /// decoder flipped.
+    CorrectedSingle {
+        /// Codeword position the decoder flipped.
+        position: usize,
+    },
+    /// The syndromes were consistent with a double raw error, and the decoder
+    /// flipped both located positions.
+    CorrectedDouble {
+        /// The two codeword positions the decoder flipped (ascending).
+        positions: [usize; 2],
+    },
+    /// The syndromes matched no correctable pattern (no root, a repeated
+    /// root, or a root pointing into the shortened region); the decoder
+    /// passed the stored data bits through unmodified.
+    DetectedUncorrectable,
+}
+
+impl BchDecodeOutcome {
+    /// The codeword positions the decoder flipped (empty unless a correction
+    /// was performed).
+    pub fn corrected_positions(&self) -> Vec<usize> {
+        match self {
+            BchDecodeOutcome::CorrectedSingle { position } => vec![*position],
+            BchDecodeOutcome::CorrectedDouble { positions } => positions.to_vec(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Returns `true` if the decoder performed any correction operation.
+    pub fn is_correction(&self) -> bool {
+        matches!(
+            self,
+            BchDecodeOutcome::CorrectedSingle { .. } | BchDecodeOutcome::CorrectedDouble { .. }
+        )
+    }
+
+    /// The number of bit positions the decoder flipped.
+    pub fn correction_count(&self) -> usize {
+        self.corrected_positions().len()
+    }
+}
+
+/// The full result of decoding a stored BCH codeword.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BchDecodeResult {
+    /// The post-correction dataword returned to the memory controller.
+    pub dataword: BitVec,
+    /// What the decoder believes happened.
+    pub outcome: BchDecodeOutcome,
+    /// The power-sum syndromes `(S₁, S₃)` as GF(2^m) elements, exposed for
+    /// the "syndrome on correction" transparency option (§5.2).
+    pub syndromes: (u32, u32),
+}
+
+impl BchDecodeResult {
+    /// Positions (dataword bit indices) where the post-correction dataword
+    /// differs from `written` — the post-correction errors the memory
+    /// controller observes for this read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `written.len() != self.dataword.len()`.
+    pub fn post_correction_errors(&self, written: &BitVec) -> Vec<usize> {
+        assert_eq!(
+            written.len(),
+            self.dataword.len(),
+            "dataword length mismatch"
+        );
+        (&self.dataword ^ written).iter_ones().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrected_positions_per_outcome() {
+        assert!(BchDecodeOutcome::NoErrorDetected.corrected_positions().is_empty());
+        assert_eq!(
+            BchDecodeOutcome::CorrectedSingle { position: 9 }.corrected_positions(),
+            vec![9]
+        );
+        assert_eq!(
+            BchDecodeOutcome::CorrectedDouble { positions: [2, 70] }.corrected_positions(),
+            vec![2, 70]
+        );
+        assert!(BchDecodeOutcome::DetectedUncorrectable.corrected_positions().is_empty());
+    }
+
+    #[test]
+    fn correction_counts() {
+        assert_eq!(BchDecodeOutcome::NoErrorDetected.correction_count(), 0);
+        assert_eq!(BchDecodeOutcome::CorrectedSingle { position: 1 }.correction_count(), 1);
+        assert_eq!(
+            BchDecodeOutcome::CorrectedDouble { positions: [1, 2] }.correction_count(),
+            2
+        );
+        assert!(!BchDecodeOutcome::DetectedUncorrectable.is_correction());
+        assert!(BchDecodeOutcome::CorrectedSingle { position: 1 }.is_correction());
+    }
+
+    #[test]
+    fn post_correction_errors_diffs_datawords() {
+        let result = BchDecodeResult {
+            dataword: BitVec::from_indices(8, [1, 4]),
+            outcome: BchDecodeOutcome::NoErrorDetected,
+            syndromes: (0, 0),
+        };
+        assert_eq!(result.post_correction_errors(&BitVec::from_indices(8, [4])), vec![1]);
+        assert!(result
+            .post_correction_errors(&BitVec::from_indices(8, [1, 4]))
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn post_correction_errors_rejects_length_mismatch() {
+        let result = BchDecodeResult {
+            dataword: BitVec::zeros(8),
+            outcome: BchDecodeOutcome::NoErrorDetected,
+            syndromes: (0, 0),
+        };
+        result.post_correction_errors(&BitVec::zeros(9));
+    }
+}

@@ -1,0 +1,59 @@
+//! Double-error-correcting (DEC) BCH codes for the HARP reproduction.
+//!
+//! The HARP paper evaluates single-error-correcting Hamming codes because
+//! they are what LPDDR4/DDR5 on-die ECC uses today, and explicitly leaves
+//! stronger block codes — "e.g., double-error correcting BCH" — to future
+//! work (§2.5, footnote 9). This crate implements that extension so the
+//! repository can answer the natural follow-up question: *how do the three
+//! profiling challenges and HARP's secondary-ECC requirement change when
+//! on-die ECC corrects two errors instead of one?*
+//!
+//! The crate provides:
+//!
+//! * [`field::Gf2mField`] — arithmetic in the finite field GF(2^m) via
+//!   log/antilog tables over a primitive polynomial;
+//! * [`poly::BinaryPoly`] — polynomials over GF(2) used to construct the BCH
+//!   generator polynomial (minimal polynomials, lcm, polynomial division);
+//! * [`BchCode`] — systematic, shortened, double-error-correcting BCH codes
+//!   sized for the paper's 64-bit and 128-bit datawords (a `(78, 64)` and a
+//!   `(144, 128)` code), with encoding, syndrome computation and
+//!   bounded-distance decoding (Peterson's direct solution for `t = 2`);
+//! * [`analysis`] — the same post-correction error-space analysis the
+//!   Hamming crate performs for SEC codes, generalized to `t = 2`: direct
+//!   and indirect at-risk bits, the combinatorial amplification table, and
+//!   the maximum number of simultaneous indirect errors (which is bounded by
+//!   the correction capability, exactly as the paper's insight 2 predicts).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use harp_bch::BchCode;
+//! use harp_gf2::BitVec;
+//!
+//! // A (78, 64) double-error-correcting BCH code.
+//! let code = BchCode::dec(64)?;
+//! let data = BitVec::ones(64);
+//! let mut stored = code.encode(&data);
+//!
+//! // Any double error is corrected.
+//! stored.flip(3);
+//! stored.flip(70);
+//! let decoded = code.decode(&stored);
+//! assert_eq!(decoded.dataword, data);
+//! assert!(decoded.outcome.is_correction());
+//! # Ok::<(), harp_bch::BchError>(())
+//! ```
+
+pub mod analysis;
+pub mod chip;
+pub mod code;
+pub mod decoder;
+pub mod field;
+pub mod poly;
+
+pub use analysis::BchErrorSpace;
+pub use chip::{BchMemoryChip, BchReadObservation};
+pub use code::{BchCode, BchError};
+pub use decoder::{BchDecodeOutcome, BchDecodeResult};
+pub use field::Gf2mField;
+pub use poly::BinaryPoly;

@@ -1,0 +1,424 @@
+//! Polynomials over GF(2), used to construct BCH generator polynomials.
+//!
+//! A BCH code's generator polynomial is the least common multiple of the
+//! minimal polynomials of consecutive powers of the primitive element `α`.
+//! For the double-error-correcting codes used in this crate that means
+//! `g(x) = lcm(m₁(x), m₃(x))`, each factor having degree at most `m`, so the
+//! polynomials involved stay small; nevertheless [`BinaryPoly`] supports
+//! arbitrary degrees so the `x^n + 1` divisibility sanity checks work for the
+//! full-length (unshortened) codes as well.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::field::Gf2mField;
+
+/// A polynomial over GF(2), stored as packed coefficient bits (bit `i` of
+/// word `i / 64` is the coefficient of `x^(64·(i/64) + i % 64)`).
+///
+/// The zero polynomial is represented by an empty coefficient vector and has
+/// degree `None`.
+///
+/// # Example
+///
+/// ```
+/// use harp_bch::BinaryPoly;
+///
+/// // (x + 1)·(x^2 + x + 1) = x^3 + 1
+/// let a = BinaryPoly::from_coefficients(&[0, 1]);
+/// let b = BinaryPoly::from_coefficients(&[0, 1, 2]);
+/// assert_eq!(a.mul(&b), BinaryPoly::from_coefficients(&[0, 3]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BinaryPoly {
+    words: Vec<u64>,
+}
+
+impl BinaryPoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { words: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Self::monomial(0)
+    }
+
+    /// The monomial `x^degree`.
+    pub fn monomial(degree: usize) -> Self {
+        let mut poly = Self::zero();
+        poly.set_coefficient(degree, true);
+        poly
+    }
+
+    /// Builds a polynomial from the exponents whose coefficients are `1`.
+    pub fn from_coefficients(exponents: &[usize]) -> Self {
+        let mut poly = Self::zero();
+        for &e in exponents {
+            poly.set_coefficient(e, !poly.coefficient(e));
+        }
+        poly
+    }
+
+    /// Builds a polynomial from an integer whose bit `i` is the coefficient
+    /// of `x^i` (convenient for primitive polynomials).
+    pub fn from_integer(bits: u64) -> Self {
+        let mut poly = Self::zero();
+        for i in 0..64 {
+            if bits & (1 << i) != 0 {
+                poly.set_coefficient(i, true);
+            }
+        }
+        poly
+    }
+
+    /// The coefficient of `x^exponent`.
+    pub fn coefficient(&self, exponent: usize) -> bool {
+        self.words
+            .get(exponent / 64)
+            .map(|w| w & (1 << (exponent % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Sets the coefficient of `x^exponent`.
+    pub fn set_coefficient(&mut self, exponent: usize, value: bool) {
+        let word = exponent / 64;
+        if word >= self.words.len() {
+            if !value {
+                return;
+            }
+            self.words.resize(word + 1, 0);
+        }
+        if value {
+            self.words[word] |= 1 << (exponent % 64);
+        } else {
+            self.words[word] &= !(1 << (exponent % 64));
+        }
+        self.trim();
+    }
+
+    fn trim(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
+    /// Returns `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        let last = self.words.last()?;
+        Some((self.words.len() - 1) * 64 + (63 - last.leading_zeros() as usize))
+    }
+
+    /// Polynomial addition (coefficient-wise XOR).
+    pub fn add(&self, other: &Self) -> Self {
+        let mut words = vec![0u64; self.words.len().max(other.words.len())];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0) ^ other.words.get(i).copied().unwrap_or(0);
+        }
+        let mut result = Self { words };
+        result.trim();
+        result
+    }
+
+    /// Carry-less polynomial multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut result = Self::zero();
+        for exp in self.exponents() {
+            result = result.add(&other.shifted(exp));
+        }
+        result
+    }
+
+    /// Returns `self · x^shift`.
+    pub fn shifted(&self, shift: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let mut result = Self::zero();
+        for exp in self.exponents() {
+            result.set_coefficient(exp + shift, true);
+        }
+        result
+    }
+
+    /// Polynomial division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is the zero polynomial.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        let divisor_degree = divisor.degree().expect("division by the zero polynomial");
+        let mut remainder = self.clone();
+        let mut quotient = Self::zero();
+        while let Some(remainder_degree) = remainder.degree() {
+            if remainder_degree < divisor_degree {
+                break;
+            }
+            let shift = remainder_degree - divisor_degree;
+            quotient.set_coefficient(shift, true);
+            remainder = remainder.add(&divisor.shifted(shift));
+        }
+        (quotient, remainder)
+    }
+
+    /// Polynomial remainder `self mod divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is the zero polynomial.
+    pub fn rem(&self, divisor: &Self) -> Self {
+        self.div_rem(divisor).1
+    }
+
+    /// Returns `true` if `self` divides `other` exactly.
+    pub fn divides(&self, other: &Self) -> bool {
+        other.rem(self).is_zero()
+    }
+
+    /// Greatest common divisor (monic by construction over GF(2)).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either polynomial is zero.
+    pub fn lcm(&self, other: &Self) -> Self {
+        assert!(!self.is_zero() && !other.is_zero(), "lcm of the zero polynomial");
+        let gcd = self.gcd(other);
+        self.mul(other).div_rem(&gcd).0
+    }
+
+    /// Iterates over the exponents whose coefficients are `1`, ascending.
+    pub fn exponents(&self) -> Vec<usize> {
+        let mut result = Vec::new();
+        for (word_index, word) in self.words.iter().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                result.push(word_index * 64 + bit);
+                bits &= bits - 1;
+            }
+        }
+        result
+    }
+
+    /// Evaluates the polynomial at a GF(2^m) element (the coefficients are
+    /// 0/1, so evaluation is a sum of powers of the point).
+    pub fn eval_in_field(&self, field: &Gf2mField, point: u32) -> u32 {
+        let mut acc = 0;
+        for exp in self.exponents() {
+            acc ^= field.pow(point, exp as u32);
+        }
+        acc
+    }
+
+    /// The minimal polynomial over GF(2) of the field element `element`.
+    ///
+    /// Computed as `∏ (x − β)` over the conjugacy class `β ∈ {element^(2^i)}`,
+    /// using arithmetic in GF(2^m) and verifying that the product's
+    /// coefficients all collapse to GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element` is zero.
+    pub fn minimal_polynomial(field: &Gf2mField, element: u32) -> Self {
+        assert!(element != 0, "zero has no minimal polynomial over GF(2)");
+        // Conjugacy class of the element under the Frobenius map.
+        let mut conjugates = Vec::new();
+        let mut current = element;
+        loop {
+            conjugates.push(current);
+            current = field.mul(current, current);
+            if current == element {
+                break;
+            }
+        }
+        // Product of (x + β) with coefficients in GF(2^m).
+        let mut coeffs: Vec<u32> = vec![1]; // constant polynomial 1
+        for &beta in &conjugates {
+            let mut next = vec![0u32; coeffs.len() + 1];
+            for (i, &c) in coeffs.iter().enumerate() {
+                // multiply by x
+                next[i + 1] ^= c;
+                // multiply by β
+                next[i] ^= field.mul(c, beta);
+            }
+            coeffs = next;
+        }
+        let mut poly = Self::zero();
+        for (i, &c) in coeffs.iter().enumerate() {
+            assert!(c <= 1, "minimal polynomial coefficient escaped GF(2)");
+            if c == 1 {
+                poly.set_coefficient(i, true);
+            }
+        }
+        poly
+    }
+}
+
+impl fmt::Debug for BinaryPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BinaryPoly({self})")
+    }
+}
+
+impl fmt::Display for BinaryPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let terms: Vec<String> = self
+            .exponents()
+            .into_iter()
+            .rev()
+            .map(|e| match e {
+                0 => "1".to_owned(),
+                1 => "x".to_owned(),
+                _ => format!("x^{e}"),
+            })
+            .collect();
+        f.write_str(&terms.join(" + "))
+    }
+}
+
+impl Default for BinaryPoly {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_zero_handling() {
+        assert_eq!(BinaryPoly::zero().degree(), None);
+        assert!(BinaryPoly::zero().is_zero());
+        assert_eq!(BinaryPoly::one().degree(), Some(0));
+        assert_eq!(BinaryPoly::monomial(100).degree(), Some(100));
+    }
+
+    #[test]
+    fn addition_is_xor_of_coefficients() {
+        let a = BinaryPoly::from_coefficients(&[0, 2, 5]);
+        let b = BinaryPoly::from_coefficients(&[2, 3]);
+        assert_eq!(a.add(&b), BinaryPoly::from_coefficients(&[0, 3, 5]));
+        // Adding a polynomial to itself gives zero.
+        assert!(a.add(&a).is_zero());
+    }
+
+    #[test]
+    fn multiplication_small_cases() {
+        let x_plus_1 = BinaryPoly::from_coefficients(&[0, 1]);
+        let x2_x_1 = BinaryPoly::from_coefficients(&[0, 1, 2]);
+        assert_eq!(x_plus_1.mul(&x2_x_1), BinaryPoly::from_coefficients(&[0, 3]));
+        assert!(x_plus_1.mul(&BinaryPoly::zero()).is_zero());
+        assert_eq!(x_plus_1.mul(&BinaryPoly::one()), x_plus_1);
+    }
+
+    #[test]
+    fn division_round_trips() {
+        let dividend = BinaryPoly::from_coefficients(&[0, 1, 4, 7, 9]);
+        let divisor = BinaryPoly::from_coefficients(&[0, 2, 3]);
+        let (q, r) = dividend.div_rem(&divisor);
+        let recomposed = q.mul(&divisor).add(&r);
+        assert_eq!(recomposed, dividend);
+        assert!(r.degree().unwrap_or(0) < divisor.degree().unwrap());
+    }
+
+    #[test]
+    fn gcd_and_lcm() {
+        let a = BinaryPoly::from_coefficients(&[0, 1]); // x + 1
+        let b = BinaryPoly::from_coefficients(&[0, 1, 2]); // x^2 + x + 1
+        // Coprime polynomials: gcd = 1, lcm = product.
+        assert_eq!(a.gcd(&b), BinaryPoly::one());
+        assert_eq!(a.lcm(&b), a.mul(&b));
+        // gcd(a·b, a) = a.
+        assert_eq!(a.mul(&b).gcd(&a), a);
+    }
+
+    #[test]
+    fn minimal_polynomial_of_alpha_is_the_primitive_polynomial() {
+        for m in [3u32, 4, 7, 8] {
+            let field = Gf2mField::new(m);
+            let minimal = BinaryPoly::minimal_polynomial(&field, field.alpha_pow(1));
+            assert_eq!(
+                minimal,
+                BinaryPoly::from_integer(field.polynomial() as u64),
+                "m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_polynomial_has_the_element_as_root() {
+        let field = Gf2mField::new(7);
+        for exponent in [1u32, 3, 5, 9] {
+            let element = field.alpha_pow(exponent);
+            let minimal = BinaryPoly::minimal_polynomial(&field, element);
+            assert_eq!(minimal.eval_in_field(&field, element), 0, "α^{exponent}");
+            // Degree divides m.
+            assert_eq!(7 % minimal.degree().unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn minimal_polynomials_divide_x_order_plus_1() {
+        let field = Gf2mField::new(6);
+        let x_n_plus_1 = BinaryPoly::monomial(field.order() as usize).add(&BinaryPoly::one());
+        for exponent in [1u32, 3, 7, 11] {
+            let minimal = BinaryPoly::minimal_polynomial(&field, field.alpha_pow(exponent));
+            assert!(minimal.divides(&x_n_plus_1), "α^{exponent}");
+        }
+    }
+
+    #[test]
+    fn eval_in_field_matches_direct_sum() {
+        let field = Gf2mField::new(5);
+        let poly = BinaryPoly::from_coefficients(&[0, 2, 3, 7]);
+        let point = field.alpha_pow(11);
+        let expected = 1 ^ field.pow(point, 2) ^ field.pow(point, 3) ^ field.pow(point, 7);
+        assert_eq!(poly.eval_in_field(&field, point), expected);
+    }
+
+    #[test]
+    fn display_formats_terms_in_descending_order() {
+        let poly = BinaryPoly::from_coefficients(&[0, 1, 5]);
+        assert_eq!(poly.to_string(), "x^5 + x + 1");
+        assert_eq!(BinaryPoly::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn exponents_cross_word_boundaries() {
+        let poly = BinaryPoly::from_coefficients(&[0, 63, 64, 130]);
+        assert_eq!(poly.exponents(), vec![0, 63, 64, 130]);
+        assert_eq!(poly.degree(), Some(130));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn division_by_zero_panics() {
+        BinaryPoly::one().div_rem(&BinaryPoly::zero());
+    }
+}

@@ -1,0 +1,225 @@
+//! The BEER test campaign: recovering the miscorrection profile from a
+//! black-box memory chip.
+//!
+//! BEER exploits the data-dependence of DRAM data-retention errors: a true
+//! cell can only fail while it stores a '1'. By programming a data pattern
+//! that charges exactly two data bits and testing beyond the refresh margin
+//! (so that the charged cells fail), the experimenter induces a *known*
+//! pair of raw errors inside the ECC word without any visibility into the
+//! chip. The on-die ECC decoder then either miscorrects a third data bit
+//! (observable), miscorrects a parity bit (invisible and harmless), or
+//! detects the error without locating it. Collecting the observation for
+//! every pair yields the [`MiscorrectionProfile`].
+//!
+//! The campaign drives an actual [`harp_memsim::MemoryChip`] through its
+//! normal (non-bypass) read path, exactly as an experimenter without HARP's
+//! chip modification would.
+//!
+//! **Modelling note.** The campaign assumes a test condition under which the
+//! two targeted (charged) data cells fail during the test window while the
+//! chip's parity cells survive it. The original BEER methodology does not
+//! need this assumption — it feeds the resulting ambiguity about charged
+//! parity-cell failures to a SAT solver — but the artefact it recovers is the
+//! same miscorrection profile. DESIGN.md §2 records the substitution.
+
+use std::collections::BTreeMap;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use harp_ecc::HammingCode;
+use harp_gf2::BitVec;
+use harp_memsim::{FaultModel, MemoryChip};
+
+use crate::profile::MiscorrectionProfile;
+
+/// A pair-charged reverse-engineering campaign over a chip with `data_bits`
+/// visible data bits per ECC word.
+///
+/// # Example
+///
+/// ```
+/// use harp_beer::BeerCampaign;
+/// use harp_ecc::HammingCode;
+///
+/// let secret = HammingCode::random(16, 4)?;
+/// let profile = BeerCampaign::new(16).extract_profile(&secret);
+/// assert!(profile.is_consistent_with(&secret));
+/// # Ok::<(), harp_ecc::CodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BeerCampaign {
+    data_bits: usize,
+    /// Number of read trials per pattern. The pair-charged procedure is
+    /// deterministic when the test condition guarantees charged-cell
+    /// failure, so a single trial suffices; more trials model a cautious
+    /// experimenter re-reading each pattern.
+    trials_per_pattern: usize,
+}
+
+impl BeerCampaign {
+    /// Creates a campaign for ECC words with `data_bits` data bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bits` is zero.
+    pub fn new(data_bits: usize) -> Self {
+        assert!(data_bits > 0, "data_bits must be nonzero");
+        Self {
+            data_bits,
+            trials_per_pattern: 1,
+        }
+    }
+
+    /// Sets the number of read trials per pattern (defaults to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn with_trials_per_pattern(mut self, trials: usize) -> Self {
+        assert!(trials > 0, "at least one trial per pattern is required");
+        self.trials_per_pattern = trials;
+        self
+    }
+
+    /// The dataword length this campaign targets.
+    pub fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    /// The number of test patterns the campaign programs (one per unordered
+    /// pair of data bits).
+    pub fn pattern_count(&self) -> usize {
+        self.data_bits * (self.data_bits - 1) / 2
+    }
+
+    /// Runs the campaign against a chip that uses the given (secret) code,
+    /// constructing the black-box chip internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code's dataword length does not match the campaign.
+    pub fn extract_profile(&self, code: &HammingCode) -> MiscorrectionProfile {
+        assert_eq!(
+            code.data_len(),
+            self.data_bits,
+            "campaign sized for {} data bits, code has {}",
+            self.data_bits,
+            code.data_len()
+        );
+        let mut chip = MemoryChip::new(code.clone(), 1);
+        self.extract_profile_from_chip(&mut chip, 0xBEE2)
+    }
+
+    /// Runs the campaign against an existing chip through its normal read
+    /// path (no ECC bypass, no knowledge of the stored code).
+    ///
+    /// The chip's word 0 is used as the test location; its fault model is
+    /// overwritten to emulate testing beyond the refresh margin, where every
+    /// charged cell in the targeted pair fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip's dataword length does not match the campaign.
+    pub fn extract_profile_from_chip(
+        &self,
+        chip: &mut MemoryChip,
+        seed: u64,
+    ) -> MiscorrectionProfile {
+        assert_eq!(
+            chip.code().data_len(),
+            self.data_bits,
+            "campaign sized for {} data bits, chip has {}",
+            self.data_bits,
+            chip.code().data_len()
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pairs = BTreeMap::new();
+        for i in 0..self.data_bits {
+            for j in (i + 1)..self.data_bits {
+                // Test beyond the refresh margin: the two charged data cells
+                // are guaranteed to fail; every other cell stores '0' and,
+                // being a true cell, cannot fail.
+                chip.set_fault_model(0, FaultModel::uniform(&[i, j], 1.0));
+                let pattern = BitVec::from_indices(self.data_bits, [i, j]);
+                chip.write(0, &pattern);
+
+                let mut target = None;
+                for _ in 0..self.trials_per_pattern {
+                    let observation = chip.read(0, &mut rng);
+                    let post = observation.post_correction_errors();
+                    // A data-visible miscorrection shows up as a third
+                    // post-correction error position beyond the pair itself.
+                    if let Some(&extra) = post.iter().find(|&&p| p != i && p != j) {
+                        target = Some(extra);
+                    }
+                }
+                pairs.insert((i, j), target);
+            }
+        }
+        MiscorrectionProfile::new(self.data_bits, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovered_profile_matches_ground_truth_for_random_codes() {
+        for seed in 0..8u64 {
+            let code = HammingCode::random(16, seed).unwrap();
+            let profile = BeerCampaign::new(16).extract_profile(&code);
+            assert_eq!(
+                profile,
+                MiscorrectionProfile::from_code(&code),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovered_profile_matches_ground_truth_for_a_71_64_code() {
+        let code = HammingCode::random(64, 0xA11CE).unwrap();
+        let profile = BeerCampaign::new(64).extract_profile(&code);
+        assert_eq!(profile, MiscorrectionProfile::from_code(&code));
+    }
+
+    #[test]
+    fn campaign_works_against_an_externally_supplied_chip() {
+        let code = HammingCode::random(16, 77).unwrap();
+        let mut chip = MemoryChip::new(code.clone(), 4);
+        let profile = BeerCampaign::new(16)
+            .with_trials_per_pattern(3)
+            .extract_profile_from_chip(&mut chip, 1);
+        assert!(profile.is_consistent_with(&code));
+    }
+
+    #[test]
+    fn pattern_count_is_quadratic_in_data_bits() {
+        assert_eq!(BeerCampaign::new(4).pattern_count(), 6);
+        assert_eq!(BeerCampaign::new(16).pattern_count(), 120);
+        assert_eq!(BeerCampaign::new(64).pattern_count(), 2016);
+        assert_eq!(BeerCampaign::new(64).data_bits(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "campaign sized for")]
+    fn mismatched_code_size_is_rejected() {
+        let code = HammingCode::random(32, 0).unwrap();
+        BeerCampaign::new(16).extract_profile(&code);
+    }
+
+    #[test]
+    #[should_panic(expected = "data_bits must be nonzero")]
+    fn zero_sized_campaign_is_rejected() {
+        BeerCampaign::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_are_rejected() {
+        BeerCampaign::new(8).with_trials_per_pattern(0);
+    }
+}

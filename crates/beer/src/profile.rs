@@ -1,0 +1,269 @@
+//! The data-visible miscorrection signature of an on-die ECC code.
+//!
+//! For a systematic SEC Hamming code, the memory controller can never read
+//! the parity bits, so the only externally observable consequence of the
+//! proprietary column arrangement is *which data-bit position the decoder
+//! miscorrects for a given combination of raw data-bit errors*. The pairwise
+//! part of that map — recovered by the BEER test campaign — is what the BEEP
+//! profiler uses to craft its targeted data patterns and what HARP-A uses to
+//! precompute bits at risk of indirect error.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use harp_ecc::HammingCode;
+
+/// For every unordered pair of data-bit positions, the data-bit position (if
+/// any) the on-die ECC decoder miscorrects when exactly that pair of raw
+/// errors occurs.
+///
+/// `None` means the double error is *data-invisible beyond the direct
+/// errors*: the decoder either miscorrects a parity bit (harmless to data) or
+/// detects the error without locating it.
+///
+/// # Example
+///
+/// ```
+/// use harp_beer::MiscorrectionProfile;
+/// use harp_ecc::HammingCode;
+///
+/// let code = HammingCode::paper_example();
+/// let profile = MiscorrectionProfile::from_code(&code);
+/// assert_eq!(profile.data_bits(), 4);
+/// // Every recorded target is a data-bit position distinct from the pair.
+/// for ((i, j), target) in profile.pairs() {
+///     if let Some(m) = target {
+///         assert!(*m < 4 && m != i && m != j);
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MiscorrectionProfile {
+    data_bits: usize,
+    pairs: BTreeMap<(usize, usize), Option<usize>>,
+}
+
+impl MiscorrectionProfile {
+    /// Builds a profile from explicit pair observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair or target position is out of range, if a pair is
+    /// not stored in canonical `(low, high)` order, or if a target collides
+    /// with its own pair.
+    pub fn new(data_bits: usize, pairs: BTreeMap<(usize, usize), Option<usize>>) -> Self {
+        for (&(i, j), &target) in &pairs {
+            assert!(i < j, "pair ({i}, {j}) must be ordered");
+            assert!(j < data_bits, "pair ({i}, {j}) out of range");
+            if let Some(m) = target {
+                assert!(m < data_bits, "target {m} out of range");
+                assert!(m != i && m != j, "target {m} collides with its pair");
+            }
+        }
+        Self { data_bits, pairs }
+    }
+
+    /// The ground-truth profile computed directly from a known parity-check
+    /// matrix (used to validate what the black-box campaign recovers).
+    pub fn from_code(code: &HammingCode) -> Self {
+        let k = code.data_len();
+        let mut pairs = BTreeMap::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let syndrome = code.column(i) ^ code.column(j);
+                let target = code
+                    .position_for_syndrome(&syndrome)
+                    .filter(|&m| m < k && m != i && m != j);
+                pairs.insert((i, j), target);
+            }
+        }
+        Self { data_bits: k, pairs }
+    }
+
+    /// The dataword length the profile describes.
+    pub fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    /// All pair observations in canonical order.
+    pub fn pairs(&self) -> impl Iterator<Item = (&(usize, usize), &Option<usize>)> {
+        self.pairs.iter()
+    }
+
+    /// The number of pairs that provoke a data-visible miscorrection.
+    pub fn miscorrecting_pair_count(&self) -> usize {
+        self.pairs.values().filter(|t| t.is_some()).count()
+    }
+
+    /// The miscorrection target for a pair of data-bit positions (order
+    /// agnostic), or `None` if the pair is data-invisible or was never
+    /// observed.
+    pub fn miscorrection_target(&self, a: usize, b: usize) -> Option<usize> {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.pairs.get(&key).copied().flatten()
+    }
+
+    /// Predicts dataword positions at risk of indirect error given a set of
+    /// direct-error at-risk data bits, using pairwise information only.
+    ///
+    /// This is the profile-level analogue of HARP-A's precomputation. It is a
+    /// subset of the full prediction (which also accounts for triples and
+    /// larger combinations); reconstructing an equivalent code with
+    /// [`crate::reconstruct_equivalent_code`] recovers the rest.
+    pub fn predict_indirect_from_direct(&self, direct: &[usize]) -> BTreeSet<usize> {
+        let direct_set: BTreeSet<usize> = direct.iter().copied().collect();
+        let mut predicted = BTreeSet::new();
+        for (idx, &i) in direct.iter().enumerate() {
+            for &j in direct.iter().skip(idx + 1) {
+                if let Some(m) = self.miscorrection_target(i, j) {
+                    if !direct_set.contains(&m) {
+                        predicted.insert(m);
+                    }
+                }
+            }
+        }
+        predicted
+    }
+
+    /// Returns `true` if this profile matches the data-visible behaviour of
+    /// the given code.
+    pub fn is_consistent_with(&self, code: &HammingCode) -> bool {
+        code.data_len() == self.data_bits && Self::from_code(code) == *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_profile_covers_all_pairs() {
+        let code = HammingCode::random(16, 5).unwrap();
+        let profile = MiscorrectionProfile::from_code(&code);
+        assert_eq!(profile.data_bits(), 16);
+        assert_eq!(profile.pairs().count(), 16 * 15 / 2);
+        assert!(profile.is_consistent_with(&code));
+    }
+
+    #[test]
+    fn targets_match_direct_syndrome_computation() {
+        let code = HammingCode::random(16, 7).unwrap();
+        let profile = MiscorrectionProfile::from_code(&code);
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                let syndrome = code.column(i) ^ code.column(j);
+                let expected = code
+                    .position_for_syndrome(&syndrome)
+                    .filter(|&m| m < 16);
+                assert_eq!(profile.miscorrection_target(i, j), expected);
+                // Order agnostic lookup.
+                assert_eq!(profile.miscorrection_target(j, i), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_prediction_is_subset_of_full_harp_a_prediction() {
+        use harp_ecc::analysis::{predict_indirect_from_direct, FailureDependence};
+        let code = HammingCode::random(16, 9).unwrap();
+        let profile = MiscorrectionProfile::from_code(&code);
+        let direct = [0usize, 3, 7, 11];
+        let pairwise = profile.predict_indirect_from_direct(&direct);
+        let full = predict_indirect_from_direct(&code, &direct, FailureDependence::TrueCell);
+        for p in &pairwise {
+            assert!(full.contains(p), "pairwise prediction {p} missing from full prediction");
+        }
+    }
+
+    #[test]
+    fn prediction_excludes_direct_bits() {
+        let code = HammingCode::random(16, 13).unwrap();
+        let profile = MiscorrectionProfile::from_code(&code);
+        let direct = [1usize, 2, 3, 4, 5];
+        let predicted = profile.predict_indirect_from_direct(&direct);
+        for d in direct {
+            assert!(!predicted.contains(&d));
+        }
+        assert!(profile.predict_indirect_from_direct(&[]).is_empty());
+        assert!(profile.predict_indirect_from_direct(&[0]).is_empty());
+    }
+
+    #[test]
+    fn different_codes_usually_have_different_profiles() {
+        let a = MiscorrectionProfile::from_code(&HammingCode::random(16, 1).unwrap());
+        let b = MiscorrectionProfile::from_code(&HammingCode::random(16, 2).unwrap());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn miscorrecting_pair_count_is_positive_for_real_codes() {
+        // Hamming codes over 16 data bits have many pair sums landing on
+        // other data columns.
+        let code = HammingCode::random(16, 21).unwrap();
+        let profile = MiscorrectionProfile::from_code(&code);
+        assert!(profile.miscorrecting_pair_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ordered")]
+    fn unordered_pairs_are_rejected() {
+        let mut pairs = BTreeMap::new();
+        pairs.insert((3usize, 1usize), None);
+        MiscorrectionProfile::new(8, pairs);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn self_targets_are_rejected() {
+        let mut pairs = BTreeMap::new();
+        pairs.insert((1usize, 3usize), Some(3usize));
+        MiscorrectionProfile::new(8, pairs);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn profile_round_trips_through_the_campaign(seed in 0u64..200) {
+                // The black-box campaign must always recover exactly the
+                // ground-truth profile, whatever the secret code is.
+                let secret = HammingCode::random(16, seed).unwrap();
+                let recovered = crate::BeerCampaign::new(16).extract_profile(&secret);
+                prop_assert_eq!(recovered, MiscorrectionProfile::from_code(&secret));
+            }
+
+            #[test]
+            fn predictions_are_always_within_the_true_indirect_space(
+                seed in 0u64..100,
+                direct in proptest::collection::btree_set(0usize..16, 2..6),
+            ) {
+                use harp_ecc::analysis::{predict_indirect_from_direct, FailureDependence};
+                let code = HammingCode::random(16, seed).unwrap();
+                let profile = MiscorrectionProfile::from_code(&code);
+                let direct: Vec<usize> = direct.into_iter().collect();
+                let pairwise = profile.predict_indirect_from_direct(&direct);
+                let full =
+                    predict_indirect_from_direct(&code, &direct, FailureDependence::TrueCell);
+                for p in pairwise {
+                    prop_assert!(full.contains(&p));
+                }
+            }
+
+            #[test]
+            fn miscorrection_targets_never_collide_with_their_pair(seed in 0u64..100) {
+                let code = HammingCode::random(32, seed).unwrap();
+                let profile = MiscorrectionProfile::from_code(&code);
+                for ((i, j), target) in profile.pairs() {
+                    if let Some(m) = target {
+                        prop_assert!(m != i && m != j && *m < 32);
+                    }
+                }
+            }
+        }
+    }
+}

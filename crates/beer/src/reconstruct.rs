@@ -1,0 +1,272 @@
+//! Reconstructing an equivalent parity-check matrix from a miscorrection
+//! profile.
+//!
+//! The true column arrangement of a proprietary on-die ECC code cannot be
+//! determined from outside the chip — only its *data-visible* behaviour can.
+//! This module finds a concrete systematic SEC Hamming code that reproduces
+//! the observed behaviour, which is all that BEEP-style pattern crafting and
+//! HARP-A-style indirect-error prediction require.
+//!
+//! The search works on the observation that each recorded miscorrection
+//! `(i, j) → m` is a *linear* statement about the unknown data columns:
+//! `c_i ⊕ c_j ⊕ c_m = 0`. Every row of the unknown parity block must
+//! therefore lie in the null space of the relation matrix. The solver
+//! computes that null space exactly (GF(2) Gaussian elimination — the role
+//! Z3 plays in the original BEER tool) and then searches the residual
+//! freedom for an assignment whose complete profile matches the observation,
+//! which also enforces the "no data-visible miscorrection" constraints.
+
+use std::fmt;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use harp_ecc::HammingCode;
+use harp_gf2::{solve::row_echelon, BitVec, Gf2Matrix};
+
+use crate::profile::MiscorrectionProfile;
+
+/// Why reconstruction failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReconstructError {
+    /// The requested number of parity bits cannot represent the dataword
+    /// (fewer parity bits than a Hamming code needs).
+    TooFewParityBits {
+        /// Requested parity width.
+        parity_bits: usize,
+        /// Minimum parity width for the profile's dataword length.
+        required: usize,
+    },
+    /// No consistent assignment was found within the attempt budget. Either
+    /// the profile is not realizable with the requested parity width or the
+    /// randomized search needs more attempts.
+    AttemptsExhausted {
+        /// Number of assignments that were tried.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconstructError::TooFewParityBits { parity_bits, required } => write!(
+                f,
+                "{parity_bits} parity bits cannot encode the dataword (need at least {required})"
+            ),
+            ReconstructError::AttemptsExhausted { attempts } => {
+                write!(f, "no consistent code found within {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
+/// Reconstructs a systematic SEC Hamming code whose data-visible behaviour
+/// matches `profile`, using `parity_bits` parity bits.
+///
+/// The returned code is *equivalent* to the chip's secret code (identical
+/// miscorrection profile), not necessarily identical to it — the residual
+/// ambiguity is invisible from outside the chip.
+///
+/// # Errors
+///
+/// Returns [`ReconstructError::TooFewParityBits`] if the geometry is
+/// impossible and [`ReconstructError::AttemptsExhausted`] if the randomized
+/// assignment search does not converge within `max_attempts`.
+///
+/// # Example
+///
+/// ```
+/// use harp_beer::{reconstruct_equivalent_code, MiscorrectionProfile};
+/// use harp_ecc::HammingCode;
+///
+/// let secret = HammingCode::random(8, 3)?;
+/// let profile = MiscorrectionProfile::from_code(&secret);
+/// let recovered = reconstruct_equivalent_code(&profile, secret.parity_len(), 1, 20_000)
+///     .expect("reconstruction converges for small codes");
+/// assert!(profile.is_consistent_with(&recovered));
+/// # Ok::<(), harp_ecc::CodeError>(())
+/// ```
+pub fn reconstruct_equivalent_code(
+    profile: &MiscorrectionProfile,
+    parity_bits: usize,
+    seed: u64,
+    max_attempts: usize,
+) -> Result<HammingCode, ReconstructError> {
+    let k = profile.data_bits();
+    let required = harp_ecc::CodeShape::min_parity_bits(k);
+    if parity_bits < required {
+        return Err(ReconstructError::TooFewParityBits {
+            parity_bits,
+            required,
+        });
+    }
+
+    // Linear relations among the unknown data columns.
+    let mut relation_rows = Vec::new();
+    for (&(i, j), &target) in profile.pairs() {
+        if let Some(m) = target {
+            relation_rows.push(BitVec::from_indices(k, [i, j, m]));
+        }
+    }
+    // Every row of the parity block must lie in the null space of the
+    // relation matrix (an empty relation set leaves the full space free).
+    let basis = if relation_rows.is_empty() {
+        (0..k).map(|i| BitVec::from_indices(k, [i])).collect::<Vec<_>>()
+    } else {
+        row_echelon(&Gf2Matrix::from_rows(&relation_rows)).nullspace()
+    };
+    if basis.is_empty() {
+        return Err(ReconstructError::AttemptsExhausted { attempts: 0 });
+    }
+    let basis_matrix = Gf2Matrix::from_rows(&basis);
+    let dim = basis.len();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut attempts = 0;
+    while attempts < max_attempts {
+        attempts += 1;
+        // A random mixing matrix M (parity_bits × dim): the candidate parity
+        // block is M · basis, so its rows automatically satisfy every
+        // recorded miscorrection relation.
+        let mixing = Gf2Matrix::from_fn(parity_bits, dim, |_, _| rng.gen_bool(0.5));
+        let candidate_block = mixing.mul(&basis_matrix);
+        let data_columns: Vec<BitVec> =
+            (0..k).map(|i| candidate_block.col(i)).collect();
+        match HammingCode::from_data_columns(data_columns) {
+            Ok(code) => {
+                if profile.is_consistent_with(&code) {
+                    return Ok(code);
+                }
+            }
+            // Invalid candidate (duplicate / zero / identity-colliding
+            // columns): try the next assignment.
+            Err(_) => {}
+        }
+    }
+    Err(ReconstructError::AttemptsExhausted { attempts })
+}
+
+/// Returns `true` if two codes are indistinguishable from outside the chip
+/// for raw error patterns confined to the data bits, up to `max_weight`
+/// simultaneous raw errors.
+///
+/// Weight 1 and 2 agreement is exactly profile agreement; weight 3 covers
+/// the combinations BEEP exercises when crafting patterns around an already
+/// identified at-risk bit.
+///
+/// # Panics
+///
+/// Panics if the codes have different dataword lengths or if `max_weight`
+/// is 0 or greater than 3.
+pub fn data_visible_equivalent(a: &HammingCode, b: &HammingCode, max_weight: usize) -> bool {
+    assert_eq!(a.data_len(), b.data_len(), "dataword lengths differ");
+    assert!((1..=3).contains(&max_weight), "max_weight must be 1..=3");
+    let k = a.data_len();
+    let visible = |code: &HammingCode, positions: &[usize]| -> Vec<usize> {
+        let data = BitVec::zeros(k);
+        let error = BitVec::from_indices(code.codeword_len(), positions.iter().copied());
+        code.encode_corrupt_decode(&data, &error)
+            .post_correction_errors(&data)
+    };
+    let mut stack: Vec<Vec<usize>> = (0..k).map(|i| vec![i]).collect();
+    while let Some(positions) = stack.pop() {
+        if visible(a, &positions) != visible(b, &positions) {
+            return false;
+        }
+        if positions.len() < max_weight {
+            let last = *positions.last().expect("non-empty subset");
+            for next in (last + 1)..k {
+                let mut extended = positions.clone();
+                extended.push(next);
+                stack.push(extended);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstruction_recovers_an_equivalent_small_code() {
+        for seed in 0..4u64 {
+            let secret = HammingCode::random(8, seed).unwrap();
+            let profile = MiscorrectionProfile::from_code(&secret);
+            let recovered =
+                reconstruct_equivalent_code(&profile, secret.parity_len(), seed, 50_000)
+                    .expect("reconstruction converges for 8-bit datawords");
+            assert!(profile.is_consistent_with(&recovered), "seed {seed}");
+            assert!(data_visible_equivalent(&secret, &recovered, 2), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_recovers_an_equivalent_16_bit_code() {
+        let secret = HammingCode::random(16, 11).unwrap();
+        let profile = MiscorrectionProfile::from_code(&secret);
+        let recovered = reconstruct_equivalent_code(&profile, secret.parity_len(), 7, 200_000)
+            .expect("reconstruction converges for 16-bit datawords");
+        assert!(profile.is_consistent_with(&recovered));
+        // Pair-level equivalence is what the profile guarantees.
+        assert!(data_visible_equivalent(&secret, &recovered, 2));
+    }
+
+    #[test]
+    fn too_few_parity_bits_is_reported() {
+        let secret = HammingCode::random(16, 0).unwrap();
+        let profile = MiscorrectionProfile::from_code(&secret);
+        assert!(matches!(
+            reconstruct_equivalent_code(&profile, 2, 0, 10),
+            Err(ReconstructError::TooFewParityBits { required, .. }) if required > 2
+        ));
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        let secret = HammingCode::random(16, 3).unwrap();
+        let profile = MiscorrectionProfile::from_code(&secret);
+        // One attempt is (almost surely) not enough; the error reports it.
+        match reconstruct_equivalent_code(&profile, secret.parity_len(), 12345, 1) {
+            Err(ReconstructError::AttemptsExhausted { attempts }) => assert_eq!(attempts, 1),
+            Ok(code) => assert!(profile.is_consistent_with(&code)),
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn a_code_is_equivalent_to_itself() {
+        let code = HammingCode::random(16, 9).unwrap();
+        assert!(data_visible_equivalent(&code, &code, 3));
+    }
+
+    #[test]
+    fn different_codes_are_usually_not_equivalent() {
+        let a = HammingCode::random(16, 1).unwrap();
+        let b = HammingCode::random(16, 2).unwrap();
+        assert!(!data_visible_equivalent(&a, &b, 2));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = ReconstructError::TooFewParityBits {
+            parity_bits: 3,
+            required: 5,
+        };
+        assert!(err.to_string().contains("at least 5"));
+        let err = ReconstructError::AttemptsExhausted { attempts: 7 };
+        assert!(err.to_string().contains("7 attempts"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dataword lengths differ")]
+    fn equivalence_check_rejects_mismatched_codes() {
+        let a = HammingCode::random(8, 1).unwrap();
+        let b = HammingCode::random(16, 1).unwrap();
+        data_visible_equivalent(&a, &b, 2);
+    }
+}

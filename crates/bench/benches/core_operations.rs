@@ -1,0 +1,85 @@
+//! Microbenchmarks of the core operations every experiment is built from:
+//! encoding, decoding, fault injection, exact error-space enumeration, and a
+//! full profiling round for each profiler.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use harp_ecc::analysis::FailureDependence;
+use harp_ecc::{ErrorSpace, HammingCode};
+use harp_gf2::BitVec;
+use harp_memsim::pattern::DataPattern;
+use harp_memsim::{FaultModel, MemoryChip};
+use harp_profiler::{ProfilerKind, ProfilingCampaign};
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let code = HammingCode::random(64, 1).unwrap();
+    let data = BitVec::from_u64(64, 0xDEAD_BEEF_0123_4567);
+    let mut group = c.benchmark_group("core/ecc");
+    group.bench_function("encode_71_64", |b| b.iter(|| code.encode(&data)));
+    let mut stored = code.encode(&data);
+    stored.flip(17);
+    stored.flip(42);
+    group.bench_function("decode_double_error_71_64", |b| b.iter(|| code.decode(&stored)));
+    let code128 = HammingCode::random(128, 1).unwrap();
+    let data128 = BitVec::ones(128);
+    group.bench_function("encode_136_128", |b| b.iter(|| code128.encode(&data128)));
+    group.finish();
+}
+
+fn bench_fault_injection_and_chip_read(c: &mut Criterion) {
+    let code = HammingCode::random(64, 2).unwrap();
+    let mut chip = MemoryChip::new(code, 1);
+    chip.set_fault_model(0, FaultModel::uniform(&[3, 19, 42, 66], 0.5));
+    chip.write(0, &BitVec::ones(64));
+    let mut group = c.benchmark_group("core/memsim");
+    group.bench_function("chip_read_with_injection", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| chip.read(0, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_error_space_enumeration(c: &mut Criterion) {
+    let code = HammingCode::random(64, 3).unwrap();
+    let mut group = c.benchmark_group("core/analysis");
+    for n in [2usize, 4, 6, 8] {
+        let at_risk: Vec<usize> = (0..n).map(|i| i * 8 + 1).collect();
+        group.bench_function(format!("error_space_n{n}"), |b| {
+            b.iter(|| ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell))
+        });
+    }
+    group.finish();
+}
+
+fn bench_profiling_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/profiling_campaign_32_rounds");
+    for kind in ProfilerKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || {
+                    let code = HammingCode::random(64, 5).unwrap();
+                    ProfilingCampaign::new(
+                        code,
+                        FaultModel::uniform(&[3, 19, 42, 60], 0.5),
+                        DataPattern::Random,
+                        7,
+                    )
+                },
+                |campaign| campaign.run(kind, 32),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode_decode,
+    bench_fault_injection_and_chip_read,
+    bench_error_space_enumeration,
+    bench_profiling_round
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Extension benches: regenerate the five extension experiments (DEC BCH
+//! on-die ECC, BEER reverse engineering, multi-chip secondary-ECC layout,
+//! repair-capacity planning, VRT scrubbing) and time each one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harp_bench::small_bench_config;
+use harp_sim::experiments::{ext_bch, ext_beer, ext_module, ext_repair, ext_vrt};
+
+fn bench_extensions(c: &mut Criterion) {
+    let config = small_bench_config();
+
+    println!("\n{}", ext_bch::run(&config).render());
+    c.bench_function("ext1/bch_error_space", |b| b.iter(|| ext_bch::run(&config)));
+
+    println!("\n{}", ext_beer::run(&config).render());
+    c.bench_function("ext2/beer_reverse_engineering", |b| {
+        b.iter(|| ext_beer::run(&config))
+    });
+
+    println!("\n{}", ext_module::run(&config).render());
+    c.bench_function("ext3/module_layouts", |b| b.iter(|| ext_module::run(&config)));
+
+    println!("\n{}", ext_repair::run(&config).render());
+    c.bench_function("ext4/repair_capacity", |b| b.iter(|| ext_repair::run(&config)));
+
+    println!("\n{}", ext_vrt::run(&config).render());
+    c.bench_function("ext5/vrt_scrubbing", |b| b.iter(|| ext_vrt::run(&config)));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_extensions
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Fig. 2 bench: regenerates the wasted-storage-vs-RBER curves and times the
+//! analytic model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harp_sim::experiments::fig2;
+
+fn bench_fig2(c: &mut Criterion) {
+    // Print the reproduced series once so the bench log doubles as the
+    // experiment record.
+    println!("\n{}", fig2::run().render());
+    c.bench_function("fig02/wasted_storage_full_sweep", |b| b.iter(fig2::run));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 4 bench: regenerates the per-bit post-correction error-probability
+//! distributions and times the Monte-Carlo kernel. Includes the (136, 128)
+//! long-code ablation from §7.1.2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harp_bench::small_bench_config;
+use harp_sim::experiments::fig4;
+
+fn bench_fig4(c: &mut Criterion) {
+    let config = small_bench_config();
+    println!("\n{}", fig4::run_with(&config, &[2, 3, 4, 5, 6, 7, 8], 0.5).render());
+    // Ablation: the longer (136, 128) code shows the same trends.
+    let long = config.clone().with_long_code();
+    println!(
+        "(136, 128) ablation\n{}",
+        fig4::run_with(&long, &[2, 4, 8], 0.5).render()
+    );
+    c.bench_function("fig04/montecarlo_n2_to_n4", |b| {
+        b.iter(|| fig4::run_with(&config, &[2, 3, 4], 0.5))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4
+);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 7 bench: regenerates the bootstrapping-round distributions and times
+//! the aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harp_bench::{bench_config, small_bench_config};
+use harp_sim::experiments::{fig6, fig7, sweep};
+
+fn bench_fig7(c: &mut Criterion) {
+    println!("\n{}", fig7::run(&bench_config()).render());
+
+    // Time the sweep and the (cheap) aggregation separately.
+    let config = small_bench_config();
+    let shared = sweep::run_coverage_sweep(&config, &fig6::PROFILERS);
+    c.bench_function("fig07/aggregate_from_sweep", |b| {
+        b.iter(|| fig7::from_sweep(&shared))
+    });
+    c.bench_function("fig07/full_run", |b| b.iter(|| fig7::run(&config)));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig. 8 bench: regenerates the missed-indirect-error curves for all five
+//! profilers (including HARP-A and HARP-A+BEEP) and times the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harp_bench::{bench_config, small_bench_config};
+use harp_sim::experiments::fig8;
+
+fn bench_fig8(c: &mut Criterion) {
+    println!("\n{}", fig8::run(&bench_config()).render());
+    let config = small_bench_config();
+    c.bench_function("fig08/coverage_sweep_five_profilers", |b| {
+        b.iter(|| fig8::run(&config))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig8
+);
+criterion_main!(benches);

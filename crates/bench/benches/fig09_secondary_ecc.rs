@@ -1,0 +1,42 @@
+//! Fig. 9 bench: regenerates both panels (required secondary-ECC correction
+//! capability) plus the headline coverage-speedup summary, and includes the
+//! secondary-ECC strength ablation from §6.3.2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harp_bench::{bench_config, small_bench_config};
+use harp_ecc::SecondaryEcc;
+use harp_gf2::BitVec;
+use harp_profiler::ReactiveProfiler;
+use harp_sim::experiments::fig9;
+
+fn bench_fig9(c: &mut Criterion) {
+    println!("\n{}", fig9::run(&bench_config()).render());
+
+    // Ablation (§6.3.2): a stronger secondary ECC tolerates multi-bit
+    // post-correction errors during reactive profiling; measure its
+    // observation cost relative to the SEC configuration.
+    let mut group = c.benchmark_group("fig09/secondary_ecc_strength_ablation");
+    for capability in [1usize, 2, 3] {
+        group.bench_function(format!("ideal_t{capability}"), |b| {
+            let written = BitVec::ones(64);
+            let mut observed = written.clone();
+            observed.flip(3);
+            observed.flip(17);
+            b.iter(|| {
+                let mut reactive = ReactiveProfiler::new(SecondaryEcc::ideal(capability));
+                reactive.observe(&written, &observed)
+            })
+        });
+    }
+    group.finish();
+
+    let config = small_bench_config();
+    c.bench_function("fig09/full_run", |b| b.iter(|| fig9::run(&config)));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig9
+);
+criterion_main!(benches);

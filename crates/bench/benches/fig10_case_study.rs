@@ -1,0 +1,33 @@
+//! Fig. 10 bench: regenerates the data-retention BER case study (before /
+//! after reactive profiling) plus the headline speedup summary, and times the
+//! end-to-end pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harp_bench::{bench_config, small_bench_config};
+use harp_sim::experiments::{fig10, fig9, headline, sweep};
+
+fn bench_fig10(c: &mut Criterion) {
+    let config = harp_sim::EvaluationConfig {
+        probabilities: vec![0.5, 0.75],
+        ..bench_config()
+    };
+    let fig10_result = fig10::run(&config);
+    println!("\n{}", fig10_result.render());
+
+    // Headline summary (coverage speedups + case-study speedup).
+    let fig9_sweep = sweep::run_coverage_sweep(&config, &fig9::PROFILERS);
+    let fig9_result = fig9::from_sweep(&fig9_sweep);
+    println!("{}", headline::summarize(&config, &fig9_result, &fig10_result).render());
+
+    let timing_config = small_bench_config();
+    c.bench_function("fig10/case_study_single_rber", |b| {
+        b.iter(|| fig10::run_with_rbers(&timing_config, &[0.05]))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig10
+);
+criterion_main!(benches);

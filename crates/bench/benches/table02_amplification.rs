@@ -1,0 +1,25 @@
+//! Table 2 bench: regenerates the at-risk-bit amplification table (closed
+//! form) and times the exact per-code enumeration it bounds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harp_ecc::analysis::FailureDependence;
+use harp_ecc::{ErrorSpace, HammingCode};
+use harp_sim::experiments::table2;
+
+fn bench_table2(c: &mut Criterion) {
+    println!("\n{}", table2::run().render());
+    c.bench_function("table02/closed_form", |b| b.iter(table2::run));
+    // The exact enumeration for a concrete code, which the closed form bounds.
+    let code = HammingCode::random(64, 11).unwrap();
+    let at_risk = [1usize, 9, 22, 35, 48, 55, 60, 63];
+    c.bench_function("table02/exact_enumeration_n8", |b| {
+        b.iter(|| ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2
+);
+criterion_main!(benches);

@@ -1,0 +1,277 @@
+//! The end-to-end memory controller read/write path.
+//!
+//! [`MemoryController`] composes the pieces of the paper's HARP-enabled
+//! system (Fig. 5): the memory chip with on-die ECC, the bit-repair mechanism
+//! with its error profile, and the secondary ECC used for reactive profiling.
+//!
+//! On every read the controller:
+//!
+//! 1. receives the post-correction dataword from the chip (on-die ECC has
+//!    already corrected what it can — or miscorrected);
+//! 2. repairs every profiled bit;
+//! 3. hands the remaining word to the secondary ECC, which — during reactive
+//!    profiling — corrects and *identifies* at most `t` new at-risk bits,
+//!    recording them in the profile;
+//! 4. reports any error that exceeded the secondary ECC's capability as an
+//!    escaped error (a system-visible failure, the quantity plotted in the
+//!    paper's Fig. 10 "after reactive profiling" panel).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use harp_ecc::{SecondaryEcc, SecondaryObservation};
+use harp_gf2::BitVec;
+use harp_memsim::MemoryChip;
+
+use crate::profile::ErrorProfile;
+use crate::repair::BitRepairMechanism;
+
+/// The outcome of one controller read.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerReadOutcome {
+    /// The dataword delivered to the CPU after repair and secondary ECC.
+    pub data: BitVec,
+    /// Dataword positions newly identified as at risk by reactive profiling
+    /// during this read (already recorded into the profile).
+    pub newly_identified: Vec<usize>,
+    /// Dataword positions whose errors escaped both repair and the secondary
+    /// ECC (delivered corrupted to the CPU).
+    pub escaped_errors: Vec<usize>,
+}
+
+impl ControllerReadOutcome {
+    /// Returns `true` if the read delivered correct data.
+    pub fn is_correct(&self) -> bool {
+        self.escaped_errors.is_empty()
+    }
+}
+
+/// A memory controller with a bit-repair mechanism and a secondary ECC.
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    chip: MemoryChip,
+    repair: BitRepairMechanism,
+    secondary: SecondaryEcc,
+    reactive_profiling_enabled: bool,
+}
+
+impl MemoryController {
+    /// Creates a controller around `chip` with an empty error profile.
+    pub fn new(chip: MemoryChip, secondary: SecondaryEcc) -> Self {
+        Self {
+            chip,
+            repair: BitRepairMechanism::empty(),
+            secondary,
+            reactive_profiling_enabled: true,
+        }
+    }
+
+    /// Creates a controller seeded with an existing error profile (e.g. the
+    /// output of an active profiling phase).
+    pub fn with_profile(chip: MemoryChip, secondary: SecondaryEcc, profile: ErrorProfile) -> Self {
+        Self {
+            chip,
+            repair: BitRepairMechanism::new(profile),
+            secondary,
+            reactive_profiling_enabled: true,
+        }
+    }
+
+    /// Enables or disables reactive profiling (identification of new at-risk
+    /// bits by the secondary ECC). Correction still happens either way.
+    pub fn set_reactive_profiling(&mut self, enabled: bool) {
+        self.reactive_profiling_enabled = enabled;
+    }
+
+    /// The underlying memory chip.
+    pub fn chip(&self) -> &MemoryChip {
+        &self.chip
+    }
+
+    /// Mutable access to the underlying memory chip (e.g. to install fault
+    /// models in a simulation).
+    pub fn chip_mut(&mut self) -> &mut MemoryChip {
+        &mut self.chip
+    }
+
+    /// The current error profile.
+    pub fn profile(&self) -> &ErrorProfile {
+        self.repair.profile()
+    }
+
+    /// Mutable access to the error profile (used by active profilers).
+    pub fn profile_mut(&mut self) -> &mut ErrorProfile {
+        self.repair.profile_mut()
+    }
+
+    /// The secondary ECC configuration.
+    pub fn secondary(&self) -> &SecondaryEcc {
+        &self.secondary
+    }
+
+    /// Writes a dataword to ECC word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range or the dataword length is wrong.
+    pub fn write(&mut self, word: usize, data: &BitVec) {
+        self.chip.write(word, data);
+    }
+
+    /// Reads ECC word `word` through the full path: on-die ECC → bit repair →
+    /// secondary ECC (reactive profiling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn read<R: Rng + ?Sized>(&mut self, word: usize, rng: &mut R) -> ControllerReadOutcome {
+        let observation = self.chip.read(word, rng);
+        let written = observation.written_data().clone();
+        let repaired =
+            self.repair
+                .repair_read(word, observation.post_correction_data(), &written);
+
+        match self.secondary.observe(&written, &repaired) {
+            SecondaryObservation::Clean => ControllerReadOutcome {
+                data: repaired,
+                newly_identified: Vec::new(),
+                escaped_errors: Vec::new(),
+            },
+            SecondaryObservation::Identified { positions } => {
+                if self.reactive_profiling_enabled {
+                    self.repair.profile_mut().mark_all(word, positions.clone());
+                }
+                // The secondary ECC corrected the error(s) before delivery.
+                ControllerReadOutcome {
+                    data: written,
+                    newly_identified: positions,
+                    escaped_errors: Vec::new(),
+                }
+            }
+            SecondaryObservation::Unsafe { residual_errors } => ControllerReadOutcome {
+                data: repaired,
+                newly_identified: Vec::new(),
+                escaped_errors: residual_errors,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_ecc::HammingCode;
+    use harp_memsim::FaultModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn controller_with_faults(at_risk: &[usize], probability: f64) -> MemoryController {
+        let code = HammingCode::random(64, 31).unwrap();
+        let mut chip = MemoryChip::new(code, 1);
+        chip.set_fault_model(0, FaultModel::uniform(at_risk, probability));
+        MemoryController::new(chip, SecondaryEcc::ideal_sec())
+    }
+
+    #[test]
+    fn clean_word_reads_correctly() {
+        let mut controller = controller_with_faults(&[], 0.0);
+        let data = BitVec::from_u64(64, 0x0123_4567_89AB_CDEF);
+        controller.write(0, &data);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let outcome = controller.read(0, &mut rng);
+        assert!(outcome.is_correct());
+        assert_eq!(outcome.data, data);
+        assert!(outcome.newly_identified.is_empty());
+    }
+
+    #[test]
+    fn single_at_risk_bit_never_escapes() {
+        // One raw error: on-die ECC corrects it; nothing reaches the
+        // secondary ECC.
+        let mut controller = controller_with_faults(&[12], 1.0);
+        controller.write(0, &BitVec::ones(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let outcome = controller.read(0, &mut rng);
+        assert!(outcome.is_correct());
+        assert!(outcome.newly_identified.is_empty());
+    }
+
+    #[test]
+    fn reactive_profiling_identifies_single_post_correction_errors() {
+        // Two at-risk data bits that always fail: on-die ECC cannot correct
+        // the pair, but after repairing one via the profile only one error at
+        // a time reaches the secondary ECC.
+        let mut controller = controller_with_faults(&[3, 40], 1.0);
+        // Pre-profile one of the two bits (as HARP's active phase would).
+        controller.profile_mut().mark(0, 3);
+        controller.write(0, &BitVec::ones(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let outcome = controller.read(0, &mut rng);
+        assert!(outcome.is_correct(), "escaped: {:?}", outcome.escaped_errors);
+        // The remaining at-risk bit (40) — or a miscorrection position — is
+        // identified and recorded.
+        assert!(!outcome.newly_identified.is_empty());
+        for &bit in &outcome.newly_identified {
+            assert!(controller.profile().contains(0, bit));
+        }
+    }
+
+    #[test]
+    fn unprofiled_multi_bit_errors_escape() {
+        let mut controller = controller_with_faults(&[3, 40, 55], 1.0);
+        controller.write(0, &BitVec::ones(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let outcome = controller.read(0, &mut rng);
+        assert!(!outcome.is_correct());
+        assert!(outcome.escaped_errors.len() >= 2);
+        // Nothing was identified because the secondary ECC was overwhelmed.
+        assert!(outcome.newly_identified.is_empty());
+    }
+
+    #[test]
+    fn fully_profiled_word_always_reads_correctly() {
+        let mut controller = controller_with_faults(&[3, 40, 55], 1.0);
+        controller.profile_mut().mark_all(0, [3, 40, 55]);
+        // Also profile any possible miscorrection targets by brute force:
+        // with all direct bits repaired, at most one indirect error remains,
+        // which the SEC secondary ECC handles.
+        controller.write(0, &BitVec::ones(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..20 {
+            let outcome = controller.read(0, &mut rng);
+            assert!(outcome.is_correct());
+        }
+    }
+
+    #[test]
+    fn disabling_reactive_profiling_still_corrects_but_does_not_record() {
+        let mut controller = controller_with_faults(&[3, 40], 1.0);
+        controller.profile_mut().mark(0, 3);
+        controller.set_reactive_profiling(false);
+        controller.write(0, &BitVec::ones(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let outcome = controller.read(0, &mut rng);
+        assert!(outcome.is_correct());
+        assert!(!outcome.newly_identified.is_empty());
+        // The identified bit was NOT recorded.
+        for &bit in &outcome.newly_identified {
+            assert!(!controller.profile().contains(0, bit));
+        }
+    }
+
+    #[test]
+    fn with_profile_seeds_the_repair_mechanism() {
+        let code = HammingCode::random(64, 33).unwrap();
+        let mut chip = MemoryChip::new(code, 1);
+        chip.set_fault_model(0, FaultModel::uniform(&[1, 2], 1.0));
+        let mut profile = ErrorProfile::new();
+        profile.mark_all(0, [1, 2]);
+        let mut controller =
+            MemoryController::with_profile(chip, SecondaryEcc::ideal_sec(), profile);
+        controller.write(0, &BitVec::ones(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let outcome = controller.read(0, &mut rng);
+        assert!(outcome.is_correct());
+        assert_eq!(controller.secondary().correction_capability(), 1);
+    }
+}

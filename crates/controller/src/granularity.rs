@@ -1,0 +1,235 @@
+//! Repair-granularity analysis (Fig. 2 and Table 1 of the paper).
+//!
+//! Coarse-grained repair mechanisms sacrifice an entire block (row, page,
+//! cache line, …) to repair a single erroneous bit, wasting the block's
+//! non-erroneous capacity. Fig. 2 of the paper quantifies this internal
+//! fragmentation as a function of the raw bit error rate, motivating
+//! bit-granularity repair at the high error rates HARP targets.
+
+use serde::{Deserialize, Serialize};
+
+/// Expected fraction of total memory capacity wasted by repairing
+/// uniform-random single-bit errors at a given repair granularity.
+///
+/// A block of `granularity_bits` bits is repaired whenever it contains at
+/// least one erroneous bit (probability `1 − (1 − r)^g`); all of its bits are
+/// then sacrificed, of which `g·r` were expected to be truly erroneous.
+/// Normalizing by total capacity gives
+/// `E[wasted] = (1 − (1 − r)^g) − r`.
+///
+/// Bit-granularity repair (`g = 1`) therefore wastes nothing, matching the
+/// paper's observation that it does not suffer from internal fragmentation.
+///
+/// # Panics
+///
+/// Panics if `rber` is outside `[0, 1]` or `granularity_bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// use harp_controller::expected_wasted_storage;
+///
+/// // Bit-granularity repair never wastes capacity.
+/// assert_eq!(expected_wasted_storage(1e-3, 1), 0.0);
+/// // Coarse repair at high error rates wastes most of the chip.
+/// assert!(expected_wasted_storage(6.8e-3, 1024) > 0.99);
+/// ```
+pub fn expected_wasted_storage(rber: f64, granularity_bits: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&rber), "rber {rber} outside [0, 1]");
+    assert!(granularity_bits > 0, "granularity must be nonzero");
+    if granularity_bits == 1 {
+        // A repaired block contains exactly the erroneous bit: no waste.
+        return 0.0;
+    }
+    let g = granularity_bits as f64;
+    let p_block_repaired = 1.0 - (1.0 - rber).powf(g);
+    (p_block_repaired - rber).max(0.0)
+}
+
+/// Generates the full Fig. 2 series: for each granularity, the expected
+/// wasted-storage ratio at each RBER.
+///
+/// Returns one `(granularity, Vec<(rber, wasted)>)` entry per granularity.
+pub fn wasted_storage_series(
+    rbers: &[f64],
+    granularities: &[usize],
+) -> Vec<(usize, Vec<(f64, f64)>)> {
+    granularities
+        .iter()
+        .map(|&g| {
+            (
+                g,
+                rbers
+                    .iter()
+                    .map(|&r| (r, expected_wasted_storage(r, g)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// The default RBER sweep used by the Fig. 2 reproduction (log-spaced from
+/// 10⁻⁷ to ~0.3, mirroring the paper's x-axis).
+pub fn default_rber_sweep() -> Vec<f64> {
+    let mut rbers = Vec::new();
+    let mut exp = -7.0f64;
+    while exp <= -0.5 {
+        rbers.push(10f64.powf(exp));
+        exp += 0.25;
+    }
+    rbers
+}
+
+/// One row of the paper's Table 1: a repair mechanism and its profiling
+/// granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairCatalogEntry {
+    /// Profiling granularity category (e.g. "System page").
+    pub category: &'static str,
+    /// Granularity in bits (representative value from the paper's table).
+    pub granularity_bits: usize,
+    /// Example mechanisms from the literature.
+    pub examples: &'static str,
+}
+
+/// The survey of repair mechanisms from Table 1 of the paper.
+pub const REPAIR_CATALOG: &[RepairCatalogEntry] = &[
+    RepairCatalogEntry {
+        category: "System page",
+        granularity_bits: 32 * 1024,
+        examples: "RAPID, RIO, page retirement",
+    },
+    RepairCatalogEntry {
+        category: "DRAM external row",
+        granularity_bits: 64 * 1024,
+        examples: "PPR, Agnos, RAIDR, DIVA",
+    },
+    RepairCatalogEntry {
+        category: "DRAM internal row/column",
+        granularity_bits: 1024,
+        examples: "row/column sparing, Solar",
+    },
+    RepairCatalogEntry {
+        category: "Cache block",
+        granularity_bits: 512,
+        examples: "FREE-p, CiDRA",
+    },
+    RepairCatalogEntry {
+        category: "Processor word",
+        granularity_bits: 64,
+        examples: "ArchShield",
+    },
+    RepairCatalogEntry {
+        category: "Byte",
+        granularity_bits: 8,
+        examples: "DRM",
+    },
+    RepairCatalogEntry {
+        category: "Single bit",
+        granularity_bits: 1,
+        examples: "ECP, SECRET, REMAP, SFaultMap, HOTH, FLOWER, SAFER, Bit-fix",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_granularity_never_wastes_storage() {
+        for rber in [0.0, 1e-7, 1e-4, 1e-2, 0.5, 1.0] {
+            assert_eq!(expected_wasted_storage(rber, 1), 0.0, "rber {rber}");
+        }
+    }
+
+    #[test]
+    fn zero_error_rate_wastes_nothing_at_any_granularity() {
+        for g in [1usize, 8, 64, 512, 1024] {
+            assert_eq!(expected_wasted_storage(0.0, g), 0.0);
+        }
+    }
+
+    #[test]
+    fn coarse_granularity_wastes_more_than_fine_granularity() {
+        let rber = 1e-3;
+        let mut previous = 0.0;
+        for g in [1usize, 32, 64, 512, 1024] {
+            let wasted = expected_wasted_storage(rber, g);
+            assert!(wasted >= previous, "granularity {g} decreased waste");
+            previous = wasted;
+        }
+    }
+
+    #[test]
+    fn paper_headline_number_1024_bits_at_6_8e_3_wastes_over_99_percent() {
+        // §2.2: "wasting over 99% of total memory capacity in the worst case
+        // for a 1024-bit granularity at a raw bit error rate of 6.8e-3".
+        let wasted = expected_wasted_storage(6.8e-3, 1024);
+        assert!(wasted > 0.99, "got {wasted}");
+    }
+
+    #[test]
+    fn waste_eventually_decreases_at_very_high_error_rates() {
+        // Once most bits are truly erroneous, repairs stop being wasteful.
+        let moderate = expected_wasted_storage(1e-2, 1024);
+        let extreme = expected_wasted_storage(0.9, 1024);
+        assert!(extreme < moderate);
+    }
+
+    #[test]
+    fn wasted_storage_is_a_probability() {
+        for &g in &[1usize, 32, 64, 512, 1024] {
+            for rber in default_rber_sweep() {
+                let w = expected_wasted_storage(rber, g);
+                assert!((0.0..=1.0).contains(&w), "w={w} at g={g} rber={rber}");
+            }
+        }
+    }
+
+    #[test]
+    fn series_has_one_entry_per_granularity_and_rber() {
+        let rbers = [1e-6, 1e-4, 1e-2];
+        let grans = [1usize, 64, 1024];
+        let series = wasted_storage_series(&rbers, &grans);
+        assert_eq!(series.len(), 3);
+        for (g, points) in &series {
+            assert!(grans.contains(g));
+            assert_eq!(points.len(), rbers.len());
+        }
+    }
+
+    #[test]
+    fn default_sweep_spans_the_papers_axis() {
+        let sweep = default_rber_sweep();
+        assert!(sweep.first().copied().unwrap() <= 1.1e-7);
+        assert!(sweep.last().copied().unwrap() >= 0.25);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn repair_catalog_matches_table_1_structure() {
+        assert_eq!(REPAIR_CATALOG.len(), 7);
+        let bit_entry = REPAIR_CATALOG
+            .iter()
+            .find(|e| e.category == "Single bit")
+            .unwrap();
+        assert_eq!(bit_entry.granularity_bits, 1);
+        assert!(bit_entry.examples.contains("SECRET"));
+        // Granularities are listed coarsest-first.
+        assert!(REPAIR_CATALOG
+            .windows(2)
+            .all(|w| w[0].granularity_bits >= w[1].granularity_bits || w[0].category == "System page"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_rber_panics() {
+        expected_wasted_storage(1.5, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be nonzero")]
+    fn zero_granularity_panics() {
+        expected_wasted_storage(0.1, 0);
+    }
+}

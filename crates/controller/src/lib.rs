@@ -1,0 +1,54 @@
+//! Memory-controller substrate for the HARP reproduction.
+//!
+//! The paper's system model (Fig. 1 / Fig. 5) places three error-mitigation
+//! resources inside the memory controller:
+//!
+//! * an **error profile** — the list of bits known to be at risk of
+//!   post-correction error ([`profile::ErrorProfile`]);
+//! * a **repair mechanism** — hardware that repairs profiled bits on every
+//!   access ([`repair`]); the paper's case study assumes an ideal
+//!   bit-granularity repair, and [`granularity`] reproduces the Fig. 2
+//!   analysis of why bit-granularity repair is the right choice at high error
+//!   rates;
+//! * a **secondary ECC** used by HARP's reactive profiling phase
+//!   (re-exported from [`harp_ecc::SecondaryEcc`]).
+//!
+//! [`controller::MemoryController`] ties these together with a
+//! [`harp_memsim::MemoryChip`] into the end-to-end read path evaluated in the
+//! paper's Fig. 10 case study.
+//!
+//! # Example
+//!
+//! ```
+//! use harp_controller::{MemoryController, ErrorProfile};
+//! use harp_ecc::{HammingCode, SecondaryEcc};
+//! use harp_gf2::BitVec;
+//! use harp_memsim::{MemoryChip, FaultModel};
+//! use rand::SeedableRng;
+//!
+//! let code = HammingCode::random(64, 11)?;
+//! let mut chip = MemoryChip::new(code, 1);
+//! chip.set_fault_model(0, FaultModel::uniform(&[8], 1.0));
+//!
+//! let mut controller = MemoryController::new(chip, SecondaryEcc::ideal_sec());
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! controller.write(0, &BitVec::ones(64));
+//! let outcome = controller.read(0, &mut rng);
+//! // The single raw error is corrected by on-die ECC; nothing escapes.
+//! assert!(outcome.escaped_errors.is_empty());
+//! # Ok::<(), harp_ecc::CodeError>(())
+//! ```
+
+pub mod controller;
+pub mod granularity;
+pub mod mechanisms;
+pub mod profile;
+pub mod repair;
+pub mod sparing;
+
+pub use controller::{ControllerReadOutcome, MemoryController};
+pub use granularity::{expected_wasted_storage, RepairCatalogEntry, REPAIR_CATALOG};
+pub use mechanisms::{ArchShieldRepair, EcpRepair};
+pub use profile::ErrorProfile;
+pub use repair::BitRepairMechanism;
+pub use sparing::{BlockRepairMechanism, SparingOutcome};

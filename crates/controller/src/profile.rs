@@ -1,0 +1,182 @@
+//! The error profile: the list of bits known to be at risk of
+//! post-correction error.
+//!
+//! Both active and reactive profiling write into the same profile; the repair
+//! mechanism reads it on every access. The profile is bit-granular (the
+//! finest granularity in Table 1 of the paper), keyed by ECC-word index and
+//! dataword bit position within the word.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+/// A bit-granularity error profile.
+///
+/// # Example
+///
+/// ```
+/// use harp_controller::ErrorProfile;
+///
+/// let mut profile = ErrorProfile::new();
+/// profile.mark(3, 17);
+/// profile.mark_all(3, [2, 17, 40]);
+/// assert!(profile.contains(3, 40));
+/// assert_eq!(profile.total_bits(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorProfile {
+    words: BTreeMap<usize, BTreeSet<usize>>,
+}
+
+impl ErrorProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks dataword bit `bit` of ECC word `word` as at risk. Returns `true`
+    /// if the bit was newly added.
+    pub fn mark(&mut self, word: usize, bit: usize) -> bool {
+        self.words.entry(word).or_default().insert(bit)
+    }
+
+    /// Marks several bits of one word as at risk.
+    pub fn mark_all<I: IntoIterator<Item = usize>>(&mut self, word: usize, bits: I) {
+        self.words.entry(word).or_default().extend(bits);
+    }
+
+    /// Returns `true` if the bit is already profiled.
+    pub fn contains(&self, word: usize, bit: usize) -> bool {
+        self.words.get(&word).is_some_and(|s| s.contains(&bit))
+    }
+
+    /// The profiled bits of one word (empty set if none).
+    pub fn bits_for(&self, word: usize) -> BTreeSet<usize> {
+        self.words.get(&word).cloned().unwrap_or_default()
+    }
+
+    /// Number of profiled bits in one word.
+    pub fn count_for(&self, word: usize) -> usize {
+        self.words.get(&word).map_or(0, BTreeSet::len)
+    }
+
+    /// Total number of profiled bits across all words.
+    pub fn total_bits(&self) -> usize {
+        self.words.values().map(BTreeSet::len).sum()
+    }
+
+    /// Returns `true` if nothing has been profiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.words.values().all(BTreeSet::is_empty)
+    }
+
+    /// Iterates over `(word, bit)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.words
+            .iter()
+            .flat_map(|(&w, bits)| bits.iter().map(move |&b| (w, b)))
+    }
+
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: &ErrorProfile) {
+        for (&word, bits) in &other.words {
+            self.words
+                .entry(word)
+                .or_default()
+                .extend(bits.iter().copied());
+        }
+    }
+
+    /// Removes every profiled bit (e.g. before re-profiling).
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+}
+
+impl FromIterator<(usize, usize)> for ErrorProfile {
+    fn from_iter<I: IntoIterator<Item = (usize, usize)>>(iter: I) -> Self {
+        let mut profile = Self::new();
+        for (word, bit) in iter {
+            profile.mark(word, bit);
+        }
+        profile
+    }
+}
+
+impl Extend<(usize, usize)> for ErrorProfile {
+    fn extend<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) {
+        for (word, bit) in iter {
+            self.mark(word, bit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_profile_is_empty() {
+        let profile = ErrorProfile::new();
+        assert!(profile.is_empty());
+        assert_eq!(profile.total_bits(), 0);
+        assert!(!profile.contains(0, 0));
+        assert!(profile.bits_for(7).is_empty());
+        assert_eq!(profile.count_for(7), 0);
+    }
+
+    #[test]
+    fn mark_returns_whether_bit_was_new() {
+        let mut profile = ErrorProfile::new();
+        assert!(profile.mark(1, 5));
+        assert!(!profile.mark(1, 5));
+        assert!(profile.mark(1, 6));
+        assert_eq!(profile.total_bits(), 2);
+        assert_eq!(profile.count_for(1), 2);
+    }
+
+    #[test]
+    fn mark_all_and_bits_for_round_trip() {
+        let mut profile = ErrorProfile::new();
+        profile.mark_all(2, [9, 3, 3, 1]);
+        assert_eq!(
+            profile.bits_for(2).into_iter().collect::<Vec<_>>(),
+            vec![1, 3, 9]
+        );
+    }
+
+    #[test]
+    fn iter_yields_word_bit_pairs_in_order() {
+        let mut profile = ErrorProfile::new();
+        profile.mark(5, 0);
+        profile.mark(1, 7);
+        profile.mark(1, 2);
+        let pairs: Vec<(usize, usize)> = profile.iter().collect();
+        assert_eq!(pairs, vec![(1, 2), (1, 7), (5, 0)]);
+    }
+
+    #[test]
+    fn merge_unions_profiles() {
+        let mut a: ErrorProfile = [(0, 1), (0, 2)].into_iter().collect();
+        let b: ErrorProfile = [(0, 2), (3, 4)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.total_bits(), 3);
+        assert!(a.contains(3, 4));
+    }
+
+    #[test]
+    fn extend_and_from_iterator_agree() {
+        let pairs = [(1usize, 2usize), (1, 3), (2, 0)];
+        let from_iter: ErrorProfile = pairs.into_iter().collect();
+        let mut extended = ErrorProfile::new();
+        extended.extend(pairs);
+        assert_eq!(from_iter, extended);
+    }
+
+    #[test]
+    fn clear_empties_the_profile() {
+        let mut profile: ErrorProfile = [(0, 1)].into_iter().collect();
+        profile.clear();
+        assert!(profile.is_empty());
+    }
+}

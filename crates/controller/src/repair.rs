@@ -1,0 +1,171 @@
+//! Bit-granularity repair.
+//!
+//! The paper's case study (§7.4) assumes an *ideal* bit-repair mechanism: any
+//! bit present in the error profile is perfectly repaired on every access
+//! (e.g. remapped to a known-good spare cell whose content is kept in sync).
+//! [`BitRepairMechanism`] models exactly that: profiled bits are restored to
+//! their reference (written) value during reads and counted for the
+//! spare-capacity bookkeeping real mechanisms (ECP, SECRET, REMAP, …) need.
+
+use serde::{Deserialize, Serialize};
+
+use harp_gf2::BitVec;
+
+use crate::profile::ErrorProfile;
+
+/// An ideal bit-granularity repair mechanism driven by an [`ErrorProfile`].
+///
+/// # Example
+///
+/// ```
+/// use harp_controller::{BitRepairMechanism, ErrorProfile};
+/// use harp_gf2::BitVec;
+///
+/// let mut profile = ErrorProfile::new();
+/// profile.mark(0, 3);
+/// let repair = BitRepairMechanism::new(profile);
+///
+/// let written = BitVec::ones(8);
+/// let mut observed = written.clone();
+/// observed.flip(3); // a post-correction error at a profiled bit
+/// let repaired = repair.repair_read(0, &observed, &written);
+/// assert_eq!(repaired, written);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitRepairMechanism {
+    profile: ErrorProfile,
+}
+
+impl BitRepairMechanism {
+    /// Creates a repair mechanism using the given error profile.
+    pub fn new(profile: ErrorProfile) -> Self {
+        Self { profile }
+    }
+
+    /// Creates a repair mechanism with an empty profile.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the profile.
+    pub fn profile(&self) -> &ErrorProfile {
+        &self.profile
+    }
+
+    /// Mutable access to the profile (used by active and reactive profilers
+    /// to record newly identified at-risk bits).
+    pub fn profile_mut(&mut self) -> &mut ErrorProfile {
+        &mut self.profile
+    }
+
+    /// Number of spare bits the mechanism must provision (one per profiled
+    /// bit for an ECP/SECRET-style design).
+    pub fn spare_bits_required(&self) -> usize {
+        self.profile.total_bits()
+    }
+
+    /// Repairs a post-correction dataword read from ECC word `word`: every
+    /// profiled bit of that word is restored to its reference value.
+    ///
+    /// `reference` models the content of the spare storage that a real
+    /// mechanism keeps for repaired bits; in simulation it is the written
+    /// data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two datawords have different lengths.
+    pub fn repair_read(&self, word: usize, observed: &BitVec, reference: &BitVec) -> BitVec {
+        assert_eq!(
+            observed.len(),
+            reference.len(),
+            "dataword length mismatch"
+        );
+        let mut repaired = observed.clone();
+        for bit in self.profile.bits_for(word) {
+            if bit < repaired.len() {
+                repaired.set(bit, reference.get(bit));
+            }
+        }
+        repaired
+    }
+
+    /// Positions of post-correction errors that the repair mechanism does
+    /// *not* cover for this word (errors at unprofiled bits).
+    pub fn unrepaired_errors(&self, word: usize, error_positions: &[usize]) -> Vec<usize> {
+        error_positions
+            .iter()
+            .copied()
+            .filter(|&bit| !self.profile.contains(word, bit))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mechanism_repairs_nothing() {
+        let repair = BitRepairMechanism::empty();
+        let written = BitVec::ones(8);
+        let mut observed = written.clone();
+        observed.flip(2);
+        assert_eq!(repair.repair_read(0, &observed, &written), observed);
+        assert_eq!(repair.unrepaired_errors(0, &[2]), vec![2]);
+        assert_eq!(repair.spare_bits_required(), 0);
+    }
+
+    #[test]
+    fn profiled_bits_are_restored_to_reference() {
+        let mut profile = ErrorProfile::new();
+        profile.mark_all(1, [0, 4]);
+        let repair = BitRepairMechanism::new(profile);
+        let written = BitVec::from_indices(8, [0, 1, 4]);
+        let mut observed = written.clone();
+        observed.flip(0);
+        observed.flip(4);
+        observed.flip(6); // unprofiled error survives
+        let repaired = repair.repair_read(1, &observed, &written);
+        assert!(repaired.get(0));
+        assert!(repaired.get(4));
+        assert!(repaired.get(6) != written.get(6));
+        assert_eq!(repair.unrepaired_errors(1, &[0, 4, 6]), vec![6]);
+    }
+
+    #[test]
+    fn repair_only_applies_to_the_matching_word() {
+        let mut profile = ErrorProfile::new();
+        profile.mark(0, 3);
+        let repair = BitRepairMechanism::new(profile);
+        let written = BitVec::ones(8);
+        let mut observed = written.clone();
+        observed.flip(3);
+        // Word 5 has no profiled bits, so the error remains.
+        assert_eq!(repair.repair_read(5, &observed, &written), observed);
+    }
+
+    #[test]
+    fn spare_bits_track_profile_size() {
+        let mut repair = BitRepairMechanism::empty();
+        repair.profile_mut().mark(0, 1);
+        repair.profile_mut().mark(2, 7);
+        repair.profile_mut().mark(2, 7);
+        assert_eq!(repair.spare_bits_required(), 2);
+        assert!(repair.profile().contains(2, 7));
+    }
+
+    #[test]
+    fn repairing_a_clean_word_is_a_no_op() {
+        let mut profile = ErrorProfile::new();
+        profile.mark_all(0, [1, 2, 3]);
+        let repair = BitRepairMechanism::new(profile);
+        let written = BitVec::from_u64(8, 0xA5);
+        assert_eq!(repair.repair_read(0, &written, &written), written);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn repair_read_length_mismatch_panics() {
+        BitRepairMechanism::empty().repair_read(0, &BitVec::zeros(4), &BitVec::zeros(5));
+    }
+}

@@ -1,0 +1,206 @@
+//! Coarse-grained (block) repair mechanisms with finite spare capacity.
+//!
+//! The paper's Table 1 surveys repair mechanisms from page retirement down to
+//! single-bit repair, and Fig. 2 quantifies the internal fragmentation of
+//! coarse granularities. [`BlockRepairMechanism`] models that whole family:
+//! it repairs fixed-size blocks out of a finite pool of spares, so the wasted
+//! capacity and the point at which the mechanism runs out of spares can be
+//! measured directly and compared against the ideal bit-granularity repair of
+//! [`crate::repair::BitRepairMechanism`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use harp_gf2::BitVec;
+
+/// Outcome of asking a block-repair mechanism to cover a newly identified
+/// at-risk bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SparingOutcome {
+    /// The containing block was already mapped to a spare.
+    AlreadyCovered,
+    /// A new spare block was allocated.
+    Allocated,
+    /// The spare pool is exhausted; the bit remains unprotected.
+    OutOfSpares,
+}
+
+/// A repair mechanism that remaps fixed-size blocks (rows, words, bytes …) to
+/// spare storage.
+///
+/// Bits are addressed as `(word, bit)` pairs exactly like the error profile;
+/// a block is a contiguous range of `block_bits` bit positions within a word
+/// (for block sizes larger than a word, use one block per word).
+///
+/// # Example
+///
+/// ```
+/// use harp_controller::sparing::{BlockRepairMechanism, SparingOutcome};
+///
+/// // Byte-granularity repair (Table 1: "DRM") with two spare bytes.
+/// let mut repair = BlockRepairMechanism::new(8, 2);
+/// assert_eq!(repair.cover(0, 13), SparingOutcome::Allocated);       // byte 1 of word 0
+/// assert_eq!(repair.cover(0, 12), SparingOutcome::AlreadyCovered);  // same byte
+/// assert_eq!(repair.cover(1, 0), SparingOutcome::Allocated);
+/// assert_eq!(repair.cover(2, 0), SparingOutcome::OutOfSpares);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockRepairMechanism {
+    block_bits: usize,
+    spare_blocks: usize,
+    /// Map from (word, block index) to the number of at-risk bits it covers.
+    allocated: BTreeMap<(usize, usize), usize>,
+}
+
+impl BlockRepairMechanism {
+    /// Creates a mechanism repairing `block_bits`-bit blocks out of a pool of
+    /// `spare_blocks` spares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bits` is zero.
+    pub fn new(block_bits: usize, spare_blocks: usize) -> Self {
+        assert!(block_bits > 0, "block size must be nonzero");
+        Self {
+            block_bits,
+            spare_blocks,
+            allocated: BTreeMap::new(),
+        }
+    }
+
+    /// The repair granularity in bits.
+    pub fn block_bits(&self) -> usize {
+        self.block_bits
+    }
+
+    /// Number of spare blocks still available.
+    pub fn spares_remaining(&self) -> usize {
+        self.spare_blocks - self.allocated.len()
+    }
+
+    /// Number of spare blocks already allocated.
+    pub fn spares_used(&self) -> usize {
+        self.allocated.len()
+    }
+
+    fn block_of(&self, bit: usize) -> usize {
+        bit / self.block_bits
+    }
+
+    /// Requests coverage of at-risk bit `(word, bit)`.
+    pub fn cover(&mut self, word: usize, bit: usize) -> SparingOutcome {
+        let key = (word, self.block_of(bit));
+        if let Some(count) = self.allocated.get_mut(&key) {
+            *count += 1;
+            return SparingOutcome::AlreadyCovered;
+        }
+        if self.allocated.len() >= self.spare_blocks {
+            return SparingOutcome::OutOfSpares;
+        }
+        self.allocated.insert(key, 1);
+        SparingOutcome::Allocated
+    }
+
+    /// Returns `true` if the bit's containing block is mapped to a spare.
+    pub fn is_covered(&self, word: usize, bit: usize) -> bool {
+        self.allocated.contains_key(&(word, self.block_of(bit)))
+    }
+
+    /// Repairs a read of `word`: every bit whose block is spared is restored
+    /// from the reference data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two datawords have different lengths.
+    pub fn repair_read(&self, word: usize, observed: &BitVec, reference: &BitVec) -> BitVec {
+        assert_eq!(observed.len(), reference.len(), "dataword length mismatch");
+        let mut repaired = observed.clone();
+        for bit in 0..repaired.len() {
+            if self.is_covered(word, bit) {
+                repaired.set(bit, reference.get(bit));
+            }
+        }
+        repaired
+    }
+
+    /// Total number of repaired (sacrificed) bits across all allocated
+    /// blocks.
+    pub fn sacrificed_bits(&self) -> usize {
+        self.allocated.len() * self.block_bits
+    }
+
+    /// Number of sacrificed bits that were *not* actually at risk — the
+    /// internal fragmentation Fig. 2 quantifies.
+    pub fn wasted_bits(&self) -> usize {
+        self.allocated
+            .values()
+            .map(|&at_risk| self.block_bits.saturating_sub(at_risk))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_tracks_spare_budget() {
+        let mut repair = BlockRepairMechanism::new(64, 2);
+        assert_eq!(repair.spares_remaining(), 2);
+        assert_eq!(repair.cover(0, 5), SparingOutcome::Allocated);
+        assert_eq!(repair.cover(3, 70), SparingOutcome::Allocated);
+        assert_eq!(repair.spares_remaining(), 0);
+        assert_eq!(repair.cover(9, 0), SparingOutcome::OutOfSpares);
+        assert_eq!(repair.spares_used(), 2);
+        assert_eq!(repair.block_bits(), 64);
+    }
+
+    #[test]
+    fn bits_in_the_same_block_share_a_spare() {
+        let mut repair = BlockRepairMechanism::new(8, 1);
+        assert_eq!(repair.cover(0, 17), SparingOutcome::Allocated);
+        assert_eq!(repair.cover(0, 23), SparingOutcome::AlreadyCovered);
+        assert_eq!(repair.cover(0, 24), SparingOutcome::OutOfSpares);
+        assert!(repair.is_covered(0, 16));
+        assert!(!repair.is_covered(0, 24));
+        assert!(!repair.is_covered(1, 17));
+    }
+
+    #[test]
+    fn repair_read_restores_only_covered_blocks() {
+        let mut repair = BlockRepairMechanism::new(4, 4);
+        repair.cover(0, 1); // covers bits 0..4
+        let written = BitVec::ones(12);
+        let mut observed = written.clone();
+        observed.flip(2); // inside the covered block
+        observed.flip(9); // outside
+        let repaired = repair.repair_read(0, &observed, &written);
+        assert!(repaired.get(2), "covered bit restored");
+        assert!(!repaired.get(9), "uncovered bit untouched");
+    }
+
+    #[test]
+    fn wasted_bits_match_the_fig2_intuition() {
+        // One at-risk bit in a 1024-bit block wastes 1023 bits; the same bit
+        // under bit-granularity repair wastes nothing.
+        let mut coarse = BlockRepairMechanism::new(1024, 8);
+        coarse.cover(0, 100);
+        assert_eq!(coarse.sacrificed_bits(), 1024);
+        assert_eq!(coarse.wasted_bits(), 1023);
+
+        let mut fine = BlockRepairMechanism::new(1, 8);
+        fine.cover(0, 100);
+        assert_eq!(fine.wasted_bits(), 0);
+
+        // A second at-risk bit in the same coarse block reduces the waste.
+        coarse.cover(0, 101);
+        assert_eq!(coarse.wasted_bits(), 1022);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be nonzero")]
+    fn zero_block_size_is_rejected() {
+        BlockRepairMechanism::new(0, 1);
+    }
+}

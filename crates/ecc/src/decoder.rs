@@ -1,0 +1,143 @@
+//! Syndrome-decoder result types.
+//!
+//! The decoder itself lives on [`crate::HammingCode::decode`]; this module
+//! defines the result types plus the ground-truth classification used by the
+//! simulator to distinguish true corrections from *miscorrections* (the
+//! source of the paper's indirect errors).
+
+use serde::{Deserialize, Serialize};
+
+use harp_gf2::BitVec;
+
+/// What the on-die ECC decoder believes happened during a read.
+///
+/// The decoder only sees the stored (possibly corrupted) codeword, so a
+/// reported correction may in truth be a miscorrection; see
+/// [`GroundTruth`](crate::analysis::GroundTruth) for the simulator-side view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecodeOutcome {
+    /// The syndrome was zero: either no raw error occurred or the raw errors
+    /// happened to form another valid codeword (undetectable error).
+    NoErrorDetected,
+    /// The syndrome matched parity-check column `position`, so the decoder
+    /// flipped that bit.
+    Corrected {
+        /// Codeword position the decoder flipped.
+        position: usize,
+    },
+    /// The syndrome was nonzero but matched no parity-check column: the
+    /// decoder detected an error it cannot locate and passed the stored data
+    /// bits through unmodified.
+    DetectedUncorrectable,
+}
+
+impl DecodeOutcome {
+    /// Returns the corrected position if the decoder performed a correction.
+    pub fn corrected_position(&self) -> Option<usize> {
+        match self {
+            DecodeOutcome::Corrected { position } => Some(*position),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the decoder performed a correction operation.
+    pub fn is_correction(&self) -> bool {
+        matches!(self, DecodeOutcome::Corrected { .. })
+    }
+}
+
+/// The full result of decoding a stored codeword.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeResult {
+    /// The post-correction dataword returned to the memory controller.
+    pub dataword: BitVec,
+    /// What the decoder believes happened.
+    pub outcome: DecodeOutcome,
+    /// The raw syndrome `H·c'` (useful for the "syndrome on correction"
+    /// transparency option discussed in §5.2 of the paper).
+    pub syndrome: BitVec,
+}
+
+impl DecodeResult {
+    /// Positions (dataword bit indices) where the post-correction dataword
+    /// differs from `written` — i.e. the post-correction errors observed by
+    /// the memory controller for this read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `written.len() != self.dataword.len()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use harp_ecc::HammingCode;
+    /// use harp_gf2::BitVec;
+    ///
+    /// let code = HammingCode::paper_example();
+    /// let data = BitVec::ones(4);
+    /// // Two raw errors overwhelm a SEC code.
+    /// let error = BitVec::from_indices(7, [0, 1]);
+    /// let result = code.encode_corrupt_decode(&data, &error);
+    /// assert!(!result.post_correction_errors(&data).is_empty());
+    /// ```
+    pub fn post_correction_errors(&self, written: &BitVec) -> Vec<usize> {
+        assert_eq!(
+            written.len(),
+            self.dataword.len(),
+            "dataword length mismatch"
+        );
+        (&self.dataword ^ written).iter_ones().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HammingCode;
+
+    #[test]
+    fn corrected_position_accessor() {
+        assert_eq!(
+            DecodeOutcome::Corrected { position: 5 }.corrected_position(),
+            Some(5)
+        );
+        assert_eq!(DecodeOutcome::NoErrorDetected.corrected_position(), None);
+        assert_eq!(
+            DecodeOutcome::DetectedUncorrectable.corrected_position(),
+            None
+        );
+        assert!(DecodeOutcome::Corrected { position: 0 }.is_correction());
+        assert!(!DecodeOutcome::NoErrorDetected.is_correction());
+    }
+
+    #[test]
+    fn post_correction_errors_empty_when_clean() {
+        let code = HammingCode::paper_example();
+        let data = BitVec::from_u64(4, 0b0110);
+        let result = code.decode(&code.encode(&data));
+        assert!(result.post_correction_errors(&data).is_empty());
+    }
+
+    #[test]
+    fn post_correction_errors_reports_direct_error_positions() {
+        let code = HammingCode::paper_example();
+        let data = BitVec::ones(4);
+        // Three raw errors in data positions: at least some survive decoding.
+        let error = BitVec::from_indices(7, [0, 1, 2]);
+        let result = code.encode_corrupt_decode(&data, &error);
+        let errors = result.post_correction_errors(&data);
+        assert!(!errors.is_empty());
+        for pos in errors {
+            assert!(pos < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn post_correction_errors_length_mismatch_panics() {
+        let code = HammingCode::paper_example();
+        let data = BitVec::ones(4);
+        let result = code.decode(&code.encode(&data));
+        result.post_correction_errors(&BitVec::ones(5));
+    }
+}

@@ -1,0 +1,454 @@
+//! Dense matrices over GF(2).
+//!
+//! A [`Gf2Matrix`] stores its rows as [`BitVec`]s. Matrix dimensions in this
+//! project are small (parity-check matrices are at most 9 × 137), so a simple
+//! dense row-major representation is both fast enough and easy to audit.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::BitVec;
+
+/// A dense matrix over GF(2) with `rows()` rows and `cols()` columns.
+///
+/// # Example
+///
+/// ```
+/// use harp_gf2::{BitVec, Gf2Matrix};
+///
+/// let id = Gf2Matrix::identity(3);
+/// let v = BitVec::from_indices(3, [0, 2]);
+/// assert_eq!(id.mul_vec(&v), v);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gf2Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<BitVec>,
+}
+
+impl Gf2Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: (0..rows).map(|_| BitVec::zeros(cols)).collect(),
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use harp_gf2::Gf2Matrix;
+    /// let id = Gf2Matrix::identity(4);
+    /// assert_eq!(id.rank(), 4);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: &[BitVec]) -> Self {
+        let cols = rows.first().map_or(0, BitVec::len);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data: rows.to_vec(),
+        }
+    }
+
+    /// Builds a `rows × cols` matrix where entry `(i, j)` is `f(i, j)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use harp_gf2::Gf2Matrix;
+    /// let upper = Gf2Matrix::from_fn(3, 3, |i, j| j >= i);
+    /// assert_eq!(upper.rank(), 3);
+    /// ```
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if f(i, j) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from its columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns do not all have the same length.
+    pub fn from_cols(cols: &[BitVec]) -> Self {
+        let rows = cols.first().map_or(0, BitVec::len);
+        for c in cols {
+            assert_eq!(c.len(), rows, "all columns must have the same length");
+        }
+        Self::from_fn(rows, cols.len(), |i, j| cols[j].get(i))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        self.data[row].get(col)
+    }
+
+    /// Sets entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        self.data[row].set(col, value);
+    }
+
+    /// Returns a reference to row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()`.
+    pub fn row(&self, row: usize) -> &BitVec {
+        &self.data[row]
+    }
+
+    /// Returns column `col` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= cols()`.
+    pub fn col(&self, col: usize) -> BitVec {
+        assert!(col < self.cols, "col {col} out of range {}", self.cols);
+        BitVec::from_indices(
+            self.rows,
+            (0..self.rows).filter(|&i| self.data[i].get(col)),
+        )
+    }
+
+    /// Iterates over the rows of the matrix.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &BitVec> {
+        self.data.iter()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Matrix × vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use harp_gf2::{BitVec, Gf2Matrix};
+    /// let m = Gf2Matrix::from_rows(&[
+    ///     BitVec::from_bools(&[true, true, false]),
+    ///     BitVec::from_bools(&[false, true, true]),
+    /// ]);
+    /// let v = BitVec::from_indices(3, [0, 1]);
+    /// assert_eq!(m.mul_vec(&v).iter_ones().collect::<Vec<_>>(), vec![1]);
+    /// ```
+    pub fn mul_vec(&self, v: &BitVec) -> BitVec {
+        assert_eq!(v.len(), self.cols, "mul_vec dimension mismatch");
+        BitVec::from_indices(
+            self.rows,
+            (0..self.rows).filter(|&i| self.data[i].dot(v)),
+        )
+    }
+
+    /// Matrix × matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.rows, "matrix product dimension mismatch");
+        let rhs_t = rhs.transpose();
+        Self::from_fn(self.rows, rhs.cols, |i, j| self.data[i].dot(rhs_t.row(j)))
+    }
+
+    /// Horizontally stacks `self` and `rhs` (`[self | rhs]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn hstack(&self, rhs: &Self) -> Self {
+        assert_eq!(self.rows, rhs.rows, "hstack row count mismatch");
+        let rows: Vec<BitVec> = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a.concat(b))
+            .collect();
+        Self::from_rows(&rows)
+    }
+
+    /// Vertically stacks `self` on top of `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.cols, "vstack column count mismatch");
+        let mut rows = self.data.clone();
+        rows.extend(rhs.data.iter().cloned());
+        Self::from_rows(&rows)
+    }
+
+    /// Returns a copy of columns `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid.
+    pub fn col_slice(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.cols, "invalid column range");
+        let rows: Vec<BitVec> = self.data.iter().map(|r| r.slice(start, end)).collect();
+        Self::from_rows(&rows)
+    }
+
+    /// Returns `true` if every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(BitVec::is_zero)
+    }
+
+    /// Computes the rank via Gaussian elimination.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use harp_gf2::{BitVec, Gf2Matrix};
+    /// let m = Gf2Matrix::from_rows(&[
+    ///     BitVec::from_bools(&[true, false, true]),
+    ///     BitVec::from_bools(&[true, false, true]),
+    /// ]);
+    /// assert_eq!(m.rank(), 1);
+    /// ```
+    pub fn rank(&self) -> usize {
+        crate::solve::row_echelon(self).rank()
+    }
+
+    /// Swaps two rows in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of range");
+        self.data.swap(a, b);
+    }
+
+    /// XORs row `src` into row `dst` in place (`dst ^= src`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or `src == dst`.
+    pub fn xor_row_into(&mut self, src: usize, dst: usize) {
+        assert!(src < self.rows && dst < self.rows, "row index out of range");
+        assert_ne!(src, dst, "cannot xor a row into itself");
+        let (src_row, dst_row) = if src < dst {
+            let (a, b) = self.data.split_at_mut(dst);
+            (&a[src], &mut b[0])
+        } else {
+            let (a, b) = self.data.split_at_mut(src);
+            (&b[0], &mut a[dst])
+        };
+        *dst_row ^= src_row;
+    }
+}
+
+impl fmt::Debug for Gf2Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Gf2Matrix({}x{}) [", self.rows, self.cols)?;
+        for r in &self.data {
+            writeln!(f, "  {r}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Gf2Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.data.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_h() -> Gf2Matrix {
+        // The (7,4) Hamming parity-check matrix from the paper's Equation 1.
+        Gf2Matrix::from_rows(&[
+            BitVec::from_bools(&[true, true, true, false, true, false, false]),
+            BitVec::from_bools(&[true, true, false, true, false, true, false]),
+            BitVec::from_bools(&[true, false, true, true, false, false, true]),
+        ])
+    }
+
+    fn example_g_t() -> Gf2Matrix {
+        // G^T = [I_4 | P] matching the same code.
+        Gf2Matrix::from_rows(&[
+            BitVec::from_bools(&[true, false, false, false, true, true, true]),
+            BitVec::from_bools(&[false, true, false, false, true, true, false]),
+            BitVec::from_bools(&[false, false, true, false, true, false, true]),
+            BitVec::from_bools(&[false, false, false, true, false, true, true]),
+        ])
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let h = example_h();
+        let id = Gf2Matrix::identity(7);
+        assert_eq!(h.mul(&id), h);
+        let id3 = Gf2Matrix::identity(3);
+        assert_eq!(id3.mul(&h), h);
+    }
+
+    #[test]
+    fn paper_equation_1_satisfies_g_h_t_zero() {
+        // G · H^T = 0 in GF(2) — the defining property quoted in §2.5.1.
+        let g = example_g_t();
+        let h = example_h();
+        assert!(g.mul(&h.transpose()).is_zero());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let h = example_h();
+        assert_eq!(h.transpose().transpose(), h);
+        assert_eq!(h.transpose().rows(), 7);
+        assert_eq!(h.transpose().cols(), 3);
+    }
+
+    #[test]
+    fn mul_vec_matches_column_xor() {
+        let h = example_h();
+        // H * e_i = column i.
+        for i in 0..7 {
+            let e = BitVec::from_indices(7, [i]);
+            assert_eq!(h.mul_vec(&e), h.col(i), "column {i}");
+        }
+        // Linearity: H*(e_0 ^ e_3) = col0 ^ col3.
+        let e = BitVec::from_indices(7, [0, 3]);
+        assert_eq!(h.mul_vec(&e), &h.col(0) ^ &h.col(3));
+    }
+
+    #[test]
+    fn rank_of_hamming_parity_check_is_full() {
+        assert_eq!(example_h().rank(), 3);
+        assert_eq!(example_g_t().rank(), 4);
+    }
+
+    #[test]
+    fn rank_detects_dependent_rows() {
+        let m = Gf2Matrix::from_rows(&[
+            BitVec::from_bools(&[true, false, true, true]),
+            BitVec::from_bools(&[false, true, true, false]),
+            BitVec::from_bools(&[true, true, false, true]),
+        ]);
+        // Row 2 = row 0 ^ row 1.
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn hstack_and_col_slice_round_trip() {
+        let a = Gf2Matrix::identity(3);
+        let b = Gf2Matrix::from_fn(3, 2, |i, j| (i + j) % 2 == 0);
+        let c = a.hstack(&b);
+        assert_eq!(c.cols(), 5);
+        assert_eq!(c.col_slice(0, 3), a);
+        assert_eq!(c.col_slice(3, 5), b);
+    }
+
+    #[test]
+    fn vstack_stacks_rows() {
+        let a = Gf2Matrix::identity(2);
+        let b = Gf2Matrix::zeros(1, 2);
+        let c = a.vstack(&b);
+        assert_eq!(c.rows(), 3);
+        assert!(c.row(2).is_zero());
+    }
+
+    #[test]
+    fn from_cols_matches_from_fn() {
+        let cols = vec![
+            BitVec::from_bools(&[true, false, true]),
+            BitVec::from_bools(&[false, true, true]),
+        ];
+        let m = Gf2Matrix::from_cols(&cols);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.col(0), cols[0]);
+        assert_eq!(m.col(1), cols[1]);
+    }
+
+    #[test]
+    fn xor_row_into_adds_rows() {
+        let mut m = example_h();
+        let expected = &m.row(0).clone() ^ &m.row(2).clone();
+        m.xor_row_into(0, 2);
+        assert_eq!(m.row(2), &expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_wrong_length_panics() {
+        example_h().mul_vec(&BitVec::zeros(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn from_rows_ragged_panics() {
+        Gf2Matrix::from_rows(&[BitVec::zeros(3), BitVec::zeros(4)]);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let h = example_h();
+        assert!(!h.to_string().is_empty());
+        assert!(format!("{h:?}").contains("Gf2Matrix(3x7)"));
+    }
+}

@@ -1,0 +1,338 @@
+//! A memory chip with on-die ECC.
+//!
+//! The chip stores one codeword per ECC word. Writes systematically encode
+//! the dataword; reads sample a fresh raw error pattern from the word's
+//! [`FaultModel`] (each read models one profiling round / access under the
+//! paper's Bernoulli error model) and decode it with the on-die ECC.
+//!
+//! The returned [`ReadObservation`] exposes three views of the same access:
+//!
+//! * the **post-correction dataword** — what a normal read returns to the
+//!   memory controller;
+//! * the **raw data bits** via the decode-bypass path HARP relies on (§5.2) —
+//!   the stored data-bit values *before* correction, but never the parity
+//!   bits;
+//! * simulator-only ground truth (the raw error pattern), used to score
+//!   profilers against the exact at-risk sets.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use harp_ecc::{DecodeResult, HammingCode};
+use harp_gf2::BitVec;
+
+use crate::fault::FaultModel;
+
+/// Everything observable (and, for the simulator, knowable) about one read
+/// of one ECC word.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadObservation {
+    written: BitVec,
+    raw_error: BitVec,
+    stored_with_errors: BitVec,
+    decode: DecodeResult,
+    data_len: usize,
+}
+
+impl ReadObservation {
+    /// The dataword originally written to this word (known to the memory
+    /// controller during profiling, since the profiler programmed it).
+    pub fn written_data(&self) -> &BitVec {
+        &self.written
+    }
+
+    /// The post-correction dataword returned by a normal (decoded) read.
+    pub fn post_correction_data(&self) -> &BitVec {
+        &self.decode.dataword
+    }
+
+    /// The raw data bits returned by the decode-bypass read path: the stored
+    /// values of the `k` data bits with any raw errors still present. Parity
+    /// bits are *not* visible, matching §5.2 of the paper.
+    pub fn raw_data_bits(&self) -> BitVec {
+        self.stored_with_errors.slice(0, self.data_len)
+    }
+
+    /// The full decode result (outcome and syndrome) of the on-die ECC.
+    pub fn decode_result(&self) -> &DecodeResult {
+        &self.decode
+    }
+
+    /// Dataword positions where the post-correction data differs from the
+    /// written data — the post-correction errors the memory controller
+    /// observes on a normal read.
+    pub fn post_correction_errors(&self) -> Vec<usize> {
+        self.decode.post_correction_errors(&self.written)
+    }
+
+    /// Dataword positions where the *raw* data bits differ from the written
+    /// data — the direct (pre-correction) errors visible through the bypass
+    /// path.
+    pub fn direct_errors(&self) -> Vec<usize> {
+        (&self.raw_data_bits() ^ &self.written).iter_ones().collect()
+    }
+
+    /// Simulator-only ground truth: the raw error pattern injected into the
+    /// full codeword (including parity bits) for this access.
+    pub fn raw_error_pattern(&self) -> &BitVec {
+        &self.raw_error
+    }
+}
+
+/// A memory chip containing `num_words` ECC words protected by on-die ECC.
+///
+/// # Example
+///
+/// ```
+/// use harp_ecc::HammingCode;
+/// use harp_gf2::BitVec;
+/// use harp_memsim::{MemoryChip, FaultModel};
+/// use rand::SeedableRng;
+///
+/// let code = HammingCode::random(64, 5)?;
+/// let mut chip = MemoryChip::new(code, 4);
+/// chip.set_fault_model(2, FaultModel::uniform(&[0, 1], 1.0));
+/// chip.write(2, &BitVec::ones(64));
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+/// let obs = chip.read(2, &mut rng);
+/// // Two simultaneous raw errors exceed SEC correction capability, so the
+/// // post-correction data is corrupted...
+/// assert!(!obs.post_correction_errors().is_empty());
+/// // ...while the bypass path reports exactly the two direct errors.
+/// assert_eq!(obs.direct_errors(), vec![0, 1]);
+/// # Ok::<(), harp_ecc::CodeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryChip {
+    code: HammingCode,
+    stored: Vec<BitVec>,
+    written: Vec<BitVec>,
+    faults: Vec<FaultModel>,
+}
+
+impl MemoryChip {
+    /// Creates a chip with `num_words` words, all initialized to zero and
+    /// error-free.
+    pub fn new(code: HammingCode, num_words: usize) -> Self {
+        let zero_data = BitVec::zeros(code.data_len());
+        let zero_code = code.encode(&zero_data);
+        Self {
+            stored: vec![zero_code; num_words],
+            written: vec![zero_data; num_words],
+            faults: vec![FaultModel::none(); num_words],
+            code,
+        }
+    }
+
+    /// The on-die ECC code used by this chip.
+    pub fn code(&self) -> &HammingCode {
+        &self.code
+    }
+
+    /// Number of ECC words in the chip.
+    pub fn num_words(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// Sets the fault model of word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= num_words()`.
+    pub fn set_fault_model(&mut self, word: usize, model: FaultModel) {
+        assert!(word < self.num_words(), "word index {word} out of range");
+        self.faults[word] = model;
+    }
+
+    /// The fault model of word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= num_words()`.
+    pub fn fault_model(&self, word: usize) -> &FaultModel {
+        assert!(word < self.num_words(), "word index {word} out of range");
+        &self.faults[word]
+    }
+
+    /// Writes (and on-die-ECC encodes) a dataword into word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range or the dataword length does not match
+    /// the code.
+    pub fn write(&mut self, word: usize, data: &BitVec) {
+        assert!(word < self.num_words(), "word index {word} out of range");
+        self.stored[word] = self.code.encode(data);
+        self.written[word] = data.clone();
+    }
+
+    /// The dataword most recently written to word `word` (simulation-side
+    /// bookkeeping; the real chip does not retain this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= num_words()`.
+    pub fn written_data(&self, word: usize) -> &BitVec {
+        assert!(word < self.num_words(), "word index {word} out of range");
+        &self.written[word]
+    }
+
+    /// Performs one access of word `word`: samples a fresh raw error pattern
+    /// from the word's fault model, applies it to the stored codeword, and
+    /// decodes with the on-die ECC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= num_words()`.
+    pub fn read<R: Rng + ?Sized>(&self, word: usize, rng: &mut R) -> ReadObservation {
+        assert!(word < self.num_words(), "word index {word} out of range");
+        let clean = &self.stored[word];
+        let raw_error = self.faults[word].sample_errors(clean, rng);
+        let stored_with_errors = clean ^ &raw_error;
+        let decode = self.code.decode(&stored_with_errors);
+        ReadObservation {
+            written: self.written[word].clone(),
+            raw_error,
+            stored_with_errors,
+            decode,
+            data_len: self.code.data_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_ecc::DecodeOutcome;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn chip_with_faults(at_risk: &[usize], probability: f64) -> MemoryChip {
+        let code = HammingCode::random(64, 17).unwrap();
+        let mut chip = MemoryChip::new(code, 1);
+        chip.set_fault_model(0, FaultModel::uniform(at_risk, probability));
+        chip
+    }
+
+    #[test]
+    fn new_chip_reads_back_zero_cleanly() {
+        let code = HammingCode::random(64, 1).unwrap();
+        let chip = MemoryChip::new(code, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for word in 0..3 {
+            let obs = chip.read(word, &mut rng);
+            assert!(obs.post_correction_data().is_zero());
+            assert!(obs.post_correction_errors().is_empty());
+            assert!(obs.direct_errors().is_empty());
+            assert_eq!(
+                obs.decode_result().outcome,
+                DecodeOutcome::NoErrorDetected
+            );
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trips_without_faults() {
+        let code = HammingCode::random(64, 2).unwrap();
+        let mut chip = MemoryChip::new(code, 2);
+        let data = BitVec::from_u64(64, 0xDEAD_BEEF_CAFE_F00D);
+        chip.write(1, &data);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let obs = chip.read(1, &mut rng);
+        assert_eq!(obs.post_correction_data(), &data);
+        assert_eq!(obs.written_data(), &data);
+        assert_eq!(&obs.raw_data_bits(), &data);
+        assert_eq!(chip.written_data(1), &data);
+    }
+
+    #[test]
+    fn single_at_risk_bit_is_corrected_but_visible_through_bypass() {
+        let chip = chip_with_faults(&[5], 1.0);
+        let mut chip = chip;
+        chip.write(0, &BitVec::ones(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let obs = chip.read(0, &mut rng);
+        // Normal read: corrected.
+        assert!(obs.post_correction_errors().is_empty());
+        assert_eq!(
+            obs.decode_result().outcome,
+            DecodeOutcome::Corrected { position: 5 }
+        );
+        // Bypass read: the direct error is visible.
+        assert_eq!(obs.direct_errors(), vec![5]);
+        assert_eq!(obs.raw_error_pattern().iter_ones().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn uncharged_at_risk_cells_do_not_fail() {
+        let mut chip = chip_with_faults(&[5], 1.0);
+        chip.write(0, &BitVec::zeros(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let obs = chip.read(0, &mut rng);
+        assert!(obs.direct_errors().is_empty());
+        assert!(obs.post_correction_errors().is_empty());
+    }
+
+    #[test]
+    fn multi_bit_faults_can_corrupt_post_correction_data() {
+        let mut chip = chip_with_faults(&[0, 1, 2], 1.0);
+        chip.write(0, &BitVec::ones(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let obs = chip.read(0, &mut rng);
+        assert_eq!(obs.direct_errors(), vec![0, 1, 2]);
+        // Three errors exceed SEC capability: at least two post-correction
+        // errors must remain (the decoder can remove or add at most one).
+        assert!(obs.post_correction_errors().len() >= 2);
+    }
+
+    #[test]
+    fn parity_at_risk_bits_are_invisible_to_the_bypass_path() {
+        let code = HammingCode::random(64, 23).unwrap();
+        let mut chip = MemoryChip::new(code, 1);
+        // Word with a single at-risk parity bit that always fails.
+        chip.set_fault_model(0, FaultModel::uniform(&[64], 1.0));
+        chip.write(0, &BitVec::ones(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // The parity bit may or may not be charged depending on the code; if
+        // it is charged it fails, is corrected, and never shows up in either
+        // the post-correction data or the bypass data bits.
+        let obs = chip.read(0, &mut rng);
+        assert!(obs.post_correction_errors().is_empty());
+        assert!(obs.direct_errors().is_empty());
+    }
+
+    #[test]
+    fn reads_resample_errors_each_access() {
+        let mut chip = chip_with_faults(&[7], 0.5);
+        chip.write(0, &BitVec::ones(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut failed = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            if !chip.read(0, &mut rng).direct_errors().is_empty() {
+                failed += 1;
+            }
+        }
+        let rate = failed as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_out_of_range_word_panics() {
+        let code = HammingCode::random(8, 3).unwrap();
+        let chip = MemoryChip::new(code, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        chip.read(1, &mut rng);
+    }
+
+    #[test]
+    fn fault_model_accessor_returns_configured_model() {
+        let mut chip = chip_with_faults(&[], 0.0);
+        let model = FaultModel::uniform(&[1, 2, 3], 0.25);
+        chip.set_fault_model(0, model.clone());
+        assert_eq!(chip.fault_model(0), &model);
+        assert_eq!(chip.num_words(), 1);
+    }
+}

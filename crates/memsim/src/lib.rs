@@ -1,0 +1,48 @@
+//! Memory-chip simulation substrate for the HARP reproduction.
+//!
+//! The HARP paper evaluates error profiling by Monte-Carlo simulation of DRAM
+//! data-retention errors in chips that use on-die ECC. This crate provides
+//! the chip-side pieces of that simulation:
+//!
+//! * [`fault`] — the paper's §2.4 error model: independent, data-dependent
+//!   Bernoulli errors in individual cells ("true cells" fail only when they
+//!   store a '1'), plus a data-retention sampler for the Fig. 10 case study;
+//! * [`pattern`] — the memory data patterns used during active profiling
+//!   (charged / checkered / random, with the paper's per-round inversion
+//!   schedule, §7.1.2);
+//! * [`chip`] — a memory chip with on-die ECC: systematic encoding on write,
+//!   syndrome decoding on read, and the *decode-bypass* read path that HARP
+//!   requires (§5.2), exposing raw data bits but not parity bits.
+//!
+//! # Example
+//!
+//! ```
+//! use harp_ecc::HammingCode;
+//! use harp_gf2::BitVec;
+//! use harp_memsim::{chip::MemoryChip, fault::FaultModel};
+//! use rand::SeedableRng;
+//!
+//! let code = HammingCode::random(64, 7)?;
+//! let mut chip = MemoryChip::new(code, 1);
+//! // Bit 3 of word 0 always fails when charged.
+//! chip.set_fault_model(0, FaultModel::uniform(&[3], 1.0));
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! chip.write(0, &BitVec::ones(64));
+//! let obs = chip.read(0, &mut rng);
+//! // On-die ECC corrects the single raw error.
+//! assert_eq!(obs.post_correction_data(), &BitVec::ones(64));
+//! // ...but the bypass path exposes it.
+//! assert!(!obs.raw_data_bits().get(3));
+//! # Ok::<(), harp_ecc::CodeError>(())
+//! ```
+
+pub mod chip;
+pub mod fault;
+pub mod pattern;
+pub mod retention;
+
+pub use chip::{MemoryChip, ReadObservation};
+pub use fault::{AtRiskBit, FaultModel, RetentionSampler};
+pub use pattern::{DataPattern, PatternSchedule};
+pub use retention::{NormalRetentionSampler, VrtCell, VrtFaultProcess};

@@ -1,0 +1,218 @@
+//! Memory data patterns used during active profiling.
+//!
+//! Active profilers program the memory with data patterns designed to
+//! maximize the chance of observing errors (§6.2 of the paper). The paper
+//! evaluates three patterns (§7.1.2):
+//!
+//! * **charged** — all cells store '1' (0xFF), the worst case for true-cell
+//!   data-retention errors;
+//! * **checkered** — alternating '0'/'1', inverted every round;
+//! * **random** — a fresh uniform-random word every two rounds, inverted on
+//!   the second of the two rounds.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use harp_gf2::BitVec;
+
+/// A memory data-pattern family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataPattern {
+    /// All cells charged ('1' everywhere, i.e. 0xFF bytes).
+    Charged,
+    /// All cells discharged ('0' everywhere).
+    Discharged,
+    /// Alternating '0101…', inverted every profiling round.
+    Checkered,
+    /// Uniform-random data, changed every two rounds and inverted on the
+    /// second round of each pair (the paper's best-performing pattern).
+    Random,
+}
+
+impl DataPattern {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataPattern::Charged => "charged",
+            DataPattern::Discharged => "discharged",
+            DataPattern::Checkered => "checkered",
+            DataPattern::Random => "random",
+        }
+    }
+
+    /// All patterns evaluated in the paper.
+    pub fn evaluated() -> [DataPattern; 3] {
+        [
+            DataPattern::Random,
+            DataPattern::Charged,
+            DataPattern::Checkered,
+        ]
+    }
+}
+
+impl std::fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates the per-round dataword for a given pattern family, following the
+/// paper's inversion schedule.
+///
+/// # Example
+///
+/// ```
+/// use harp_memsim::pattern::{DataPattern, PatternSchedule};
+///
+/// let mut schedule = PatternSchedule::new(DataPattern::Checkered, 8, 42);
+/// let round0 = schedule.dataword_for_round(0);
+/// let round1 = schedule.dataword_for_round(1);
+/// assert_eq!(round0.not(), round1); // inverted every round
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternSchedule {
+    pattern: DataPattern,
+    data_bits: usize,
+    seed: u64,
+}
+
+impl PatternSchedule {
+    /// Creates a schedule producing `data_bits`-bit datawords. The `seed`
+    /// only matters for [`DataPattern::Random`].
+    pub fn new(pattern: DataPattern, data_bits: usize, seed: u64) -> Self {
+        Self {
+            pattern,
+            data_bits,
+            seed,
+        }
+    }
+
+    /// The pattern family this schedule draws from.
+    pub fn pattern(&self) -> DataPattern {
+        self.pattern
+    }
+
+    /// Number of data bits per word.
+    pub fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    /// The dataword programmed in profiling round `round` (0-based).
+    ///
+    /// The schedule is deterministic: calling this twice with the same round
+    /// returns the same word, so independent profilers can be evaluated
+    /// against identical inputs (a fairness requirement from §7.1.2).
+    pub fn dataword_for_round(&self, round: usize) -> BitVec {
+        match self.pattern {
+            DataPattern::Charged => BitVec::ones(self.data_bits),
+            DataPattern::Discharged => BitVec::zeros(self.data_bits),
+            DataPattern::Checkered => {
+                let base = BitVec::from_indices(
+                    self.data_bits,
+                    (0..self.data_bits).filter(|i| i % 2 == 0),
+                );
+                if round % 2 == 0 {
+                    base
+                } else {
+                    base.not()
+                }
+            }
+            DataPattern::Random => {
+                let pair = round / 2;
+                // Derive the word for this pair deterministically from the
+                // schedule seed so rounds can be queried in any order.
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    self.seed ^ (pair as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let base = BitVec::from_bools(
+                    &(0..self.data_bits)
+                        .map(|_| rng.gen_bool(0.5))
+                        .collect::<Vec<_>>(),
+                );
+                if round % 2 == 0 {
+                    base
+                } else {
+                    base.not()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charged_pattern_is_all_ones_every_round() {
+        let schedule = PatternSchedule::new(DataPattern::Charged, 64, 0);
+        for round in 0..8 {
+            assert_eq!(schedule.dataword_for_round(round), BitVec::ones(64));
+        }
+    }
+
+    #[test]
+    fn discharged_pattern_is_all_zeros() {
+        let schedule = PatternSchedule::new(DataPattern::Discharged, 16, 0);
+        assert!(schedule.dataword_for_round(3).is_zero());
+    }
+
+    #[test]
+    fn checkered_pattern_alternates_and_inverts() {
+        let schedule = PatternSchedule::new(DataPattern::Checkered, 8, 0);
+        let even = schedule.dataword_for_round(0);
+        let odd = schedule.dataword_for_round(1);
+        assert_eq!(even.to_string(), "10101010");
+        assert_eq!(odd.to_string(), "01010101");
+        assert_eq!(schedule.dataword_for_round(2), even);
+        assert_eq!(even.not(), odd);
+    }
+
+    #[test]
+    fn random_pattern_changes_every_two_rounds_and_inverts_within_a_pair() {
+        let schedule = PatternSchedule::new(DataPattern::Random, 64, 123);
+        let r0 = schedule.dataword_for_round(0);
+        let r1 = schedule.dataword_for_round(1);
+        let r2 = schedule.dataword_for_round(2);
+        assert_eq!(r0.not(), r1, "round 1 must be the inverse of round 0");
+        assert_ne!(r0, r2, "a fresh random word must be drawn for round 2");
+        // Together a pair covers every cell with a charged value.
+        assert_eq!((&r0 | &r1).count_ones(), 64);
+    }
+
+    #[test]
+    fn random_pattern_is_deterministic_per_seed() {
+        let a = PatternSchedule::new(DataPattern::Random, 32, 7);
+        let b = PatternSchedule::new(DataPattern::Random, 32, 7);
+        let c = PatternSchedule::new(DataPattern::Random, 32, 8);
+        for round in 0..10 {
+            assert_eq!(a.dataword_for_round(round), b.dataword_for_round(round));
+        }
+        assert_ne!(a.dataword_for_round(0), c.dataword_for_round(0));
+    }
+
+    #[test]
+    fn random_pattern_queries_are_order_independent() {
+        let schedule = PatternSchedule::new(DataPattern::Random, 32, 99);
+        let r5_first = schedule.dataword_for_round(5);
+        let _ = schedule.dataword_for_round(0);
+        assert_eq!(schedule.dataword_for_round(5), r5_first);
+    }
+
+    #[test]
+    fn pattern_names_and_display() {
+        assert_eq!(DataPattern::Random.name(), "random");
+        assert_eq!(DataPattern::Charged.to_string(), "charged");
+        assert_eq!(DataPattern::evaluated().len(), 3);
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let schedule = PatternSchedule::new(DataPattern::Checkered, 128, 5);
+        assert_eq!(schedule.pattern(), DataPattern::Checkered);
+        assert_eq!(schedule.data_bits(), 128);
+        assert_eq!(schedule.dataword_for_round(0).len(), 128);
+    }
+}

@@ -1,0 +1,343 @@
+//! Richer data-retention fault models.
+//!
+//! The basic evaluations inject a fixed number of at-risk bits with a single
+//! per-bit error probability. Real DRAM retention behaviour is messier; two
+//! refinements from the literature the paper builds on are modelled here:
+//!
+//! * **Normally distributed per-bit error probabilities** — REAPER (Patel et
+//!   al., ISCA 2017), cited in §3.1 of the HARP paper, experimentally finds
+//!   that per-bit failure probabilities follow a normal distribution whose
+//!   parameters depend on the chip and operating conditions.
+//!   [`NormalRetentionSampler`] reproduces that model.
+//! * **Variable retention time (VRT)** — cells that switch between a leaky
+//!   and a non-leaky state at random (§2.4 "low-probability errors"). The
+//!   paper leaves such errors to reactive profiling; [`VrtCell`] provides a
+//!   two-state Markov model so that behaviour can be exercised in tests and
+//!   extensions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use harp_ecc::analysis::FailureDependence;
+
+use crate::fault::{AtRiskBit, FaultModel};
+
+/// Samples fault models whose at-risk bits have normally distributed per-bit
+/// error probabilities (clamped to `[0, 1]`), following the REAPER model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalRetentionSampler {
+    /// Probability that any given cell is at risk at all.
+    pub rber: f64,
+    /// Mean of the per-bit failure probability distribution.
+    pub mean: f64,
+    /// Standard deviation of the per-bit failure probability distribution.
+    pub std_dev: f64,
+}
+
+impl NormalRetentionSampler {
+    /// Creates a sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rber` or `mean` are outside `[0, 1]`, or `std_dev` is
+    /// negative.
+    pub fn new(rber: f64, mean: f64, std_dev: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rber), "rber {rber} outside [0, 1]");
+        assert!((0.0..=1.0).contains(&mean), "mean {mean} outside [0, 1]");
+        assert!(std_dev >= 0.0, "std_dev must be non-negative");
+        Self {
+            rber,
+            mean,
+            std_dev,
+        }
+    }
+
+    /// Draws one normally distributed per-bit probability (Box–Muller,
+    /// clamped to `[0, 1]`).
+    pub fn sample_probability<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let standard_normal = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mean + self.std_dev * standard_normal).clamp(0.0, 1.0)
+    }
+
+    /// Samples the fault model of one `codeword_bits`-long ECC word.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use harp_memsim::retention::NormalRetentionSampler;
+    /// use rand::SeedableRng;
+    ///
+    /// let sampler = NormalRetentionSampler::new(0.1, 0.5, 0.2);
+    /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    /// let model = sampler.sample_word(71, &mut rng);
+    /// for bit in model.at_risk_bits() {
+    ///     assert!((0.0..=1.0).contains(&bit.probability));
+    /// }
+    /// ```
+    pub fn sample_word<R: Rng + ?Sized>(&self, codeword_bits: usize, rng: &mut R) -> FaultModel {
+        let mut at_risk = Vec::new();
+        for position in 0..codeword_bits {
+            if rng.gen_bool(self.rber) {
+                let probability = self.sample_probability(rng);
+                at_risk.push(AtRiskBit::new(position, probability));
+            }
+        }
+        FaultModel::new(at_risk, FailureDependence::TrueCell)
+    }
+}
+
+/// A two-state variable-retention-time (VRT) cell: it toggles between a
+/// *leaky* state (fails with `leaky_probability` when charged) and a
+/// *retentive* state (never fails), switching state with a small probability
+/// on every access.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VrtCell {
+    /// Codeword position of the cell.
+    pub position: usize,
+    /// Per-access failure probability while in the leaky state.
+    pub leaky_probability: f64,
+    /// Per-access probability of toggling between states.
+    pub toggle_probability: f64,
+    /// Whether the cell is currently leaky.
+    pub leaky: bool,
+}
+
+impl VrtCell {
+    /// Creates a VRT cell that starts in the retentive (non-leaky) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(position: usize, leaky_probability: f64, toggle_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&leaky_probability),
+            "leaky probability outside [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&toggle_probability),
+            "toggle probability outside [0, 1]"
+        );
+        Self {
+            position,
+            leaky_probability,
+            toggle_probability,
+            leaky: false,
+        }
+    }
+
+    /// Advances the cell by one access: possibly toggles its state and
+    /// returns `true` if the cell fails on this access (given that it is
+    /// charged).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if rng.gen_bool(self.toggle_probability) {
+            self.leaky = !self.leaky;
+        }
+        self.leaky && rng.gen_bool(self.leaky_probability)
+    }
+
+    /// The cell's current behaviour expressed as an [`AtRiskBit`] (for
+    /// integration with [`FaultModel`]-based tooling).
+    pub fn as_at_risk_bit(&self) -> AtRiskBit {
+        AtRiskBit::new(
+            self.position,
+            if self.leaky { self.leaky_probability } else { 0.0 },
+        )
+    }
+}
+
+/// A time-varying fault process for one ECC word: a set of always-at-risk
+/// bits (the population active profiling targets) plus a set of VRT cells
+/// whose at-risk behaviour comes and goes during runtime (the population the
+/// paper leaves to reactive profiling, §2.4).
+///
+/// # Example
+///
+/// ```
+/// use harp_memsim::{FaultModel, retention::{VrtCell, VrtFaultProcess}};
+/// use harp_gf2::BitVec;
+/// use rand::SeedableRng;
+///
+/// let mut process = VrtFaultProcess::new(
+///     FaultModel::uniform(&[3], 1.0),
+///     vec![VrtCell::new(9, 1.0, 0.1)],
+/// );
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let errors = process.sample_errors(&BitVec::ones(16), &mut rng);
+/// // The static at-risk bit fails deterministically; the VRT cell only
+/// // fails while it happens to be in its leaky state.
+/// assert!(errors.get(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VrtFaultProcess {
+    static_faults: FaultModel,
+    vrt_cells: Vec<VrtCell>,
+}
+
+impl VrtFaultProcess {
+    /// Creates a process from a static fault model and a set of VRT cells.
+    pub fn new(static_faults: FaultModel, vrt_cells: Vec<VrtCell>) -> Self {
+        Self {
+            static_faults,
+            vrt_cells,
+        }
+    }
+
+    /// The static (always-at-risk) part of the process.
+    pub fn static_faults(&self) -> &FaultModel {
+        &self.static_faults
+    }
+
+    /// The VRT cells of the process.
+    pub fn vrt_cells(&self) -> &[VrtCell] {
+        &self.vrt_cells
+    }
+
+    /// Codeword positions of the VRT cells (the bits only reactive profiling
+    /// can hope to identify).
+    pub fn vrt_positions(&self) -> Vec<usize> {
+        self.vrt_cells.iter().map(|cell| cell.position).collect()
+    }
+
+    /// Advances every VRT cell by one access and samples the raw error
+    /// pattern for a word currently storing `stored` (codeword bits).
+    ///
+    /// Static at-risk bits follow their data-dependent Bernoulli model; VRT
+    /// cells fail only while leaky *and* charged.
+    pub fn sample_errors<R: Rng + ?Sized>(
+        &mut self,
+        stored: &harp_gf2::BitVec,
+        rng: &mut R,
+    ) -> harp_gf2::BitVec {
+        let mut errors = self.static_faults.sample_errors(stored, rng);
+        for cell in &mut self.vrt_cells {
+            let fails = cell.step(rng);
+            if fails && cell.position < stored.len() && stored.get(cell.position) {
+                errors.set(cell.position, true);
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn vrt_process_combines_static_and_vrt_failures() {
+        let mut process = VrtFaultProcess::new(
+            FaultModel::uniform(&[3], 1.0),
+            vec![VrtCell::new(9, 1.0, 0.5)],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let stored = harp_gf2::BitVec::ones(16);
+        let mut vrt_failures = 0;
+        for _ in 0..200 {
+            let errors = process.sample_errors(&stored, &mut rng);
+            assert!(errors.get(3), "static bit always fails when charged");
+            if errors.get(9) {
+                vrt_failures += 1;
+            }
+        }
+        assert!(vrt_failures > 10, "VRT bit fails intermittently");
+        assert!(vrt_failures < 200, "VRT bit does not fail on every access");
+        assert_eq!(process.vrt_positions(), vec![9]);
+        assert_eq!(process.static_faults().at_risk_positions(), vec![3]);
+        assert_eq!(process.vrt_cells().len(), 1);
+    }
+
+    #[test]
+    fn vrt_cells_respect_data_dependence() {
+        // A VRT cell storing '0' cannot fail (true-cell behaviour).
+        let mut process =
+            VrtFaultProcess::new(FaultModel::none(), vec![VrtCell::new(2, 1.0, 1.0)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let stored = harp_gf2::BitVec::zeros(8);
+        for _ in 0..50 {
+            assert!(process.sample_errors(&stored, &mut rng).is_zero());
+        }
+    }
+
+    #[test]
+    fn normal_sampler_probabilities_follow_the_configured_distribution() {
+        let sampler = NormalRetentionSampler::new(1.0, 0.5, 0.1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sampler.sample_probability(&mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let variance =
+            samples.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "empirical mean {mean}");
+        assert!(
+            (variance.sqrt() - 0.1).abs() < 0.01,
+            "empirical std dev {}",
+            variance.sqrt()
+        );
+        assert!(samples.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn normal_sampler_clamps_extreme_draws() {
+        let sampler = NormalRetentionSampler::new(1.0, 0.9, 0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let p = sampler.sample_probability(&mut rng);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn normal_sampler_word_density_tracks_rber() {
+        let sampler = NormalRetentionSampler::new(0.2, 0.5, 0.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let words = 1000;
+        let total: usize = (0..words)
+            .map(|_| sampler.sample_word(71, &mut rng).at_risk_bits().len())
+            .sum();
+        let density = total as f64 / (words * 71) as f64;
+        assert!((density - 0.2).abs() < 0.02, "density {density}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn normal_sampler_rejects_invalid_mean() {
+        NormalRetentionSampler::new(0.5, 1.5, 0.1);
+    }
+
+    #[test]
+    fn vrt_cell_never_fails_while_retentive() {
+        let mut cell = VrtCell::new(3, 1.0, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(!cell.step(&mut rng));
+        }
+        assert_eq!(cell.as_at_risk_bit().probability, 0.0);
+    }
+
+    #[test]
+    fn vrt_cell_fails_intermittently_once_toggling() {
+        let mut cell = VrtCell::new(3, 1.0, 0.05);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let failures = (0..5000).filter(|_| cell.step(&mut rng)).count();
+        // The cell spends roughly half its time leaky in steady state, so the
+        // failure count is large but well below 100%.
+        assert!(failures > 500, "failures {failures}");
+        assert!(failures < 4500, "failures {failures}");
+    }
+
+    #[test]
+    fn vrt_cell_exposes_current_state_as_at_risk_bit() {
+        let mut cell = VrtCell::new(9, 0.75, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let _ = cell.step(&mut rng); // toggles to leaky with probability 1
+        assert!(cell.leaky);
+        let bit = cell.as_at_risk_bit();
+        assert_eq!(bit.position, 9);
+        assert_eq!(bit.probability, 0.75);
+    }
+}

@@ -1,0 +1,225 @@
+//! Secondary-ECC word layouts and the correction capability each requires.
+//!
+//! §6.3 of the paper: "the layout of secondary ECC words [must] account for
+//! the layout of on-die ECC words: the two must combine in such a way that
+//! every on-die ECC word is protected with the necessary correction
+//! capability by the secondary ECC." Once HARP's active phase has identified
+//! every bit at risk of direct error, each on-die ECC word can contribute at
+//! most `t` (its correction capability) concurrent indirect errors — so the
+//! capability a secondary ECC word needs is `t` times the number of distinct
+//! on-die ECC words whose data bits it covers.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::ModuleGeometry;
+
+/// How secondary ECC words are laid out over the cache line, relative to the
+/// on-die ECC words beneath them (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SecondaryLayout {
+    /// One secondary ECC word per on-die ECC word, exactly aligned with it.
+    /// Minimises the required correction capability but needs the controller
+    /// to gather each on-die word across several beats before checking it.
+    PerOnDieWord,
+    /// One secondary ECC word per data beat (the natural choice when ECC
+    /// check bits travel on extra bus pins): each secondary word slices
+    /// across every chip in the rank.
+    PerBeat,
+    /// A single secondary ECC word covering the whole cache line — the
+    /// "interleaving secondary ECC words across multiple on-die ECC words"
+    /// option, which requires the strongest code.
+    PerCacheLine,
+}
+
+impl SecondaryLayout {
+    /// All layouts analysed in the extension experiment.
+    pub const ALL: [SecondaryLayout; 3] = [
+        SecondaryLayout::PerOnDieWord,
+        SecondaryLayout::PerBeat,
+        SecondaryLayout::PerCacheLine,
+    ];
+
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SecondaryLayout::PerOnDieWord => "per-on-die-word",
+            SecondaryLayout::PerBeat => "per-beat",
+            SecondaryLayout::PerCacheLine => "per-cache-line",
+        }
+    }
+
+    /// The groups of cache-line bit indices that form each secondary ECC
+    /// word under this layout.
+    pub fn secondary_words(&self, geometry: &ModuleGeometry) -> Vec<Vec<usize>> {
+        let line_bits = geometry.line_bits();
+        match self {
+            SecondaryLayout::PerOnDieWord => {
+                let words = geometry.ondie_words_per_access();
+                let mut groups = vec![Vec::new(); words];
+                for bit in 0..line_bits {
+                    let location = geometry.locate(bit);
+                    let index =
+                        location.chip * geometry.ondie_words_per_chip() + location.ondie_word;
+                    groups[index].push(bit);
+                }
+                groups
+            }
+            SecondaryLayout::PerBeat => {
+                let mut groups = vec![Vec::new(); geometry.burst_length()];
+                for bit in 0..line_bits {
+                    groups[geometry.locate(bit).beat].push(bit);
+                }
+                groups
+            }
+            SecondaryLayout::PerCacheLine => vec![(0..line_bits).collect()],
+        }
+    }
+
+    /// The number of distinct on-die ECC words the largest secondary word
+    /// overlaps under this layout.
+    pub fn max_ondie_words_overlapped(&self, geometry: &ModuleGeometry) -> usize {
+        self.secondary_words(geometry)
+            .iter()
+            .map(|group| {
+                group
+                    .iter()
+                    .map(|&bit| {
+                        let location = geometry.locate(bit);
+                        (location.chip, location.ondie_word)
+                    })
+                    .collect::<BTreeSet<_>>()
+                    .len()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The correction capability each secondary ECC word needs so that
+    /// reactive profiling stays safe after HARP's active phase, given that
+    /// every on-die ECC word can still produce up to `ondie_capability`
+    /// concurrent indirect errors.
+    pub fn required_capability(&self, geometry: &ModuleGeometry, ondie_capability: usize) -> usize {
+        self.max_ondie_words_overlapped(geometry) * ondie_capability
+    }
+
+    /// The number of secondary ECC words per access under this layout.
+    pub fn words_per_access(&self, geometry: &ModuleGeometry) -> usize {
+        self.secondary_words(geometry).len()
+    }
+
+    /// Approximate parity overhead (in bits per cache line) of provisioning
+    /// each secondary word with a code of the required capability, using the
+    /// BCH bound of `capability · ceil(log2(word bits) + 1)` parity bits per
+    /// word — the standard first-order estimate for comparing layouts.
+    pub fn parity_overhead_bits(&self, geometry: &ModuleGeometry, ondie_capability: usize) -> usize {
+        let capability = self.required_capability(geometry, ondie_capability);
+        self.secondary_words(geometry)
+            .iter()
+            .map(|group| {
+                let m = (usize::BITS - group.len().leading_zeros()) as usize + 1;
+                capability * m
+            })
+            .sum()
+    }
+}
+
+impl std::fmt::Display for SecondaryLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_partition_the_cache_line() {
+        for geometry in [
+            ModuleGeometry::ddr4_style_rank(),
+            ModuleGeometry::lpddr4_x16(),
+            ModuleGeometry::ddr5_style_subchannel(),
+        ] {
+            for layout in SecondaryLayout::ALL {
+                let groups = layout.secondary_words(&geometry);
+                let mut seen = BTreeSet::new();
+                for group in &groups {
+                    for &bit in group {
+                        assert!(seen.insert(bit), "{layout} duplicates bit {bit}");
+                    }
+                }
+                assert_eq!(seen.len(), geometry.line_bits(), "{layout} misses bits");
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_layout_needs_only_on_die_capability() {
+        for geometry in [
+            ModuleGeometry::ddr4_style_rank(),
+            ModuleGeometry::lpddr4_x16(),
+            ModuleGeometry::single_chip_64(),
+        ] {
+            assert_eq!(
+                SecondaryLayout::PerOnDieWord.required_capability(&geometry, 1),
+                1
+            );
+            assert_eq!(
+                SecondaryLayout::PerOnDieWord.required_capability(&geometry, 2),
+                2
+            );
+        }
+    }
+
+    #[test]
+    fn per_beat_layout_scales_with_chip_count() {
+        let ddr4 = ModuleGeometry::ddr4_style_rank();
+        // Each beat slices across all 8 chips, one on-die word per chip.
+        assert_eq!(SecondaryLayout::PerBeat.required_capability(&ddr4, 1), 8);
+        let single = ModuleGeometry::single_chip_64();
+        assert_eq!(SecondaryLayout::PerBeat.required_capability(&single, 1), 1);
+    }
+
+    #[test]
+    fn per_cache_line_layout_needs_the_most_capability() {
+        let ddr4 = ModuleGeometry::ddr4_style_rank();
+        assert_eq!(SecondaryLayout::PerCacheLine.required_capability(&ddr4, 1), 8);
+        let lpddr4 = ModuleGeometry::lpddr4_x16();
+        // Two on-die words behind a single chip.
+        assert_eq!(SecondaryLayout::PerCacheLine.required_capability(&lpddr4, 1), 2);
+        for geometry in [ddr4, lpddr4] {
+            let interleaved = SecondaryLayout::PerCacheLine.required_capability(&geometry, 1);
+            for layout in SecondaryLayout::ALL {
+                assert!(interleaved >= layout.required_capability(&geometry, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn word_counts_match_the_layout() {
+        let ddr4 = ModuleGeometry::ddr4_style_rank();
+        assert_eq!(SecondaryLayout::PerOnDieWord.words_per_access(&ddr4), 8);
+        assert_eq!(SecondaryLayout::PerBeat.words_per_access(&ddr4), 8);
+        assert_eq!(SecondaryLayout::PerCacheLine.words_per_access(&ddr4), 1);
+    }
+
+    #[test]
+    fn parity_overhead_reflects_required_strength() {
+        let ddr4 = ModuleGeometry::ddr4_style_rank();
+        let aligned = SecondaryLayout::PerOnDieWord.parity_overhead_bits(&ddr4, 1);
+        let interleaved = SecondaryLayout::PerCacheLine.parity_overhead_bits(&ddr4, 1);
+        assert!(aligned > 0);
+        // A single 8-error-correcting word costs more parity than eight
+        // single-error-correcting words here.
+        assert!(interleaved > aligned / 8);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SecondaryLayout::PerOnDieWord.to_string(), "per-on-die-word");
+        assert_eq!(SecondaryLayout::PerBeat.name(), "per-beat");
+        assert_eq!(SecondaryLayout::PerCacheLine.name(), "per-cache-line");
+    }
+}

@@ -1,0 +1,43 @@
+//! Multi-chip memory-module architecture for the HARP reproduction.
+//!
+//! The paper's evaluation assumes the memory controller interfaces with a
+//! single memory chip at a time (as in some LPDDR4 systems), but §6.3 points
+//! out that real systems may spread a data block across several chips and
+//! several data transfers, and that the *layout* of secondary ECC words with
+//! respect to on-die ECC words decides how strong the secondary ECC has to
+//! be. This crate makes that discussion executable:
+//!
+//! * [`ModuleGeometry`] — chips per rank, per-chip I/O width, burst length,
+//!   and on-die ECC word size, with the standard burst mapping from
+//!   cache-line bits to (chip, on-die word, bit) coordinates;
+//! * [`SecondaryLayout`] — the three secondary-ECC word layouts discussed in
+//!   §6.3 (aligned to on-die words, per data beat, or one word per cache
+//!   line), with the exact correction capability each requires once HARP's
+//!   active phase has bounded every on-die word to at most `t` concurrent
+//!   indirect errors;
+//! * [`MemoryModule`] — a rank of [`harp_memsim::MemoryChip`]s behind a
+//!   single controller-facing read/write interface, including the bypass
+//!   read path HARP's active profiling phase uses.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use harp_module::{ModuleGeometry, SecondaryLayout};
+//!
+//! // A DDR4-style rank: 8 chips × 8 I/O pins × burst 8 = 512-bit lines.
+//! let geometry = ModuleGeometry::ddr4_style_rank();
+//! // Aligning secondary ECC words with on-die ECC words needs only
+//! // single-error correction...
+//! assert_eq!(SecondaryLayout::PerOnDieWord.required_capability(&geometry, 1), 1);
+//! // ...but one secondary word across the whole cache line must tolerate an
+//! // indirect error from every chip simultaneously.
+//! assert_eq!(SecondaryLayout::PerCacheLine.required_capability(&geometry, 1), 8);
+//! ```
+
+pub mod geometry;
+pub mod layout;
+pub mod module;
+
+pub use geometry::{BitLocation, ModuleGeometry};
+pub use layout::SecondaryLayout;
+pub use module::{MemoryModule, ModuleReadOutcome};

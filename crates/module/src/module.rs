@@ -1,0 +1,433 @@
+//! A rank of memory chips behind a single controller-facing interface.
+//!
+//! [`MemoryModule`] owns one [`MemoryChip`] per geometry slot, each running
+//! its own (potentially different) proprietary on-die ECC code, and maps
+//! whole cache lines onto per-chip on-die ECC words using the rank's burst
+//! mapping. It exposes the same two read paths a HARP-enabled chip exposes —
+//! the normal decoded path and the raw-data bypass path — so both profiling
+//! phases can be exercised at module scale.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use harp_ecc::HammingCode;
+use harp_gf2::BitVec;
+use harp_memsim::{FaultModel, MemoryChip};
+
+use crate::geometry::ModuleGeometry;
+use crate::layout::SecondaryLayout;
+
+/// What the memory controller observes when reading one cache line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuleReadOutcome {
+    /// The post-correction cache line returned by the rank.
+    pub data: BitVec,
+    /// The cache line as originally written.
+    pub written: BitVec,
+    /// Cache-line bit positions where `data` differs from `written`
+    /// (post-correction errors across all chips).
+    pub post_correction_errors: Vec<usize>,
+    /// The number of on-die ECC words whose decoder performed a correction
+    /// operation during this read.
+    pub corrections_performed: usize,
+}
+
+impl ModuleReadOutcome {
+    /// Returns `true` if the line was returned exactly as written.
+    pub fn is_clean(&self) -> bool {
+        self.post_correction_errors.is_empty()
+    }
+
+    /// The largest number of post-correction errors that landed inside a
+    /// single secondary ECC word under the given layout — what the secondary
+    /// code must tolerate on this read.
+    pub fn max_errors_in_secondary_word(
+        &self,
+        geometry: &ModuleGeometry,
+        layout: SecondaryLayout,
+    ) -> usize {
+        layout
+            .secondary_words(geometry)
+            .iter()
+            .map(|group| {
+                group
+                    .iter()
+                    .filter(|bit| self.post_correction_errors.contains(bit))
+                    .count()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A rank of memory chips with on-die ECC, addressed by cache line.
+///
+/// # Example
+///
+/// ```
+/// use harp_ecc::HammingCode;
+/// use harp_gf2::BitVec;
+/// use harp_module::{MemoryModule, ModuleGeometry};
+/// use rand::SeedableRng;
+///
+/// let geometry = ModuleGeometry::ddr4_style_rank();
+/// let module = MemoryModule::homogeneous(geometry, 4, 7)?;
+/// let mut module = module;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+///
+/// let line = BitVec::ones(geometry.line_bits());
+/// module.write(0, &line);
+/// let outcome = module.read(0, &mut rng);
+/// assert!(outcome.is_clean());
+/// # Ok::<(), harp_ecc::CodeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryModule {
+    geometry: ModuleGeometry,
+    chips: Vec<MemoryChip>,
+    lines: usize,
+}
+
+impl MemoryModule {
+    /// Builds a module whose chips all use independently drawn random codes
+    /// of the geometry's on-die word size (manufacturers ship different
+    /// proprietary codes; a rank mixes them freely).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`harp_ecc::CodeError`] if a code cannot be constructed.
+    pub fn homogeneous(
+        geometry: ModuleGeometry,
+        lines: usize,
+        seed: u64,
+    ) -> Result<Self, harp_ecc::CodeError> {
+        let codes = (0..geometry.chips())
+            .map(|chip| HammingCode::random(geometry.ondie_word_bits(), seed ^ (chip as u64)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::with_codes(geometry, codes, lines))
+    }
+
+    /// Builds a module from explicit per-chip codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of codes does not match the geometry's chip
+    /// count, if any code's dataword length differs from the geometry's
+    /// on-die word size, or if `lines` is zero.
+    pub fn with_codes(geometry: ModuleGeometry, codes: Vec<HammingCode>, lines: usize) -> Self {
+        assert_eq!(
+            codes.len(),
+            geometry.chips(),
+            "expected one code per chip ({}), got {}",
+            geometry.chips(),
+            codes.len()
+        );
+        assert!(lines > 0, "a module needs at least one line");
+        for code in &codes {
+            assert_eq!(
+                code.data_len(),
+                geometry.ondie_word_bits(),
+                "code dataword length {} does not match the geometry's on-die word size {}",
+                code.data_len(),
+                geometry.ondie_word_bits()
+            );
+        }
+        let words_per_chip = lines * geometry.ondie_words_per_chip();
+        let chips = codes
+            .into_iter()
+            .map(|code| MemoryChip::new(code, words_per_chip))
+            .collect();
+        Self {
+            geometry,
+            chips,
+            lines,
+        }
+    }
+
+    /// The rank geometry.
+    pub fn geometry(&self) -> &ModuleGeometry {
+        &self.geometry
+    }
+
+    /// Number of cache lines the module stores.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// The chips in the rank.
+    pub fn chips(&self) -> &[MemoryChip] {
+        &self.chips
+    }
+
+    fn word_index(&self, line: usize, ondie_word: usize) -> usize {
+        line * self.geometry.ondie_words_per_chip() + ondie_word
+    }
+
+    /// Sets the fault model of one on-die ECC word of one chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip, line, or word index is out of range.
+    pub fn set_fault_model(
+        &mut self,
+        chip: usize,
+        line: usize,
+        ondie_word: usize,
+        model: FaultModel,
+    ) {
+        assert!(chip < self.chips.len(), "chip {chip} out of range");
+        assert!(line < self.lines, "line {line} out of range");
+        assert!(
+            ondie_word < self.geometry.ondie_words_per_chip(),
+            "on-die word {ondie_word} out of range"
+        );
+        let word = self.word_index(line, ondie_word);
+        self.chips[chip].set_fault_model(word, model);
+    }
+
+    /// Writes a full cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line index is out of range or the data length does not
+    /// match the geometry's line size.
+    pub fn write(&mut self, line: usize, data: &BitVec) {
+        assert!(line < self.lines, "line {line} out of range");
+        assert_eq!(
+            data.len(),
+            self.geometry.line_bits(),
+            "line data length mismatch: expected {}, got {}",
+            self.geometry.line_bits(),
+            data.len()
+        );
+        let word_bits = self.geometry.ondie_word_bits();
+        let words_per_chip = self.geometry.ondie_words_per_chip();
+        let mut per_word =
+            vec![vec![BitVec::zeros(word_bits); words_per_chip]; self.geometry.chips()];
+        for bit in 0..data.len() {
+            let location = self.geometry.locate(bit);
+            per_word[location.chip][location.ondie_word].set(location.bit_in_word, data.get(bit));
+        }
+        for (chip_index, words) in per_word.into_iter().enumerate() {
+            for (word_index, word_data) in words.into_iter().enumerate() {
+                let word = self.word_index(line, word_index);
+                self.chips[chip_index].write(word, &word_data);
+            }
+        }
+    }
+
+    /// Reads a full cache line through the normal (on-die-ECC decoded) path,
+    /// sampling raw errors from each word's fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line index is out of range.
+    pub fn read<R: Rng + ?Sized>(&self, line: usize, rng: &mut R) -> ModuleReadOutcome {
+        self.read_internal(line, rng, false)
+    }
+
+    /// Reads a full cache line through the on-die-ECC *bypass* path, so the
+    /// returned line contains the raw (pre-correction) data bits of every
+    /// chip — the read HARP's active profiling phase uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line index is out of range.
+    pub fn read_bypass<R: Rng + ?Sized>(&self, line: usize, rng: &mut R) -> ModuleReadOutcome {
+        self.read_internal(line, rng, true)
+    }
+
+    fn read_internal<R: Rng + ?Sized>(
+        &self,
+        line: usize,
+        rng: &mut R,
+        bypass: bool,
+    ) -> ModuleReadOutcome {
+        assert!(line < self.lines, "line {line} out of range");
+        let line_bits = self.geometry.line_bits();
+        let mut data = BitVec::zeros(line_bits);
+        let mut written = BitVec::zeros(line_bits);
+        let mut corrections = 0;
+
+        let words_per_chip = self.geometry.ondie_words_per_chip();
+        for chip_index in 0..self.geometry.chips() {
+            for ondie_word in 0..words_per_chip {
+                let word = self.word_index(line, ondie_word);
+                let observation = self.chips[chip_index].read(word, rng);
+                if observation.decode_result().outcome.is_correction() {
+                    corrections += 1;
+                }
+                let word_data = if bypass {
+                    observation.raw_data_bits()
+                } else {
+                    observation.post_correction_data().clone()
+                };
+                for bit_in_word in 0..self.geometry.ondie_word_bits() {
+                    let line_bit = self.geometry.line_bit_of(crate::geometry::BitLocation {
+                        chip: chip_index,
+                        ondie_word,
+                        bit_in_word,
+                        beat: 0, // recomputed by line_bit_of from the word coordinates
+                    });
+                    data.set(line_bit, word_data.get(bit_in_word));
+                    written.set(line_bit, observation.written_data().get(bit_in_word));
+                }
+            }
+        }
+
+        let post_correction_errors = (&data ^ &written).iter_ones().collect();
+        ModuleReadOutcome {
+            data,
+            written,
+            post_correction_errors,
+            corrections_performed: corrections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0xD1E5)
+    }
+
+    fn patterned_line(bits: usize) -> BitVec {
+        (0..bits).map(|i| i % 3 == 0).collect()
+    }
+
+    #[test]
+    fn fault_free_round_trip_across_geometries() {
+        for geometry in [
+            ModuleGeometry::ddr4_style_rank(),
+            ModuleGeometry::lpddr4_x16(),
+            ModuleGeometry::ddr5_style_subchannel(),
+            ModuleGeometry::single_chip_64(),
+        ] {
+            let mut module = MemoryModule::homogeneous(geometry, 2, 3).unwrap();
+            let line = patterned_line(geometry.line_bits());
+            module.write(1, &line);
+            let outcome = module.read(1, &mut rng());
+            assert!(outcome.is_clean(), "{geometry}");
+            assert_eq!(outcome.data, line, "{geometry}");
+            assert_eq!(outcome.corrections_performed, 0, "{geometry}");
+        }
+    }
+
+    #[test]
+    fn single_raw_error_per_chip_is_absorbed_by_on_die_ecc() {
+        let geometry = ModuleGeometry::ddr4_style_rank();
+        let mut module = MemoryModule::homogeneous(geometry, 1, 11).unwrap();
+        // One always-failing charged cell in every chip.
+        for chip in 0..geometry.chips() {
+            module.set_fault_model(chip, 0, 0, FaultModel::uniform(&[chip * 3], 1.0));
+        }
+        let line = BitVec::ones(geometry.line_bits());
+        module.write(0, &line);
+        let outcome = module.read(0, &mut rng());
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.corrections_performed, geometry.chips());
+    }
+
+    #[test]
+    fn bypass_read_exposes_raw_errors_that_the_decoded_path_hides() {
+        let geometry = ModuleGeometry::single_chip_64();
+        let mut module = MemoryModule::homogeneous(geometry, 1, 5).unwrap();
+        module.set_fault_model(0, 0, 0, FaultModel::uniform(&[7], 1.0));
+        let line = BitVec::ones(geometry.line_bits());
+        module.write(0, &line);
+
+        let decoded = module.read(0, &mut rng());
+        assert!(decoded.is_clean());
+
+        let raw = module.read_bypass(0, &mut rng());
+        assert_eq!(raw.post_correction_errors.len(), 1);
+        // The raw error appears at the line position that maps to chip 0,
+        // word 0, bit 7.
+        let location = geometry.locate(raw.post_correction_errors[0]);
+        assert_eq!((location.chip, location.ondie_word, location.bit_in_word), (0, 0, 7));
+    }
+
+    #[test]
+    fn uncorrectable_errors_stay_confined_to_their_chip() {
+        let geometry = ModuleGeometry::ddr4_style_rank();
+        let mut module = MemoryModule::homogeneous(geometry, 1, 21).unwrap();
+        // Chip 3 word 0 has two always-failing cells: an uncorrectable
+        // pattern for its SEC on-die ECC.
+        module.set_fault_model(3, 0, 0, FaultModel::uniform(&[10, 20], 1.0));
+        let line = BitVec::ones(geometry.line_bits());
+        module.write(0, &line);
+        let outcome = module.read(0, &mut rng());
+        assert!(!outcome.is_clean());
+        for &bit in &outcome.post_correction_errors {
+            assert_eq!(geometry.locate(bit).chip, 3);
+        }
+    }
+
+    #[test]
+    fn concurrent_miscorrections_stress_the_interleaved_layout_most() {
+        let geometry = ModuleGeometry::ddr4_style_rank();
+        let mut module = MemoryModule::homogeneous(geometry, 1, 33).unwrap();
+        // Every chip holds an uncorrectable double error.
+        for chip in 0..geometry.chips() {
+            module.set_fault_model(chip, 0, 0, FaultModel::uniform(&[1, 2], 1.0));
+        }
+        let line = BitVec::ones(geometry.line_bits());
+        module.write(0, &line);
+        let outcome = module.read(0, &mut rng());
+
+        let aligned =
+            outcome.max_errors_in_secondary_word(&geometry, SecondaryLayout::PerOnDieWord);
+        let interleaved =
+            outcome.max_errors_in_secondary_word(&geometry, SecondaryLayout::PerCacheLine);
+        // The interleaved layout sees the sum of every chip's errors; the
+        // aligned layout sees only one chip's worth.
+        assert!(interleaved >= aligned);
+        assert_eq!(interleaved, outcome.post_correction_errors.len());
+        assert!(aligned <= 3);
+    }
+
+    #[test]
+    fn accessors_report_the_construction_parameters() {
+        let geometry = ModuleGeometry::lpddr4_x16();
+        let module = MemoryModule::homogeneous(geometry, 3, 1).unwrap();
+        assert_eq!(module.lines(), 3);
+        assert_eq!(module.geometry().chips(), 1);
+        assert_eq!(module.chips().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one code per chip")]
+    fn mismatched_code_count_is_rejected() {
+        let geometry = ModuleGeometry::ddr4_style_rank();
+        let code = HammingCode::random(64, 0).unwrap();
+        MemoryModule::with_codes(geometry, vec![code], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the geometry")]
+    fn mismatched_code_size_is_rejected() {
+        let geometry = ModuleGeometry::single_chip_64();
+        let code = HammingCode::random(32, 0).unwrap();
+        MemoryModule::with_codes(geometry, vec![code], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "line data length mismatch")]
+    fn short_lines_are_rejected() {
+        let geometry = ModuleGeometry::single_chip_64();
+        let mut module = MemoryModule::homogeneous(geometry, 1, 0).unwrap();
+        module.write(0, &BitVec::ones(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_line_is_rejected() {
+        let geometry = ModuleGeometry::single_chip_64();
+        let module = MemoryModule::homogeneous(geometry, 1, 0).unwrap();
+        module.read(5, &mut rng());
+    }
+}

@@ -1,0 +1,338 @@
+//! Extension 1: double-error-correcting (DEC) BCH on-die ECC.
+//!
+//! The paper restricts its analysis to SEC Hamming codes and leaves stronger
+//! block codes to future work (§2.5, footnote 9; §6.3.2 discusses the
+//! consequences for the secondary ECC). This experiment carries the analysis
+//! over to the `(78, 64)` DEC BCH code implemented in [`harp_bch`]:
+//!
+//! * analytically, how the combinatorial amplification of Table 2 changes —
+//!   a DEC code leaves far fewer uncorrectable pre-correction error
+//!   patterns, but each one can introduce up to *two* indirect errors;
+//! * by exhaustive error-space enumeration over sampled at-risk bit sets,
+//!   what correction capability HARP's secondary ECC needs once all
+//!   direct-error bits are repaired. The answer is exactly the on-die code's
+//!   correction capability (2), confirming that the paper's insight 2
+//!   generalizes beyond SEC codes.
+
+use std::collections::BTreeSet;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use harp_bch::analysis::combinatorics as dec;
+use harp_bch::{BchCode, BchErrorSpace, BchMemoryChip};
+use harp_ecc::analysis::{combinatorics as sec, FailureDependence};
+use harp_ecc::{ErrorSpace, HammingCode};
+use harp_gf2::BitVec;
+use harp_memsim::FaultModel;
+
+use crate::config::EvaluationConfig;
+use crate::report::{fixed, TextTable};
+use crate::runner::parallel_map;
+use crate::stats::mean;
+
+/// One row of the analytic amplification comparison (Table 2 extended).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AmplificationRow {
+    /// Number of bits at risk of pre-correction error.
+    pub at_risk_bits: u32,
+    /// Uncorrectable pre-correction error patterns under SEC on-die ECC.
+    pub sec_uncorrectable: u64,
+    /// Uncorrectable pre-correction error patterns under DEC on-die ECC.
+    pub dec_uncorrectable: u64,
+    /// Worst-case bits at risk of post-correction error under SEC (2^n − 1).
+    pub sec_worst_post_correction: u64,
+    /// Worst-case bound on post-correction at-risk bits under DEC.
+    pub dec_worst_post_correction: u64,
+}
+
+/// One Monte-Carlo cell: sampled at-risk sets of a fixed size under each
+/// code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext1Cell {
+    /// Number of at-risk pre-correction bits per ECC word.
+    pub error_count: usize,
+    /// Words sampled.
+    pub words: usize,
+    /// Mean number of dataword bits at risk of indirect error, SEC (71, 64).
+    pub sec_mean_indirect: f64,
+    /// Mean number of dataword bits at risk of indirect error, DEC (78, 64).
+    pub dec_mean_indirect: f64,
+    /// Worst-case simultaneous post-correction errors after repairing all
+    /// direct-error bits, SEC (must be ≤ 1).
+    pub sec_max_after_direct_repair: usize,
+    /// Worst-case simultaneous post-correction errors after repairing all
+    /// direct-error bits, DEC (must be ≤ 2).
+    pub dec_max_after_direct_repair: usize,
+    /// Mean direct-error coverage reached after 128 rounds by a HARP-U-style
+    /// active profiler (bypass reads) on the DEC chip.
+    pub dec_harpu_coverage: f64,
+    /// Mean direct-error coverage reached after 128 rounds by a Naive-style
+    /// profiler (post-correction observation only) on the DEC chip. Stronger
+    /// on-die ECC makes this *worse*: error combinations the profiler relies
+    /// on for visibility are now silently corrected.
+    pub dec_naive_coverage: f64,
+}
+
+/// The full extension-1 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext1BchResult {
+    /// Analytic amplification comparison.
+    pub amplification: Vec<AmplificationRow>,
+    /// Monte-Carlo cells per error count.
+    pub cells: Vec<Ext1Cell>,
+}
+
+/// Runs the extension experiment.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the BCH/Hamming codes cannot be
+/// constructed for the configured dataword size.
+pub fn run(config: &EvaluationConfig) -> Ext1BchResult {
+    config.validate();
+    let amplification = (1..=8u32)
+        .map(|n| AmplificationRow {
+            at_risk_bits: n,
+            sec_uncorrectable: sec::uncorrectable_patterns(n),
+            dec_uncorrectable: dec::uncorrectable_patterns_dec(n),
+            sec_worst_post_correction: sec::worst_case_post_correction_at_risk(n),
+            dec_worst_post_correction: dec::worst_case_post_correction_at_risk_dec(n),
+        })
+        .collect();
+
+    let bch = BchCode::dec(config.data_bits).expect("BCH code for the configured dataword");
+    let items: Vec<(usize, usize)> = config
+        .error_counts
+        .iter()
+        .flat_map(|&error_count| {
+            (0..config.words_total()).map(move |word| (error_count, word))
+        })
+        .collect();
+
+    let per_word = parallel_map(&items, config.threads, |&(error_count, word)| {
+        let seed = config.seed_for(word, error_count, 0xB0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let hamming = HammingCode::random(config.data_bits, seed ^ 0x5EC).expect("SEC code");
+
+        let sec_positions = sample_positions(hamming.codeword_len(), error_count, &mut rng);
+        let dec_positions = sample_positions(bch.codeword_len(), error_count, &mut rng);
+
+        let sec_space =
+            ErrorSpace::enumerate(&hamming, &sec_positions, FailureDependence::TrueCell);
+        let dec_space = BchErrorSpace::enumerate(&bch, &dec_positions, FailureDependence::TrueCell);
+
+        let sec_after = sec_space.max_simultaneous_errors_outside(sec_space.direct_at_risk());
+        let dec_after = dec_space.max_simultaneous_errors_outside(dec_space.direct_at_risk());
+        let (harpu, naive) = profile_dec_chip(&bch, &dec_positions, config.rounds, seed);
+        WordOutcome {
+            error_count,
+            sec_indirect: sec_space.indirect_at_risk().len(),
+            dec_indirect: dec_space.indirect_at_risk().len(),
+            sec_after,
+            dec_after,
+            harpu_coverage: harpu,
+            naive_coverage: naive,
+        }
+    });
+
+    let cells = config
+        .error_counts
+        .iter()
+        .map(|&error_count| {
+            let rows: Vec<_> = per_word
+                .iter()
+                .filter(|r| r.error_count == error_count)
+                .collect();
+            Ext1Cell {
+                error_count,
+                words: rows.len(),
+                sec_mean_indirect: mean(&rows.iter().map(|r| r.sec_indirect as f64).collect::<Vec<_>>()),
+                dec_mean_indirect: mean(&rows.iter().map(|r| r.dec_indirect as f64).collect::<Vec<_>>()),
+                sec_max_after_direct_repair: rows.iter().map(|r| r.sec_after).max().unwrap_or(0),
+                dec_max_after_direct_repair: rows.iter().map(|r| r.dec_after).max().unwrap_or(0),
+                dec_harpu_coverage: mean(&rows.iter().map(|r| r.harpu_coverage).collect::<Vec<_>>()),
+                dec_naive_coverage: mean(&rows.iter().map(|r| r.naive_coverage).collect::<Vec<_>>()),
+            }
+        })
+        .collect();
+
+    Ext1BchResult {
+        amplification,
+        cells,
+    }
+}
+
+struct WordOutcome {
+    error_count: usize,
+    sec_indirect: usize,
+    dec_indirect: usize,
+    sec_after: usize,
+    dec_after: usize,
+    harpu_coverage: f64,
+    naive_coverage: f64,
+}
+
+fn sample_positions(codeword_len: usize, count: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
+    let mut positions: Vec<usize> = (0..codeword_len).collect();
+    positions.shuffle(rng);
+    positions.truncate(count);
+    positions.sort_unstable();
+    positions
+}
+
+/// Runs a HARP-U-style (bypass) and a Naive-style (post-correction only)
+/// active-profiling campaign against a DEC-protected chip word, returning the
+/// direct-error coverage each achieves after `rounds` rounds with a charged
+/// data pattern and per-bit failure probability 0.5.
+fn profile_dec_chip(
+    code: &BchCode,
+    at_risk: &[usize],
+    rounds: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let direct_truth: BTreeSet<usize> = at_risk
+        .iter()
+        .copied()
+        .filter(|&p| p < code.data_len())
+        .collect();
+    if direct_truth.is_empty() {
+        return (1.0, 1.0);
+    }
+    let mut chip = BchMemoryChip::new(code.clone(), 1);
+    chip.set_fault_model(0, FaultModel::uniform(at_risk, 0.5));
+    chip.write(0, &BitVec::ones(code.data_len()));
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDEC);
+    let mut harpu = BTreeSet::new();
+    let mut naive = BTreeSet::new();
+    for _ in 0..rounds {
+        let observation = chip.read(0, &mut rng);
+        harpu.extend(observation.direct_errors());
+        naive.extend(observation.post_correction_errors());
+    }
+    let coverage = |identified: &BTreeSet<usize>| {
+        identified.intersection(&direct_truth).count() as f64 / direct_truth.len() as f64
+    };
+    (coverage(&harpu), coverage(&naive))
+}
+
+impl Ext1BchResult {
+    /// Renders both tables as plain text.
+    pub fn render(&self) -> String {
+        let mut amplification = TextTable::new([
+            "at-risk bits n",
+            "SEC uncorrectable patterns",
+            "DEC uncorrectable patterns",
+            "SEC worst post-corr at-risk",
+            "DEC worst post-corr bound",
+        ]);
+        for row in &self.amplification {
+            amplification.push_row([
+                row.at_risk_bits.to_string(),
+                row.sec_uncorrectable.to_string(),
+                row.dec_uncorrectable.to_string(),
+                row.sec_worst_post_correction.to_string(),
+                row.dec_worst_post_correction.to_string(),
+            ]);
+        }
+
+        let mut cells = TextTable::new([
+            "pre-corr errors",
+            "words",
+            "SEC mean indirect at-risk",
+            "DEC mean indirect at-risk",
+            "SEC max errors after direct repair",
+            "DEC max errors after direct repair",
+            "DEC HARP-U direct coverage",
+            "DEC Naive direct coverage",
+        ]);
+        for cell in &self.cells {
+            cells.push_row([
+                cell.error_count.to_string(),
+                cell.words.to_string(),
+                fixed(cell.sec_mean_indirect, 2),
+                fixed(cell.dec_mean_indirect, 2),
+                cell.sec_max_after_direct_repair.to_string(),
+                cell.dec_max_after_direct_repair.to_string(),
+                fixed(cell.dec_harpu_coverage, 3),
+                fixed(cell.dec_naive_coverage, 3),
+            ]);
+        }
+
+        format!(
+            "Extension 1: DEC BCH on-die ECC (paper future work, §2.5 fn. 9)\n\n\
+             Amplification (Table 2 extended to t = 2):\n{}\n\
+             Secondary-ECC requirement after full direct-error coverage:\n{}",
+            amplification.render(),
+            cells.render()
+        )
+    }
+
+    /// The largest number of simultaneous post-correction errors any DEC
+    /// word can still exhibit once its direct-error bits are repaired.
+    pub fn dec_secondary_requirement(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|c| c.dec_max_after_direct_repair)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config() -> EvaluationConfig {
+        EvaluationConfig {
+            num_codes: 2,
+            words_per_code: 3,
+            error_counts: vec![2, 4],
+            probabilities: vec![0.5],
+            ..EvaluationConfig::quick()
+        }
+    }
+
+    #[test]
+    fn secondary_requirement_is_bounded_by_correction_capabilities() {
+        let result = run(&smoke_config());
+        for cell in &result.cells {
+            assert!(cell.sec_max_after_direct_repair <= 1, "SEC bound violated");
+            assert!(cell.dec_max_after_direct_repair <= 2, "DEC bound violated");
+        }
+        assert!(result.dec_secondary_requirement() <= 2);
+    }
+
+    #[test]
+    fn dec_has_fewer_uncorrectable_patterns() {
+        let result = run(&smoke_config());
+        for row in &result.amplification {
+            assert!(row.dec_uncorrectable <= row.sec_uncorrectable);
+        }
+        assert_eq!(result.amplification.len(), 8);
+    }
+
+    #[test]
+    fn render_mentions_both_codes() {
+        let rendered = run(&smoke_config()).render();
+        assert!(rendered.contains("DEC"));
+        assert!(rendered.contains("SEC"));
+        assert!(rendered.contains("Extension 1"));
+    }
+
+    #[test]
+    fn bypass_profiling_dominates_post_correction_observation_under_dec_ecc() {
+        // The paper's challenges 1 and 2 get *worse* with stronger on-die
+        // ECC: more error combinations are silently corrected, so a profiler
+        // limited to post-correction observation sees less, while the bypass
+        // path is unaffected.
+        let result = run(&smoke_config());
+        for cell in &result.cells {
+            assert!(cell.dec_harpu_coverage >= cell.dec_naive_coverage - 1e-12);
+            assert!(cell.dec_harpu_coverage > 0.9, "bypass coverage {}", cell.dec_harpu_coverage);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Extension 2: reverse-engineering the on-die ECC (BEER) as the input to
+//! BEEP and HARP-A.
+//!
+//! The paper's H-aware profilers (BEEP and HARP-A) assume the on-die ECC
+//! parity-check matrix is available, "potentially provided through
+//! manufacturer support, datasheet information, or previously-proposed
+//! reverse engineering techniques" (§1, footnote 4). This experiment closes
+//! that loop: it runs the BEER-style pair-charged test campaign from
+//! [`harp_beer`] against black-box chips with secret codes and measures
+//!
+//! * whether the recovered miscorrection profile matches the ground truth
+//!   computed from the secret parity-check matrix;
+//! * how much of HARP-A's indirect-error prediction the recovered profile
+//!   already provides, relative to full knowledge of `H`;
+//! * for small codes, whether a concrete *equivalent* code can be
+//!   reconstructed from the profile.
+
+use serde::{Deserialize, Serialize};
+
+use harp_beer::{reconstruct_equivalent_code, BeerCampaign, MiscorrectionProfile};
+use harp_ecc::analysis::{predict_indirect_from_direct, FailureDependence};
+use harp_ecc::HammingCode;
+
+use crate::config::EvaluationConfig;
+use crate::report::{fixed, TextTable};
+use crate::runner::parallel_map;
+
+/// The per-code outcome of the reverse-engineering campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext2CodeOutcome {
+    /// Seed of the secret code.
+    pub code_seed: u64,
+    /// Dataword length of the secret code.
+    pub data_bits: usize,
+    /// Number of pair-charged test patterns programmed.
+    pub patterns_tested: usize,
+    /// Fraction of pairs that provoke a data-visible miscorrection.
+    pub miscorrecting_fraction: f64,
+    /// Whether the recovered profile matches the ground truth from `H`.
+    pub profile_matches: bool,
+    /// Fraction of the full (H-aware) HARP-A indirect-error prediction that
+    /// the pairwise profile alone recovers, averaged over sampled
+    /// direct-error sets.
+    pub prediction_coverage: f64,
+    /// Whether an equivalent code was reconstructed from the profile
+    /// (attempted only for datawords of at most 16 bits).
+    pub reconstructed_equivalent: Option<bool>,
+}
+
+/// The full extension-2 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext2BeerResult {
+    /// Outcomes for the (71, 64)-class secret codes.
+    pub large_codes: Vec<Ext2CodeOutcome>,
+    /// Outcomes for the small (16-bit dataword) codes used to exercise full
+    /// code reconstruction.
+    pub small_codes: Vec<Ext2CodeOutcome>,
+}
+
+fn evaluate_code(data_bits: usize, code_seed: u64, reconstruct: bool) -> Ext2CodeOutcome {
+    let secret = HammingCode::random(data_bits, code_seed).expect("secret code");
+    let campaign = BeerCampaign::new(data_bits);
+    let profile = campaign.extract_profile(&secret);
+    let truth = MiscorrectionProfile::from_code(&secret);
+
+    // How much of the full HARP-A prediction the pairwise profile recovers,
+    // over a handful of representative direct-error sets.
+    let mut ratios = Vec::new();
+    for offset in 0..4usize {
+        let direct: Vec<usize> = (0..4).map(|i| (offset * 7 + i * 3) % data_bits).collect();
+        let full = predict_indirect_from_direct(&secret, &direct, FailureDependence::TrueCell);
+        if full.is_empty() {
+            continue;
+        }
+        let pairwise = profile.predict_indirect_from_direct(&direct);
+        ratios.push(pairwise.intersection(&full).count() as f64 / full.len() as f64);
+    }
+    let prediction_coverage = if ratios.is_empty() {
+        1.0
+    } else {
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    };
+
+    let reconstructed_equivalent = if reconstruct {
+        Some(
+            reconstruct_equivalent_code(&profile, secret.parity_len(), code_seed, 200_000)
+                .map(|code| profile.is_consistent_with(&code))
+                .unwrap_or(false),
+        )
+    } else {
+        None
+    };
+
+    Ext2CodeOutcome {
+        code_seed,
+        data_bits,
+        patterns_tested: campaign.pattern_count(),
+        miscorrecting_fraction: profile.miscorrecting_pair_count() as f64
+            / campaign.pattern_count() as f64,
+        profile_matches: profile == truth,
+        prediction_coverage,
+        reconstructed_equivalent,
+    }
+}
+
+/// Runs the extension experiment.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run(config: &EvaluationConfig) -> Ext2BeerResult {
+    config.validate();
+    let large_seeds: Vec<u64> = (0..config.num_codes as u64)
+        .map(|i| config.base_seed ^ (0xBEE0 + i))
+        .collect();
+    let small_seeds: Vec<u64> = (0..config.num_codes.min(2) as u64)
+        .map(|i| config.base_seed ^ (0x5A00 + i))
+        .collect();
+
+    let large_codes = parallel_map(&large_seeds, config.threads, |&seed| {
+        evaluate_code(config.data_bits, seed, false)
+    });
+    let small_codes = parallel_map(&small_seeds, config.threads, |&seed| {
+        evaluate_code(16, seed, true)
+    });
+
+    Ext2BeerResult {
+        large_codes,
+        small_codes,
+    }
+}
+
+impl Ext2BeerResult {
+    /// Renders the result as a plain-text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new([
+            "dataword",
+            "code seed",
+            "patterns",
+            "miscorrecting pairs",
+            "profile matches H",
+            "HARP-A prediction coverage",
+            "equivalent code rebuilt",
+        ]);
+        for outcome in self.large_codes.iter().chain(&self.small_codes) {
+            table.push_row([
+                outcome.data_bits.to_string(),
+                format!("{:#x}", outcome.code_seed),
+                outcome.patterns_tested.to_string(),
+                fixed(outcome.miscorrecting_fraction, 3),
+                outcome.profile_matches.to_string(),
+                fixed(outcome.prediction_coverage, 3),
+                outcome
+                    .reconstructed_equivalent
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "-".to_owned()),
+            ]);
+        }
+        format!(
+            "Extension 2: BEER-style reverse engineering of the on-die ECC\n{}",
+            table.render()
+        )
+    }
+
+    /// Returns `true` if every campaign recovered the exact ground-truth
+    /// profile.
+    pub fn all_profiles_match(&self) -> bool {
+        self.large_codes
+            .iter()
+            .chain(&self.small_codes)
+            .all(|o| o.profile_matches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config() -> EvaluationConfig {
+        EvaluationConfig {
+            num_codes: 2,
+            data_bits: 32,
+            ..EvaluationConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn every_recovered_profile_matches_the_secret_code() {
+        let result = run(&smoke_config());
+        assert!(result.all_profiles_match());
+        assert_eq!(result.large_codes.len(), 2);
+        assert!(!result.small_codes.is_empty());
+    }
+
+    #[test]
+    fn small_codes_reconstruct_equivalents() {
+        let result = run(&smoke_config());
+        for outcome in &result.small_codes {
+            assert_eq!(outcome.reconstructed_equivalent, Some(true));
+        }
+    }
+
+    #[test]
+    fn prediction_coverage_is_a_fraction() {
+        let result = run(&smoke_config());
+        for outcome in result.large_codes.iter().chain(&result.small_codes) {
+            assert!((0.0..=1.0).contains(&outcome.prediction_coverage));
+            assert!((0.0..=1.0).contains(&outcome.miscorrecting_fraction));
+        }
+        assert!(result.render().contains("Extension 2"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Extension 3: secondary-ECC word layout across a multi-chip rank (§6.3).
+//!
+//! The paper evaluates a single chip per access and notes that real systems
+//! must decide how secondary ECC words line up with on-die ECC words when a
+//! cache line is spread across several chips and beats. This experiment
+//! quantifies that trade-off using [`harp_module`]:
+//!
+//! * analytically, the correction capability and parity overhead each layout
+//!   requires for a set of representative rank geometries, assuming HARP's
+//!   active phase has bounded every on-die word to one concurrent indirect
+//!   error;
+//! * empirically, the worst number of simultaneous post-correction errors a
+//!   secondary ECC word actually sees when a configurable number of chips
+//!   hold uncorrectable fault patterns at once — confirming the analytic
+//!   bound is tight for the interleaved layout and loose only when fewer
+//!   chips are faulty.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use harp_ecc::analysis::FailureDependence;
+use harp_ecc::HammingCode;
+use harp_gf2::BitVec;
+use harp_memsim::{AtRiskBit, FaultModel};
+use harp_module::{MemoryModule, ModuleGeometry, SecondaryLayout};
+
+use crate::config::EvaluationConfig;
+use crate::report::TextTable;
+use crate::runner::parallel_map;
+
+/// One analytic row: a (geometry, layout) combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext3LayoutRow {
+    /// Human-readable geometry description.
+    pub geometry: String,
+    /// Layout analysed.
+    pub layout: SecondaryLayout,
+    /// Secondary ECC words per access.
+    pub secondary_words: usize,
+    /// Correction capability each secondary word needs (on-die t = 1).
+    pub required_capability: usize,
+    /// First-order parity overhead in bits per cache line.
+    pub parity_overhead_bits: usize,
+}
+
+/// One empirical row: worst errors per secondary word seen in simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext3StressRow {
+    /// Number of chips holding an uncorrectable fault pattern.
+    pub faulty_chips: usize,
+    /// Trials simulated.
+    pub trials: usize,
+    /// Worst observed errors inside one secondary word, per layout (in
+    /// [`SecondaryLayout::ALL`] order).
+    pub worst_per_layout: Vec<usize>,
+}
+
+/// The full extension-3 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext3ModuleResult {
+    /// Analytic capability/overhead table.
+    pub layouts: Vec<Ext3LayoutRow>,
+    /// Stress-test rows for the DDR4-style rank.
+    pub stress: Vec<Ext3StressRow>,
+}
+
+/// Runs the extension experiment.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run(config: &EvaluationConfig) -> Ext3ModuleResult {
+    config.validate();
+    let geometries = [
+        ModuleGeometry::single_chip_64(),
+        ModuleGeometry::lpddr4_x16(),
+        ModuleGeometry::ddr5_style_subchannel(),
+        ModuleGeometry::ddr4_style_rank(),
+    ];
+    let mut layouts = Vec::new();
+    for geometry in geometries {
+        for layout in SecondaryLayout::ALL {
+            layouts.push(Ext3LayoutRow {
+                geometry: geometry.to_string(),
+                layout,
+                secondary_words: layout.words_per_access(&geometry),
+                required_capability: layout.required_capability(&geometry, 1),
+                parity_overhead_bits: layout.parity_overhead_bits(&geometry, 1),
+            });
+        }
+    }
+
+    let geometry = ModuleGeometry::ddr4_style_rank();
+    let trials = (config.words_total()).max(8);
+    let faulty_counts = [1usize, 2, 4, 8];
+    let stress = parallel_map(&faulty_counts, config.threads, |&faulty_chips| {
+        let mut worst = vec![0usize; SecondaryLayout::ALL.len()];
+        for trial in 0..trials {
+            let seed = config.seed_for(trial, faulty_chips, 0x30D);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut module =
+                MemoryModule::homogeneous(geometry, 1, seed ^ 0xC0DE).expect("module codes");
+            for chip in 0..faulty_chips {
+                // Two raw errors confined to the parity bits of each faulty
+                // chip's word, chosen to provoke a data-bit miscorrection:
+                // the scenario after HARP's active phase, where every
+                // remaining post-correction error is an indirect error (at
+                // most one per on-die ECC word).
+                let pair = miscorrecting_parity_pair(module.chips()[chip].code());
+                let at_risk = pair.iter().map(|&p| AtRiskBit::new(p, 1.0)).collect();
+                module.set_fault_model(
+                    chip,
+                    0,
+                    0,
+                    FaultModel::new(at_risk, FailureDependence::DataIndependent),
+                );
+            }
+            let line = BitVec::ones(geometry.line_bits());
+            module.write(0, &line);
+            let outcome = module.read(0, &mut rng);
+            for (index, layout) in SecondaryLayout::ALL.iter().enumerate() {
+                worst[index] = worst[index]
+                    .max(outcome.max_errors_in_secondary_word(&geometry, *layout));
+            }
+        }
+        Ext3StressRow {
+            faulty_chips,
+            trials,
+            worst_per_layout: worst,
+        }
+    });
+
+    Ext3ModuleResult { layouts, stress }
+}
+
+/// Finds two parity positions of `code` whose simultaneous failure provokes a
+/// miscorrection of a data bit (falling back to the first two parity
+/// positions if no such pair exists for this code).
+fn miscorrecting_parity_pair(code: &HammingCode) -> [usize; 2] {
+    let k = code.data_len();
+    for a in k..code.codeword_len() {
+        for b in (a + 1)..code.codeword_len() {
+            let syndrome = code.column(a) ^ code.column(b);
+            if code.position_for_syndrome(&syndrome).is_some_and(|m| m < k) {
+                return [a, b];
+            }
+        }
+    }
+    [k, k + 1]
+}
+
+impl Ext3ModuleResult {
+    /// Renders the result as plain-text tables.
+    pub fn render(&self) -> String {
+        let mut analytic = TextTable::new([
+            "geometry",
+            "layout",
+            "secondary words/access",
+            "required capability",
+            "parity overhead (bits/line)",
+        ]);
+        for row in &self.layouts {
+            analytic.push_row([
+                row.geometry.clone(),
+                row.layout.to_string(),
+                row.secondary_words.to_string(),
+                row.required_capability.to_string(),
+                row.parity_overhead_bits.to_string(),
+            ]);
+        }
+
+        let mut header = vec!["faulty chips".to_owned(), "trials".to_owned()];
+        header.extend(SecondaryLayout::ALL.iter().map(|l| format!("worst in {l} word")));
+        let mut stress = TextTable::new(header);
+        for row in &self.stress {
+            let mut cells = vec![row.faulty_chips.to_string(), row.trials.to_string()];
+            cells.extend(row.worst_per_layout.iter().map(usize::to_string));
+            stress.push_row(cells);
+        }
+
+        format!(
+            "Extension 3: secondary-ECC layout across a multi-chip rank (§6.3)\n\n\
+             Required secondary-ECC strength per layout (on-die ECC t = 1):\n{}\n\
+             Worst simultaneous errors per secondary word, DDR4-style rank stress test:\n{}",
+            analytic.render(),
+            stress.render()
+        )
+    }
+
+    /// The analytic capability requirement for a layout on the DDR4-style
+    /// rank (used by tests and the headline summary).
+    pub fn ddr4_capability(&self, layout: SecondaryLayout) -> Option<usize> {
+        self.layouts
+            .iter()
+            .find(|row| row.layout == layout && row.geometry.starts_with("8 chip"))
+            .map(|row| row.required_capability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_capabilities_match_the_layout_structure() {
+        let result = run(&EvaluationConfig::smoke());
+        assert_eq!(result.ddr4_capability(SecondaryLayout::PerOnDieWord), Some(1));
+        assert_eq!(result.ddr4_capability(SecondaryLayout::PerCacheLine), Some(8));
+        assert_eq!(result.layouts.len(), 4 * SecondaryLayout::ALL.len());
+    }
+
+    #[test]
+    fn observed_errors_never_exceed_the_analytic_bound() {
+        // The stress test injects indirect errors only (raw errors confined
+        // to parity bits), so the analytic per-layout capability is a hard
+        // bound on what any secondary word observes.
+        let result = run(&EvaluationConfig::smoke());
+        for row in &result.stress {
+            for (index, layout) in SecondaryLayout::ALL.iter().enumerate() {
+                let bound = result.ddr4_capability(*layout).unwrap();
+                assert!(
+                    row.worst_per_layout[index] <= bound,
+                    "{layout}: observed {} exceeds bound {bound}",
+                    row.worst_per_layout[index]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_faulty_chips_stress_the_interleaved_layout_harder() {
+        let result = run(&EvaluationConfig::smoke());
+        let interleaved_index = SecondaryLayout::ALL
+            .iter()
+            .position(|l| *l == SecondaryLayout::PerCacheLine)
+            .unwrap();
+        let single = &result.stress[0];
+        let all = result.stress.last().unwrap();
+        assert!(all.worst_per_layout[interleaved_index] >= single.worst_per_layout[interleaved_index]);
+        assert!(result.render().contains("Extension 3"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Extension 4: repair-capacity planning for the mechanisms of Table 1.
+//!
+//! The paper's case study assumes an *ideal* repair mechanism with unlimited
+//! spare capacity so that profiler coverage is the only variable. Real
+//! mechanisms (Table 1) have finite capacity at a fixed granularity. Given a
+//! profile produced by a full-coverage profiler such as HARP, this
+//! experiment asks how much repair capacity each mechanism actually needs at
+//! a given raw bit error rate, and how many at-risk bits are left exposed
+//! when the capacity is fixed at realistic values:
+//!
+//! * ECP-style per-word pointer entries (2 and 6 entries per 64-bit word);
+//! * an ArchShield-style spare region sized at 1% of all words;
+//! * ideal bit-granularity repair as the reference point.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use harp_controller::{ArchShieldRepair, BitRepairMechanism, EcpRepair, ErrorProfile};
+
+use crate::config::EvaluationConfig;
+use crate::report::{fixed, scientific, TextTable};
+
+/// The raw bit error rates swept by default.
+pub const DEFAULT_RBERS: [f64; 3] = [1e-4, 1e-3, 1e-2];
+
+/// Capacity outcome of one mechanism at one RBER.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext4MechanismRow {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Raw bit error rate of the profiled population.
+    pub rber: f64,
+    /// Number of profiled at-risk bits across the population.
+    pub profiled_bits: usize,
+    /// Spare/metadata overhead the mechanism allocates, in bits.
+    pub overhead_bits: usize,
+    /// At-risk bits (ECP / bit repair) or words (ArchShield) left uncovered.
+    pub uncovered: usize,
+    /// Uncovered entities as a fraction of profiled bits (or faulty words).
+    pub uncovered_fraction: f64,
+}
+
+/// The full extension-4 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext4RepairResult {
+    /// Number of 64-bit words in the simulated population.
+    pub words: usize,
+    /// One row per (mechanism, RBER) pair.
+    pub rows: Vec<Ext4MechanismRow>,
+}
+
+/// Runs the extension experiment over the default RBER sweep.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run(config: &EvaluationConfig) -> Ext4RepairResult {
+    run_with_rbers(config, &DEFAULT_RBERS)
+}
+
+/// Runs the extension experiment for explicit raw bit error rates.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or any RBER is outside `[0, 1]`.
+pub fn run_with_rbers(config: &EvaluationConfig, rbers: &[f64]) -> Ext4RepairResult {
+    config.validate();
+    for &rber in rbers {
+        assert!((0.0..=1.0).contains(&rber), "RBER {rber} outside [0, 1]");
+    }
+    // A population large enough for the smallest default RBER to produce
+    // at-risk bits at quick scale.
+    let words = (config.words_total() * 256).max(4096);
+    let word_bits = config.data_bits;
+
+    let mut rows = Vec::new();
+    for &rber in rbers {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.base_seed ^ (rber.to_bits()));
+        // The profile a full-coverage profiler (HARP) would hand to the
+        // repair mechanism: every at-risk data bit of every word.
+        let mut profile = ErrorProfile::new();
+        for word in 0..words {
+            for bit in 0..word_bits {
+                if rng.gen_bool(rber) {
+                    profile.mark(word, bit);
+                }
+            }
+        }
+        let profiled_bits = profile.total_bits();
+        let faulty_words = (0..words).filter(|&w| profile.count_for(w) > 0).count();
+
+        // Ideal bit-granularity repair: one spare bit per profiled bit.
+        let bit_repair = BitRepairMechanism::new(profile.clone());
+        rows.push(Ext4MechanismRow {
+            mechanism: "ideal bit repair".to_owned(),
+            rber,
+            profiled_bits,
+            overhead_bits: bit_repair.spare_bits_required(),
+            uncovered: 0,
+            uncovered_fraction: 0.0,
+        });
+
+        // ECP-style pointer entries per word.
+        for entries in [2usize, 6] {
+            let mut ecp = EcpRepair::new(word_bits, entries);
+            let uncovered = ecp.load_profile(&profile);
+            rows.push(Ext4MechanismRow {
+                mechanism: format!("ECP-{entries} (per {word_bits}-bit word)"),
+                rber,
+                profiled_bits,
+                overhead_bits: ecp.overhead_bits(),
+                uncovered,
+                uncovered_fraction: if profiled_bits == 0 {
+                    0.0
+                } else {
+                    uncovered as f64 / profiled_bits as f64
+                },
+            });
+        }
+
+        // ArchShield-style spare region: 1% of all words.
+        let spare_words = (words / 100).max(1);
+        let mut arch = ArchShieldRepair::new(spare_words);
+        let unprotected = arch.load_profile(&profile);
+        rows.push(Ext4MechanismRow {
+            mechanism: format!("ArchShield ({spare_words} spare words)"),
+            rber,
+            profiled_bits,
+            overhead_bits: spare_words * word_bits,
+            uncovered: unprotected,
+            uncovered_fraction: if faulty_words == 0 {
+                0.0
+            } else {
+                unprotected as f64 / faulty_words as f64
+            },
+        });
+    }
+
+    Ext4RepairResult { words, rows }
+}
+
+impl Ext4RepairResult {
+    /// Renders the result as a plain-text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new([
+            "mechanism",
+            "RBER",
+            "profiled at-risk bits",
+            "overhead (bits)",
+            "uncovered",
+            "uncovered fraction",
+        ]);
+        for row in &self.rows {
+            table.push_row([
+                row.mechanism.clone(),
+                scientific(row.rber),
+                row.profiled_bits.to_string(),
+                row.overhead_bits.to_string(),
+                row.uncovered.to_string(),
+                fixed(row.uncovered_fraction, 4),
+            ]);
+        }
+        format!(
+            "Extension 4: repair-capacity planning over {} words (Table 1 made executable)\n{}",
+            self.words,
+            table.render()
+        )
+    }
+
+    /// Rows for one mechanism label prefix.
+    pub fn rows_for(&self, prefix: &str) -> Vec<&Ext4MechanismRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.mechanism.starts_with(prefix))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config() -> EvaluationConfig {
+        EvaluationConfig::smoke()
+    }
+
+    #[test]
+    fn ideal_bit_repair_covers_everything() {
+        let result = run_with_rbers(&smoke_config(), &[1e-3, 1e-2]);
+        for row in result.rows_for("ideal bit repair") {
+            assert_eq!(row.uncovered, 0);
+            assert_eq!(row.overhead_bits, row.profiled_bits);
+        }
+    }
+
+    #[test]
+    fn ecp6_covers_at_least_as_much_as_ecp2() {
+        let result = run_with_rbers(&smoke_config(), &[1e-2]);
+        let ecp2 = result.rows_for("ECP-2")[0];
+        let ecp6 = result.rows_for("ECP-6")[0];
+        assert!(ecp6.uncovered <= ecp2.uncovered);
+        assert_eq!(ecp2.rber, 1e-2);
+    }
+
+    #[test]
+    fn higher_rber_profiles_more_bits() {
+        let result = run_with_rbers(&smoke_config(), &[1e-4, 1e-2]);
+        let low = result.rows_for("ideal bit repair")[0].profiled_bits;
+        let high = result.rows_for("ideal bit repair")[1].profiled_bits;
+        assert!(high > low);
+        assert!(result.render().contains("Extension 4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_rber_is_rejected() {
+        run_with_rbers(&smoke_config(), &[2.0]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Extension 5: low-probability (variable-retention-time) errors and
+//! reactive scrubbing.
+//!
+//! §2.4 of the paper excludes low-probability errors such as VRT from the
+//! active-profiling error model and argues they are "left to reactive
+//! profiling for detection and/or mitigation". This experiment exercises that
+//! claim end to end: ECC words carry both always-at-risk bits (identified and
+//! repaired by HARP's active phase) and VRT cells that toggle between leaky
+//! and retentive states during runtime. A secondary-ECC scrubber then runs
+//! for a configurable number of scrub intervals, and the experiment reports
+//!
+//! * how quickly reactive profiling identifies the VRT bits as a function of
+//!   their toggle probability;
+//! * how often two still-unidentified VRT bits fail in the same interval,
+//!   exceeding a single-error-correcting secondary ECC — the residual risk
+//!   §6.3.2's "increase the secondary ECC strength" discussion addresses.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use harp_ecc::{HammingCode, SecondaryEcc};
+use harp_gf2::BitVec;
+use harp_memsim::retention::{VrtCell, VrtFaultProcess};
+use harp_memsim::FaultModel;
+use harp_profiler::ReactiveProfiler;
+
+use crate::config::EvaluationConfig;
+use crate::report::{fixed, TextTable};
+use crate::runner::parallel_map;
+use crate::stats::mean;
+
+/// The VRT toggle probabilities swept by default.
+pub const DEFAULT_TOGGLE_PROBABILITIES: [f64; 3] = [0.01, 0.05, 0.2];
+
+/// Scrub-interval checkpoints at which coverage is reported.
+pub const CHECKPOINTS: [usize; 4] = [8, 32, 64, 128];
+
+/// One cell: a toggle probability evaluated over the word population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext5Cell {
+    /// Per-access probability of a VRT cell toggling state.
+    pub toggle_probability: f64,
+    /// Words simulated.
+    pub words: usize,
+    /// VRT cells per word.
+    pub vrt_cells_per_word: usize,
+    /// Mean fraction of VRT bits identified by reactive profiling at each
+    /// checkpoint of [`CHECKPOINTS`].
+    pub coverage_at_checkpoints: Vec<f64>,
+    /// Mean number of scrub observations whose error count exceeded the
+    /// SEC secondary ECC (per word, across all intervals).
+    pub mean_unsafe_events: f64,
+}
+
+/// The full extension-5 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext5VrtResult {
+    /// Scrub intervals simulated per word.
+    pub scrub_intervals: usize,
+    /// One cell per toggle probability.
+    pub cells: Vec<Ext5Cell>,
+}
+
+/// Runs the extension experiment with the default toggle-probability sweep.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run(config: &EvaluationConfig) -> Ext5VrtResult {
+    run_with_toggle_probabilities(config, &DEFAULT_TOGGLE_PROBABILITIES)
+}
+
+/// Runs the extension experiment for explicit toggle probabilities.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or any probability is outside
+/// `[0, 1]`.
+pub fn run_with_toggle_probabilities(
+    config: &EvaluationConfig,
+    toggle_probabilities: &[f64],
+) -> Ext5VrtResult {
+    config.validate();
+    let scrub_intervals = config.rounds;
+    let vrt_cells_per_word = 2usize;
+
+    let cells = toggle_probabilities
+        .iter()
+        .map(|&toggle| {
+            assert!(
+                (0.0..=1.0).contains(&toggle),
+                "toggle probability {toggle} outside [0, 1]"
+            );
+            let word_indices: Vec<usize> = (0..config.words_total()).collect();
+            let per_word = parallel_map(&word_indices, config.threads, |&word| {
+                simulate_word(config, word, toggle, vrt_cells_per_word, scrub_intervals)
+            });
+
+            let coverage_at_checkpoints = CHECKPOINTS
+                .iter()
+                .map(|&checkpoint| {
+                    mean(
+                        &per_word
+                            .iter()
+                            .map(|w| w.coverage_at(checkpoint.min(scrub_intervals)))
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            Ext5Cell {
+                toggle_probability: toggle,
+                words: per_word.len(),
+                vrt_cells_per_word,
+                coverage_at_checkpoints,
+                mean_unsafe_events: mean(
+                    &per_word.iter().map(|w| w.unsafe_events as f64).collect::<Vec<_>>(),
+                ),
+            }
+        })
+        .collect();
+
+    Ext5VrtResult {
+        scrub_intervals,
+        cells,
+    }
+}
+
+struct WordOutcome {
+    /// For each VRT bit, the 1-based scrub interval at which it was
+    /// identified (`None` if never).
+    identified_at: Vec<Option<usize>>,
+    unsafe_events: usize,
+}
+
+impl WordOutcome {
+    fn coverage_at(&self, interval: usize) -> f64 {
+        if self.identified_at.is_empty() {
+            return 1.0;
+        }
+        let hit = self
+            .identified_at
+            .iter()
+            .filter(|r| r.is_some_and(|at| at <= interval))
+            .count();
+        hit as f64 / self.identified_at.len() as f64
+    }
+}
+
+fn simulate_word(
+    config: &EvaluationConfig,
+    word: usize,
+    toggle: f64,
+    vrt_cells_per_word: usize,
+    scrub_intervals: usize,
+) -> WordOutcome {
+    let seed = config.seed_for(word, 0, (toggle * 1e6) as u64);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let code = HammingCode::random(config.data_bits, seed ^ 0x7123).expect("code");
+
+    // Distinct data positions: two always-at-risk bits (covered by active
+    // profiling) and the VRT cells reactive profiling must find.
+    let mut positions: Vec<usize> = (0..config.data_bits).collect();
+    positions.shuffle(&mut rng);
+    let static_bits = [positions[0], positions[1]];
+    let vrt_positions: Vec<usize> = positions[2..2 + vrt_cells_per_word].to_vec();
+
+    let static_model = FaultModel::uniform(&static_bits, 0.5);
+    let vrt_cells: Vec<VrtCell> = vrt_positions
+        .iter()
+        .map(|&p| VrtCell::new(p, 0.5, toggle))
+        .collect();
+    let mut process = VrtFaultProcess::new(static_model, vrt_cells);
+
+    // HARP's active phase has already identified (and repair covers) the
+    // static bits; the reactive profiler starts from that profile.
+    let repaired: std::collections::BTreeSet<usize> = static_bits.iter().copied().collect();
+    let mut reactive = ReactiveProfiler::new(SecondaryEcc::ideal_sec());
+
+    let written = BitVec::ones(config.data_bits);
+    let stored = code.encode(&written);
+    let mut identified_at: Vec<Option<usize>> = vec![None; vrt_positions.len()];
+
+    for interval in 1..=scrub_intervals {
+        let raw_errors = process.sample_errors(&stored, &mut rng);
+        let result = code.decode(&(&stored ^ &raw_errors));
+        // The repair mechanism restores every profiled bit.
+        let mut post_repair = result.dataword.clone();
+        for &bit in repaired.iter().chain(reactive.identified().iter()) {
+            post_repair.set(bit, written.get(bit));
+        }
+        let newly = reactive.observe(&written, &post_repair);
+        for position in newly {
+            if let Some(index) = vrt_positions.iter().position(|&p| p == position) {
+                identified_at[index].get_or_insert(interval);
+            }
+        }
+    }
+
+    WordOutcome {
+        identified_at,
+        unsafe_events: reactive.unsafe_events(),
+    }
+}
+
+impl Ext5VrtResult {
+    /// Renders the result as a plain-text table.
+    pub fn render(&self) -> String {
+        let mut header = vec![
+            "toggle probability".to_owned(),
+            "words".to_owned(),
+            "VRT cells/word".to_owned(),
+        ];
+        header.extend(CHECKPOINTS.iter().map(|c| format!("coverage@{c}")));
+        header.push("mean unsafe events".to_owned());
+        let mut table = TextTable::new(header);
+        for cell in &self.cells {
+            let mut row = vec![
+                fixed(cell.toggle_probability, 3),
+                cell.words.to_string(),
+                cell.vrt_cells_per_word.to_string(),
+            ];
+            row.extend(cell.coverage_at_checkpoints.iter().map(|c| fixed(*c, 3)));
+            row.push(fixed(cell.mean_unsafe_events, 3));
+            table.push_row(row);
+        }
+        format!(
+            "Extension 5: VRT (low-probability) errors under reactive scrubbing, {} scrub intervals\n{}",
+            self.scrub_intervals,
+            table.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config() -> EvaluationConfig {
+        EvaluationConfig {
+            num_codes: 2,
+            words_per_code: 6,
+            rounds: 64,
+            ..EvaluationConfig::quick()
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_scrub_intervals() {
+        let result = run_with_toggle_probabilities(&smoke_config(), &[0.1]);
+        let cell = &result.cells[0];
+        for window in cell.coverage_at_checkpoints.windows(2) {
+            assert!(window[1] >= window[0] - 1e-12);
+        }
+        assert!((0.0..=1.0).contains(cell.coverage_at_checkpoints.last().unwrap()));
+    }
+
+    #[test]
+    fn faster_toggling_cells_are_found_sooner() {
+        let result = run_with_toggle_probabilities(&smoke_config(), &[0.01, 0.3]);
+        let slow = result.cells[0].coverage_at_checkpoints.last().copied().unwrap();
+        let fast = result.cells[1].coverage_at_checkpoints.last().copied().unwrap();
+        assert!(fast >= slow, "fast {fast} < slow {slow}");
+    }
+
+    #[test]
+    fn render_reports_every_checkpoint() {
+        let result = run_with_toggle_probabilities(&smoke_config(), &[0.05]);
+        let rendered = result.render();
+        assert!(rendered.contains("Extension 5"));
+        for checkpoint in CHECKPOINTS {
+            assert!(rendered.contains(&format!("coverage@{checkpoint}")));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_toggle_probability_is_rejected() {
+        run_with_toggle_probabilities(&smoke_config(), &[1.5]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Fig. 2: expected wasted storage capacity vs. raw bit error rate for
+//! different repair granularities.
+//!
+//! This is the paper's motivation for bit-granularity repair: coarse repair
+//! granularities waste almost the entire chip capacity at the error rates
+//! HARP targets. The model is analytic (no Monte-Carlo required); see
+//! [`harp_controller::granularity`].
+
+use serde::{Deserialize, Serialize};
+
+use harp_controller::granularity::{default_rber_sweep, wasted_storage_series};
+
+use crate::report::{scientific, TextTable};
+
+/// The repair granularities plotted in the paper's Fig. 2 (in bits).
+pub const GRANULARITIES: [usize; 5] = [1024, 512, 64, 32, 1];
+
+/// The Fig. 2 data: one wasted-storage curve per repair granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Result {
+    /// `(granularity, [(rber, expected wasted fraction)])` series.
+    pub series: Vec<(usize, Vec<(f64, f64)>)>,
+}
+
+/// Computes the Fig. 2 curves over the default RBER sweep.
+pub fn run() -> Fig2Result {
+    run_with_rbers(&default_rber_sweep())
+}
+
+/// Computes the Fig. 2 curves over a custom RBER sweep.
+pub fn run_with_rbers(rbers: &[f64]) -> Fig2Result {
+    Fig2Result {
+        series: wasted_storage_series(rbers, &GRANULARITIES),
+    }
+}
+
+impl Fig2Result {
+    /// Renders the curves as a table with one row per RBER and one column per
+    /// granularity.
+    pub fn render(&self) -> String {
+        let mut header = vec!["RBER".to_owned()];
+        header.extend(self.series.iter().map(|(g, _)| format!("{g}-bit")));
+        let mut table = TextTable::new(header);
+        if let Some((_, first)) = self.series.first() {
+            for (i, (rber, _)) in first.iter().enumerate() {
+                let mut row = vec![scientific(*rber)];
+                for (_, points) in &self.series {
+                    row.push(format!("{:.4}", points[i].1));
+                }
+                table.push_row(row);
+            }
+        }
+        format!(
+            "Fig. 2: expected wasted storage (fraction of capacity) vs. RBER\n{}",
+            table.render()
+        )
+    }
+
+    /// The wasted-storage value for a given granularity at the RBER closest
+    /// to `rber`.
+    pub fn wasted_at(&self, granularity: usize, rber: f64) -> Option<f64> {
+        let (_, points) = self.series.iter().find(|(g, _)| *g == granularity)?;
+        points
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - rber)
+                    .abs()
+                    .partial_cmp(&(b.0 - rber).abs())
+                    .expect("finite rbers")
+            })
+            .map(|p| p.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_has_one_series_per_granularity() {
+        let result = run();
+        assert_eq!(result.series.len(), GRANULARITIES.len());
+        for (g, points) in &result.series {
+            assert!(GRANULARITIES.contains(g));
+            assert!(!points.is_empty());
+        }
+    }
+
+    #[test]
+    fn coarse_granularities_waste_more_at_moderate_rber() {
+        let result = run();
+        let fine = result.wasted_at(1, 1e-3).unwrap();
+        let medium = result.wasted_at(64, 1e-3).unwrap();
+        let coarse = result.wasted_at(1024, 1e-3).unwrap();
+        assert_eq!(fine, 0.0);
+        assert!(coarse > medium);
+        assert!(medium > fine);
+    }
+
+    #[test]
+    fn render_contains_all_granularities() {
+        let rendered = run().render();
+        for g in GRANULARITIES {
+            assert!(rendered.contains(&format!("{g}-bit")));
+        }
+        assert!(rendered.contains("Fig. 2"));
+    }
+
+    #[test]
+    fn custom_rber_sweep_is_respected() {
+        let result = run_with_rbers(&[1e-4, 1e-2]);
+        for (_, points) in &result.series {
+            assert_eq!(points.len(), 2);
+        }
+        assert!(result.wasted_at(9999, 1e-4).is_none());
+    }
+}

@@ -1,0 +1,227 @@
+//! The paper's headline claims, derived from the Fig. 9b and Fig. 10 data:
+//!
+//! * HARP achieves 99th-percentile coverage (the ≤1-simultaneous-error state)
+//!   in 20.6% / 36.4% / 52.9% / 62.1% of the rounds required by the best
+//!   baseline for 2 / 3 / 4 / 5 pre-correction errors at p = 0.5;
+//! * in the case study, HARP enables the repair mechanism to mitigate all
+//!   errors 3.7× faster than the best baseline at a raw per-bit error
+//!   probability of 0.75.
+//!
+//! Absolute ratios depend on the Monte-Carlo sample sizes, but the direction
+//! (HARP strictly faster, ratio < 1) must hold at any scale.
+
+use serde::{Deserialize, Serialize};
+
+use harp_profiler::ProfilerKind;
+
+use crate::config::EvaluationConfig;
+use crate::experiments::{fig10, fig9, sweep};
+use crate::report::{fixed, TextTable};
+
+/// Relative speed of HARP vs. the best baseline for one pre-correction error
+/// count (Fig. 9b-derived headline).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverageSpeedup {
+    /// Number of pre-correction errors per ECC word.
+    pub error_count: usize,
+    /// Rounds HARP needs to reach the ≤1-simultaneous-error state (99th
+    /// percentile word), if reached.
+    pub harp_rounds: Option<usize>,
+    /// Rounds the best baseline (Naive or BEEP) needs, if reached.
+    pub best_baseline_rounds: Option<usize>,
+    /// `harp_rounds / best_baseline_rounds` (the paper reports 20.6%–62.1%).
+    pub ratio: Option<f64>,
+}
+
+/// Relative speed of HARP vs. the best baseline to reach zero post-reactive
+/// BER in the case study (Fig. 10-derived headline).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaseStudySpeedup {
+    /// Per-bit pre-correction error probability.
+    pub probability: f64,
+    /// Rounds HARP needs to reach zero post-reactive BER.
+    pub harp_rounds: Option<usize>,
+    /// Rounds the best baseline needs.
+    pub best_baseline_rounds: Option<usize>,
+    /// `best_baseline_rounds / harp_rounds` (the paper reports 3.7×).
+    pub speedup: Option<f64>,
+}
+
+/// The headline-claims summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineResult {
+    /// Per-error-count coverage speedups at p = 0.5.
+    pub coverage: Vec<CoverageSpeedup>,
+    /// Case-study speedups per probability.
+    pub case_study: Vec<CaseStudySpeedup>,
+}
+
+/// Computes the headline summary (runs its own sweeps).
+pub fn run(config: &EvaluationConfig) -> HeadlineResult {
+    let sweep = sweep::run_coverage_sweep(config, &fig9::PROFILERS);
+    let fig9_result = fig9::from_sweep(&sweep);
+    let fig10_result = fig10::run(config);
+    summarize(config, &fig9_result, &fig10_result)
+}
+
+/// Derives the headline summary from existing Fig. 9 / Fig. 10 results.
+pub fn summarize(
+    config: &EvaluationConfig,
+    fig9_result: &fig9::Fig9Result,
+    fig10_result: &fig10::Fig10Result,
+) -> HeadlineResult {
+    let probability = 0.5;
+    let coverage = config
+        .error_counts
+        .iter()
+        .map(|&error_count| {
+            let harp = fig9_result.rounds_to_single_error_p99(
+                ProfilerKind::HarpU,
+                error_count,
+                probability,
+            );
+            let naive = fig9_result.rounds_to_single_error_p99(
+                ProfilerKind::Naive,
+                error_count,
+                probability,
+            );
+            let beep = fig9_result.rounds_to_single_error_p99(
+                ProfilerKind::Beep,
+                error_count,
+                probability,
+            );
+            let best_baseline = match (naive, beep) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
+                (None, None) => None,
+            };
+            let ratio = match (harp, best_baseline) {
+                (Some(h), Some(b)) if b > 0 => Some(h as f64 / b as f64),
+                _ => None,
+            };
+            CoverageSpeedup {
+                error_count,
+                harp_rounds: harp,
+                best_baseline_rounds: best_baseline,
+                ratio,
+            }
+        })
+        .collect();
+
+    // Case-study speedups: best RBER series available per probability.
+    let mut case_study = Vec::new();
+    for &probability in &config.probabilities {
+        let mut harp_rounds: Option<usize> = None;
+        let mut baseline_rounds: Option<usize> = None;
+        for s in &fig10_result.series {
+            if (s.probability - probability).abs() > 1e-9 {
+                continue;
+            }
+            let to_zero = s.rounds_to_zero_after();
+            match s.profiler {
+                ProfilerKind::HarpU | ProfilerKind::HarpA | ProfilerKind::HarpS => {
+                    harp_rounds = merge_min(harp_rounds, to_zero);
+                }
+                ProfilerKind::Naive | ProfilerKind::Beep => {
+                    baseline_rounds = merge_min(baseline_rounds, to_zero);
+                }
+                ProfilerKind::HarpABeep => {}
+            }
+        }
+        let speedup = match (harp_rounds, baseline_rounds) {
+            (Some(h), Some(b)) if h > 0 => Some(b as f64 / h as f64),
+            _ => None,
+        };
+        case_study.push(CaseStudySpeedup {
+            probability,
+            harp_rounds,
+            best_baseline_rounds: baseline_rounds,
+            speedup,
+        });
+    }
+
+    HeadlineResult {
+        coverage,
+        case_study,
+    }
+}
+
+fn merge_min(current: Option<usize>, candidate: Option<usize>) -> Option<usize> {
+    match (current, candidate) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (Some(a), None) => Some(a),
+        (None, b) => b,
+    }
+}
+
+impl HeadlineResult {
+    /// Renders the headline comparison.
+    pub fn render(&self) -> String {
+        let mut coverage_table = TextTable::new([
+            "pre-corr errors",
+            "HARP rounds",
+            "best baseline rounds",
+            "HARP / baseline",
+        ]);
+        for c in &self.coverage {
+            coverage_table.push_row([
+                c.error_count.to_string(),
+                c.harp_rounds.map_or("-".into(), |r| r.to_string()),
+                c.best_baseline_rounds.map_or("-".into(), |r| r.to_string()),
+                c.ratio.map_or("-".into(), |r| fixed(r, 3)),
+            ]);
+        }
+        let mut case_table = TextTable::new([
+            "per-bit p",
+            "HARP rounds to zero BER",
+            "baseline rounds to zero BER",
+            "speedup",
+        ]);
+        for c in &self.case_study {
+            case_table.push_row([
+                fixed(c.probability, 2),
+                c.harp_rounds.map_or("-".into(), |r| r.to_string()),
+                c.best_baseline_rounds.map_or("-".into(), |r| r.to_string()),
+                c.speedup.map_or("-".into(), |s| format!("{s:.1}x")),
+            ]);
+        }
+        format!(
+            "Headline: rounds to the <=1-simultaneous-error state (p = 0.5, 99th percentile)\n{}\nHeadline: case-study rounds to zero post-reactive BER\n{}",
+            coverage_table.render(),
+            case_table.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harp_is_never_slower_than_the_best_baseline() {
+        let config = EvaluationConfig {
+            num_codes: 2,
+            words_per_code: 4,
+            rounds: 64,
+            error_counts: vec![2, 4],
+            probabilities: vec![0.5, 0.75],
+            ..EvaluationConfig::quick()
+        };
+        let result = run(&config);
+        for c in &result.coverage {
+            if let Some(ratio) = c.ratio {
+                assert!(ratio <= 1.0 + 1e-9, "ratio {ratio} for n={}", c.error_count);
+            }
+            assert!(c.harp_rounds.is_some(), "HARP must reach the target");
+        }
+        for c in &result.case_study {
+            if let Some(speedup) = c.speedup {
+                assert!(speedup >= 1.0 - 1e-9, "speedup {speedup}");
+            }
+        }
+        let rendered = result.render();
+        assert!(rendered.contains("Headline"));
+        assert!(rendered.contains("speedup"));
+    }
+}

@@ -1,0 +1,194 @@
+//! The shared coverage sweep behind Figs. 6–9.
+//!
+//! The paper's active- and reactive-phase evaluations all derive from the
+//! same Monte-Carlo experiment: for every combination of (number of
+//! pre-correction errors per ECC word, per-bit error probability), simulate a
+//! population of ECC words and run each profiler for 128 rounds, scoring each
+//! round against the exact ground truth. [`run_coverage_sweep`] performs that
+//! experiment once; the per-figure modules aggregate different views of it.
+
+use serde::{Deserialize, Serialize};
+
+use harp_profiler::{CoverageSeries, ProfilerKind, ProfilingCampaign};
+
+use crate::config::EvaluationConfig;
+use crate::runner::parallel_map;
+use crate::sample::{sample_words, WordSample};
+
+/// The coverage series of one (word, profiler) pair within the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WordEvaluation {
+    /// Number of pre-correction errors injected into this word.
+    pub error_count: usize,
+    /// Per-bit pre-correction error probability.
+    pub probability: f64,
+    /// Which profiler produced this series.
+    pub profiler: ProfilerKind,
+    /// Per-round coverage metrics scored against the word's ground truth.
+    pub series: CoverageSeries,
+}
+
+/// The full sweep: one [`WordEvaluation`] per (configuration, word,
+/// profiler).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageSweep {
+    /// Number of profiling rounds each campaign ran.
+    pub rounds: usize,
+    /// Error counts swept.
+    pub error_counts: Vec<usize>,
+    /// Probabilities swept.
+    pub probabilities: Vec<f64>,
+    /// Profilers evaluated.
+    pub profilers: Vec<ProfilerKind>,
+    /// All per-word results.
+    pub evaluations: Vec<WordEvaluation>,
+}
+
+impl CoverageSweep {
+    /// Iterates over the evaluations matching a (profiler, error count,
+    /// probability) cell of the sweep.
+    pub fn cell(
+        &self,
+        profiler: ProfilerKind,
+        error_count: usize,
+        probability: f64,
+    ) -> impl Iterator<Item = &WordEvaluation> {
+        self.evaluations.iter().filter(move |e| {
+            e.profiler == profiler
+                && e.error_count == error_count
+                && (e.probability - probability).abs() < 1e-9
+        })
+    }
+
+    /// Number of simulated words per sweep cell.
+    pub fn words_per_cell(&self) -> usize {
+        let Some(first) = self.evaluations.first() else {
+            return 0;
+        };
+        self.cell(first.profiler, first.error_count, first.probability)
+            .count()
+    }
+}
+
+/// Evaluates one word with every requested profiler.
+fn evaluate_word(
+    sample: &WordSample,
+    profilers: &[ProfilerKind],
+    pattern: harp_memsim::pattern::DataPattern,
+    rounds: usize,
+    error_count: usize,
+    probability: f64,
+) -> Vec<WordEvaluation> {
+    let campaign = ProfilingCampaign::new(
+        sample.code.clone(),
+        sample.faults.clone(),
+        pattern,
+        sample.campaign_seed,
+    );
+    let space = campaign.error_space();
+    profilers
+        .iter()
+        .map(|&profiler| {
+            let result = campaign.run(profiler, rounds);
+            WordEvaluation {
+                error_count,
+                probability,
+                profiler,
+                series: CoverageSeries::from_campaign(&result, &space),
+            }
+        })
+        .collect()
+}
+
+/// Runs the full coverage sweep for the given profilers.
+pub fn run_coverage_sweep(
+    config: &EvaluationConfig,
+    profilers: &[ProfilerKind],
+) -> CoverageSweep {
+    config.validate();
+    let mut evaluations = Vec::new();
+    for &error_count in &config.error_counts {
+        for &probability in &config.probabilities {
+            let samples = sample_words(config, error_count, probability);
+            let per_word = parallel_map(&samples, config.threads, |sample| {
+                evaluate_word(
+                    sample,
+                    profilers,
+                    config.pattern,
+                    config.rounds,
+                    error_count,
+                    probability,
+                )
+            });
+            evaluations.extend(per_word.into_iter().flatten());
+        }
+    }
+    CoverageSweep {
+        rounds: config.rounds,
+        error_counts: config.error_counts.clone(),
+        probabilities: config.probabilities.clone(),
+        profilers: profilers.to_vec(),
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> EvaluationConfig {
+        EvaluationConfig {
+            num_codes: 2,
+            words_per_code: 2,
+            rounds: 32,
+            error_counts: vec![2, 4],
+            probabilities: vec![0.5, 1.0],
+            ..EvaluationConfig::quick()
+        }
+    }
+
+    #[test]
+    fn sweep_has_one_evaluation_per_cell_word_and_profiler() {
+        let config = tiny_config();
+        let profilers = [ProfilerKind::HarpU, ProfilerKind::Naive];
+        let sweep = run_coverage_sweep(&config, &profilers);
+        let expected =
+            config.error_counts.len() * config.probabilities.len() * config.words_total() * 2;
+        assert_eq!(sweep.evaluations.len(), expected);
+        assert_eq!(sweep.words_per_cell(), config.words_total());
+        assert_eq!(sweep.rounds, 32);
+        for e in &sweep.evaluations {
+            assert_eq!(e.series.rounds(), 32);
+        }
+    }
+
+    #[test]
+    fn harp_dominates_naive_in_every_cell() {
+        let config = tiny_config();
+        let sweep = run_coverage_sweep(&config, &[ProfilerKind::HarpU, ProfilerKind::Naive]);
+        for &count in &config.error_counts {
+            for &prob in &config.probabilities {
+                let harp_cov: f64 = sweep
+                    .cell(ProfilerKind::HarpU, count, prob)
+                    .map(|e| e.series.final_direct_coverage())
+                    .sum();
+                let naive_cov: f64 = sweep
+                    .cell(ProfilerKind::Naive, count, prob)
+                    .map(|e| e.series.final_direct_coverage())
+                    .sum();
+                assert!(
+                    harp_cov >= naive_cov,
+                    "HARP should never trail Naive (count {count}, prob {prob})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let config = tiny_config();
+        let a = run_coverage_sweep(&config, &[ProfilerKind::Beep]);
+        let b = run_coverage_sweep(&config, &[ProfilerKind::Beep]);
+        assert_eq!(a, b);
+    }
+}

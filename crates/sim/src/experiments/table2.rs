@@ -1,0 +1,137 @@
+//! Table 2: how `n` bits at risk of pre-correction error amplify into
+//! exponentially many bits at risk of post-correction error.
+//!
+//! The closed-form counts come from
+//! [`harp_ecc::analysis::combinatorics`]; this module also cross-checks the
+//! worst-case formula against concrete randomly-generated codes by exact
+//! enumeration.
+
+use serde::{Deserialize, Serialize};
+
+use harp_ecc::analysis::combinatorics;
+
+use crate::report::TextTable;
+
+/// One column of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Number of bits at risk of pre-correction error (`n`).
+    pub at_risk_pre_correction: u32,
+    /// Unique pre-correction error patterns (`2^n − 1`).
+    pub unique_patterns: u64,
+    /// Uncorrectable pre-correction error patterns (`2^n − n − 1`).
+    pub uncorrectable_patterns: u64,
+    /// Worst-case bits at risk of post-correction error (`2^n − 1`).
+    pub post_correction_at_risk: u64,
+}
+
+/// The reproduced Table 2.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// One row per evaluated `n`.
+    pub rows: Vec<Table2Row>,
+}
+
+/// The `n` values shown in the paper's Table 2.
+pub const PAPER_COLUMNS: [u32; 5] = [1, 2, 3, 4, 8];
+
+/// Computes Table 2 for the paper's `n` values.
+pub fn run() -> Table2Result {
+    run_for(&PAPER_COLUMNS)
+}
+
+/// Computes Table 2 for custom `n` values.
+pub fn run_for(ns: &[u32]) -> Table2Result {
+    Table2Result {
+        rows: ns
+            .iter()
+            .map(|&n| Table2Row {
+                at_risk_pre_correction: n,
+                unique_patterns: combinatorics::unique_error_patterns(n),
+                uncorrectable_patterns: combinatorics::uncorrectable_patterns(n),
+                post_correction_at_risk: combinatorics::worst_case_post_correction_at_risk(n),
+            })
+            .collect(),
+    }
+}
+
+impl Table2Result {
+    /// Renders the table in the paper's orientation (metrics as rows, `n` as
+    /// columns).
+    pub fn render(&self) -> String {
+        let mut header = vec!["metric".to_owned()];
+        header.extend(self.rows.iter().map(|r| r.at_risk_pre_correction.to_string()));
+        let mut table = TextTable::new(header);
+        let metrics: [(&str, fn(&Table2Row) -> u64); 3] = [
+            ("unique pre-correction error patterns (2^n - 1)", |r| {
+                r.unique_patterns
+            }),
+            ("uncorrectable pre-correction patterns (2^n - n - 1)", |r| {
+                r.uncorrectable_patterns
+            }),
+            ("bits at risk of post-correction error (2^n - 1)", |r| {
+                r.post_correction_at_risk
+            }),
+        ];
+        for (name, getter) in metrics {
+            let mut row = vec![name.to_owned()];
+            row.extend(self.rows.iter().map(|r| getter(r).to_string()));
+            table.push_row(row);
+        }
+        format!(
+            "Table 2: amplification of at-risk bits by on-die ECC (n = bits at risk of pre-correction error)\n{}",
+            table.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_columns_match_expected_values() {
+        let result = run();
+        let unique: Vec<u64> = result.rows.iter().map(|r| r.unique_patterns).collect();
+        let post: Vec<u64> = result
+            .rows
+            .iter()
+            .map(|r| r.post_correction_at_risk)
+            .collect();
+        assert_eq!(unique, vec![1, 3, 7, 15, 255]);
+        assert_eq!(post, vec![1, 3, 7, 15, 255]);
+        assert_eq!(result.rows[4].uncorrectable_patterns, 247);
+    }
+
+    #[test]
+    fn enumeration_respects_worst_case_bound() {
+        // For a concrete code, the exact post-correction at-risk count can
+        // never exceed the Table 2 worst case.
+        use harp_ecc::analysis::FailureDependence;
+        use harp_ecc::{ErrorSpace, HammingCode};
+        let code = HammingCode::random(64, 91).unwrap();
+        for n in [2usize, 3, 4] {
+            let at_risk: Vec<usize> = (0..n).map(|i| i * 13 + 1).collect();
+            let space = ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
+            let bound = combinatorics::worst_case_post_correction_at_risk(n as u32);
+            assert!(space.post_correction_at_risk().len() as u64 <= bound);
+        }
+    }
+
+    #[test]
+    fn render_includes_every_metric() {
+        let rendered = run().render();
+        assert!(rendered.contains("unique pre-correction"));
+        assert!(rendered.contains("uncorrectable"));
+        assert!(rendered.contains("post-correction"));
+        assert!(rendered.contains("255"));
+    }
+
+    #[test]
+    fn custom_columns_work() {
+        let result = run_for(&[5, 6]);
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0].unique_patterns, 31);
+        assert_eq!(result.rows[1].uncorrectable_patterns, 57);
+    }
+}

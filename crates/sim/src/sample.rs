@@ -1,0 +1,183 @@
+//! Monte-Carlo sampling of ECC words.
+//!
+//! Each sample is one simulated ECC word: a randomly generated parity-check
+//! matrix (shared by all words of the same code index) plus a set of at-risk
+//! pre-correction bits with a per-bit error probability. The sampling is
+//! fully deterministic given the [`EvaluationConfig`] base seed, so all
+//! profilers are evaluated against the exact same population of words —
+//! the fairness requirement of §7.1.2.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use harp_ecc::HammingCode;
+use harp_memsim::fault::RetentionSampler;
+use harp_memsim::FaultModel;
+
+use crate::config::EvaluationConfig;
+
+/// One simulated ECC word.
+#[derive(Debug, Clone)]
+pub struct WordSample {
+    /// Index of the randomly generated code this word belongs to.
+    pub code_index: usize,
+    /// Index of the word within its code.
+    pub word_index: usize,
+    /// The on-die ECC code protecting this word.
+    pub code: HammingCode,
+    /// The word's at-risk bits and their failure probability.
+    pub faults: FaultModel,
+    /// Deterministic seed for the profiling campaign on this word.
+    pub campaign_seed: u64,
+}
+
+/// Generates the word population for one (error count, probability)
+/// configuration.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`EvaluationConfig::validate`]) or code generation fails.
+pub fn sample_words(
+    config: &EvaluationConfig,
+    error_count: usize,
+    probability: f64,
+) -> Vec<WordSample> {
+    config.validate();
+    let sampler = RetentionSampler::new(0.0, probability);
+    let mut samples = Vec::with_capacity(config.words_total());
+    for code_index in 0..config.num_codes {
+        let code_seed = config.seed_for(code_index, 0, 0xC0DE);
+        let code = HammingCode::random(config.data_bits, code_seed)
+            .expect("valid configuration always yields a valid code");
+        for word_index in 0..config.words_per_code {
+            let word_seed = config.seed_for(code_index, word_index, error_count as u64);
+            let mut rng = ChaCha8Rng::seed_from_u64(word_seed);
+            let faults =
+                sampler.sample_word_with_count(code.codeword_len(), error_count, &mut rng);
+            samples.push(WordSample {
+                code_index,
+                word_index,
+                code: code.clone(),
+                faults,
+                campaign_seed: word_seed ^ 0xA11C_E5ED,
+            });
+        }
+    }
+    samples
+}
+
+/// Generates a word population for the data-retention case study (Fig. 10):
+/// at-risk bits are sampled per cell with probability `rber` instead of a
+/// fixed per-word count.
+pub fn sample_retention_words(
+    config: &EvaluationConfig,
+    rber: f64,
+    probability: f64,
+) -> Vec<WordSample> {
+    config.validate();
+    let sampler = RetentionSampler::new(rber, probability);
+    let mut samples = Vec::with_capacity(config.words_total());
+    for code_index in 0..config.num_codes {
+        let code_seed = config.seed_for(code_index, 0, 0xC0DE);
+        let code = HammingCode::random(config.data_bits, code_seed)
+            .expect("valid configuration always yields a valid code");
+        for word_index in 0..config.words_per_code {
+            let word_seed = config.seed_for(code_index, word_index, (rber * 1e12) as u64);
+            let mut rng = ChaCha8Rng::seed_from_u64(word_seed);
+            let mut faults = sampler.sample_word(code.codeword_len(), &mut rng);
+            // Exhaustive ground-truth analysis is exponential in the at-risk
+            // count; clamp pathological samples (essentially impossible at
+            // the RBERs the paper sweeps, but cheap insurance).
+            if faults.at_risk_bits().len() > harp_ecc::ErrorSpace::MAX_AT_RISK_BITS {
+                let clamped: Vec<_> = faults.at_risk_bits()
+                    [..harp_ecc::ErrorSpace::MAX_AT_RISK_BITS]
+                    .to_vec();
+                faults = FaultModel::new(clamped, faults.dependence());
+            }
+            samples.push(WordSample {
+                code_index,
+                word_index,
+                code: code.clone(),
+                faults,
+                campaign_seed: word_seed ^ 0xA11C_E5ED,
+            });
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let config = EvaluationConfig::smoke();
+        let a = sample_words(&config, 3, 0.5);
+        let b = sample_words(&config, 3, 0.5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.code, y.code);
+            assert_eq!(x.faults, y.faults);
+            assert_eq!(x.campaign_seed, y.campaign_seed);
+        }
+    }
+
+    #[test]
+    fn sample_count_matches_config() {
+        let config = EvaluationConfig::smoke();
+        let samples = sample_words(&config, 2, 1.0);
+        assert_eq!(samples.len(), config.words_total());
+        for s in &samples {
+            assert_eq!(s.faults.at_risk_positions().len(), 2);
+            assert_eq!(s.code.data_len(), config.data_bits);
+            for bit in s.faults.at_risk_bits() {
+                assert_eq!(bit.probability, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn words_of_the_same_code_share_the_parity_check_matrix() {
+        let config = EvaluationConfig::smoke();
+        let samples = sample_words(&config, 2, 0.5);
+        let first_code = &samples[0].code;
+        for s in samples.iter().filter(|s| s.code_index == 0) {
+            assert_eq!(&s.code, first_code);
+        }
+        // Different code indices produce different matrices.
+        let other = samples.iter().find(|s| s.code_index == 1).unwrap();
+        assert_ne!(&other.code, first_code);
+    }
+
+    #[test]
+    fn different_error_counts_produce_different_at_risk_sets() {
+        let config = EvaluationConfig::smoke();
+        let two = sample_words(&config, 2, 0.5);
+        let four = sample_words(&config, 4, 0.5);
+        assert!(two.iter().all(|s| s.faults.at_risk_positions().len() == 2));
+        assert!(four.iter().all(|s| s.faults.at_risk_positions().len() == 4));
+    }
+
+    #[test]
+    fn retention_sampling_tracks_rber() {
+        let mut config = EvaluationConfig::smoke();
+        config.words_per_code = 64;
+        let samples = sample_retention_words(&config, 0.05, 0.75);
+        let total_at_risk: usize = samples
+            .iter()
+            .map(|s| s.faults.at_risk_positions().len())
+            .sum();
+        let density = total_at_risk as f64 / (samples.len() * 71) as f64;
+        assert!(
+            (density - 0.05).abs() < 0.02,
+            "empirical density {density} too far from 0.05"
+        );
+        for s in &samples {
+            assert!(
+                s.faults.at_risk_positions().len() <= harp_ecc::ErrorSpace::MAX_AT_RISK_BITS
+            );
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Small statistics helpers used by the evaluation experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(harp_sim::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(harp_sim::stats::mean(&[]), 0.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// The `p`-th percentile (0–100) using nearest-rank interpolation on a copy
+/// of the data. Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 100]`.
+///
+/// # Example
+///
+/// ```
+/// let data = [5.0, 1.0, 9.0, 3.0];
+/// assert_eq!(harp_sim::stats::percentile(&data, 0.0), 1.0);
+/// assert_eq!(harp_sim::stats::percentile(&data, 100.0), 9.0);
+/// assert_eq!(harp_sim::stats::percentile(&data, 50.0), 4.0);
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    if low == high {
+        sorted[low]
+    } else {
+        let frac = rank - low as f64;
+        sorted[low] * (1.0 - frac) + sorted[high] * frac
+    }
+}
+
+/// Summary statistics of a sample: the quartiles the paper's violin / box
+/// plots convey, plus mean and extremes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 99th percentile (the paper reports 99th-percentile coverage).
+    pub p99: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics for a sample. Returns an all-zero summary
+    /// for an empty sample.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self {
+                count: 0,
+                min: 0.0,
+                p25: 0.0,
+                median: 0.0,
+                p75: 0.0,
+                p99: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            };
+        }
+        Self {
+            count: values.len(),
+            min: percentile(values, 0.0),
+            p25: percentile(values, 25.0),
+            median: percentile(values, 50.0),
+            p75: percentile(values, 75.0),
+            p99: percentile(values, 99.0),
+            max: percentile(values, 100.0),
+            mean: mean(values),
+        }
+    }
+}
+
+/// A normalized histogram over integer-valued observations `0..=max_value`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `fractions[v]` is the fraction of observations equal to `v`.
+    pub fractions: Vec<f64>,
+    /// Total number of observations.
+    pub count: usize,
+}
+
+impl Histogram {
+    /// Builds a normalized histogram of the observations, with bins
+    /// `0..=max_value` (observations above `max_value` are clamped into the
+    /// last bin).
+    pub fn of(values: &[usize], max_value: usize) -> Self {
+        let mut counts = vec![0usize; max_value + 1];
+        for &v in values {
+            counts[v.min(max_value)] += 1;
+        }
+        let total = values.len().max(1) as f64;
+        Self {
+            fractions: counts.iter().map(|&c| c as f64 / total).collect(),
+            count: values.len(),
+        }
+    }
+
+    /// The fraction of observations in bin `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the histogram's range.
+    pub fn fraction(&self, v: usize) -> f64 {
+        self.fractions[v]
+    }
+}
+
+/// The profiling-round checkpoints at which coverage curves are reported
+/// (log-spaced like the paper's x-axes: 1, 2, 4, … 128).
+pub fn round_checkpoints(max_rounds: usize) -> Vec<usize> {
+    let mut checkpoints = Vec::new();
+    let mut r = 1usize;
+    while r <= max_rounds {
+        checkpoints.push(r);
+        r *= 2;
+    }
+    if checkpoints.last() != Some(&max_rounds) {
+        checkpoints.push(max_rounds);
+    }
+    checkpoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_simple_sequences() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(mean(&[7.0]), 7.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [0.0, 10.0];
+        assert_eq!(percentile(&data, 50.0), 5.0);
+        assert_eq!(percentile(&data, 25.0), 2.5);
+        let single = [42.0];
+        assert_eq!(percentile(&single, 99.0), 42.0);
+    }
+
+    #[test]
+    fn percentile_is_monotonic_in_p() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = percentile(&data, p);
+            assert!(v >= last, "percentile not monotonic at {p}");
+            last = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 100]")]
+    fn percentile_rejects_bad_p() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn summary_quartiles_are_ordered() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = Summary::of(&values);
+        assert_eq!(s.count, 100);
+        assert!(s.min <= s.p25 && s.p25 <= s.median);
+        assert!(s.median <= s.p75 && s.p75 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 99.0);
+        assert!((s.mean - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn histogram_normalizes_and_clamps() {
+        let h = Histogram::of(&[0, 1, 1, 2, 9], 3);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.fraction(0), 0.2);
+        assert_eq!(h.fraction(1), 0.4);
+        assert_eq!(h.fraction(2), 0.2);
+        // The out-of-range 9 lands in the last bin.
+        assert_eq!(h.fraction(3), 0.2);
+        let total: f64 = h.fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoints_are_log_spaced_and_end_at_max() {
+        assert_eq!(round_checkpoints(128), vec![1, 2, 4, 8, 16, 32, 64, 128]);
+        assert_eq!(round_checkpoints(100), vec![1, 2, 4, 8, 16, 32, 64, 100]);
+        assert_eq!(round_checkpoints(1), vec![1]);
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end integration test: active profiling → error profile → repair
+//! mechanism → reactive profiling, across all crates.
+//!
+//! This mirrors the paper's system model (Fig. 5): HARP's active phase runs
+//! against the memory chip via the bypass read path, the identified bits seed
+//! the memory controller's error profile, and normal operation relies on the
+//! bit-repair mechanism plus the SEC secondary ECC for anything left over.
+
+use harp_controller::MemoryController;
+use harp_ecc::{HammingCode, SecondaryEcc};
+use harp_gf2::BitVec;
+use harp_memsim::fault::RetentionSampler;
+use harp_memsim::pattern::DataPattern;
+use harp_memsim::MemoryChip;
+use harp_profiler::ProfilerKind;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a chip with a moderate data-retention fault population.
+fn build_chip(seed: u64, words: usize, rber: f64, probability: f64) -> MemoryChip {
+    let code = HammingCode::random(64, seed).expect("valid code");
+    let mut chip = MemoryChip::new(code.clone(), words);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA_07);
+    let sampler = RetentionSampler::new(rber, probability);
+    for word in 0..words {
+        chip.set_fault_model(word, sampler.sample_word(code.codeword_len(), &mut rng));
+    }
+    chip
+}
+
+/// Runs an active profiling phase for every word of the chip and returns the
+/// populated controller.
+fn profile_actively(
+    chip: MemoryChip,
+    kind: ProfilerKind,
+    rounds: usize,
+    seed: u64,
+) -> MemoryController {
+    let mut controller = MemoryController::new(chip, SecondaryEcc::ideal_sec());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for word in 0..controller.chip().num_words() {
+        let mut profiler = kind.instantiate(
+            controller.chip().code(),
+            DataPattern::Random,
+            seed ^ word as u64,
+        );
+        for round in 0..rounds {
+            let data = profiler.dataword_for_round(round);
+            controller.chip_mut().write(word, &data);
+            let observation = controller.chip().read(word, &mut rng);
+            profiler.observe_round(round, &observation);
+        }
+        let known: Vec<usize> = profiler.known_at_risk().into_iter().collect();
+        controller.profile_mut().mark_all(word, known);
+    }
+    controller
+}
+
+/// Exercises normal operation and returns (escaped error count, reactively
+/// identified count).
+fn run_normal_operation(
+    controller: &mut MemoryController,
+    accesses_per_word: usize,
+    seed: u64,
+) -> (usize, usize) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let payload = BitVec::ones(64);
+    for word in 0..controller.chip().num_words() {
+        controller.write(word, &payload);
+    }
+    let mut escaped = 0;
+    let mut identified = 0;
+    for _ in 0..accesses_per_word {
+        for word in 0..controller.chip().num_words() {
+            let outcome = controller.read(word, &mut rng);
+            escaped += outcome.escaped_errors.len();
+            identified += outcome.newly_identified.len();
+        }
+    }
+    (escaped, identified)
+}
+
+#[test]
+fn harp_active_phase_plus_reactive_profiling_prevents_all_escaped_errors() {
+    let chip = build_chip(1, 24, 0.04, 0.75);
+    let mut controller = profile_actively(chip, ProfilerKind::HarpU, 64, 11);
+    assert!(
+        controller.profile().total_bits() > 0,
+        "active profiling should identify at-risk bits"
+    );
+    let (escaped, _identified) = run_normal_operation(&mut controller, 150, 21);
+    // With all direct-error bits repaired, at most one indirect error occurs
+    // at a time and the SEC secondary ECC catches it: nothing escapes.
+    assert_eq!(escaped, 0, "errors escaped despite HARP profiling");
+}
+
+#[test]
+fn harp_a_precomputation_reduces_reactive_identifications() {
+    let chip = build_chip(2, 16, 0.04, 1.0);
+    let mut harp_u = profile_actively(chip.clone(), ProfilerKind::HarpU, 32, 5);
+    let mut harp_a = profile_actively(chip, ProfilerKind::HarpA, 32, 5);
+    assert!(harp_a.profile().total_bits() >= harp_u.profile().total_bits());
+    let (escaped_u, reactive_u) = run_normal_operation(&mut harp_u, 100, 7);
+    let (escaped_a, reactive_a) = run_normal_operation(&mut harp_a, 100, 7);
+    assert_eq!(escaped_u, 0);
+    assert_eq!(escaped_a, 0);
+    // HARP-A already knows (a superset of) what HARP-U would have to learn
+    // reactively.
+    assert!(reactive_a <= reactive_u);
+}
+
+#[test]
+fn naive_profiling_leaves_multi_bit_errors_that_escape_the_secondary_ecc() {
+    // With always-failing at-risk cells and a *short* active phase, Naive
+    // misses bits (single-bit at-risk words never show up), so some words can
+    // still produce multi-bit post-correction errors during operation.
+    let chip = build_chip(3, 32, 0.05, 1.0);
+    let mut naive = profile_actively(chip.clone(), ProfilerKind::Naive, 2, 9);
+    let mut harp = profile_actively(chip, ProfilerKind::HarpU, 2, 9);
+    let (escaped_naive, _) = run_normal_operation(&mut naive, 100, 13);
+    let (escaped_harp, _) = run_normal_operation(&mut harp, 100, 13);
+    assert_eq!(escaped_harp, 0, "HARP finds every direct bit in two rounds of charged data");
+    assert!(
+        escaped_naive >= escaped_harp,
+        "Naive should never beat HARP ({escaped_naive} vs {escaped_harp})"
+    );
+}
+
+#[test]
+fn reactive_profiling_safely_identifies_indirect_errors_once_direct_bits_are_repaired() {
+    // HARP's key guarantee (§5.1): once every direct-error at-risk bit is in
+    // the profile, at most one (indirect) post-correction error can occur at
+    // a time, so the SEC secondary ECC identifies the remaining at-risk bits
+    // safely during normal operation — and nothing ever escapes.
+    use harp_ecc::analysis::FailureDependence;
+    use harp_ecc::ErrorSpace;
+
+    let code = HammingCode::random(64, 17).expect("valid code");
+    let num_words = 8usize;
+    let mut chip = MemoryChip::new(code.clone(), num_words);
+    let mut indirect_truth: Vec<BTreeSet> = Vec::new();
+    type BTreeSet = std::collections::BTreeSet<usize>;
+    for word in 0..num_words {
+        let at_risk = [word, word + 20, word + 40];
+        chip.set_fault_model(word, harp_memsim::FaultModel::uniform(&at_risk, 0.5));
+        let space = ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
+        indirect_truth.push(space.indirect_at_risk().clone());
+    }
+    let mut controller = MemoryController::new(chip, SecondaryEcc::ideal_sec());
+    // Seed the profile with exactly the direct at-risk bits (what HARP's
+    // active phase would have produced).
+    for word in 0..num_words {
+        controller
+            .profile_mut()
+            .mark_all(word, [word, word + 20, word + 40]);
+    }
+
+    let payload = BitVec::ones(64);
+    for word in 0..num_words {
+        controller.write(word, &payload);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let mut escaped = 0usize;
+    let mut reactively_identified: BTreeSet = BTreeSet::new();
+    for _ in 0..400 {
+        for word in 0..num_words {
+            let outcome = controller.read(word, &mut rng);
+            escaped += outcome.escaped_errors.len();
+            for bit in outcome.newly_identified {
+                reactively_identified.insert(word * 64 + bit);
+                // Every reactively identified bit must be a genuine
+                // indirect-error at-risk bit of that word.
+                assert!(
+                    indirect_truth[word].contains(&bit),
+                    "word {word}: reactive profiling identified non-at-risk bit {bit}"
+                );
+            }
+        }
+    }
+    assert_eq!(escaped, 0, "no error may escape once direct bits are repaired");
+    // At least one word has indirect at-risk bits under this configuration;
+    // after 400 charged accesses at p = 0.5 the secondary ECC must have
+    // caught some of them.
+    let total_indirect: usize = indirect_truth.iter().map(|s| s.len()).sum();
+    assert!(total_indirect > 0, "test configuration should expose indirect errors");
+    assert!(
+        !reactively_identified.is_empty(),
+        "reactive profiling identified nothing despite {total_indirect} indirect at-risk bits"
+    );
+}

@@ -1,0 +1,102 @@
+//! Integration tests for the extension experiments: each one must reproduce
+//! the qualitative claim it was built to demonstrate at smoke scale.
+
+use harp_module::SecondaryLayout;
+use harp_sim::experiments::{ext_bch, ext_beer, ext_module, ext_repair, ext_vrt};
+use harp_sim::EvaluationConfig;
+
+fn smoke() -> EvaluationConfig {
+    EvaluationConfig::smoke()
+}
+
+#[test]
+fn ext1_dec_bch_bounds_indirect_errors_by_two() {
+    let result = ext_bch::run(&smoke());
+    // Insight 2 generalized: repairing all direct-error bits bounds the
+    // residual simultaneous errors by the on-die correction capability.
+    assert!(result.dec_secondary_requirement() <= 2);
+    for cell in &result.cells {
+        assert!(cell.sec_max_after_direct_repair <= 1);
+    }
+    // DEC leaves no uncorrectable patterns at all for n <= 2.
+    let n2 = result
+        .amplification
+        .iter()
+        .find(|r| r.at_risk_bits == 2)
+        .unwrap();
+    assert_eq!(n2.dec_uncorrectable, 0);
+    assert_eq!(n2.sec_uncorrectable, 1);
+}
+
+#[test]
+fn ext2_beer_recovers_every_profile_and_rebuilds_small_codes() {
+    let config = EvaluationConfig {
+        data_bits: 32,
+        num_codes: 2,
+        ..smoke()
+    };
+    let result = ext_beer::run(&config);
+    assert!(result.all_profiles_match());
+    assert!(result
+        .small_codes
+        .iter()
+        .all(|o| o.reconstructed_equivalent == Some(true)));
+}
+
+#[test]
+fn ext3_aligned_layout_is_cheapest_and_bounds_hold() {
+    let result = ext_module::run(&smoke());
+    let aligned = result.ddr4_capability(SecondaryLayout::PerOnDieWord).unwrap();
+    let interleaved = result.ddr4_capability(SecondaryLayout::PerCacheLine).unwrap();
+    assert_eq!(aligned, 1);
+    assert_eq!(interleaved, 8);
+    for row in &result.stress {
+        for (index, layout) in SecondaryLayout::ALL.iter().enumerate() {
+            assert!(row.worst_per_layout[index] <= result.ddr4_capability(*layout).unwrap());
+        }
+    }
+}
+
+#[test]
+fn ext4_fine_granularity_repair_wastes_the_least_capacity() {
+    let result = ext_repair::run_with_rbers(&smoke(), &[1e-3, 1e-2]);
+    // Ideal bit repair never leaves anything uncovered; coarser or
+    // capacity-limited mechanisms may.
+    for row in result.rows_for("ideal bit repair") {
+        assert_eq!(row.uncovered, 0);
+    }
+    // A larger ECP budget covers at least as many bits as a smaller one at
+    // the same error rate.
+    for rber in [1e-3, 1e-2] {
+        let ecp2 = result
+            .rows
+            .iter()
+            .find(|r| r.mechanism.starts_with("ECP-2") && (r.rber - rber).abs() < 1e-12)
+            .unwrap();
+        let ecp6 = result
+            .rows
+            .iter()
+            .find(|r| r.mechanism.starts_with("ECP-6") && (r.rber - rber).abs() < 1e-12)
+            .unwrap();
+        assert!(ecp6.uncovered <= ecp2.uncovered);
+    }
+}
+
+#[test]
+fn ext5_reactive_scrubbing_coverage_grows_with_time_and_toggle_rate() {
+    let config = EvaluationConfig {
+        num_codes: 2,
+        words_per_code: 6,
+        rounds: 64,
+        ..EvaluationConfig::quick()
+    };
+    let result = ext_vrt::run_with_toggle_probabilities(&config, &[0.02, 0.3]);
+    for cell in &result.cells {
+        for window in cell.coverage_at_checkpoints.windows(2) {
+            assert!(window[1] >= window[0] - 1e-12, "coverage must not decrease");
+        }
+    }
+    let slow = result.cells[0].coverage_at_checkpoints.last().copied().unwrap();
+    let fast = result.cells[1].coverage_at_checkpoints.last().copied().unwrap();
+    assert!(fast >= slow);
+}
