@@ -1,27 +1,18 @@
-//! Post-correction error-space analysis for double-error-correcting BCH
-//! on-die ECC.
+//! DEC-specific combinatorics for the BCH extension experiments.
 //!
-//! This mirrors [`harp_ecc::analysis`] for SEC Hamming codes, generalized to
-//! `t = 2`. The purpose is to answer the paper's future-work question: with a
-//! stronger on-die ECC,
+//! The error-space machinery that used to live here (a near-duplicate of
+//! `harp_ecc::analysis` specialized to `t = 2`) is gone: `BchCode` implements
+//! [`harp_ecc::LinearBlockCode`], so the generic
+//! [`harp_ecc::ErrorSpace`], [`harp_ecc::analysis::charging_dataword`],
+//! [`harp_ecc::analysis::is_chargeable`], and
+//! [`harp_ecc::analysis::predict_indirect_from_direct`] apply to BCH words
+//! directly — the enumeration drives the BCH decoder itself, so the `t = 2`
+//! behaviour (up to two indirect errors per uncorrectable pattern) falls out
+//! without any code-specific logic.
 //!
-//! * how does the combinatorial amplification of at-risk bits change
-//!   ([`combinatorics`])? — fewer pre-correction error patterns are
-//!   uncorrectable, but each uncorrectable pattern can now introduce up to
-//!   *two* indirect errors;
-//! * what correction capability does HARP's secondary ECC need
-//!   ([`BchErrorSpace::max_simultaneous_errors_outside`])? — exactly `t = 2`
-//!   once all direct-error bits are identified, confirming that the paper's
-//!   insight 2 generalizes.
-
-use std::collections::BTreeSet;
-
-use serde::{Deserialize, Serialize};
-
-use harp_ecc::analysis::FailureDependence;
-use harp_gf2::{solve, BitVec, Gf2Matrix};
-
-use crate::code::BchCode;
+//! What remains is the closed-form [`combinatorics`] module: the paper's
+//! Table 2 generalized to a `t = 2` code, used by the `ext-bch` experiment
+//! to contrast amplification under SEC vs. DEC on-die ECC.
 
 /// Closed-form pattern counts for a `t`-error-correcting code protecting `n`
 /// at-risk pre-correction bits (the Table 2 analysis generalized beyond
@@ -93,294 +84,17 @@ pub mod combinatorics {
     }
 }
 
-/// Returns a dataword under which every codeword position in `positions`
-/// stores the value required by `dependence`, or `None` if no such dataword
-/// exists (same linear-feasibility computation as the Hamming analysis, with
-/// the BCH parity matrix supplying the parity-bit constraints).
-///
-/// # Panics
-///
-/// Panics if any position is out of range.
-pub fn charging_dataword(
-    code: &BchCode,
-    positions: &[usize],
-    dependence: FailureDependence,
-) -> Option<BitVec> {
-    let k = code.data_len();
-    if positions.is_empty() {
-        return Some(BitVec::zeros(k));
-    }
-    for &pos in positions {
-        assert!(
-            pos < code.codeword_len(),
-            "position {pos} out of range {}",
-            code.codeword_len()
-        );
-    }
-    let Some(required) = dependence.required_value() else {
-        return Some(BitVec::zeros(k));
-    };
-    let parity_matrix = code.parity_matrix();
-    let mut rows = Vec::with_capacity(positions.len());
-    let mut rhs = BitVec::zeros(positions.len());
-    for (idx, &pos) in positions.iter().enumerate() {
-        let row = if pos < k {
-            BitVec::from_indices(k, [pos])
-        } else {
-            parity_matrix.row(pos - k).clone()
-        };
-        rows.push(row);
-        rhs.set(idx, required);
-    }
-    let a = Gf2Matrix::from_rows(&rows);
-    match solve::solve(&a, &rhs) {
-        solve::LinearSolution::Solvable { particular, .. } => Some(particular),
-        solve::LinearSolution::Infeasible => None,
-    }
-}
-
-/// Returns `true` if every position in `positions` can simultaneously store
-/// the value its failure mode requires.
-pub fn is_chargeable(
-    code: &BchCode,
-    positions: &[usize],
-    dependence: FailureDependence,
-) -> bool {
-    positions.is_empty() || charging_dataword(code, positions, dependence).is_some()
-}
-
-/// The outcome of a single achievable pre-correction error pattern under a
-/// DEC BCH on-die ECC.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct BchPatternOutcome {
-    /// The pre-correction error positions (codeword indices) that fail
-    /// together in this pattern.
-    pub raw_positions: Vec<usize>,
-    /// The post-correction error positions (dataword indices) the memory
-    /// controller observes when exactly this pattern occurs.
-    pub post_correction_errors: Vec<usize>,
-    /// The miscorrection positions introduced by the decoder (codeword
-    /// indices, at most two).
-    pub miscorrections: Vec<usize>,
-}
-
-/// The exact post-correction error space of a set of at-risk pre-correction
-/// bits under a DEC BCH code.
-///
-/// # Example
-///
-/// ```
-/// use harp_bch::{BchCode, BchErrorSpace};
-/// use harp_ecc::analysis::FailureDependence;
-///
-/// let code = BchCode::dec(16)?;
-/// // With only two at-risk bits, a DEC code corrects every combination:
-/// // no indirect errors are possible at all.
-/// let space = BchErrorSpace::enumerate(&code, &[0, 1], FailureDependence::TrueCell);
-/// assert!(space.indirect_at_risk().is_empty());
-/// assert_eq!(space.max_simultaneous_errors_outside(&Default::default()), 0);
-/// # Ok::<(), harp_bch::BchError>(())
-/// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct BchErrorSpace {
-    at_risk_pre_correction: BTreeSet<usize>,
-    direct_at_risk: BTreeSet<usize>,
-    indirect_at_risk: BTreeSet<usize>,
-    post_correction_at_risk: BTreeSet<usize>,
-    outcomes: Vec<BchPatternOutcome>,
-}
-
-impl BchErrorSpace {
-    /// Maximum number of at-risk pre-correction bits supported by exhaustive
-    /// enumeration.
-    pub const MAX_AT_RISK_BITS: usize = 20;
-
-    /// Enumerates the full post-correction error space for the given at-risk
-    /// pre-correction positions (codeword indices).
-    ///
-    /// # Panics
-    ///
-    /// Panics if more than [`Self::MAX_AT_RISK_BITS`] positions are given or
-    /// if any position is out of range.
-    pub fn enumerate(
-        code: &BchCode,
-        at_risk_positions: &[usize],
-        dependence: FailureDependence,
-    ) -> Self {
-        let unique: BTreeSet<usize> = at_risk_positions.iter().copied().collect();
-        assert!(
-            unique.len() <= Self::MAX_AT_RISK_BITS,
-            "at most {} at-risk bits supported, got {}",
-            Self::MAX_AT_RISK_BITS,
-            unique.len()
-        );
-        for &pos in &unique {
-            assert!(
-                pos < code.codeword_len(),
-                "at-risk position {pos} out of range {}",
-                code.codeword_len()
-            );
-        }
-        let positions: Vec<usize> = unique.iter().copied().collect();
-        let n = positions.len();
-        let k = code.data_len();
-
-        let mut outcomes = Vec::new();
-        let mut post_at_risk = BTreeSet::new();
-
-        for mask in 1u64..(1u64 << n) {
-            let subset: Vec<usize> = (0..n)
-                .filter(|&i| mask & (1 << i) != 0)
-                .map(|i| positions[i])
-                .collect();
-            if charging_dataword(code, &subset, dependence).is_none() {
-                continue;
-            }
-
-            // Decoding is data-independent for a linear code, so decode the
-            // error pattern against the all-zero codeword.
-            let error = BitVec::from_indices(code.codeword_len(), subset.iter().copied());
-            let result = code.decode(&error);
-            let flipped: BTreeSet<usize> =
-                result.outcome.corrected_positions().into_iter().collect();
-
-            let subset_set: BTreeSet<usize> = subset.iter().copied().collect();
-            let mut post = BTreeSet::new();
-            for p in 0..k {
-                if subset_set.contains(&p) != flipped.contains(&p) {
-                    post.insert(p);
-                }
-            }
-            let miscorrections: Vec<usize> =
-                flipped.difference(&subset_set).copied().collect();
-
-            post_at_risk.extend(post.iter().copied());
-            outcomes.push(BchPatternOutcome {
-                raw_positions: subset,
-                post_correction_errors: post.into_iter().collect(),
-                miscorrections,
-            });
-        }
-
-        let direct_at_risk: BTreeSet<usize> = unique
-            .iter()
-            .copied()
-            .filter(|&p| p < k)
-            .filter(|&p| is_chargeable(code, &[p], dependence))
-            .collect();
-        let indirect_at_risk: BTreeSet<usize> = post_at_risk
-            .iter()
-            .copied()
-            .filter(|p| !direct_at_risk.contains(p))
-            .collect();
-
-        Self {
-            at_risk_pre_correction: unique,
-            direct_at_risk,
-            indirect_at_risk,
-            post_correction_at_risk: post_at_risk,
-            outcomes,
-        }
-    }
-
-    /// The at-risk pre-correction positions (codeword indices) this space was
-    /// built from.
-    pub fn at_risk_pre_correction(&self) -> &BTreeSet<usize> {
-        &self.at_risk_pre_correction
-    }
-
-    /// Dataword positions at risk of *direct* error.
-    pub fn direct_at_risk(&self) -> &BTreeSet<usize> {
-        &self.direct_at_risk
-    }
-
-    /// Dataword positions at risk of *indirect* error only (miscorrections).
-    pub fn indirect_at_risk(&self) -> &BTreeSet<usize> {
-        &self.indirect_at_risk
-    }
-
-    /// All dataword positions at risk of post-correction error.
-    pub fn post_correction_at_risk(&self) -> &BTreeSet<usize> {
-        &self.post_correction_at_risk
-    }
-
-    /// Every achievable pre-correction error pattern and its consequences.
-    pub fn outcomes(&self) -> &[BchPatternOutcome] {
-        &self.outcomes
-    }
-
-    /// Dataword positions at risk of post-correction error not in `covered`.
-    pub fn missed_post_correction(&self, covered: &BTreeSet<usize>) -> BTreeSet<usize> {
-        self.post_correction_at_risk
-            .difference(covered)
-            .copied()
-            .collect()
-    }
-
-    /// Dataword positions at risk of indirect error not in `covered`.
-    pub fn missed_indirect(&self, covered: &BTreeSet<usize>) -> BTreeSet<usize> {
-        self.indirect_at_risk.difference(covered).copied().collect()
-    }
-
-    /// The worst-case number of post-correction errors that can occur
-    /// simultaneously outside `repaired` — the correction capability a
-    /// secondary ECC needs to safely perform reactive profiling.
-    pub fn max_simultaneous_errors_outside(&self, repaired: &BTreeSet<usize>) -> usize {
-        self.outcomes
-            .iter()
-            .map(|o| {
-                o.post_correction_errors
-                    .iter()
-                    .filter(|p| !repaired.contains(p))
-                    .count()
-            })
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// Fraction of all at-risk post-correction bits contained in `covered`.
-    /// Returns 1.0 when there are no at-risk bits.
-    pub fn coverage_of(&self, covered: &BTreeSet<usize>) -> f64 {
-        if self.post_correction_at_risk.is_empty() {
-            return 1.0;
-        }
-        let hit = self
-            .post_correction_at_risk
-            .iter()
-            .filter(|p| covered.contains(p))
-            .count();
-        hit as f64 / self.post_correction_at_risk.len() as f64
-    }
-}
-
-/// HARP-A's precomputation generalized to DEC on-die ECC: given the
-/// direct-error at-risk dataword positions identified during active
-/// profiling, predict the dataword positions at risk of indirect error.
-///
-/// As with the SEC variant, miscorrections provoked by at-risk *parity* bits
-/// cannot be predicted because the bypass read path does not expose them.
-pub fn predict_indirect_from_direct(
-    code: &BchCode,
-    direct_positions: &[usize],
-    dependence: FailureDependence,
-) -> BTreeSet<usize> {
-    if direct_positions.is_empty() {
-        return BTreeSet::new();
-    }
-    let space = BchErrorSpace::enumerate(code, direct_positions, dependence);
-    space
-        .post_correction_at_risk()
-        .iter()
-        .copied()
-        .filter(|p| !direct_positions.contains(p))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use std::collections::BTreeSet;
+
+    use harp_ecc::analysis::{charging_dataword, is_chargeable, FailureDependence};
+    use harp_ecc::{ErrorSpace, LinearBlockCode};
+    use harp_gf2::BitVec;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    use crate::BchCode;
 
     #[test]
     fn two_at_risk_bits_cause_no_indirect_errors_under_dec() {
@@ -388,7 +102,7 @@ mod tests {
         // every combination of two at-risk bits, so the post-correction
         // error space is empty.
         let code = BchCode::dec(16).unwrap();
-        let space = BchErrorSpace::enumerate(&code, &[2, 9], FailureDependence::TrueCell);
+        let space = ErrorSpace::enumerate(&code, &[2, 9], FailureDependence::TrueCell);
         assert!(space.post_correction_at_risk().is_empty());
         assert_eq!(space.direct_at_risk().len(), 2);
         assert_eq!(space.max_simultaneous_errors_outside(&BTreeSet::new()), 0);
@@ -397,8 +111,7 @@ mod tests {
     #[test]
     fn three_at_risk_bits_expose_at_most_two_indirect_errors_at_once() {
         let code = BchCode::dec(16).unwrap();
-        let space =
-            BchErrorSpace::enumerate(&code, &[0, 5, 11], FailureDependence::TrueCell);
+        let space = ErrorSpace::enumerate(&code, &[0, 5, 11], FailureDependence::TrueCell);
         // Once the direct bits are repaired, at most t = 2 simultaneous
         // errors remain possible.
         let repaired: BTreeSet<usize> = space.direct_at_risk().clone();
@@ -411,7 +124,7 @@ mod tests {
         // inside the enumerated at-risk set.
         let code = BchCode::dec(16).unwrap();
         let at_risk = [1usize, 4, 7, 20];
-        let space = BchErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
+        let space = ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
         let mut rng = StdRng::seed_from_u64(11);
         let data = BitVec::ones(16);
         for _ in 0..2000 {
@@ -434,9 +147,17 @@ mod tests {
     #[test]
     fn chargeability_of_data_bits_is_unconstrained() {
         let code = BchCode::dec(32).unwrap();
-        assert!(is_chargeable(&code, &[0, 1, 2, 3, 31], FailureDependence::TrueCell));
+        assert!(is_chargeable(
+            &code,
+            &[0, 1, 2, 3, 31],
+            FailureDependence::TrueCell
+        ));
         assert!(is_chargeable(&code, &[], FailureDependence::TrueCell));
-        assert!(is_chargeable(&code, &[40, 41], FailureDependence::DataIndependent));
+        assert!(is_chargeable(
+            &code,
+            &[40, 41],
+            FailureDependence::DataIndependent
+        ));
     }
 
     #[test]
@@ -454,14 +175,17 @@ mod tests {
     #[test]
     fn direct_at_risk_excludes_parity_positions() {
         let code = BchCode::dec(16).unwrap();
-        let space =
-            BchErrorSpace::enumerate(&code, &[3, 17, 19], FailureDependence::TrueCell);
-        assert_eq!(space.direct_at_risk().iter().copied().collect::<Vec<_>>(), vec![3]);
+        let space = ErrorSpace::enumerate(&code, &[3, 17, 19], FailureDependence::TrueCell);
+        assert_eq!(
+            space.direct_at_risk().iter().copied().collect::<Vec<_>>(),
+            vec![3]
+        );
         assert_eq!(space.at_risk_pre_correction().len(), 3);
     }
 
     #[test]
     fn predictions_exclude_the_direct_bits_themselves() {
+        use harp_ecc::analysis::predict_indirect_from_direct;
         let code = BchCode::dec(16).unwrap();
         let direct = [0usize, 3, 9];
         let predicted = predict_indirect_from_direct(&code, &direct, FailureDependence::TrueCell);
@@ -474,8 +198,7 @@ mod tests {
     #[test]
     fn coverage_and_missed_bookkeeping() {
         let code = BchCode::dec(16).unwrap();
-        let space =
-            BchErrorSpace::enumerate(&code, &[0, 1, 2, 3], FailureDependence::TrueCell);
+        let space = ErrorSpace::enumerate(&code, &[0, 1, 2, 3], FailureDependence::TrueCell);
         let all: BTreeSet<usize> = space.post_correction_at_risk().clone();
         assert_eq!(space.coverage_of(&all), 1.0);
         assert!(space.missed_post_correction(&all).is_empty());
@@ -492,7 +215,7 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_positions_are_rejected() {
         let code = BchCode::dec(16).unwrap();
-        BchErrorSpace::enumerate(&code, &[1000], FailureDependence::TrueCell);
+        ErrorSpace::enumerate(&code, &[1000], FailureDependence::TrueCell);
     }
 
     mod proptests {
@@ -512,7 +235,7 @@ mod tests {
                 let code = BchCode::dec(16).unwrap();
                 let positions: Vec<usize> = positions.into_iter().collect();
                 let space =
-                    BchErrorSpace::enumerate(&code, &positions, FailureDependence::TrueCell);
+                    ErrorSpace::enumerate(&code, &positions, FailureDependence::TrueCell);
                 let repaired = space.direct_at_risk().clone();
                 prop_assert!(space.max_simultaneous_errors_outside(&repaired) <= 2);
             }
@@ -525,7 +248,7 @@ mod tests {
                 let code = BchCode::dec(16).unwrap();
                 let positions: Vec<usize> = positions.into_iter().collect();
                 let space =
-                    BchErrorSpace::enumerate(&code, &positions, FailureDependence::TrueCell);
+                    ErrorSpace::enumerate(&code, &positions, FailureDependence::TrueCell);
                 // Build one concrete raw error pattern from the at-risk set.
                 let data = BitVec::ones(16);
                 let mut error = BitVec::zeros(code.codeword_len());

@@ -8,18 +8,22 @@
 //! highest-order message positions to zero (standard practice for
 //! memory-geometry-constrained ECC).
 //!
-//! The codeword layout matches the Hamming substrate: data bits occupy
-//! positions `[0, k)` and parity bits positions `[k, k + p)`, so the code is
-//! systematic and the whole of the HARP analysis about direct vs. indirect
-//! errors carries over unchanged.
+//! The codeword layout matches the shared [`LinearBlockCode`] convention:
+//! data bits occupy positions `[0, k)` and parity bits positions
+//! `[k, k + p)`, so the code is systematic and the whole of the HARP
+//! analysis about direct vs. indirect errors carries over unchanged.
+//! Encoding, syndrome computation (through the batched
+//! [`SyndromeKernel`]), and decoding are exposed via the trait; decoding
+//! internally derives the power-sum syndromes `(S₁, S₃)` from the binary
+//! syndrome and applies Peterson's direct solution for `t = 2`.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use harp_gf2::{BitVec, Gf2Matrix};
+use harp_ecc::{DecodeOutcome, DecodeResult, LinearBlockCode, WordLayout};
+use harp_gf2::{BitVec, Gf2Matrix, SyndromeKernel};
 
-use crate::decoder::{BchDecodeOutcome, BchDecodeResult};
 use crate::field::Gf2mField;
 use crate::poly::BinaryPoly;
 
@@ -65,6 +69,7 @@ impl std::error::Error for BchError {}
 ///
 /// ```
 /// use harp_bch::BchCode;
+/// use harp_ecc::LinearBlockCode;
 /// use harp_gf2::BitVec;
 ///
 /// let code = BchCode::dec(64)?;
@@ -88,6 +93,12 @@ pub struct BchCode {
     /// (the coefficients of `x^(p+i) mod g(x)`), used for systematic
     /// encoding and for the GF(2) chargeability analysis.
     parity_columns: Vec<BitVec>,
+    /// The parity block `A` (`p × k`) assembled from `parity_columns`.
+    a: Gf2Matrix,
+    /// The binary parity-check matrix `H` (`2m × (k+p)`).
+    h: Gf2Matrix,
+    /// Word-packed copy of `H` driving the hot syndrome path.
+    kernel: SyndromeKernel,
 }
 
 impl BchCode {
@@ -145,12 +156,31 @@ impl BchCode {
         }
 
         // Parity contribution of each data bit: x^(p + i) mod g(x).
-        let parity_columns = (0..data_bits)
+        let parity_columns: Vec<BitVec> = (0..data_bits)
             .map(|i| {
                 let remainder = BinaryPoly::monomial(parity_bits + i).rem(&generator);
                 BitVec::from_indices(parity_bits, remainder.exponents())
             })
             .collect();
+        let a = Gf2Matrix::from_cols(&parity_columns);
+
+        let codeword_len = data_bits + parity_bits;
+        let field_degree = field.degree() as usize;
+        let h_cols: Vec<BitVec> = (0..codeword_len)
+            .map(|pos| {
+                let power = Self::power_for(data_bits, parity_bits, pos) as u32;
+                let a1 = field.alpha_pow(power);
+                let a3 = field.pow(field.alpha_pow(power), 3);
+                let mut col = BitVec::zeros(2 * field_degree);
+                for bit in 0..field_degree {
+                    col.set(bit, a1 & (1 << bit) != 0);
+                    col.set(field_degree + bit, a3 & (1 << bit) != 0);
+                }
+                col
+            })
+            .collect();
+        let h = Gf2Matrix::from_cols(&h_cols);
+        let kernel = SyndromeKernel::new(&h);
 
         Ok(Self {
             field,
@@ -158,27 +188,10 @@ impl BchCode {
             parity_bits,
             generator,
             parity_columns,
+            a,
+            h,
+            kernel,
         })
-    }
-
-    /// The dataword length `k`.
-    pub fn data_len(&self) -> usize {
-        self.data_bits
-    }
-
-    /// The number of parity-check bits `p`.
-    pub fn parity_len(&self) -> usize {
-        self.parity_bits
-    }
-
-    /// The (shortened) codeword length `k + p`.
-    pub fn codeword_len(&self) -> usize {
-        self.data_bits + self.parity_bits
-    }
-
-    /// The correction capability `t` (always 2 for this crate).
-    pub fn correction_capability(&self) -> usize {
-        2
     }
 
     /// The underlying field GF(2^m).
@@ -191,32 +204,12 @@ impl BchCode {
         &self.generator
     }
 
-    /// The parity block `A` of the systematic generator matrix: a
-    /// `p × k` GF(2) matrix with `parity = A · data`.
-    pub fn parity_matrix(&self) -> Gf2Matrix {
-        Gf2Matrix::from_cols(&self.parity_columns)
-    }
-
-    /// The binary parity-check matrix `H` (a `2m × (k+p)` matrix whose
-    /// columns are the GF(2^m) elements `[α^power, α^(3·power)]` of each
-    /// codeword position, expanded to bits). Satisfies `H·c = 0` for every
-    /// codeword `c`.
-    pub fn parity_check_matrix(&self) -> Gf2Matrix {
-        let m = self.field.degree() as usize;
-        let cols: Vec<BitVec> = (0..self.codeword_len())
-            .map(|pos| {
-                let power = self.power_of_position(pos) as u32;
-                let a1 = self.field.alpha_pow(power);
-                let a3 = self.field.pow(self.field.alpha_pow(power), 3);
-                let mut col = BitVec::zeros(2 * m);
-                for bit in 0..m {
-                    col.set(bit, a1 & (1 << bit) != 0);
-                    col.set(m + bit, a3 & (1 << bit) != 0);
-                }
-                col
-            })
-            .collect();
-        Gf2Matrix::from_cols(&cols)
+    fn power_for(data_bits: usize, parity_bits: usize, pos: usize) -> usize {
+        if pos < data_bits {
+            parity_bits + pos
+        } else {
+            pos - data_bits
+        }
     }
 
     /// Maps a codeword bit position to its polynomial power.
@@ -224,12 +217,11 @@ impl BchCode {
     /// Data bit `i` is the coefficient of `x^(p+i)`; parity bit `j` (at
     /// codeword position `k + j`) is the coefficient of `x^j`.
     pub fn power_of_position(&self, pos: usize) -> usize {
-        assert!(pos < self.codeword_len(), "position {pos} out of range");
-        if pos < self.data_bits {
-            self.parity_bits + pos
-        } else {
-            pos - self.data_bits
-        }
+        assert!(
+            pos < self.data_bits + self.parity_bits,
+            "position {pos} out of range"
+        );
+        Self::power_for(self.data_bits, self.parity_bits, pos)
     }
 
     /// Maps a polynomial power back to a codeword bit position, or `None` if
@@ -244,50 +236,62 @@ impl BchCode {
         }
     }
 
-    /// Systematically encodes a dataword into a codeword (data bits first,
-    /// parity bits last).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `data.len() != data_len()`.
-    pub fn encode(&self, data: &BitVec) -> BitVec {
-        assert_eq!(
-            data.len(),
-            self.data_bits,
-            "dataword length mismatch: expected {}, got {}",
-            self.data_bits,
-            data.len()
-        );
-        let mut parity = BitVec::zeros(self.parity_bits);
-        for i in data.iter_ones() {
-            parity ^= &self.parity_columns[i];
-        }
-        data.concat(&parity)
-    }
-
-    /// Computes the power-sum syndromes `(S₁, S₃)` of a stored codeword.
+    /// Computes the power-sum syndromes `(S₁, S₃)` of a stored codeword as
+    /// GF(2^m) elements, derived from the binary syndrome (the kernel path).
     ///
     /// Both are zero exactly when the stored word is a valid codeword.
     ///
     /// # Panics
     ///
     /// Panics if `stored.len() != codeword_len()`.
-    pub fn syndromes(&self, stored: &BitVec) -> (u32, u32) {
-        assert_eq!(
-            stored.len(),
-            self.codeword_len(),
-            "codeword length mismatch: expected {}, got {}",
-            self.codeword_len(),
-            stored.len()
-        );
-        let mut s1 = 0u32;
-        let mut s3 = 0u32;
-        for pos in stored.iter_ones() {
-            let power = self.power_of_position(pos) as u32;
-            s1 ^= self.field.alpha_pow(power);
-            s3 ^= self.field.alpha_pow(3 * power);
+    pub fn power_sums(&self, stored: &BitVec) -> (u32, u32) {
+        self.power_sums_from_syndrome(&self.syndrome(stored))
+    }
+
+    /// Splits a binary syndrome (as produced by
+    /// [`LinearBlockCode::syndrome`]) into the power sums `(S₁, S₃)`:
+    /// bits `0..m` are `S₁`, bits `m..2m` are `S₃`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length is not `2m`.
+    pub fn power_sums_from_syndrome(&self, syndrome: &BitVec) -> (u32, u32) {
+        let m = self.field.degree() as usize;
+        assert_eq!(syndrome.len(), 2 * m, "syndrome length mismatch");
+        let word = syndrome.to_u64();
+        let mask = (1u64 << m) - 1;
+        ((word & mask) as u32, ((word >> m) & mask) as u32)
+    }
+
+    fn uncorrectable(&self, stored: &BitVec, syndrome: BitVec) -> DecodeResult {
+        DecodeResult {
+            dataword: stored.slice(0, self.data_bits),
+            outcome: DecodeOutcome::DetectedUncorrectable,
+            syndrome,
         }
-        (s1, s3)
+    }
+}
+
+impl LinearBlockCode for BchCode {
+    fn layout(&self) -> WordLayout {
+        WordLayout::new(self.data_bits, self.parity_bits)
+    }
+
+    /// The correction capability `t` (always 2 for this crate).
+    fn correction_capability(&self) -> usize {
+        2
+    }
+
+    fn parity_check_matrix(&self) -> &Gf2Matrix {
+        &self.h
+    }
+
+    fn parity_block(&self) -> &Gf2Matrix {
+        &self.a
+    }
+
+    fn syndrome_kernel(&self) -> &SyndromeKernel {
+        &self.kernel
     }
 
     /// Bounded-distance decodes a stored codeword using Peterson's direct
@@ -297,17 +301,14 @@ impl BchCode {
     /// or more raw errors it may *miscorrect*, flipping up to two additional
     /// (previously error-free) positions — the indirect errors studied by
     /// the HARP paper, here bounded by `t = 2` instead of 1.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `stored.len() != codeword_len()`.
-    pub fn decode(&self, stored: &BitVec) -> BchDecodeResult {
-        let (s1, s3) = self.syndromes(stored);
+    fn decode(&self, stored: &BitVec) -> DecodeResult {
+        let syndrome = self.syndrome(stored);
+        let (s1, s3) = self.power_sums_from_syndrome(&syndrome);
         if s1 == 0 && s3 == 0 {
-            return BchDecodeResult {
+            return DecodeResult {
                 dataword: stored.slice(0, self.data_bits),
-                outcome: BchDecodeOutcome::NoErrorDetected,
-                syndromes: (s1, s3),
+                outcome: DecodeOutcome::NoErrorDetected,
+                syndrome,
             };
         }
 
@@ -317,33 +318,36 @@ impl BchCode {
             if let Some(position) = self.position_of_power(power) {
                 let mut corrected = stored.clone();
                 corrected.flip(position);
-                return BchDecodeResult {
+                return DecodeResult {
                     dataword: corrected.slice(0, self.data_bits),
-                    outcome: BchDecodeOutcome::CorrectedSingle { position },
-                    syndromes: (s1, s3),
+                    outcome: DecodeOutcome::corrected(position),
+                    syndrome,
                 };
             }
-            return self.uncorrectable(stored, (s1, s3));
+            return self.uncorrectable(stored, syndrome);
         }
 
         // Double-error hypothesis. With two errors S₁ ≠ 0, so S₁ = 0 with
         // S₃ ≠ 0 is already uncorrectable.
         if s1 == 0 {
-            return self.uncorrectable(stored, (s1, s3));
+            return self.uncorrectable(stored, syndrome);
         }
         // Error-locator polynomial σ(x) = x² + S₁·x + (S₃/S₁ + S₁²); its
         // roots are the error locators α^e₁, α^e₂.
-        let sigma2 = self.field.add(self.field.div(s3, s1), self.field.pow(s1, 2));
+        let sigma2 = self
+            .field
+            .add(self.field.div(s3, s1), self.field.pow(s1, 2));
         if sigma2 == 0 {
             // A repeated root cannot correspond to two distinct positions.
-            return self.uncorrectable(stored, (s1, s3));
+            return self.uncorrectable(stored, syndrome);
         }
         let mut roots = Vec::new();
         for power in 0..self.field.order() {
             let x = self.field.alpha_pow(power);
-            let value = self
-                .field
-                .add(self.field.add(self.field.pow(x, 2), self.field.mul(s1, x)), sigma2);
+            let value = self.field.add(
+                self.field.add(self.field.pow(x, 2), self.field.mul(s1, x)),
+                sigma2,
+            );
             if value == 0 {
                 roots.push(power as usize);
                 if roots.len() > 2 {
@@ -352,57 +356,41 @@ impl BchCode {
             }
         }
         if roots.len() != 2 {
-            return self.uncorrectable(stored, (s1, s3));
+            return self.uncorrectable(stored, syndrome);
         }
-        let positions: Option<Vec<usize>> =
-            roots.iter().map(|&power| self.position_of_power(power)).collect();
+        let positions: Option<Vec<usize>> = roots
+            .iter()
+            .map(|&power| self.position_of_power(power))
+            .collect();
         match positions {
-            Some(mut positions) => {
-                positions.sort_unstable();
+            Some(positions) => {
                 let mut corrected = stored.clone();
-                corrected.flip(positions[0]);
-                corrected.flip(positions[1]);
-                BchDecodeResult {
+                for &position in &positions {
+                    corrected.flip(position);
+                }
+                DecodeResult {
                     dataword: corrected.slice(0, self.data_bits),
-                    outcome: BchDecodeOutcome::CorrectedDouble {
-                        positions: [positions[0], positions[1]],
-                    },
-                    syndromes: (s1, s3),
+                    outcome: DecodeOutcome::corrected_many(positions),
+                    syndrome,
                 }
             }
-            None => self.uncorrectable(stored, (s1, s3)),
+            None => self.uncorrectable(stored, syndrome),
         }
     }
 
-    fn uncorrectable(&self, stored: &BitVec, syndromes: (u32, u32)) -> BchDecodeResult {
-        BchDecodeResult {
-            dataword: stored.slice(0, self.data_bits),
-            outcome: BchDecodeOutcome::DetectedUncorrectable,
-            syndromes,
-        }
-    }
-
-    /// Convenience wrapper: encodes `data`, XORs in `error` (a
-    /// codeword-length error pattern), decodes, and returns the result.
-    ///
-    /// # Panics
-    ///
-    /// Panics on length mismatches.
-    pub fn encode_corrupt_decode(&self, data: &BitVec, error: &BitVec) -> BchDecodeResult {
-        let stored = &self.encode(data) ^ error;
-        self.decode(&stored)
+    fn description(&self) -> String {
+        format!(
+            "DEC BCH ({}, {}) over {}",
+            self.data_bits + self.parity_bits,
+            self.data_bits,
+            self.field
+        )
     }
 }
 
 impl fmt::Display for BchCode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "DEC BCH ({}, {}) over {}",
-            self.codeword_len(),
-            self.data_len(),
-            self.field
-        )
+        f.write_str(&self.description())
     }
 }
 
@@ -435,7 +423,10 @@ mod tests {
         assert_eq!(BchCode::dec(0), Err(BchError::EmptyDataword));
         assert!(matches!(
             BchCode::dec_with_field(1000, 7),
-            Err(BchError::DatawordTooLong { field_degree: 7, .. })
+            Err(BchError::DatawordTooLong {
+                field_degree: 7,
+                ..
+            })
         ));
         let err = BchCode::dec_with_field(1000, 7).unwrap_err();
         assert!(err.to_string().contains("does not fit"));
@@ -469,9 +460,32 @@ mod tests {
         for _ in 0..20 {
             let data = random_data(&code, &mut rng);
             let codeword = code.encode(&data);
-            assert_eq!(code.syndromes(&codeword), (0, 0));
+            assert_eq!(code.power_sums(&codeword), (0, 0));
             assert!(h.mul_vec(&codeword).is_zero());
+            assert!(code.syndrome(&codeword).is_zero());
         }
+    }
+
+    #[test]
+    fn kernel_syndrome_matches_power_sum_computation() {
+        // The binary syndrome through the batched kernel carries exactly the
+        // power sums: bits 0..m are S₁, bits m..2m are S₃, computed the slow
+        // way with the log/antilog tables.
+        let code = BchCode::dec(64).unwrap();
+        let data = BitVec::from_u64(64, 0x0F0F_F0F0_1234_8765);
+        let mut stored = code.encode(&data);
+        stored.flip(3);
+        stored.flip(41);
+        stored.flip(70);
+        let (s1, s3) = code.power_sums(&stored);
+        let mut slow_s1 = 0u32;
+        let mut slow_s3 = 0u32;
+        for pos in stored.iter_ones() {
+            let power = code.power_of_position(pos) as u32;
+            slow_s1 ^= code.field().alpha_pow(power);
+            slow_s3 ^= code.field().alpha_pow(3 * power);
+        }
+        assert_eq!((s1, s3), (slow_s1, slow_s3));
     }
 
     #[test]
@@ -483,10 +497,7 @@ mod tests {
             let error = BitVec::from_indices(code.codeword_len(), [pos]);
             let result = code.encode_corrupt_decode(&data, &error);
             assert_eq!(result.dataword, data, "single error at {pos}");
-            assert_eq!(
-                result.outcome,
-                BchDecodeOutcome::CorrectedSingle { position: pos }
-            );
+            assert_eq!(result.outcome, DecodeOutcome::corrected(pos));
         }
     }
 
@@ -501,10 +512,7 @@ mod tests {
                 let error = BitVec::from_indices(n, [a, b]);
                 let result = code.encode_corrupt_decode(&data, &error);
                 assert_eq!(result.dataword, data, "double error at ({a}, {b})");
-                assert_eq!(
-                    result.outcome,
-                    BchDecodeOutcome::CorrectedDouble { positions: [a, b] }
-                );
+                assert_eq!(result.outcome, DecodeOutcome::corrected_many([a, b]));
             }
         }
     }
@@ -524,7 +532,7 @@ mod tests {
             }
             let error = BitVec::from_indices(code.codeword_len(), positions.iter().copied());
             let result = code.encode_corrupt_decode(&data, &error);
-            assert_ne!(result.outcome, BchDecodeOutcome::NoErrorDetected);
+            assert_ne!(result.outcome, DecodeOutcome::NoErrorDetected);
         }
     }
 
@@ -559,9 +567,9 @@ mod tests {
     }
 
     #[test]
-    fn parity_matrix_matches_encoder() {
+    fn parity_block_matches_encoder() {
         let code = BchCode::dec(24).unwrap();
-        let a = code.parity_matrix();
+        let a = code.parity_block();
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..20 {
             let data = random_data(&code, &mut rng);
@@ -587,6 +595,7 @@ mod tests {
     fn display_names_the_code() {
         let code = BchCode::dec(64).unwrap();
         assert_eq!(code.to_string(), "DEC BCH (78, 64) over GF(2^7)");
+        assert_eq!(code.description(), "DEC BCH (78, 64) over GF(2^7)");
     }
 
     mod proptests {
@@ -605,7 +614,7 @@ mod tests {
                 let data = BitVec::from_u64(64, data_value).slice(0, k);
                 let result = code.decode(&code.encode(&data));
                 prop_assert_eq!(result.dataword, data);
-                prop_assert_eq!(result.outcome, BchDecodeOutcome::NoErrorDetected);
+                prop_assert_eq!(result.outcome, DecodeOutcome::NoErrorDetected);
             }
 
             #[test]
@@ -642,7 +651,7 @@ mod tests {
                 let data = BitVec::ones(64);
                 let error = BitVec::from_indices(78, positions.iter().copied());
                 let result = code.encode_corrupt_decode(&data, &error);
-                prop_assert_ne!(result.outcome, BchDecodeOutcome::NoErrorDetected);
+                prop_assert_ne!(result.outcome, DecodeOutcome::NoErrorDetected);
             }
 
             #[test]
@@ -679,7 +688,7 @@ mod tests {
                 for c in (b + 1)..n {
                     let error = BitVec::from_indices(n, [a, b, c]);
                     let result = code.encode_corrupt_decode(&data, &error);
-                    if result.outcome == BchDecodeOutcome::DetectedUncorrectable {
+                    if result.outcome == DecodeOutcome::DetectedUncorrectable {
                         saw_uncorrectable = true;
                         // Uncorrectable reads pass the stored data bits
                         // through: the dataword shows exactly the direct
@@ -696,6 +705,9 @@ mod tests {
                 }
             }
         }
-        assert!(saw_uncorrectable, "expected at least one uncorrectable triple");
+        assert!(
+            saw_uncorrectable,
+            "expected at least one uncorrectable triple"
+        );
     }
 }

@@ -3,10 +3,12 @@
 //! The HARP paper evaluates single-error-correcting Hamming codes because
 //! they are what LPDDR4/DDR5 on-die ECC uses today, and explicitly leaves
 //! stronger block codes — "e.g., double-error correcting BCH" — to future
-//! work (§2.5, footnote 9). This crate implements that extension so the
-//! repository can answer the natural follow-up question: *how do the three
-//! profiling challenges and HARP's secondary-ECC requirement change when
-//! on-die ECC corrects two errors instead of one?*
+//! work (§2.5, footnote 9). This crate implements that extension as a third
+//! (well, with SEC-DED, a *second external*) implementation of the shared
+//! [`harp_ecc::LinearBlockCode`] trait, so the whole stack — the generic
+//! memory chip in `harp_memsim`, every profiler in `harp_profiler`, the BEER
+//! reverse-engineering campaign, and the Monte-Carlo experiments — runs on
+//! BCH-protected words through exactly the same code paths as Hamming.
 //!
 //! The crate provides:
 //!
@@ -16,18 +18,20 @@
 //!   generator polynomial (minimal polynomials, lcm, polynomial division);
 //! * [`BchCode`] — systematic, shortened, double-error-correcting BCH codes
 //!   sized for the paper's 64-bit and 128-bit datawords (a `(78, 64)` and a
-//!   `(144, 128)` code), with encoding, syndrome computation and
-//!   bounded-distance decoding (Peterson's direct solution for `t = 2`);
-//! * [`analysis`] — the same post-correction error-space analysis the
-//!   Hamming crate performs for SEC codes, generalized to `t = 2`: direct
-//!   and indirect at-risk bits, the combinatorial amplification table, and
-//!   the maximum number of simultaneous indirect errors (which is bounded by
-//!   the correction capability, exactly as the paper's insight 2 predicts).
+//!   `(144, 128)` code). Encoding, kernel-accelerated syndrome computation,
+//!   and bounded-distance decoding (Peterson's direct solution for `t = 2`)
+//!   are exposed through [`harp_ecc::LinearBlockCode`], reporting results in
+//!   the shared [`harp_ecc::DecodeOutcome`] vocabulary;
+//! * [`analysis::combinatorics`] — the paper's Table 2 amplification
+//!   analysis generalized to `t = 2`. (The error-space machinery itself is
+//!   the *generic* [`harp_ecc::ErrorSpace`], which drives this crate's
+//!   decoder directly.)
 //!
 //! # Quickstart
 //!
 //! ```
 //! use harp_bch::BchCode;
+//! use harp_ecc::LinearBlockCode;
 //! use harp_gf2::BitVec;
 //!
 //! // A (78, 64) double-error-correcting BCH code.
@@ -45,15 +49,10 @@
 //! ```
 
 pub mod analysis;
-pub mod chip;
 pub mod code;
-pub mod decoder;
 pub mod field;
 pub mod poly;
 
-pub use analysis::BchErrorSpace;
-pub use chip::{BchMemoryChip, BchReadObservation};
 pub use code::{BchCode, BchError};
-pub use decoder::{BchDecodeOutcome, BchDecodeResult};
 pub use field::Gf2mField;
 pub use poly::BinaryPoly;

@@ -203,7 +203,10 @@ impl BinaryPoly {
     ///
     /// Panics if either polynomial is zero.
     pub fn lcm(&self, other: &Self) -> Self {
-        assert!(!self.is_zero() && !other.is_zero(), "lcm of the zero polynomial");
+        assert!(
+            !self.is_zero() && !other.is_zero(),
+            "lcm of the zero polynomial"
+        );
         let gcd = self.gcd(other);
         self.mul(other).div_rem(&gcd).0
     }
@@ -332,7 +335,10 @@ mod tests {
     fn multiplication_small_cases() {
         let x_plus_1 = BinaryPoly::from_coefficients(&[0, 1]);
         let x2_x_1 = BinaryPoly::from_coefficients(&[0, 1, 2]);
-        assert_eq!(x_plus_1.mul(&x2_x_1), BinaryPoly::from_coefficients(&[0, 3]));
+        assert_eq!(
+            x_plus_1.mul(&x2_x_1),
+            BinaryPoly::from_coefficients(&[0, 3])
+        );
         assert!(x_plus_1.mul(&BinaryPoly::zero()).is_zero());
         assert_eq!(x_plus_1.mul(&BinaryPoly::one()), x_plus_1);
     }
@@ -351,7 +357,7 @@ mod tests {
     fn gcd_and_lcm() {
         let a = BinaryPoly::from_coefficients(&[0, 1]); // x + 1
         let b = BinaryPoly::from_coefficients(&[0, 1, 2]); // x^2 + x + 1
-        // Coprime polynomials: gcd = 1, lcm = product.
+                                                           // Coprime polynomials: gcd = 1, lcm = product.
         assert_eq!(a.gcd(&b), BinaryPoly::one());
         assert_eq!(a.lcm(&b), a.mul(&b));
         // gcd(a·b, a) = a.

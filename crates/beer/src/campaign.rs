@@ -28,7 +28,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use harp_ecc::HammingCode;
+use harp_ecc::LinearBlockCode;
 use harp_gf2::BitVec;
 use harp_memsim::{FaultModel, MemoryChip};
 
@@ -100,7 +100,7 @@ impl BeerCampaign {
     /// # Panics
     ///
     /// Panics if the code's dataword length does not match the campaign.
-    pub fn extract_profile(&self, code: &HammingCode) -> MiscorrectionProfile {
+    pub fn extract_profile<C: LinearBlockCode + Clone>(&self, code: &C) -> MiscorrectionProfile {
         assert_eq!(
             code.data_len(),
             self.data_bits,
@@ -122,9 +122,9 @@ impl BeerCampaign {
     /// # Panics
     ///
     /// Panics if the chip's dataword length does not match the campaign.
-    pub fn extract_profile_from_chip(
+    pub fn extract_profile_from_chip<C: LinearBlockCode>(
         &self,
-        chip: &mut MemoryChip,
+        chip: &mut MemoryChip<C>,
         seed: u64,
     ) -> MiscorrectionProfile {
         assert_eq!(
@@ -165,6 +165,7 @@ impl BeerCampaign {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use harp_ecc::HammingCode;
 
     #[test]
     fn recovered_profile_matches_ground_truth_for_random_codes() {

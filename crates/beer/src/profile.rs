@@ -12,7 +12,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
-use harp_ecc::HammingCode;
+use harp_ecc::LinearBlockCode;
+use harp_gf2::BitVec;
 
 /// For every unordered pair of data-bit positions, the data-bit position (if
 /// any) the on-die ECC decoder miscorrects when exactly that pair of raw
@@ -26,7 +27,7 @@ use harp_ecc::HammingCode;
 ///
 /// ```
 /// use harp_beer::MiscorrectionProfile;
-/// use harp_ecc::HammingCode;
+/// use harp_ecc::{HammingCode, LinearBlockCode};
 ///
 /// let code = HammingCode::paper_example();
 /// let profile = MiscorrectionProfile::from_code(&code);
@@ -64,21 +65,34 @@ impl MiscorrectionProfile {
         Self { data_bits, pairs }
     }
 
-    /// The ground-truth profile computed directly from a known parity-check
-    /// matrix (used to validate what the black-box campaign recovers).
-    pub fn from_code(code: &HammingCode) -> Self {
+    /// The ground-truth profile computed directly from a known code (used to
+    /// validate what the black-box campaign recovers).
+    ///
+    /// Works for any [`LinearBlockCode`]: the pair's raw error pattern is
+    /// decoded directly (exact for linear codes), and a data-visible
+    /// miscorrection is any flipped data position outside the pair. For a
+    /// code that corrects double errors (DEC BCH) every target is `None` —
+    /// pairwise testing cannot provoke its miscorrections.
+    pub fn from_code<C: LinearBlockCode + ?Sized>(code: &C) -> Self {
         let k = code.data_len();
         let mut pairs = BTreeMap::new();
         for i in 0..k {
             for j in (i + 1)..k {
-                let syndrome = code.column(i) ^ code.column(j);
-                let target = code
-                    .position_for_syndrome(&syndrome)
-                    .filter(|&m| m < k && m != i && m != j);
+                let error = BitVec::from_indices(code.codeword_len(), [i, j]);
+                let result = code.decode_error_pattern(&error);
+                let target = result
+                    .outcome
+                    .corrected_positions()
+                    .iter()
+                    .copied()
+                    .find(|&m| m < k && m != i && m != j);
                 pairs.insert((i, j), target);
             }
         }
-        Self { data_bits: k, pairs }
+        Self {
+            data_bits: k,
+            pairs,
+        }
     }
 
     /// The dataword length the profile describes.
@@ -128,7 +142,7 @@ impl MiscorrectionProfile {
 
     /// Returns `true` if this profile matches the data-visible behaviour of
     /// the given code.
-    pub fn is_consistent_with(&self, code: &HammingCode) -> bool {
+    pub fn is_consistent_with<C: LinearBlockCode + ?Sized>(&self, code: &C) -> bool {
         code.data_len() == self.data_bits && Self::from_code(code) == *self
     }
 }
@@ -136,6 +150,7 @@ impl MiscorrectionProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use harp_ecc::HammingCode;
 
     #[test]
     fn ground_truth_profile_covers_all_pairs() {
@@ -153,9 +168,7 @@ mod tests {
         for i in 0..16 {
             for j in (i + 1)..16 {
                 let syndrome = code.column(i) ^ code.column(j);
-                let expected = code
-                    .position_for_syndrome(&syndrome)
-                    .filter(|&m| m < 16);
+                let expected = code.position_for_syndrome(&syndrome).filter(|&m| m < 16);
                 assert_eq!(profile.miscorrection_target(i, j), expected);
                 // Order agnostic lookup.
                 assert_eq!(profile.miscorrection_target(j, i), expected);
@@ -172,7 +185,10 @@ mod tests {
         let pairwise = profile.predict_indirect_from_direct(&direct);
         let full = predict_indirect_from_direct(&code, &direct, FailureDependence::TrueCell);
         for p in &pairwise {
-            assert!(full.contains(p), "pairwise prediction {p} missing from full prediction");
+            assert!(
+                full.contains(p),
+                "pairwise prediction {p} missing from full prediction"
+            );
         }
     }
 

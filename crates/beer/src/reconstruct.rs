@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use harp_ecc::HammingCode;
+use harp_ecc::{HammingCode, LinearBlockCode};
 use harp_gf2::{solve::row_echelon, BitVec, Gf2Matrix};
 
 use crate::profile::MiscorrectionProfile;
@@ -50,7 +50,10 @@ pub enum ReconstructError {
 impl fmt::Display for ReconstructError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ReconstructError::TooFewParityBits { parity_bits, required } => write!(
+            ReconstructError::TooFewParityBits {
+                parity_bits,
+                required,
+            } => write!(
                 f,
                 "{parity_bits} parity bits cannot encode the dataword (need at least {required})"
             ),
@@ -80,7 +83,7 @@ impl std::error::Error for ReconstructError {}
 ///
 /// ```
 /// use harp_beer::{reconstruct_equivalent_code, MiscorrectionProfile};
-/// use harp_ecc::HammingCode;
+/// use harp_ecc::{HammingCode, LinearBlockCode};
 ///
 /// let secret = HammingCode::random(8, 3)?;
 /// let profile = MiscorrectionProfile::from_code(&secret);
@@ -114,7 +117,9 @@ pub fn reconstruct_equivalent_code(
     // Every row of the parity block must lie in the null space of the
     // relation matrix (an empty relation set leaves the full space free).
     let basis = if relation_rows.is_empty() {
-        (0..k).map(|i| BitVec::from_indices(k, [i])).collect::<Vec<_>>()
+        (0..k)
+            .map(|i| BitVec::from_indices(k, [i]))
+            .collect::<Vec<_>>()
     } else {
         row_echelon(&Gf2Matrix::from_rows(&relation_rows)).nullspace()
     };
@@ -133,17 +138,13 @@ pub fn reconstruct_equivalent_code(
         // recorded miscorrection relation.
         let mixing = Gf2Matrix::from_fn(parity_bits, dim, |_, _| rng.gen_bool(0.5));
         let candidate_block = mixing.mul(&basis_matrix);
-        let data_columns: Vec<BitVec> =
-            (0..k).map(|i| candidate_block.col(i)).collect();
-        match HammingCode::from_data_columns(data_columns) {
-            Ok(code) => {
-                if profile.is_consistent_with(&code) {
-                    return Ok(code);
-                }
+        let data_columns: Vec<BitVec> = (0..k).map(|i| candidate_block.col(i)).collect();
+        // Invalid candidates (duplicate / zero / identity-colliding columns)
+        // simply move on to the next assignment.
+        if let Ok(code) = HammingCode::from_data_columns(data_columns) {
+            if profile.is_consistent_with(&code) {
+                return Ok(code);
             }
-            // Invalid candidate (duplicate / zero / identity-colliding
-            // columns): try the next assignment.
-            Err(_) => {}
         }
     }
     Err(ReconstructError::AttemptsExhausted { attempts })
@@ -161,16 +162,20 @@ pub fn reconstruct_equivalent_code(
 ///
 /// Panics if the codes have different dataword lengths or if `max_weight`
 /// is 0 or greater than 3.
-pub fn data_visible_equivalent(a: &HammingCode, b: &HammingCode, max_weight: usize) -> bool {
+pub fn data_visible_equivalent<A, B>(a: &A, b: &B, max_weight: usize) -> bool
+where
+    A: LinearBlockCode + ?Sized,
+    B: LinearBlockCode + ?Sized,
+{
     assert_eq!(a.data_len(), b.data_len(), "dataword lengths differ");
     assert!((1..=3).contains(&max_weight), "max_weight must be 1..=3");
     let k = a.data_len();
-    let visible = |code: &HammingCode, positions: &[usize]| -> Vec<usize> {
-        let data = BitVec::zeros(k);
+    fn visible<C: LinearBlockCode + ?Sized>(code: &C, positions: &[usize]) -> Vec<usize> {
+        let data = BitVec::zeros(code.data_len());
         let error = BitVec::from_indices(code.codeword_len(), positions.iter().copied());
         code.encode_corrupt_decode(&data, &error)
             .post_correction_errors(&data)
-    };
+    }
     let mut stack: Vec<Vec<usize>> = (0..k).map(|i| vec![i]).collect();
     while let Some(positions) = stack.pop() {
         if visible(a, &positions) != visible(b, &positions) {
@@ -201,7 +206,10 @@ mod tests {
                 reconstruct_equivalent_code(&profile, secret.parity_len(), seed, 50_000)
                     .expect("reconstruction converges for 8-bit datawords");
             assert!(profile.is_consistent_with(&recovered), "seed {seed}");
-            assert!(data_visible_equivalent(&secret, &recovered, 2), "seed {seed}");
+            assert!(
+                data_visible_equivalent(&secret, &recovered, 2),
+                "seed {seed}"
+            );
         }
     }
 

@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use harp_ecc::analysis::FailureDependence;
-use harp_ecc::{ErrorSpace, HammingCode};
+use harp_ecc::{ErrorSpace, HammingCode, LinearBlockCode};
 use harp_gf2::BitVec;
 use harp_memsim::pattern::DataPattern;
 use harp_memsim::{FaultModel, MemoryChip};
@@ -21,7 +21,9 @@ fn bench_encode_decode(c: &mut Criterion) {
     let mut stored = code.encode(&data);
     stored.flip(17);
     stored.flip(42);
-    group.bench_function("decode_double_error_71_64", |b| b.iter(|| code.decode(&stored)));
+    group.bench_function("decode_double_error_71_64", |b| {
+        b.iter(|| code.decode(&stored))
+    });
     let code128 = HammingCode::random(128, 1).unwrap();
     let data128 = BitVec::ones(128);
     group.bench_function("encode_136_128", |b| b.iter(|| code128.encode(&data128)));

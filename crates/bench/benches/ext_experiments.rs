@@ -18,10 +18,14 @@ fn bench_extensions(c: &mut Criterion) {
     });
 
     println!("\n{}", ext_module::run(&config).render());
-    c.bench_function("ext3/module_layouts", |b| b.iter(|| ext_module::run(&config)));
+    c.bench_function("ext3/module_layouts", |b| {
+        b.iter(|| ext_module::run(&config))
+    });
 
     println!("\n{}", ext_repair::run(&config).render());
-    c.bench_function("ext4/repair_capacity", |b| b.iter(|| ext_repair::run(&config)));
+    c.bench_function("ext4/repair_capacity", |b| {
+        b.iter(|| ext_repair::run(&config))
+    });
 
     println!("\n{}", ext_vrt::run(&config).render());
     c.bench_function("ext5/vrt_scrubbing", |b| b.iter(|| ext_vrt::run(&config)));

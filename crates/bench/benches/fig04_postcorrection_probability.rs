@@ -8,7 +8,10 @@ use harp_sim::experiments::fig4;
 
 fn bench_fig4(c: &mut Criterion) {
     let config = small_bench_config();
-    println!("\n{}", fig4::run_with(&config, &[2, 3, 4, 5, 6, 7, 8], 0.5).render());
+    println!(
+        "\n{}",
+        fig4::run_with(&config, &[2, 3, 4, 5, 6, 7, 8], 0.5).render()
+    );
     // Ablation: the longer (136, 128) code shows the same trends.
     let long = config.clone().with_long_code();
     println!(

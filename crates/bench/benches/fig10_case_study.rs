@@ -17,7 +17,10 @@ fn bench_fig10(c: &mut Criterion) {
     // Headline summary (coverage speedups + case-study speedup).
     let fig9_sweep = sweep::run_coverage_sweep(&config, &fig9::PROFILERS);
     let fig9_result = fig9::from_sweep(&fig9_sweep);
-    println!("{}", headline::summarize(&config, &fig9_result, &fig10_result).render());
+    println!(
+        "{}",
+        headline::summarize(&config, &fig9_result, &fig10_result).render()
+    );
 
     let timing_config = small_bench_config();
     c.bench_function("fig10/case_study_single_rber", |b| {

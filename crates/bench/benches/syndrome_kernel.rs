@@ -1,0 +1,104 @@
+//! Benchmarks the batched syndrome kernel against the naive matrix-vector
+//! path, for both code families, at single-read and batched granularity.
+//!
+//! The kernel is the hot path of every Monte-Carlo read (each decode starts
+//! with a syndrome), so this bench is the regression guard for the
+//! `LinearBlockCode` layer's performance claim: packed-word evaluation beats
+//! row-by-row `mul_vec`, and the batched entry points amortize output
+//! allocation across a campaign's worth of reads.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use harp_bch::BchCode;
+use harp_ecc::{HammingCode, LinearBlockCode};
+use harp_gf2::{BitVec, SyndromeKernel};
+
+/// One campaign's worth of stored (possibly corrupted) codewords.
+fn stored_words<C: LinearBlockCode>(code: &C, count: usize, seed: u64) -> Vec<BitVec> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let data: BitVec = (0..code.data_len())
+                .map(|_| rand::Rng::gen_bool(&mut rng, 0.5))
+                .collect();
+            let mut stored = code.encode(&data);
+            // Corrupt a couple of positions so syndromes are non-trivial.
+            stored.flip(i % stored.len());
+            stored.flip((i * 7 + 3) % stored.len());
+            stored
+        })
+        .collect()
+}
+
+fn bench_code<C: LinearBlockCode>(c: &mut Criterion, label: &str, code: &C) {
+    let words = stored_words(code, 4096, 0xBEEF);
+    let h = code.parity_check_matrix().clone();
+    let kernel = code.syndrome_kernel();
+
+    let mut group = c.benchmark_group(format!("syndrome_kernel/{label}"));
+    group.bench_function("mul_vec_single", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % words.len();
+            black_box(h.mul_vec(&words[i]))
+        })
+    });
+    group.bench_function("kernel_single", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % words.len();
+            black_box(kernel.syndrome(&words[i]))
+        })
+    });
+    group.bench_function("kernel_word_single", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % words.len();
+            black_box(kernel.syndrome_word(&words[i]))
+        })
+    });
+    group.bench_function("kernel_batch_4096", |b| {
+        b.iter(|| black_box(code.syndromes_batch(&words)))
+    });
+    group.bench_function("kernel_batch_words_4096", |b| {
+        let mut out = Vec::with_capacity(words.len());
+        b.iter(|| {
+            kernel.syndrome_words_into(&words, &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.finish();
+}
+
+fn bench_syndrome_kernels(c: &mut Criterion) {
+    // Correctness cross-check before timing: kernel == matrix on every word.
+    let hamming = HammingCode::random(64, 1).expect("valid code");
+    let verify = stored_words(&hamming, 64, 7);
+    for word in &verify {
+        assert_eq!(
+            hamming.syndrome_kernel().syndrome(word),
+            hamming.parity_check_matrix().mul_vec(word)
+        );
+    }
+    assert_eq!(
+        SyndromeKernel::new(hamming.parity_check_matrix()),
+        *hamming.syndrome_kernel()
+    );
+
+    bench_code(c, "hamming_71_64", &hamming);
+    bench_code(
+        c,
+        "hamming_136_128",
+        &HammingCode::random(128, 1).expect("valid code"),
+    );
+    bench_code(c, "bch_78_64", &BchCode::dec(64).expect("valid code"));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_syndrome_kernels
+);
+criterion_main!(benches);

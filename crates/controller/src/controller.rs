@@ -127,9 +127,9 @@ impl MemoryController {
     pub fn read<R: Rng + ?Sized>(&mut self, word: usize, rng: &mut R) -> ControllerReadOutcome {
         let observation = self.chip.read(word, rng);
         let written = observation.written_data().clone();
-        let repaired =
-            self.repair
-                .repair_read(word, observation.post_correction_data(), &written);
+        let repaired = self
+            .repair
+            .repair_read(word, observation.post_correction_data(), &written);
 
         match self.secondary.observe(&written, &repaired) {
             SecondaryObservation::Clean => ControllerReadOutcome {
@@ -207,7 +207,11 @@ mod tests {
         controller.write(0, &BitVec::ones(64));
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let outcome = controller.read(0, &mut rng);
-        assert!(outcome.is_correct(), "escaped: {:?}", outcome.escaped_errors);
+        assert!(
+            outcome.is_correct(),
+            "escaped: {:?}",
+            outcome.escaped_errors
+        );
         // The remaining at-risk bit (40) — or a miscorrection position — is
         // identified and recorded.
         assert!(!outcome.newly_identified.is_empty());

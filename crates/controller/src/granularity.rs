@@ -218,7 +218,8 @@ mod tests {
         // Granularities are listed coarsest-first.
         assert!(REPAIR_CATALOG
             .windows(2)
-            .all(|w| w[0].granularity_bits >= w[1].granularity_bits || w[0].category == "System page"));
+            .all(|w| w[0].granularity_bits >= w[1].granularity_bits
+                || w[0].category == "System page"));
     }
 
     #[test]

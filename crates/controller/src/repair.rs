@@ -75,11 +75,7 @@ impl BitRepairMechanism {
     ///
     /// Panics if the two datawords have different lengths.
     pub fn repair_read(&self, word: usize, observed: &BitVec, reference: &BitVec) -> BitVec {
-        assert_eq!(
-            observed.len(),
-            reference.len(),
-            "dataword length mismatch"
-        );
+        assert_eq!(observed.len(), reference.len(), "dataword length mismatch");
         let mut repaired = observed.clone();
         for bit in self.profile.bits_for(word) {
             if bit < repaired.len() {

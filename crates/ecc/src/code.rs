@@ -6,6 +6,11 @@
 //! `s = H·c'`, and a nonzero syndrome matching column `i` makes the decoder
 //! flip bit `i` (§2.5 of the paper).
 //!
+//! Encoding, syndrome computation, and decoding are exposed through the
+//! shared [`LinearBlockCode`] trait (this module only adds the
+//! Hamming-specific construction and structure accessors), and the syndrome
+//! path runs through a precomputed [`SyndromeKernel`].
+//!
 //! Real on-die ECC parity-check matrices are proprietary, so — exactly like
 //! the paper's evaluation — this module can generate uniform-random systematic
 //! codes for a given dataword length (e.g. `(71, 64)` and `(136, 128)`).
@@ -17,8 +22,9 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use harp_gf2::{BitVec, Gf2Matrix};
+use harp_gf2::{BitVec, Gf2Matrix, SyndromeKernel};
 
+use crate::block::LinearBlockCode;
 use crate::decoder::{DecodeOutcome, DecodeResult};
 use crate::word::WordLayout;
 
@@ -91,10 +97,9 @@ impl fmt::Display for CodeError {
                 f,
                 "parity-check column {column} is a unit vector reserved for a parity bit"
             ),
-            CodeError::DuplicateColumn { first, second } => write!(
-                f,
-                "parity-check columns {first} and {second} are identical"
-            ),
+            CodeError::DuplicateColumn { first, second } => {
+                write!(f, "parity-check columns {first} and {second} are identical")
+            }
             CodeError::EmptyDataword => write!(f, "dataword length must be nonzero"),
         }
     }
@@ -171,12 +176,13 @@ impl fmt::Display for CodeShape {
 ///
 /// The parity-check matrix has the block form `H = [A | I_p]`; the generator
 /// matrix is `G = [I_k | A^T]` so that `G·H^T = 0` and data bits are stored
-/// verbatim in codeword positions `0..k`.
+/// verbatim in codeword positions `0..k`. Encoding and decoding are provided
+/// through [`LinearBlockCode`].
 ///
 /// # Example
 ///
 /// ```
-/// use harp_ecc::HammingCode;
+/// use harp_ecc::{HammingCode, LinearBlockCode};
 /// use harp_gf2::BitVec;
 ///
 /// let code = HammingCode::paper_example();
@@ -196,6 +202,8 @@ pub struct HammingCode {
     a: Gf2Matrix,
     /// Column `i` of `H`, cached for syndrome matching.
     columns: Vec<BitVec>,
+    /// Word-packed copy of `H` driving the hot syndrome path.
+    kernel: SyndromeKernel,
 }
 
 impl HammingCode {
@@ -251,11 +259,13 @@ impl HammingCode {
         let a = Gf2Matrix::from_cols(&data_columns);
         let h = a.hstack(&Gf2Matrix::identity(p));
         let columns = (0..layout.codeword_len()).map(|i| h.col(i)).collect();
+        let kernel = SyndromeKernel::new(&h);
         Ok(Self {
             layout,
             h,
             a,
             columns,
+            kernel,
         })
     }
 
@@ -320,31 +330,6 @@ impl HammingCode {
         }
     }
 
-    /// The systematic word layout (data vs. parity positions).
-    pub fn layout(&self) -> WordLayout {
-        self.layout
-    }
-
-    /// Dataword length `k`.
-    pub fn data_len(&self) -> usize {
-        self.layout.data_len()
-    }
-
-    /// Codeword length `n = k + p`.
-    pub fn codeword_len(&self) -> usize {
-        self.layout.codeword_len()
-    }
-
-    /// Number of parity bits `p`.
-    pub fn parity_len(&self) -> usize {
-        self.layout.parity_len()
-    }
-
-    /// The full parity-check matrix `H = [A | I_p]`.
-    pub fn parity_check_matrix(&self) -> &Gf2Matrix {
-        &self.h
-    }
-
     /// The `A` block of the parity-check matrix (`p × k`).
     pub fn data_block(&self) -> &Gf2Matrix {
         &self.a
@@ -352,7 +337,7 @@ impl HammingCode {
 
     /// The generator matrix `G = [I_k | A^T]` (`k × (k + p)`).
     pub fn generator_matrix(&self) -> Gf2Matrix {
-        Gf2Matrix::identity(self.data_len()).hstack(&self.a.transpose())
+        Gf2Matrix::identity(self.layout.data_len()).hstack(&self.a.transpose())
     }
 
     /// Column `pos` of the parity-check matrix (the syndrome a single-bit
@@ -373,52 +358,27 @@ impl HammingCode {
         }
         self.columns.iter().position(|c| c == syndrome)
     }
+}
 
-    /// Systematically encodes a dataword into a codeword.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `data.len() != data_len()`.
-    ///
-    /// # Example
-    ///
-    /// ```
-    /// use harp_ecc::HammingCode;
-    /// use harp_gf2::BitVec;
-    ///
-    /// let code = HammingCode::random(16, 1)?;
-    /// let data = BitVec::from_u64(16, 0xBEEF);
-    /// let c = code.encode(&data);
-    /// assert_eq!(c.len(), code.codeword_len());
-    /// assert!(code.syndrome(&c).is_zero());
-    /// # Ok::<(), harp_ecc::CodeError>(())
-    /// ```
-    pub fn encode(&self, data: &BitVec) -> BitVec {
-        assert_eq!(
-            data.len(),
-            self.data_len(),
-            "dataword length mismatch: expected {}, got {}",
-            self.data_len(),
-            data.len()
-        );
-        let parity = self.a.mul_vec(data);
-        data.concat(&parity)
+impl LinearBlockCode for HammingCode {
+    fn layout(&self) -> WordLayout {
+        self.layout
     }
 
-    /// Computes the syndrome `H·c` of a (possibly erroneous) stored codeword.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `codeword.len() != codeword_len()`.
-    pub fn syndrome(&self, codeword: &BitVec) -> BitVec {
-        assert_eq!(
-            codeword.len(),
-            self.codeword_len(),
-            "codeword length mismatch: expected {}, got {}",
-            self.codeword_len(),
-            codeword.len()
-        );
-        self.h.mul_vec(codeword)
+    fn correction_capability(&self) -> usize {
+        1
+    }
+
+    fn parity_check_matrix(&self) -> &Gf2Matrix {
+        &self.h
+    }
+
+    fn parity_block(&self) -> &Gf2Matrix {
+        &self.a
+    }
+
+    fn syndrome_kernel(&self) -> &SyndromeKernel {
+        &self.kernel
     }
 
     /// Syndrome-decodes a stored codeword, returning the post-correction
@@ -428,15 +388,11 @@ impl HammingCode {
     /// [`DecodeOutcome::Corrected`] outcome may in truth be a miscorrection;
     /// use [`crate::analysis::classify_decode`] when ground truth is
     /// available (simulation).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `stored.len() != codeword_len()`.
-    pub fn decode(&self, stored: &BitVec) -> DecodeResult {
+    fn decode(&self, stored: &BitVec) -> DecodeResult {
         let syndrome = self.syndrome(stored);
         if syndrome.is_zero() {
             return DecodeResult {
-                dataword: stored.slice(0, self.data_len()),
+                dataword: stored.slice(0, self.layout.data_len()),
                 outcome: DecodeOutcome::NoErrorDetected,
                 syndrome,
             };
@@ -446,36 +402,29 @@ impl HammingCode {
                 let mut corrected = stored.clone();
                 corrected.flip(position);
                 DecodeResult {
-                    dataword: corrected.slice(0, self.data_len()),
-                    outcome: DecodeOutcome::Corrected { position },
+                    dataword: corrected.slice(0, self.layout.data_len()),
+                    outcome: DecodeOutcome::corrected(position),
                     syndrome,
                 }
             }
             None => DecodeResult {
                 // No matching column: the decoder detects but cannot locate
                 // the error, and passes the stored data bits through.
-                dataword: stored.slice(0, self.data_len()),
+                dataword: stored.slice(0, self.layout.data_len()),
                 outcome: DecodeOutcome::DetectedUncorrectable,
                 syndrome,
             },
         }
     }
 
-    /// Convenience wrapper: encodes `data`, XORs in `error` (a codeword-length
-    /// error pattern), decodes, and returns the decode result.
-    ///
-    /// # Panics
-    ///
-    /// Panics on length mismatches.
-    pub fn encode_corrupt_decode(&self, data: &BitVec, error: &BitVec) -> DecodeResult {
-        let stored = &self.encode(data) ^ error;
-        self.decode(&stored)
+    fn description(&self) -> String {
+        format!("SEC Hamming {}", self.shape())
     }
 }
 
 impl fmt::Display for HammingCode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SEC Hamming {}", self.shape())
+        f.write_str(&self.description())
     }
 }
 
@@ -551,6 +500,22 @@ mod tests {
     }
 
     #[test]
+    fn syndrome_routes_through_the_kernel() {
+        let code = HammingCode::random(64, 8).unwrap();
+        let data = BitVec::from_u64(64, 0x0123_4567_89AB_CDEF);
+        let mut stored = code.encode(&data);
+        stored.flip(42);
+        assert_eq!(
+            code.syndrome(&stored),
+            code.parity_check_matrix().mul_vec(&stored)
+        );
+        assert_eq!(
+            code.syndrome_kernel().syndrome(&stored),
+            code.syndrome(&stored)
+        );
+    }
+
+    #[test]
     fn single_error_in_any_position_is_corrected() {
         let code = HammingCode::random(16, 9).unwrap();
         let data = BitVec::from_u64(16, 0x5A5A);
@@ -558,7 +523,7 @@ mod tests {
             let error = BitVec::from_indices(code.codeword_len(), [pos]);
             let result = code.encode_corrupt_decode(&data, &error);
             assert_eq!(result.dataword, data, "error at {pos} not corrected");
-            assert_eq!(result.outcome, DecodeOutcome::Corrected { position: pos });
+            assert_eq!(result.outcome, DecodeOutcome::corrected(pos));
         }
     }
 
@@ -664,6 +629,7 @@ mod tests {
     fn display_mentions_shape() {
         let code = HammingCode::random(64, 77).unwrap();
         assert_eq!(code.to_string(), "SEC Hamming (71, 64)");
+        assert_eq!(code.description(), "SEC Hamming (71, 64)");
     }
 
     mod properties {

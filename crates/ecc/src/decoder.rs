@@ -1,41 +1,76 @@
-//! Syndrome-decoder result types.
+//! The shared decode vocabulary of the code-abstraction layer.
 //!
-//! The decoder itself lives on [`crate::HammingCode::decode`]; this module
-//! defines the result types plus the ground-truth classification used by the
-//! simulator to distinguish true corrections from *miscorrections* (the
-//! source of the paper's indirect errors).
+//! Every implementation of [`LinearBlockCode`](crate::LinearBlockCode) — the
+//! SEC Hamming code, the extended-Hamming SEC-DED code, and the DEC BCH code
+//! in `harp_bch` — reports decode results in this one vocabulary, so the
+//! profilers, the BEER reverse-engineering stack, and the simulator never
+//! need code-specific result types. A decoder may flip any number of
+//! positions up to its correction capability `t`, so a correction carries a
+//! position *list* (length 1 for SEC codes, up to 2 for DEC BCH).
+//!
+//! The decoder only ever sees the stored (possibly corrupted) codeword, so a
+//! reported correction may in truth be a *miscorrection* — the mechanism
+//! behind the paper's indirect errors; see
+//! [`GroundTruth`](crate::analysis::GroundTruth) for the simulator-side
+//! classification when the injected raw error pattern is known.
 
 use serde::{Deserialize, Serialize};
 
 use harp_gf2::BitVec;
 
-/// What the on-die ECC decoder believes happened during a read.
-///
-/// The decoder only sees the stored (possibly corrupted) codeword, so a
-/// reported correction may in truth be a miscorrection; see
-/// [`GroundTruth`](crate::analysis::GroundTruth) for the simulator-side view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// What an on-die ECC decoder believes happened during a read.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DecodeOutcome {
     /// The syndrome was zero: either no raw error occurred or the raw errors
     /// happened to form another valid codeword (undetectable error).
     NoErrorDetected,
-    /// The syndrome matched parity-check column `position`, so the decoder
-    /// flipped that bit.
+    /// The syndrome was consistent with a correctable error pattern and the
+    /// decoder flipped the listed codeword positions (ascending, at most the
+    /// code's correction capability).
+    ///
+    /// The position list is a `Vec` so the vocabulary works for any `t`
+    /// without a hard-coded capacity; the resulting 1–2-element allocation
+    /// per corrected read is dwarfed by the `BitVec` allocations a decode
+    /// already performs (dataword slice, syndrome, corrected copy).
     Corrected {
-        /// Codeword position the decoder flipped.
-        position: usize,
+        /// Codeword positions the decoder flipped.
+        positions: Vec<usize>,
     },
-    /// The syndrome was nonzero but matched no parity-check column: the
+    /// The syndrome was nonzero but matched no correctable pattern: the
     /// decoder detected an error it cannot locate and passed the stored data
     /// bits through unmodified.
     DetectedUncorrectable,
 }
 
 impl DecodeOutcome {
-    /// Returns the corrected position if the decoder performed a correction.
-    pub fn corrected_position(&self) -> Option<usize> {
+    /// A correction of a single position.
+    pub fn corrected(position: usize) -> Self {
+        DecodeOutcome::Corrected {
+            positions: vec![position],
+        }
+    }
+
+    /// A correction of several positions (sorted ascending internally).
+    pub fn corrected_many<I: IntoIterator<Item = usize>>(positions: I) -> Self {
+        let mut positions: Vec<usize> = positions.into_iter().collect();
+        positions.sort_unstable();
+        DecodeOutcome::Corrected { positions }
+    }
+
+    /// The codeword positions the decoder flipped (empty unless a correction
+    /// was performed).
+    pub fn corrected_positions(&self) -> &[usize] {
         match self {
-            DecodeOutcome::Corrected { position } => Some(*position),
+            DecodeOutcome::Corrected { positions } => positions,
+            _ => &[],
+        }
+    }
+
+    /// The corrected position when the decoder flipped exactly one bit
+    /// (always the case for SEC codes).
+    pub fn corrected_position(&self) -> Option<usize> {
+        match self.corrected_positions() {
+            [position] => Some(*position),
             _ => None,
         }
     }
@@ -43,6 +78,11 @@ impl DecodeOutcome {
     /// Returns `true` if the decoder performed a correction operation.
     pub fn is_correction(&self) -> bool {
         matches!(self, DecodeOutcome::Corrected { .. })
+    }
+
+    /// The number of bit positions the decoder flipped.
+    pub fn correction_count(&self) -> usize {
+        self.corrected_positions().len()
     }
 }
 
@@ -53,8 +93,9 @@ pub struct DecodeResult {
     pub dataword: BitVec,
     /// What the decoder believes happened.
     pub outcome: DecodeOutcome,
-    /// The raw syndrome `H·c'` (useful for the "syndrome on correction"
-    /// transparency option discussed in §5.2 of the paper).
+    /// The raw binary syndrome `H·c'` (useful for the "syndrome on
+    /// correction" transparency option discussed in §5.2 of the paper). For
+    /// the BCH code this is the bit-expansion of the power sums `(S₁, S₃)`.
     pub syndrome: BitVec,
 }
 
@@ -70,7 +111,7 @@ impl DecodeResult {
     /// # Example
     ///
     /// ```
-    /// use harp_ecc::HammingCode;
+    /// use harp_ecc::{HammingCode, LinearBlockCode};
     /// use harp_gf2::BitVec;
     ///
     /// let code = HammingCode::paper_example();
@@ -93,21 +134,37 @@ impl DecodeResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block::LinearBlockCode;
     use crate::HammingCode;
 
     #[test]
     fn corrected_position_accessor() {
-        assert_eq!(
-            DecodeOutcome::Corrected { position: 5 }.corrected_position(),
-            Some(5)
-        );
+        assert_eq!(DecodeOutcome::corrected(5).corrected_position(), Some(5));
         assert_eq!(DecodeOutcome::NoErrorDetected.corrected_position(), None);
         assert_eq!(
             DecodeOutcome::DetectedUncorrectable.corrected_position(),
             None
         );
-        assert!(DecodeOutcome::Corrected { position: 0 }.is_correction());
+        // A multi-position correction has no single corrected position.
+        assert_eq!(
+            DecodeOutcome::corrected_many([2, 7]).corrected_position(),
+            None
+        );
+        assert!(DecodeOutcome::corrected(0).is_correction());
         assert!(!DecodeOutcome::NoErrorDetected.is_correction());
+    }
+
+    #[test]
+    fn corrected_many_sorts_positions() {
+        assert_eq!(
+            DecodeOutcome::corrected_many([9, 2]).corrected_positions(),
+            &[2, 9]
+        );
+        assert_eq!(DecodeOutcome::corrected_many([9, 2]).correction_count(), 2);
+        assert_eq!(DecodeOutcome::NoErrorDetected.correction_count(), 0);
+        assert!(DecodeOutcome::NoErrorDetected
+            .corrected_positions()
+            .is_empty());
     }
 
     #[test]

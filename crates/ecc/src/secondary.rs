@@ -19,8 +19,8 @@ use serde::{Deserialize, Serialize};
 
 use harp_gf2::BitVec;
 
+use crate::block::LinearBlockCode;
 use crate::code::{CodeError, HammingCode};
-use crate::decoder::DecodeOutcome;
 
 /// What the secondary ECC observed for one read during reactive profiling.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -163,10 +163,8 @@ impl SecondaryEcc {
                     .slice(code.data_len(), code.codeword_len());
                 let stored = post_correction.concat(&parity);
                 let result = code.decode(&stored);
-                match result.outcome {
-                    DecodeOutcome::Corrected { position }
-                        if position < code.data_len() && result.dataword == *written =>
-                    {
+                match result.outcome.corrected_position() {
+                    Some(position) if position < code.data_len() && result.dataword == *written => {
                         SecondaryObservation::Identified {
                             positions: vec![position],
                         }
@@ -235,7 +233,9 @@ mod tests {
             SecondaryObservation::Clean
         );
         assert!(SecondaryObservation::Clean.is_safe());
-        assert!(SecondaryObservation::Clean.identified_positions().is_empty());
+        assert!(SecondaryObservation::Clean
+            .identified_positions()
+            .is_empty());
     }
 
     #[test]

@@ -6,14 +6,17 @@
 //! pre-correction error combinations are possible under data-dependent error
 //! models — reduces to arithmetic on binary vectors and matrices.
 //!
-//! This crate provides three building blocks:
+//! This crate provides four building blocks:
 //!
 //! * [`BitVec`] — a densely packed, fixed-length vector over GF(2);
 //! * [`Gf2Matrix`] — a dense matrix over GF(2) with multiplication,
 //!   transposition, stacking, and rank computation;
 //! * [`solve`] — Gaussian elimination based solvers: reduced row echelon form,
 //!   linear-system feasibility (used to decide whether a set of codeword bits
-//!   can all be *charged* under some data pattern), and null-space bases.
+//!   can all be *charged* under some data pattern), and null-space bases;
+//! * [`SyndromeKernel`] — a word-packed parity-check matrix evaluating
+//!   syndromes (one or a whole batch of codewords per call) on the hot
+//!   Monte-Carlo read path.
 //!
 //! # Example
 //!
@@ -30,10 +33,12 @@
 //! assert!(syndrome.is_zero());
 //! ```
 
+pub mod batch;
 pub mod bitvec;
 pub mod matrix;
 pub mod solve;
 
+pub use batch::SyndromeKernel;
 pub use bitvec::BitVec;
 pub use matrix::Gf2Matrix;
 pub use solve::{solve, LinearSolution, RowEchelon};

@@ -152,10 +152,7 @@ impl Gf2Matrix {
     /// Panics if `col >= cols()`.
     pub fn col(&self, col: usize) -> BitVec {
         assert!(col < self.cols, "col {col} out of range {}", self.cols);
-        BitVec::from_indices(
-            self.rows,
-            (0..self.rows).filter(|&i| self.data[i].get(col)),
-        )
+        BitVec::from_indices(self.rows, (0..self.rows).filter(|&i| self.data[i].get(col)))
     }
 
     /// Iterates over the rows of the matrix.
@@ -187,10 +184,7 @@ impl Gf2Matrix {
     /// ```
     pub fn mul_vec(&self, v: &BitVec) -> BitVec {
         assert_eq!(v.len(), self.cols, "mul_vec dimension mismatch");
-        BitVec::from_indices(
-            self.rows,
-            (0..self.rows).filter(|&i| self.data[i].dot(v)),
-        )
+        BitVec::from_indices(self.rows, (0..self.rows).filter(|&i| self.data[i].dot(v)))
     }
 
     /// Matrix × matrix product.

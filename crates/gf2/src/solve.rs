@@ -51,6 +51,7 @@ impl RowEchelon {
             is_pivot[p] = true;
         }
         let mut basis = Vec::new();
+        #[allow(clippy::needless_range_loop)]
         for free in 0..cols {
             if is_pivot[free] {
                 continue;
@@ -168,7 +169,7 @@ pub fn solve(a: &Gf2Matrix, b: &BitVec) -> LinearSolution {
     let n = a.cols();
 
     // Infeasible iff some pivot lands in the augmented column.
-    if re.pivots.iter().any(|&p| p == n) {
+    if re.pivots.contains(&n) {
         return LinearSolution::Infeasible;
     }
 
@@ -333,17 +334,15 @@ mod tests {
         use super::*;
         use proptest::prelude::*;
 
-        fn arbitrary_matrix(
-            max_rows: usize,
-            max_cols: usize,
-        ) -> impl Strategy<Value = Gf2Matrix> {
+        fn arbitrary_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Gf2Matrix> {
             (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
-                proptest::collection::vec(proptest::collection::vec(any::<bool>(), c), r)
-                    .prop_map(move |rows| {
+                proptest::collection::vec(proptest::collection::vec(any::<bool>(), c), r).prop_map(
+                    move |rows| {
                         let rows: Vec<BitVec> =
                             rows.iter().map(|b| BitVec::from_bools(b)).collect();
                         Gf2Matrix::from_rows(&rows)
-                    })
+                    },
+                )
             })
         }
 
@@ -391,7 +390,7 @@ mod tests {
                 let re = row_echelon(&a);
                 let rank_a = re.rank();
                 for row in re.rref.iter_rows() {
-                    let stacked = a.vstack(&Gf2Matrix::from_rows(&[row.clone()]));
+                    let stacked = a.vstack(&Gf2Matrix::from_rows(std::slice::from_ref(row)));
                     prop_assert_eq!(stacked.rank(), rank_a);
                 }
             }

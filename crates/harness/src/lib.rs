@@ -1,0 +1,21 @@
+//! Workspace facade for the HARP reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests under
+//! `tests/` and the runnable walkthroughs under `examples/`; it re-exports
+//! every layer of the stack so downstream code can depend on a single crate.
+//!
+//! Crate layering (see ROADMAP.md for the full architecture section):
+//!
+//! ```text
+//! gf2 → ecc / bch → memsim / module → profiler / beer / controller → sim → bench / cli
+//! ```
+
+pub use harp_bch as bch;
+pub use harp_beer as beer;
+pub use harp_controller as controller;
+pub use harp_ecc as ecc;
+pub use harp_gf2 as gf2;
+pub use harp_memsim as memsim;
+pub use harp_module as module;
+pub use harp_profiler as profiler;
+pub use harp_sim as sim;

@@ -1,9 +1,11 @@
-//! A memory chip with on-die ECC.
+//! A memory chip with on-die ECC, generic over the code.
 //!
-//! The chip stores one codeword per ECC word. Writes systematically encode
-//! the dataword; reads sample a fresh raw error pattern from the word's
-//! [`FaultModel`] (each read models one profiling round / access under the
-//! paper's Bernoulli error model) and decode it with the on-die ECC.
+//! The chip stores one codeword per ECC word and works with any
+//! [`LinearBlockCode`] — SEC Hamming, SEC-DED, or the DEC BCH code from
+//! `harp_bch`. Writes systematically encode the dataword; reads sample a
+//! fresh raw error pattern from the word's [`FaultModel`] (each read models
+//! one profiling round / access under the paper's Bernoulli error model) and
+//! decode it with the on-die ECC.
 //!
 //! The returned [`ReadObservation`] exposes three views of the same access:
 //!
@@ -18,13 +20,14 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use harp_ecc::{DecodeResult, HammingCode};
+use harp_ecc::{DecodeResult, HammingCode, LinearBlockCode};
 use harp_gf2::BitVec;
 
 use crate::fault::FaultModel;
 
 /// Everything observable (and, for the simulator, knowable) about one read
-/// of one ECC word.
+/// of one ECC word. The observation is code-agnostic: whichever code the
+/// chip uses, profilers consume the same structure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReadObservation {
     written: BitVec,
@@ -69,7 +72,9 @@ impl ReadObservation {
     /// data — the direct (pre-correction) errors visible through the bypass
     /// path.
     pub fn direct_errors(&self) -> Vec<usize> {
-        (&self.raw_data_bits() ^ &self.written).iter_ones().collect()
+        (&self.raw_data_bits() ^ &self.written)
+            .iter_ones()
+            .collect()
     }
 
     /// Simulator-only ground truth: the raw error pattern injected into the
@@ -79,12 +84,13 @@ impl ReadObservation {
     }
 }
 
-/// A memory chip containing `num_words` ECC words protected by on-die ECC.
+/// A memory chip containing `num_words` ECC words protected by on-die ECC of
+/// type `C`.
 ///
 /// # Example
 ///
 /// ```
-/// use harp_ecc::HammingCode;
+/// use harp_ecc::{HammingCode, LinearBlockCode};
 /// use harp_gf2::BitVec;
 /// use harp_memsim::{MemoryChip, FaultModel};
 /// use rand::SeedableRng;
@@ -104,17 +110,17 @@ impl ReadObservation {
 /// # Ok::<(), harp_ecc::CodeError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct MemoryChip {
-    code: HammingCode,
+pub struct MemoryChip<C: LinearBlockCode = HammingCode> {
+    code: C,
     stored: Vec<BitVec>,
     written: Vec<BitVec>,
     faults: Vec<FaultModel>,
 }
 
-impl MemoryChip {
+impl<C: LinearBlockCode> MemoryChip<C> {
     /// Creates a chip with `num_words` words, all initialized to zero and
     /// error-free.
-    pub fn new(code: HammingCode, num_words: usize) -> Self {
+    pub fn new(code: C, num_words: usize) -> Self {
         let zero_data = BitVec::zeros(code.data_len());
         let zero_code = code.encode(&zero_data);
         Self {
@@ -126,7 +132,7 @@ impl MemoryChip {
     }
 
     /// The on-die ECC code used by this chip.
-    pub fn code(&self) -> &HammingCode {
+    pub fn code(&self) -> &C {
         &self.code
     }
 
@@ -225,10 +231,7 @@ mod tests {
             assert!(obs.post_correction_data().is_zero());
             assert!(obs.post_correction_errors().is_empty());
             assert!(obs.direct_errors().is_empty());
-            assert_eq!(
-                obs.decode_result().outcome,
-                DecodeOutcome::NoErrorDetected
-            );
+            assert_eq!(obs.decode_result().outcome, DecodeOutcome::NoErrorDetected);
         }
     }
 
@@ -255,13 +258,13 @@ mod tests {
         let obs = chip.read(0, &mut rng);
         // Normal read: corrected.
         assert!(obs.post_correction_errors().is_empty());
-        assert_eq!(
-            obs.decode_result().outcome,
-            DecodeOutcome::Corrected { position: 5 }
-        );
+        assert_eq!(obs.decode_result().outcome, DecodeOutcome::corrected(5));
         // Bypass read: the direct error is visible.
         assert_eq!(obs.direct_errors(), vec![5]);
-        assert_eq!(obs.raw_error_pattern().iter_ones().collect::<Vec<_>>(), vec![5]);
+        assert_eq!(
+            obs.raw_error_pattern().iter_ones().collect::<Vec<_>>(),
+            vec![5]
+        );
     }
 
     #[test]
@@ -300,6 +303,25 @@ mod tests {
         let obs = chip.read(0, &mut rng);
         assert!(obs.post_correction_errors().is_empty());
         assert!(obs.direct_errors().is_empty());
+    }
+
+    #[test]
+    fn chips_are_generic_over_the_code() {
+        // The same chip model runs a SEC-DED-protected word: a double error
+        // that would miscorrect under plain SEC is detected instead, so the
+        // post-correction data shows exactly the two direct errors.
+        let code = harp_ecc::ExtendedHammingCode::random(64, 17).unwrap();
+        let mut chip = MemoryChip::new(code, 1);
+        chip.set_fault_model(0, FaultModel::uniform(&[3, 9], 1.0));
+        chip.write(0, &BitVec::ones(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let obs = chip.read(0, &mut rng);
+        assert_eq!(obs.direct_errors(), vec![3, 9]);
+        assert_eq!(obs.post_correction_errors(), vec![3, 9]);
+        assert_eq!(
+            obs.decode_result().outcome,
+            DecodeOutcome::DetectedUncorrectable
+        );
     }
 
     #[test]

@@ -286,10 +286,7 @@ mod tests {
 
     #[test]
     fn anti_cells_fail_when_discharged() {
-        let model = FaultModel::new(
-            vec![AtRiskBit::new(1, 1.0)],
-            FailureDependence::AntiCell,
-        );
+        let model = FaultModel::new(vec![AtRiskBit::new(1, 1.0)], FailureDependence::AntiCell);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         assert!(model.sample_errors(&BitVec::ones(4), &mut rng).is_zero());
         let errors = model.sample_errors(&BitVec::zeros(4), &mut rng);
@@ -383,9 +380,12 @@ mod tests {
     fn sample_word_with_count_covers_all_positions_eventually() {
         let sampler = RetentionSampler::new(0.0, 1.0);
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for _ in 0..500 {
-            for p in sampler.sample_word_with_count(16, 3, &mut rng).at_risk_positions() {
+            for p in sampler
+                .sample_word_with_count(16, 3, &mut rng)
+                .at_risk_positions()
+            {
                 seen[p] = true;
             }
         }

@@ -11,8 +11,8 @@
 //!   the second of the two rounds.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use harp_gf2::BitVec;
@@ -113,7 +113,7 @@ impl PatternSchedule {
                     self.data_bits,
                     (0..self.data_bits).filter(|i| i % 2 == 0),
                 );
-                if round % 2 == 0 {
+                if round.is_multiple_of(2) {
                     base
                 } else {
                     base.not()
@@ -131,7 +131,7 @@ impl PatternSchedule {
                         .map(|_| rng.gen_bool(0.5))
                         .collect::<Vec<_>>(),
                 );
-                if round % 2 == 0 {
+                if round.is_multiple_of(2) {
                     base
                 } else {
                     base.not()

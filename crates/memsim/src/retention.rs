@@ -142,7 +142,11 @@ impl VrtCell {
     pub fn as_at_risk_bit(&self) -> AtRiskBit {
         AtRiskBit::new(
             self.position,
-            if self.leaky { self.leaky_probability } else { 0.0 },
+            if self.leaky {
+                self.leaky_probability
+            } else {
+                0.0
+            },
         )
     }
 }
@@ -253,8 +257,7 @@ mod tests {
     #[test]
     fn vrt_cells_respect_data_dependence() {
         // A VRT cell storing '0' cannot fail (true-cell behaviour).
-        let mut process =
-            VrtFaultProcess::new(FaultModel::none(), vec![VrtCell::new(2, 1.0, 1.0)]);
+        let mut process = VrtFaultProcess::new(FaultModel::none(), vec![VrtCell::new(2, 1.0, 1.0)]);
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let stored = harp_gf2::BitVec::zeros(8);
         for _ in 0..50 {

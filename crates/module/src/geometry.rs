@@ -63,7 +63,7 @@ impl ModuleGeometry {
             return None;
         }
         let per_chip = io_width * burst_length;
-        if per_chip % ondie_word_bits != 0 || ondie_word_bits % io_width != 0 {
+        if !per_chip.is_multiple_of(ondie_word_bits) || !ondie_word_bits.is_multiple_of(io_width) {
             return None;
         }
         Some(Self {
@@ -177,7 +177,11 @@ impl ModuleGeometry {
     ///
     /// Panics if the location is outside this geometry.
     pub fn line_bit_of(&self, location: BitLocation) -> usize {
-        assert!(location.chip < self.chips, "chip {} out of range", location.chip);
+        assert!(
+            location.chip < self.chips,
+            "chip {} out of range",
+            location.chip
+        );
         assert!(
             location.ondie_word < self.ondie_words_per_chip(),
             "on-die word {} out of range",
@@ -309,9 +313,10 @@ mod tests {
                 proptest::sample::select(vec![8usize, 16]),
                 proptest::sample::select(vec![32usize, 64, 128]),
             )
-                .prop_filter_map("geometry must be self-consistent", |(chips, io, burst, word)| {
-                    ModuleGeometry::new(chips, io, burst, word)
-                })
+                .prop_filter_map(
+                    "geometry must be self-consistent",
+                    |(chips, io, burst, word)| ModuleGeometry::new(chips, io, burst, word),
+                )
         }
 
         proptest! {

@@ -113,7 +113,11 @@ impl SecondaryLayout {
     /// each secondary word with a code of the required capability, using the
     /// BCH bound of `capability · ceil(log2(word bits) + 1)` parity bits per
     /// word — the standard first-order estimate for comparing layouts.
-    pub fn parity_overhead_bits(&self, geometry: &ModuleGeometry, ondie_capability: usize) -> usize {
+    pub fn parity_overhead_bits(
+        &self,
+        geometry: &ModuleGeometry,
+        ondie_capability: usize,
+    ) -> usize {
         let capability = self.required_capability(geometry, ondie_capability);
         self.secondary_words(geometry)
             .iter()
@@ -185,10 +189,16 @@ mod tests {
     #[test]
     fn per_cache_line_layout_needs_the_most_capability() {
         let ddr4 = ModuleGeometry::ddr4_style_rank();
-        assert_eq!(SecondaryLayout::PerCacheLine.required_capability(&ddr4, 1), 8);
+        assert_eq!(
+            SecondaryLayout::PerCacheLine.required_capability(&ddr4, 1),
+            8
+        );
         let lpddr4 = ModuleGeometry::lpddr4_x16();
         // Two on-die words behind a single chip.
-        assert_eq!(SecondaryLayout::PerCacheLine.required_capability(&lpddr4, 1), 2);
+        assert_eq!(
+            SecondaryLayout::PerCacheLine.required_capability(&lpddr4, 1),
+            2
+        );
         for geometry in [ddr4, lpddr4] {
             let interleaved = SecondaryLayout::PerCacheLine.required_capability(&geometry, 1);
             for layout in SecondaryLayout::ALL {

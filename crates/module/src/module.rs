@@ -11,6 +11,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use harp_ecc::HammingCode;
+use harp_ecc::LinearBlockCode;
 use harp_gf2::BitVec;
 use harp_memsim::{FaultModel, MemoryChip};
 
@@ -348,7 +349,10 @@ mod tests {
         // The raw error appears at the line position that maps to chip 0,
         // word 0, bit 7.
         let location = geometry.locate(raw.post_correction_errors[0]);
-        assert_eq!((location.chip, location.ondie_word, location.bit_in_word), (0, 0, 7));
+        assert_eq!(
+            (location.chip, location.ondie_word, location.bit_in_word),
+            (0, 0, 7)
+        );
     }
 
     #[test]

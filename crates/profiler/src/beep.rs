@@ -23,7 +23,7 @@
 
 use std::collections::BTreeSet;
 
-use harp_ecc::HammingCode;
+use harp_ecc::LinearBlockCode;
 use harp_gf2::BitVec;
 use harp_memsim::pattern::{DataPattern, PatternSchedule};
 use harp_memsim::ReadObservation;
@@ -40,8 +40,8 @@ use crate::traits::Profiler;
 /// # Panics
 ///
 /// Panics if any known position is not a data position of the code.
-pub fn craft_beep_pattern(
-    code: &HammingCode,
+pub fn craft_beep_pattern<C: LinearBlockCode + ?Sized>(
+    code: &C,
     known_at_risk: &[usize],
     iteration: usize,
 ) -> BitVec {
@@ -66,7 +66,7 @@ pub fn craft_beep_pattern(
         let mut word = BitVec::zeros(k);
         word.set(known[0], true);
         for bit in 0..k {
-            if bit != known[0] && (bit.wrapping_mul(31) ^ iteration) % 3 == 0 {
+            if bit != known[0] && (bit.wrapping_mul(31) ^ iteration).is_multiple_of(3) {
                 word.set(bit, true);
             }
         }
@@ -112,16 +112,16 @@ pub fn craft_beep_pattern(
 /// # Ok::<(), harp_ecc::CodeError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct BeepProfiler {
-    code: HammingCode,
+pub struct BeepProfiler<C: LinearBlockCode = harp_ecc::HammingCode> {
+    code: C,
     schedule: PatternSchedule,
     identified: BTreeSet<usize>,
     crafted_iterations: usize,
 }
 
-impl BeepProfiler {
+impl<C: LinearBlockCode> BeepProfiler<C> {
     /// Creates a BEEP profiler for the given on-die ECC code.
-    pub fn new(code: HammingCode, fallback_pattern: DataPattern, seed: u64) -> Self {
+    pub fn new(code: C, fallback_pattern: DataPattern, seed: u64) -> Self {
         let schedule = PatternSchedule::new(fallback_pattern, code.data_len(), seed);
         Self {
             code,
@@ -138,7 +138,7 @@ impl BeepProfiler {
     }
 }
 
-impl Profiler for BeepProfiler {
+impl<C: LinearBlockCode> Profiler for BeepProfiler<C> {
     fn name(&self) -> &'static str {
         "BEEP"
     }
@@ -173,16 +173,12 @@ mod tests {
     use super::*;
     use harp_ecc::analysis::FailureDependence;
     use harp_ecc::ErrorSpace;
+    use harp_ecc::HammingCode;
     use harp_memsim::{FaultModel, MemoryChip};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn run_rounds(
-        profiler: &mut dyn Profiler,
-        chip: &mut MemoryChip,
-        rounds: usize,
-        seed: u64,
-    ) {
+    fn run_rounds(profiler: &mut dyn Profiler, chip: &mut MemoryChip, rounds: usize, seed: u64) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         for round in 0..rounds {
             let data = profiler.dataword_for_round(round);

@@ -14,7 +14,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use harp_ecc::analysis::FailureDependence;
-use harp_ecc::{ErrorSpace, HammingCode};
+use harp_ecc::{ErrorSpace, LinearBlockCode};
 use harp_memsim::pattern::DataPattern;
 use harp_memsim::{FaultModel, MemoryChip};
 
@@ -72,23 +72,26 @@ impl CampaignResult {
 
     /// The union of identified and predicted bits after the final round.
     pub fn final_known(&self) -> BTreeSet<usize> {
-        self.snapshots.last().map(RoundSnapshot::known).unwrap_or_default()
+        self.snapshots
+            .last()
+            .map(RoundSnapshot::known)
+            .unwrap_or_default()
     }
 }
 
 /// The per-word profiling configuration: a code, a fault model, and the data
 /// pattern family / seed shared by every profiler evaluated on this word.
 #[derive(Debug, Clone)]
-pub struct ProfilingCampaign {
-    code: HammingCode,
+pub struct ProfilingCampaign<C: LinearBlockCode = harp_ecc::HammingCode> {
+    code: C,
     faults: FaultModel,
     pattern: DataPattern,
     seed: u64,
 }
 
-impl ProfilingCampaign {
+impl<C: LinearBlockCode + Clone + 'static> ProfilingCampaign<C> {
     /// Creates a campaign for one ECC word.
-    pub fn new(code: HammingCode, faults: FaultModel, pattern: DataPattern, seed: u64) -> Self {
+    pub fn new(code: C, faults: FaultModel, pattern: DataPattern, seed: u64) -> Self {
         Self {
             code,
             faults,
@@ -98,7 +101,7 @@ impl ProfilingCampaign {
     }
 
     /// The on-die ECC code of this word.
-    pub fn code(&self) -> &HammingCode {
+    pub fn code(&self) -> &C {
         &self.code
     }
 
@@ -166,6 +169,7 @@ impl ProfilingCampaign {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use harp_ecc::HammingCode;
 
     fn campaign(at_risk: &[usize], probability: f64, seed: u64) -> ProfilingCampaign {
         let code = HammingCode::random(64, seed).unwrap();
@@ -197,14 +201,8 @@ mod tests {
         let harp = campaign.run(ProfilerKind::HarpU, 8);
         let naive = campaign.run(ProfilerKind::Naive, 8);
         let direct = truth.direct_at_risk();
-        let harp_hits = harp
-            .final_identified()
-            .intersection(direct)
-            .count();
-        let naive_hits = naive
-            .final_identified()
-            .intersection(direct)
-            .count();
+        let harp_hits = harp.final_identified().intersection(direct).count();
+        let naive_hits = naive.final_identified().intersection(direct).count();
         assert_eq!(harp_hits, direct.len(), "HARP-U must find all direct bits");
         assert!(naive_hits <= harp_hits);
     }

@@ -20,7 +20,7 @@
 use std::collections::BTreeSet;
 
 use harp_ecc::analysis::{predict_indirect_from_direct, FailureDependence};
-use harp_ecc::HammingCode;
+use harp_ecc::LinearBlockCode;
 use harp_gf2::BitVec;
 use harp_memsim::pattern::{DataPattern, PatternSchedule};
 use harp_memsim::ReadObservation;
@@ -85,15 +85,15 @@ impl Profiler for HarpUProfiler {
 /// precompute bits at risk of indirect error from the direct-error bits
 /// identified so far (§6.3.1).
 #[derive(Debug, Clone)]
-pub struct HarpAProfiler {
-    code: HammingCode,
+pub struct HarpAProfiler<C: LinearBlockCode = harp_ecc::HammingCode> {
+    code: C,
     inner: HarpUProfiler,
     predicted: BTreeSet<usize>,
 }
 
-impl HarpAProfiler {
+impl<C: LinearBlockCode> HarpAProfiler<C> {
     /// Creates a HARP-A profiler for the given on-die ECC code.
-    pub fn new(code: HammingCode, pattern: DataPattern, seed: u64) -> Self {
+    pub fn new(code: C, pattern: DataPattern, seed: u64) -> Self {
         let inner = HarpUProfiler::new(code.data_len(), pattern, seed);
         Self {
             code,
@@ -119,7 +119,7 @@ impl HarpAProfiler {
     }
 }
 
-impl Profiler for HarpAProfiler {
+impl<C: LinearBlockCode> Profiler for HarpAProfiler<C> {
     fn name(&self) -> &'static str {
         "HARP-A"
     }
@@ -155,17 +155,17 @@ impl Profiler for HarpAProfiler {
 /// which HARP-A cannot predict). Observed post-correction errors are added to
 /// the identified set alongside the bypass observations.
 #[derive(Debug, Clone)]
-pub struct HarpABeepProfiler {
-    code: HammingCode,
-    harp_a: HarpAProfiler,
+pub struct HarpABeepProfiler<C: LinearBlockCode = harp_ecc::HammingCode> {
+    code: C,
+    harp_a: HarpAProfiler<C>,
     observed_indirect: BTreeSet<usize>,
     union: BTreeSet<usize>,
     crafted_rounds: usize,
 }
 
-impl HarpABeepProfiler {
+impl<C: LinearBlockCode + Clone> HarpABeepProfiler<C> {
     /// Creates a HARP-A+BEEP profiler for the given on-die ECC code.
-    pub fn new(code: HammingCode, pattern: DataPattern, seed: u64) -> Self {
+    pub fn new(code: C, pattern: DataPattern, seed: u64) -> Self {
         Self {
             harp_a: HarpAProfiler::new(code.clone(), pattern, seed),
             code,
@@ -174,7 +174,9 @@ impl HarpABeepProfiler {
             crafted_rounds: 0,
         }
     }
+}
 
+impl<C: LinearBlockCode> HarpABeepProfiler<C> {
     fn rebuild_union(&mut self) {
         self.union = self
             .harp_a
@@ -185,7 +187,7 @@ impl HarpABeepProfiler {
     }
 }
 
-impl Profiler for HarpABeepProfiler {
+impl<C: LinearBlockCode> Profiler for HarpABeepProfiler<C> {
     fn name(&self) -> &'static str {
         "HARP-A+BEEP"
     }
@@ -196,7 +198,7 @@ impl Profiler for HarpABeepProfiler {
             // Alternate between BEEP-crafted patterns (to provoke indirect
             // errors from known direct bits) and standard patterns (to keep
             // finding direct bits that have not failed yet).
-            if round % 2 == 0 {
+            if round.is_multiple_of(2) {
                 self.crafted_rounds += 1;
                 return craft_beep_pattern(&self.code, &known, self.crafted_rounds);
             }
@@ -238,12 +240,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn run_rounds(
-        profiler: &mut dyn Profiler,
-        chip: &mut MemoryChip,
-        rounds: usize,
-        seed: u64,
-    ) {
+    fn run_rounds(profiler: &mut dyn Profiler, chip: &mut MemoryChip, rounds: usize, seed: u64) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         for round in 0..rounds {
             let data = profiler.dataword_for_round(round);
@@ -283,8 +280,7 @@ mod tests {
         // never appear in its identified set (paper §7.3.1).
         let code = HammingCode::random(64, 10).unwrap();
         let at_risk = [1usize, 30];
-        let space =
-            ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
+        let space = ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
         let mut chip = MemoryChip::new(code, 1);
         chip.set_fault_model(0, FaultModel::uniform(&at_risk, 1.0));
         let mut profiler = HarpUProfiler::new(64, DataPattern::Charged, 0);
@@ -302,8 +298,7 @@ mod tests {
     fn harp_a_predicts_indirect_errors_from_direct_bits() {
         let code = HammingCode::random(64, 11).unwrap();
         let at_risk = [4usize, 17, 52];
-        let space =
-            ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
+        let space = ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
         let mut chip = MemoryChip::new(code.clone(), 1);
         chip.set_fault_model(0, FaultModel::uniform(&at_risk, 1.0));
         let mut profiler = HarpAProfiler::new(code, DataPattern::Charged, 0);
@@ -322,8 +317,7 @@ mod tests {
         let code = HammingCode::random(64, 12).unwrap();
         // One data bit and one parity bit at risk.
         let at_risk = [5usize, 66];
-        let space =
-            ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
+        let space = ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
         let mut chip = MemoryChip::new(code.clone(), 1);
         chip.set_fault_model(0, FaultModel::uniform(&at_risk, 1.0));
         let mut profiler = HarpAProfiler::new(code, DataPattern::Charged, 0);
@@ -357,8 +351,7 @@ mod tests {
     fn harp_a_beep_observes_indirect_errors_it_provokes() {
         let code = HammingCode::random(64, 14).unwrap();
         let at_risk = [6usize, 21, 47];
-        let space =
-            ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
+        let space = ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
         let mut chip = MemoryChip::new(code.clone(), 1);
         chip.set_fault_model(0, FaultModel::uniform(&at_risk, 1.0));
         let mut profiler = HarpABeepProfiler::new(code, DataPattern::Random, 23);

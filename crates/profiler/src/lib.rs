@@ -15,6 +15,13 @@
 //!   by a secondary ECC in the memory controller, identifying the remaining
 //!   at-risk bits the first time they fail ([`reactive::ReactiveProfiler`]).
 //!
+//! The whole crate is generic over the on-die ECC code: profilers that need
+//! the code structure ([`BeepProfiler`], [`HarpAProfiler`],
+//! [`HarpABeepProfiler`]) and the campaign driver are parameterized by
+//! [`harp_ecc::LinearBlockCode`], so the identical lineup runs against SEC
+//! Hamming, SEC-DED, and DEC BCH words — there is exactly one implementation
+//! of each algorithm.
+//!
 //! [`campaign::ProfilingCampaign`] drives a profiler against a single ECC
 //! word for a configurable number of rounds and records per-round snapshots;
 //! [`coverage`] scores those snapshots against the exact ground truth from
@@ -51,7 +58,7 @@ pub mod traits;
 pub use beep::BeepProfiler;
 pub use campaign::{CampaignResult, ProfilingCampaign, RoundSnapshot};
 pub use coverage::{bootstrap_round, direct_coverage, missed_indirect, CoverageSeries};
-pub use harp::{HarpAProfiler, HarpABeepProfiler, HarpUProfiler};
+pub use harp::{HarpABeepProfiler, HarpAProfiler, HarpUProfiler};
 pub use naive::NaiveProfiler;
 pub use reactive::ReactiveProfiler;
 pub use syndrome::HarpSProfiler;

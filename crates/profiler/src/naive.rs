@@ -81,12 +81,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn run_rounds(
-        profiler: &mut dyn Profiler,
-        chip: &mut MemoryChip,
-        rounds: usize,
-        seed: u64,
-    ) {
+    fn run_rounds(profiler: &mut dyn Profiler, chip: &mut MemoryChip, rounds: usize, seed: u64) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         for round in 0..rounds {
             let data = profiler.dataword_for_round(round);

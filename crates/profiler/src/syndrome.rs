@@ -57,7 +57,7 @@ impl HarpSProfiler {
         let written = observation.written_data();
         let post = observation.post_correction_data();
         let mut raw_data = post.clone();
-        if let Some(position) = observation.decode_result().outcome.corrected_position() {
+        for &position in observation.decode_result().outcome.corrected_positions() {
             if position < raw_data.len() {
                 // The decoder flipped this data bit; the stored value was the
                 // opposite of what the decoder reports.
@@ -101,12 +101,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn run_rounds(
-        profiler: &mut dyn Profiler,
-        chip: &mut MemoryChip,
-        rounds: usize,
-        seed: u64,
-    ) {
+    fn run_rounds(profiler: &mut dyn Profiler, chip: &mut MemoryChip, rounds: usize, seed: u64) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         for round in 0..rounds {
             let data = profiler.dataword_for_round(round);

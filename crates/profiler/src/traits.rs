@@ -5,13 +5,13 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
-use harp_ecc::HammingCode;
+use harp_ecc::LinearBlockCode;
 use harp_gf2::BitVec;
 use harp_memsim::pattern::DataPattern;
 use harp_memsim::ReadObservation;
 
 use crate::beep::BeepProfiler;
-use crate::harp::{HarpAProfiler, HarpABeepProfiler, HarpUProfiler};
+use crate::harp::{HarpABeepProfiler, HarpAProfiler, HarpUProfiler};
 use crate::naive::NaiveProfiler;
 
 /// A round-based active error profiler for a single ECC word.
@@ -28,6 +28,10 @@ use crate::naive::NaiveProfiler;
 /// | BEEP     | ✔                    | ✘                      | ✔         |
 /// | HARP-U   | ✘ (not needed)       | ✔                      | ✘         |
 /// | HARP-A   | ✘ (not needed)       | ✔                      | ✔         |
+///
+/// The trait is deliberately code-agnostic: profilers that need the on-die
+/// ECC structure are generic over [`LinearBlockCode`], so the same lineup
+/// runs against Hamming, SEC-DED, and BCH-protected words.
 pub trait Profiler {
     /// Short identifier used in reports (e.g. `"HARP-U"`).
     fn name(&self) -> &'static str;
@@ -56,7 +60,10 @@ pub trait Profiler {
 
     /// Union of identified and predicted at-risk bits.
     fn known_at_risk(&self) -> BTreeSet<usize> {
-        self.identified().union(&self.predicted()).copied().collect()
+        self.identified()
+            .union(&self.predicted())
+            .copied()
+            .collect()
     }
 }
 
@@ -117,9 +124,11 @@ impl ProfilerKind {
     /// `code` is the on-die ECC code (only consulted by the `H`-aware
     /// profilers), `pattern` the data-pattern family used for standard
     /// testing rounds, and `seed` the deterministic seed for random patterns.
-    pub fn instantiate(
+    /// The factory is generic over the code, so every kind can be evaluated
+    /// against any [`LinearBlockCode`] implementation.
+    pub fn instantiate<C: LinearBlockCode + Clone + 'static>(
         &self,
-        code: &HammingCode,
+        code: &C,
         pattern: DataPattern,
         seed: u64,
     ) -> Box<dyn Profiler> {
@@ -149,6 +158,7 @@ impl std::fmt::Display for ProfilerKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use harp_ecc::HammingCode;
 
     #[test]
     fn names_match_the_paper() {
@@ -171,15 +181,32 @@ mod tests {
     }
 
     #[test]
+    fn all_kinds_instantiate_for_every_code_family() {
+        // The factory is generic: the same lineup constructs against
+        // SEC-DED and BCH codes.
+        let secded = harp_ecc::ExtendedHammingCode::random(32, 2).unwrap();
+        for kind in ProfilerKind::ALL {
+            let profiler = kind.instantiate(&secded, DataPattern::Random, 7);
+            assert_eq!(profiler.name(), kind.name());
+        }
+    }
+
+    #[test]
     fn bypass_capability_matches_the_algorithm() {
         let code = HammingCode::random(64, 2).unwrap();
-        let bypass: Vec<bool> = ProfilerKind::ALL
+        let bypass: BitVec = ProfilerKind::ALL
             .iter()
-            .map(|k| k.instantiate(&code, DataPattern::Random, 0).uses_bypass_read())
+            .map(|k| {
+                k.instantiate(&code, DataPattern::Random, 0)
+                    .uses_bypass_read()
+            })
             .collect();
         // Naive and BEEP operate without the bypass path; the bypass-based
         // HARP variants use it; HARP-S relies on reported syndromes instead.
-        assert_eq!(bypass, vec![false, false, true, true, true, false]);
+        assert_eq!(
+            bypass,
+            BitVec::from_bools(&[false, false, true, true, true, false])
+        );
     }
 
     #[test]

@@ -104,8 +104,14 @@ impl EvaluationConfig {
         assert!(self.num_codes > 0, "num_codes must be nonzero");
         assert!(self.words_per_code > 0, "words_per_code must be nonzero");
         assert!(self.rounds > 0, "rounds must be nonzero");
-        assert!(!self.error_counts.is_empty(), "error_counts must not be empty");
-        assert!(!self.probabilities.is_empty(), "probabilities must not be empty");
+        assert!(
+            !self.error_counts.is_empty(),
+            "error_counts must not be empty"
+        );
+        assert!(
+            !self.probabilities.is_empty(),
+            "probabilities must not be empty"
+        );
         for &p in &self.probabilities {
             assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
         }

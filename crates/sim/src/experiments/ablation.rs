@@ -220,7 +220,11 @@ mod tests {
     #[test]
     fn harp_reaches_full_coverage_under_every_pattern() {
         let result = run(&tiny_config());
-        for arm in result.patterns.iter().filter(|a| a.label.contains("HARP-U")) {
+        for arm in result
+            .patterns
+            .iter()
+            .filter(|a| a.label.contains("HARP-U"))
+        {
             assert!(
                 (arm.final_direct_coverage - 1.0).abs() < 1e-9,
                 "{}: coverage {}",
@@ -252,7 +256,11 @@ mod tests {
             .iter()
             .filter(|a| a.label.contains("HARP-U"))
         {
-            assert!((arm.final_direct_coverage - 1.0).abs() < 1e-9, "{}", arm.label);
+            assert!(
+                (arm.final_direct_coverage - 1.0).abs() < 1e-9,
+                "{}",
+                arm.label
+            );
         }
         let rendered = result.render();
         assert!(rendered.contains("Ablation 1"));

@@ -22,11 +22,12 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use harp_bch::analysis::combinatorics as dec;
-use harp_bch::{BchCode, BchErrorSpace, BchMemoryChip};
+use harp_bch::BchCode;
 use harp_ecc::analysis::{combinatorics as sec, FailureDependence};
+use harp_ecc::LinearBlockCode;
 use harp_ecc::{ErrorSpace, HammingCode};
 use harp_gf2::BitVec;
-use harp_memsim::FaultModel;
+use harp_memsim::{FaultModel, MemoryChip};
 
 use crate::config::EvaluationConfig;
 use crate::report::{fixed, TextTable};
@@ -107,9 +108,7 @@ pub fn run(config: &EvaluationConfig) -> Ext1BchResult {
     let items: Vec<(usize, usize)> = config
         .error_counts
         .iter()
-        .flat_map(|&error_count| {
-            (0..config.words_total()).map(move |word| (error_count, word))
-        })
+        .flat_map(|&error_count| (0..config.words_total()).map(move |word| (error_count, word)))
         .collect();
 
     let per_word = parallel_map(&items, config.threads, |&(error_count, word)| {
@@ -122,7 +121,7 @@ pub fn run(config: &EvaluationConfig) -> Ext1BchResult {
 
         let sec_space =
             ErrorSpace::enumerate(&hamming, &sec_positions, FailureDependence::TrueCell);
-        let dec_space = BchErrorSpace::enumerate(&bch, &dec_positions, FailureDependence::TrueCell);
+        let dec_space = ErrorSpace::enumerate(&bch, &dec_positions, FailureDependence::TrueCell);
 
         let sec_after = sec_space.max_simultaneous_errors_outside(sec_space.direct_at_risk());
         let dec_after = dec_space.max_simultaneous_errors_outside(dec_space.direct_at_risk());
@@ -149,12 +148,26 @@ pub fn run(config: &EvaluationConfig) -> Ext1BchResult {
             Ext1Cell {
                 error_count,
                 words: rows.len(),
-                sec_mean_indirect: mean(&rows.iter().map(|r| r.sec_indirect as f64).collect::<Vec<_>>()),
-                dec_mean_indirect: mean(&rows.iter().map(|r| r.dec_indirect as f64).collect::<Vec<_>>()),
+                sec_mean_indirect: mean(
+                    &rows
+                        .iter()
+                        .map(|r| r.sec_indirect as f64)
+                        .collect::<Vec<_>>(),
+                ),
+                dec_mean_indirect: mean(
+                    &rows
+                        .iter()
+                        .map(|r| r.dec_indirect as f64)
+                        .collect::<Vec<_>>(),
+                ),
                 sec_max_after_direct_repair: rows.iter().map(|r| r.sec_after).max().unwrap_or(0),
                 dec_max_after_direct_repair: rows.iter().map(|r| r.dec_after).max().unwrap_or(0),
-                dec_harpu_coverage: mean(&rows.iter().map(|r| r.harpu_coverage).collect::<Vec<_>>()),
-                dec_naive_coverage: mean(&rows.iter().map(|r| r.naive_coverage).collect::<Vec<_>>()),
+                dec_harpu_coverage: mean(
+                    &rows.iter().map(|r| r.harpu_coverage).collect::<Vec<_>>(),
+                ),
+                dec_naive_coverage: mean(
+                    &rows.iter().map(|r| r.naive_coverage).collect::<Vec<_>>(),
+                ),
             }
         })
         .collect();
@@ -187,12 +200,7 @@ fn sample_positions(codeword_len: usize, count: usize, rng: &mut ChaCha8Rng) -> 
 /// active-profiling campaign against a DEC-protected chip word, returning the
 /// direct-error coverage each achieves after `rounds` rounds with a charged
 /// data pattern and per-bit failure probability 0.5.
-fn profile_dec_chip(
-    code: &BchCode,
-    at_risk: &[usize],
-    rounds: usize,
-    seed: u64,
-) -> (f64, f64) {
+fn profile_dec_chip(code: &BchCode, at_risk: &[usize], rounds: usize, seed: u64) -> (f64, f64) {
     let direct_truth: BTreeSet<usize> = at_risk
         .iter()
         .copied()
@@ -201,7 +209,7 @@ fn profile_dec_chip(
     if direct_truth.is_empty() {
         return (1.0, 1.0);
     }
-    let mut chip = BchMemoryChip::new(code.clone(), 1);
+    let mut chip = MemoryChip::new(code.clone(), 1);
     chip.set_fault_model(0, FaultModel::uniform(at_risk, 0.5));
     chip.write(0, &BitVec::ones(code.data_len()));
 
@@ -332,7 +340,11 @@ mod tests {
         let result = run(&smoke_config());
         for cell in &result.cells {
             assert!(cell.dec_harpu_coverage >= cell.dec_naive_coverage - 1e-12);
-            assert!(cell.dec_harpu_coverage > 0.9, "bypass coverage {}", cell.dec_harpu_coverage);
+            assert!(
+                cell.dec_harpu_coverage > 0.9,
+                "bypass coverage {}",
+                cell.dec_harpu_coverage
+            );
         }
     }
 }

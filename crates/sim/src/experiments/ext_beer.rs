@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use harp_beer::{reconstruct_equivalent_code, BeerCampaign, MiscorrectionProfile};
 use harp_ecc::analysis::{predict_indirect_from_direct, FailureDependence};
 use harp_ecc::HammingCode;
+use harp_ecc::LinearBlockCode;
 
 use crate::config::EvaluationConfig;
 use crate::report::{fixed, TextTable};

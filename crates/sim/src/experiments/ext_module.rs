@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use harp_ecc::analysis::FailureDependence;
 use harp_ecc::HammingCode;
+use harp_ecc::LinearBlockCode;
 use harp_gf2::BitVec;
 use harp_memsim::{AtRiskBit, FaultModel};
 use harp_module::{MemoryModule, ModuleGeometry, SecondaryLayout};
@@ -120,8 +121,8 @@ pub fn run(config: &EvaluationConfig) -> Ext3ModuleResult {
             module.write(0, &line);
             let outcome = module.read(0, &mut rng);
             for (index, layout) in SecondaryLayout::ALL.iter().enumerate() {
-                worst[index] = worst[index]
-                    .max(outcome.max_errors_in_secondary_word(&geometry, *layout));
+                worst[index] =
+                    worst[index].max(outcome.max_errors_in_secondary_word(&geometry, *layout));
             }
         }
         Ext3StressRow {
@@ -171,7 +172,11 @@ impl Ext3ModuleResult {
         }
 
         let mut header = vec!["faulty chips".to_owned(), "trials".to_owned()];
-        header.extend(SecondaryLayout::ALL.iter().map(|l| format!("worst in {l} word")));
+        header.extend(
+            SecondaryLayout::ALL
+                .iter()
+                .map(|l| format!("worst in {l} word")),
+        );
         let mut stress = TextTable::new(header);
         for row in &self.stress {
             let mut cells = vec![row.faulty_chips.to_string(), row.trials.to_string()];
@@ -205,8 +210,14 @@ mod tests {
     #[test]
     fn analytic_capabilities_match_the_layout_structure() {
         let result = run(&EvaluationConfig::smoke());
-        assert_eq!(result.ddr4_capability(SecondaryLayout::PerOnDieWord), Some(1));
-        assert_eq!(result.ddr4_capability(SecondaryLayout::PerCacheLine), Some(8));
+        assert_eq!(
+            result.ddr4_capability(SecondaryLayout::PerOnDieWord),
+            Some(1)
+        );
+        assert_eq!(
+            result.ddr4_capability(SecondaryLayout::PerCacheLine),
+            Some(8)
+        );
         assert_eq!(result.layouts.len(), 4 * SecondaryLayout::ALL.len());
     }
 
@@ -237,7 +248,9 @@ mod tests {
             .unwrap();
         let single = &result.stress[0];
         let all = result.stress.last().unwrap();
-        assert!(all.worst_per_layout[interleaved_index] >= single.worst_per_layout[interleaved_index]);
+        assert!(
+            all.worst_per_layout[interleaved_index] >= single.worst_per_layout[interleaved_index]
+        );
         assert!(result.render().contains("Extension 3"));
     }
 }

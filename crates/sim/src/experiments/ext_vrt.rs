@@ -20,6 +20,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use harp_ecc::LinearBlockCode;
 use harp_ecc::{HammingCode, SecondaryEcc};
 use harp_gf2::BitVec;
 use harp_memsim::retention::{VrtCell, VrtFaultProcess};
@@ -115,7 +116,10 @@ pub fn run_with_toggle_probabilities(
                 vrt_cells_per_word,
                 coverage_at_checkpoints,
                 mean_unsafe_events: mean(
-                    &per_word.iter().map(|w| w.unsafe_events as f64).collect::<Vec<_>>(),
+                    &per_word
+                        .iter()
+                        .map(|w| w.unsafe_events as f64)
+                        .collect::<Vec<_>>(),
                 ),
             }
         })
@@ -259,8 +263,16 @@ mod tests {
     #[test]
     fn faster_toggling_cells_are_found_sooner() {
         let result = run_with_toggle_probabilities(&smoke_config(), &[0.01, 0.3]);
-        let slow = result.cells[0].coverage_at_checkpoints.last().copied().unwrap();
-        let fast = result.cells[1].coverage_at_checkpoints.last().copied().unwrap();
+        let slow = result.cells[0]
+            .coverage_at_checkpoints
+            .last()
+            .copied()
+            .unwrap();
+        let fast = result.cells[1]
+            .coverage_at_checkpoints
+            .last()
+            .copied()
+            .unwrap();
         assert!(fast >= slow, "fast {fast} < slow {slow}");
     }
 

@@ -134,8 +134,7 @@ pub fn run_with_rbers(config: &EvaluationConfig, rbers: &[f64]) -> Fig10Result {
                             missed_after += missing;
                         }
                     }
-                    ber_before
-                        .push((round, missed_before as f64 / total_data_bits as f64));
+                    ber_before.push((round, missed_before as f64 / total_data_bits as f64));
                     ber_after.push((round, missed_after as f64 / total_data_bits as f64));
                 }
                 series.push(Fig10Series {
@@ -185,7 +184,11 @@ impl Fig10Result {
             header.extend(checkpoints.iter().map(|r| format!("r{r}")));
             let mut table = TextTable::new(header);
             for s in &self.series {
-                let points = if select_after { &s.ber_after } else { &s.ber_before };
+                let points = if select_after {
+                    &s.ber_after
+                } else {
+                    &s.ber_before
+                };
                 let mut row = vec![
                     s.profiler.to_string(),
                     scientific(s.rber),
@@ -227,9 +230,7 @@ mod tests {
     #[test]
     fn harp_reaches_zero_ber_after_reactive_profiling() {
         let result = run_with_rbers(&tiny_config(), &[0.05]);
-        let harp = result
-            .series_for(ProfilerKind::HarpU, 0.05, 0.75)
-            .unwrap();
+        let harp = result.series_for(ProfilerKind::HarpU, 0.05, 0.75).unwrap();
         assert_eq!(
             harp.ber_after.last().unwrap().1,
             0.0,
@@ -250,9 +251,10 @@ mod tests {
             .series_for(ProfilerKind::Naive, 0.05, 0.75)
             .unwrap()
             .rounds_to_zero_after();
-        match naive {
-            Some(naive_rounds) => assert!(harp <= naive_rounds),
-            None => {} // Naive never reached zero within the budget.
+        // When Naive never reached zero within the budget, HARP is
+        // trivially faster.
+        if let Some(naive_rounds) = naive {
+            assert!(harp <= naive_rounds);
         }
     }
 

@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use harp_ecc::LinearBlockCode;
 use harp_gf2::BitVec;
 
 use crate::config::EvaluationConfig;
@@ -72,7 +73,7 @@ pub fn run_with(
                 // Each word is programmed with the charged (0xFF) pattern.
                 let data = BitVec::ones(sample.code.data_len());
                 let encoded = sample.code.encode(&data);
-                let mut rng = ChaCha8Rng::seed_from_u64(sample.campaign_seed ^ 0xF16_4);
+                let mut rng = ChaCha8Rng::seed_from_u64(sample.campaign_seed ^ 0xF164);
                 let at_risk = sample.faults.at_risk_positions();
                 let space = harp_ecc::ErrorSpace::enumerate(
                     &sample.code,

@@ -54,8 +54,7 @@ pub fn from_sweep(sweep: &CoverageSweep) -> Fig6Result {
     for &profiler in &sweep.profilers {
         for &error_count in &sweep.error_counts {
             for &probability in &sweep.probabilities {
-                let evaluations: Vec<_> =
-                    sweep.cell(profiler, error_count, probability).collect();
+                let evaluations: Vec<_> = sweep.cell(profiler, error_count, probability).collect();
                 let points = checkpoints
                     .iter()
                     .map(|&round| {
@@ -66,7 +65,11 @@ pub fn from_sweep(sweep: &CoverageSweep) -> Fig6Result {
                             identified += e.series.direct_coverage[round - 1] * truth;
                             total += truth;
                         }
-                        let coverage = if total == 0.0 { 1.0 } else { identified / total };
+                        let coverage = if total == 0.0 {
+                            1.0
+                        } else {
+                            identified / total
+                        };
                         (round, coverage)
                     })
                     .collect();
@@ -146,9 +149,7 @@ mod tests {
     fn harp_reaches_full_coverage_and_beats_baselines() {
         let result = run(&tiny_config());
         for &count in &[2usize, 4] {
-            let harp = result
-                .series_for(ProfilerKind::HarpU, count, 0.5)
-                .unwrap();
+            let harp = result.series_for(ProfilerKind::HarpU, count, 0.5).unwrap();
             let naive = result.series_for(ProfilerKind::Naive, count, 0.5).unwrap();
             let final_harp = harp.points.last().unwrap().1;
             let final_naive = naive.points.last().unwrap().1;

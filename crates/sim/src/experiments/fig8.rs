@@ -59,8 +59,7 @@ pub fn from_sweep(sweep: &CoverageSweep) -> Fig8Result {
     for &profiler in &sweep.profilers {
         for &error_count in &sweep.error_counts {
             for &probability in &sweep.probabilities {
-                let evaluations: Vec<_> =
-                    sweep.cell(profiler, error_count, probability).collect();
+                let evaluations: Vec<_> = sweep.cell(profiler, error_count, probability).collect();
                 let points = checkpoints
                     .iter()
                     .map(|&round| {

@@ -8,6 +8,7 @@
 pub mod ablation;
 pub mod ext_bch;
 pub mod ext_beer;
+pub mod ext_codes;
 pub mod ext_module;
 pub mod ext_repair;
 pub mod ext_vrt;

@@ -9,11 +9,12 @@
 
 use serde::{Deserialize, Serialize};
 
+use harp_ecc::{HammingCode, LinearBlockCode};
 use harp_profiler::{CoverageSeries, ProfilerKind, ProfilingCampaign};
 
 use crate::config::EvaluationConfig;
 use crate::runner::parallel_map;
-use crate::sample::{sample_words, WordSample};
+use crate::sample::{sample_words_with, WordSample};
 
 /// The coverage series of one (word, profiler) pair within the sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,8 +72,8 @@ impl CoverageSweep {
 }
 
 /// Evaluates one word with every requested profiler.
-fn evaluate_word(
-    sample: &WordSample,
+fn evaluate_word<C: LinearBlockCode + Clone + 'static>(
+    sample: &WordSample<C>,
     profilers: &[ProfilerKind],
     pattern: harp_memsim::pattern::DataPattern,
     rounds: usize,
@@ -100,16 +101,24 @@ fn evaluate_word(
         .collect()
 }
 
-/// Runs the full coverage sweep for the given profilers.
-pub fn run_coverage_sweep(
+/// Runs the full coverage sweep for the given profilers over any code
+/// family: `make_code` builds the per-code-index on-die ECC code from a
+/// deterministic seed. This is the single generic HARP campaign path behind
+/// Figs. 6–9 *and* the cross-code comparison experiment.
+pub fn run_coverage_sweep_with<C, F>(
     config: &EvaluationConfig,
     profilers: &[ProfilerKind],
-) -> CoverageSweep {
+    make_code: F,
+) -> CoverageSweep
+where
+    C: LinearBlockCode + Clone + Sync + 'static,
+    F: Fn(u64) -> C,
+{
     config.validate();
     let mut evaluations = Vec::new();
     for &error_count in &config.error_counts {
         for &probability in &config.probabilities {
-            let samples = sample_words(config, error_count, probability);
+            let samples = sample_words_with(config, error_count, probability, &make_code);
             let per_word = parallel_map(&samples, config.threads, |sample| {
                 evaluate_word(
                     sample,
@@ -130,6 +139,15 @@ pub fn run_coverage_sweep(
         profilers: profilers.to_vec(),
         evaluations,
     }
+}
+
+/// Runs the full coverage sweep with randomly generated SEC Hamming codes
+/// (the paper's evaluated on-die ECC).
+pub fn run_coverage_sweep(config: &EvaluationConfig, profilers: &[ProfilerKind]) -> CoverageSweep {
+    run_coverage_sweep_with(config, profilers, |seed| {
+        HammingCode::random(config.data_bits, seed)
+            .expect("valid configuration always yields a valid code")
+    })
 }
 
 #[cfg(test)]

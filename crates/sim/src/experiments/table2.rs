@@ -60,9 +60,14 @@ impl Table2Result {
     /// columns).
     pub fn render(&self) -> String {
         let mut header = vec!["metric".to_owned()];
-        header.extend(self.rows.iter().map(|r| r.at_risk_pre_correction.to_string()));
+        header.extend(
+            self.rows
+                .iter()
+                .map(|r| r.at_risk_pre_correction.to_string()),
+        );
         let mut table = TextTable::new(header);
-        let metrics: [(&str, fn(&Table2Row) -> u64); 3] = [
+        type Metric = fn(&Table2Row) -> u64;
+        let metrics: [(&str, Metric); 3] = [
             ("unique pre-correction error patterns (2^n - 1)", |r| {
                 r.unique_patterns
             }),

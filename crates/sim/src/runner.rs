@@ -2,9 +2,9 @@
 //!
 //! The paper parallelizes its simulations across compute-cluster jobs
 //! (§A.7); here the same sharding happens across worker threads using
-//! `crossbeam` scoped threads. Work items are processed in deterministic
-//! order per shard and results are returned in input order, so parallel and
-//! sequential runs produce identical output.
+//! `std::thread::scope`. Work items are processed in deterministic order per
+//! shard and results are returned in input order, so parallel and sequential
+//! runs produce identical output.
 
 /// Maps `f` over `items` using `threads` worker threads (0 = one per
 /// available CPU), preserving input order in the output.
@@ -32,21 +32,19 @@ where
     let mut results: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
     let chunk_size = items.len().div_ceil(worker_count);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut remaining: &mut [Option<U>] = &mut results;
-        for (chunk_index, chunk) in items.chunks(chunk_size).enumerate() {
+        for chunk in items.chunks(chunk_size) {
             let (chunk_results, rest) = remaining.split_at_mut(chunk.len());
             remaining = rest;
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, item) in chunk.iter().enumerate() {
                     chunk_results[i] = Some(f(item));
                 }
-                let _ = chunk_index;
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_iter()

@@ -1,30 +1,36 @@
 //! Monte-Carlo sampling of ECC words.
 //!
-//! Each sample is one simulated ECC word: a randomly generated parity-check
-//! matrix (shared by all words of the same code index) plus a set of at-risk
-//! pre-correction bits with a per-bit error probability. The sampling is
-//! fully deterministic given the [`EvaluationConfig`] base seed, so all
-//! profilers are evaluated against the exact same population of words —
-//! the fairness requirement of §7.1.2.
+//! Each sample is one simulated ECC word: a randomly generated code (shared
+//! by all words of the same code index) plus a set of at-risk pre-correction
+//! bits with a per-bit error probability. The sampling is fully
+//! deterministic given the [`EvaluationConfig`] base seed, so all profilers
+//! are evaluated against the exact same population of words — the fairness
+//! requirement of §7.1.2.
+//!
+//! Sampling is generic over the on-die ECC code: [`sample_words_with`]
+//! accepts any seeded code factory, so the same word populations (same
+//! at-risk sets, same campaign seeds) can be generated for Hamming, SEC-DED,
+//! or BCH words and compared head-to-head ([`sample_words`] is the Hamming
+//! convenience wrapper used by the paper-reproduction experiments).
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use harp_ecc::HammingCode;
+use harp_ecc::{HammingCode, LinearBlockCode};
 use harp_memsim::fault::RetentionSampler;
 use harp_memsim::FaultModel;
 
 use crate::config::EvaluationConfig;
 
-/// One simulated ECC word.
+/// One simulated ECC word, generic over the protecting code.
 #[derive(Debug, Clone)]
-pub struct WordSample {
+pub struct WordSample<C: LinearBlockCode = HammingCode> {
     /// Index of the randomly generated code this word belongs to.
     pub code_index: usize,
     /// Index of the word within its code.
     pub word_index: usize,
     /// The on-die ECC code protecting this word.
-    pub code: HammingCode,
+    pub code: C,
     /// The word's at-risk bits and their failure probability.
     pub faults: FaultModel,
     /// Deterministic seed for the profiling campaign on this word.
@@ -32,29 +38,38 @@ pub struct WordSample {
 }
 
 /// Generates the word population for one (error count, probability)
-/// configuration.
+/// configuration, building each per-code-index code with `make_code`
+/// (invoked with a deterministic seed).
+///
+/// The at-risk *positions* are sampled over each code's own codeword length,
+/// so populations generated for different code families share the sampling
+/// methodology (and campaign seeds) even when their codeword geometries
+/// differ.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid (see
-/// [`EvaluationConfig::validate`]) or code generation fails.
-pub fn sample_words(
+/// [`EvaluationConfig::validate`]).
+pub fn sample_words_with<C, F>(
     config: &EvaluationConfig,
     error_count: usize,
     probability: f64,
-) -> Vec<WordSample> {
+    make_code: F,
+) -> Vec<WordSample<C>>
+where
+    C: LinearBlockCode + Clone,
+    F: Fn(u64) -> C,
+{
     config.validate();
     let sampler = RetentionSampler::new(0.0, probability);
     let mut samples = Vec::with_capacity(config.words_total());
     for code_index in 0..config.num_codes {
         let code_seed = config.seed_for(code_index, 0, 0xC0DE);
-        let code = HammingCode::random(config.data_bits, code_seed)
-            .expect("valid configuration always yields a valid code");
+        let code = make_code(code_seed);
         for word_index in 0..config.words_per_code {
             let word_seed = config.seed_for(code_index, word_index, error_count as u64);
             let mut rng = ChaCha8Rng::seed_from_u64(word_seed);
-            let faults =
-                sampler.sample_word_with_count(code.codeword_len(), error_count, &mut rng);
+            let faults = sampler.sample_word_with_count(code.codeword_len(), error_count, &mut rng);
             samples.push(WordSample {
                 code_index,
                 word_index,
@@ -65,6 +80,25 @@ pub fn sample_words(
         }
     }
     samples
+}
+
+/// Generates the word population for one (error count, probability)
+/// configuration with randomly generated SEC Hamming codes (the paper's
+/// evaluated configuration).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`EvaluationConfig::validate`]) or code generation fails.
+pub fn sample_words(
+    config: &EvaluationConfig,
+    error_count: usize,
+    probability: f64,
+) -> Vec<WordSample> {
+    sample_words_with(config, error_count, probability, |seed| {
+        HammingCode::random(config.data_bits, seed)
+            .expect("valid configuration always yields a valid code")
+    })
 }
 
 /// Generates a word population for the data-retention case study (Fig. 10):
@@ -90,9 +124,8 @@ pub fn sample_retention_words(
             // count; clamp pathological samples (essentially impossible at
             // the RBERs the paper sweeps, but cheap insurance).
             if faults.at_risk_bits().len() > harp_ecc::ErrorSpace::MAX_AT_RISK_BITS {
-                let clamped: Vec<_> = faults.at_risk_bits()
-                    [..harp_ecc::ErrorSpace::MAX_AT_RISK_BITS]
-                    .to_vec();
+                let clamped: Vec<_> =
+                    faults.at_risk_bits()[..harp_ecc::ErrorSpace::MAX_AT_RISK_BITS].to_vec();
                 faults = FaultModel::new(clamped, faults.dependence());
             }
             samples.push(WordSample {
@@ -175,9 +208,7 @@ mod tests {
             "empirical density {density} too far from 0.05"
         );
         for s in &samples {
-            assert!(
-                s.faults.at_risk_positions().len() <= harp_ecc::ErrorSpace::MAX_AT_RISK_BITS
-            );
+            assert!(s.faults.at_risk_positions().len() <= harp_ecc::ErrorSpace::MAX_AT_RISK_BITS);
         }
     }
 }

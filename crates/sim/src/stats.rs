@@ -33,7 +33,10 @@ pub fn mean(values: &[f64]) -> f64 {
 /// assert_eq!(harp_sim::stats::percentile(&data, 50.0), 4.0);
 /// ```
 pub fn percentile(values: &[f64], p: f64) -> f64 {
-    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile {p} outside [0, 100]"
+    );
     if values.is_empty() {
         return 0.0;
     }

@@ -11,14 +11,19 @@
 use std::collections::BTreeSet;
 
 use harp_bch::analysis::combinatorics;
-use harp_bch::{BchCode, BchErrorSpace};
+use harp_bch::BchCode;
 use harp_ecc::analysis::FailureDependence;
+use harp_ecc::ErrorSpace;
+use harp_ecc::LinearBlockCode;
 use harp_gf2::BitVec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A (78, 64) double-error-correcting BCH code over GF(2^7).
     let code = BchCode::dec(64)?;
-    println!("on-die ECC: {code}, correction capability t = {}", code.correction_capability());
+    println!(
+        "on-die ECC: {code}, correction capability t = {}",
+        code.correction_capability()
+    );
 
     // 2. Any double raw error is corrected — the error patterns that defeat a
     //    SEC Hamming code are harmless here.
@@ -59,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    double-error-correcting secondary ECC suffices for reactive
     //    profiling.
     let at_risk = [2usize, 17, 40, 70, 75];
-    let space = BchErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
+    let space = ErrorSpace::enumerate(&code, &at_risk, FailureDependence::TrueCell);
     let repaired: BTreeSet<usize> = space.direct_at_risk().clone();
     let requirement = space.max_simultaneous_errors_outside(&repaired);
     println!(

@@ -10,9 +10,12 @@
 //!
 //! Run with: `cargo run --example beer_reverse_engineering`
 
-use harp_beer::{data_visible_equivalent, reconstruct_equivalent_code, BeerCampaign, MiscorrectionProfile};
+use harp_beer::{
+    data_visible_equivalent, reconstruct_equivalent_code, BeerCampaign, MiscorrectionProfile,
+};
 use harp_ecc::analysis::{predict_indirect_from_direct, FailureDependence};
 use harp_ecc::HammingCode;
+use harp_ecc::LinearBlockCode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The manufacturer's secret: a (21, 16) on-die ECC code we pretend we

@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release --example data_retention_case_study`
 
 use harp_controller::MemoryController;
+use harp_ecc::LinearBlockCode;
 use harp_ecc::{HammingCode, SecondaryEcc};
 use harp_gf2::BitVec;
 use harp_memsim::fault::RetentionSampler;
@@ -42,8 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut controller = MemoryController::new(chip, SecondaryEcc::ideal_sec());
     let rounds = 16;
     for word in 0..controller.chip().num_words() {
-        let mut profiler =
-            ProfilerKind::HarpU.instantiate(controller.chip().code(), harp_memsim::pattern::DataPattern::Random, word as u64);
+        let mut profiler = ProfilerKind::HarpU.instantiate(
+            controller.chip().code(),
+            harp_memsim::pattern::DataPattern::Random,
+            word as u64,
+        );
         for round in 0..rounds {
             let data = profiler.dataword_for_round(round);
             controller.chip_mut().write(word, &data);

@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release --example error_space_explorer [n_at_risk]`
 
 use harp_ecc::analysis::{combinatorics, FailureDependence};
+use harp_ecc::LinearBlockCode;
 use harp_ecc::{ErrorSpace, HammingCode};
 use harp_sim::experiments::table2;
 use rand::seq::SliceRandom;

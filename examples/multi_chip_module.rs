@@ -10,6 +10,7 @@
 
 use harp_ecc::analysis::FailureDependence;
 use harp_ecc::HammingCode;
+use harp_ecc::LinearBlockCode;
 use harp_gf2::BitVec;
 use harp_memsim::{AtRiskBit, FaultModel};
 use harp_module::{MemoryModule, ModuleGeometry, SecondaryLayout};
@@ -34,7 +35,10 @@ fn miscorrecting_parity_pair(code: &HammingCode) -> [usize; 2] {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A DDR4-style rank: 8 × ×8 chips, burst 8, 64-bit on-die ECC words.
     let geometry = ModuleGeometry::ddr4_style_rank();
-    println!("rank geometry: {geometry}, {}-bit cache lines", geometry.line_bits());
+    println!(
+        "rank geometry: {geometry}, {}-bit cache lines",
+        geometry.line_bits()
+    );
 
     // 2. The analytic requirement per layout, assuming HARP's active phase
     //    has bounded every on-die ECC word to one concurrent indirect error.

@@ -17,7 +17,10 @@ fn main() {
         ..EvaluationConfig::quick()
     };
 
-    println!("Simulating {} ECC words per configuration...\n", config.words_total());
+    println!(
+        "Simulating {} ECC words per configuration...\n",
+        config.words_total()
+    );
 
     // Figs. 6 and 7 share a sweep over the three active-phase profilers.
     let active_sweep = sweep::run_coverage_sweep(&config, &fig6::PROFILERS);

@@ -3,6 +3,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use harp_ecc::analysis::FailureDependence;
+use harp_ecc::LinearBlockCode;
 use harp_ecc::{DecodeOutcome, ErrorSpace, HammingCode};
 use harp_gf2::BitVec;
 use harp_memsim::pattern::DataPattern;

@@ -53,8 +53,7 @@ fn harp_u_campaign_converges_exactly_to_the_direct_at_risk_set() {
         let code = HammingCode::random(64, 100 + seed).unwrap();
         let at_risk = [3usize, 19, 44, 63];
         let faults = FaultModel::uniform(&at_risk, 0.5);
-        let campaign =
-            ProfilingCampaign::new(code.clone(), faults, DataPattern::Random, seed);
+        let campaign = ProfilingCampaign::new(code.clone(), faults, DataPattern::Random, seed);
         let space = campaign.error_space();
         let result = campaign.run(ProfilerKind::HarpU, 64);
         // HARP-U identifies exactly the direct at-risk set: no more, no less.

@@ -7,6 +7,7 @@
 //! bit-repair mechanism plus the SEC secondary ECC for anything left over.
 
 use harp_controller::MemoryController;
+use harp_ecc::LinearBlockCode;
 use harp_ecc::{HammingCode, SecondaryEcc};
 use harp_gf2::BitVec;
 use harp_memsim::fault::RetentionSampler;
@@ -119,7 +120,10 @@ fn naive_profiling_leaves_multi_bit_errors_that_escape_the_secondary_ecc() {
     let mut harp = profile_actively(chip, ProfilerKind::HarpU, 2, 9);
     let (escaped_naive, _) = run_normal_operation(&mut naive, 100, 13);
     let (escaped_harp, _) = run_normal_operation(&mut harp, 100, 13);
-    assert_eq!(escaped_harp, 0, "HARP finds every direct bit in two rounds of charged data");
+    assert_eq!(
+        escaped_harp, 0,
+        "HARP finds every direct bit in two rounds of charged data"
+    );
     assert!(
         escaped_naive >= escaped_harp,
         "Naive should never beat HARP ({escaped_naive} vs {escaped_harp})"
@@ -163,6 +167,7 @@ fn reactive_profiling_safely_identifies_indirect_errors_once_direct_bits_are_rep
     let mut escaped = 0usize;
     let mut reactively_identified: BTreeSet = BTreeSet::new();
     for _ in 0..400 {
+        #[allow(clippy::needless_range_loop)]
         for word in 0..num_words {
             let outcome = controller.read(word, &mut rng);
             escaped += outcome.escaped_errors.len();
@@ -177,12 +182,18 @@ fn reactive_profiling_safely_identifies_indirect_errors_once_direct_bits_are_rep
             }
         }
     }
-    assert_eq!(escaped, 0, "no error may escape once direct bits are repaired");
+    assert_eq!(
+        escaped, 0,
+        "no error may escape once direct bits are repaired"
+    );
     // At least one word has indirect at-risk bits under this configuration;
     // after 400 charged accesses at p = 0.5 the secondary ECC must have
     // caught some of them.
     let total_indirect: usize = indirect_truth.iter().map(|s| s.len()).sum();
-    assert!(total_indirect > 0, "test configuration should expose indirect errors");
+    assert!(
+        total_indirect > 0,
+        "test configuration should expose indirect errors"
+    );
     assert!(
         !reactively_identified.is_empty(),
         "reactive profiling identified nothing despite {total_indirect} indirect at-risk bits"

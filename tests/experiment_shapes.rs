@@ -89,10 +89,7 @@ fn fig6_and_fig7_shapes_harp_covers_fastest_and_bootstraps_fastest() {
 
         let harp_boot = fig7_result.cell(ProfilerKind::HarpU, count, 0.5).unwrap();
         let naive_boot = fig7_result.cell(ProfilerKind::Naive, count, 0.5).unwrap();
-        assert!(
-            harp_boot.rounds_to_first_error.median
-                <= naive_boot.rounds_to_first_error.median
-        );
+        assert!(harp_boot.rounds_to_first_error.median <= naive_boot.rounds_to_first_error.median);
     }
 }
 
@@ -112,8 +109,7 @@ fn fig9_and_headline_shapes_harp_needs_only_sec_secondary_ecc() {
         let harp = fig9_result
             .rounds_to_single_error_p99(ProfilerKind::HarpU, count, 0.5)
             .unwrap();
-        if let Some(naive) =
-            fig9_result.rounds_to_single_error_p99(ProfilerKind::Naive, count, 0.5)
+        if let Some(naive) = fig9_result.rounds_to_single_error_p99(ProfilerKind::Naive, count, 0.5)
         {
             assert!(harp <= naive);
         }
@@ -145,9 +141,8 @@ fn fig10_shape_harp_repairs_everything_and_is_fastest() {
     // HARP reaches zero BER after reactive profiling.
     let harp_zero = harp.rounds_to_zero_after().expect("HARP reaches zero BER");
     // Naive takes at least as long (and typically much longer).
-    match naive.rounds_to_zero_after() {
-        Some(naive_zero) => assert!(harp_zero <= naive_zero),
-        None => {}
+    if let Some(naive_zero) = naive.rounds_to_zero_after() {
+        assert!(harp_zero <= naive_zero)
     }
     // BEEP's final BER is no better than HARP's (the paper finds it never
     // reaches zero).

@@ -46,8 +46,12 @@ fn ext2_beer_recovers_every_profile_and_rebuilds_small_codes() {
 #[test]
 fn ext3_aligned_layout_is_cheapest_and_bounds_hold() {
     let result = ext_module::run(&smoke());
-    let aligned = result.ddr4_capability(SecondaryLayout::PerOnDieWord).unwrap();
-    let interleaved = result.ddr4_capability(SecondaryLayout::PerCacheLine).unwrap();
+    let aligned = result
+        .ddr4_capability(SecondaryLayout::PerOnDieWord)
+        .unwrap();
+    let interleaved = result
+        .ddr4_capability(SecondaryLayout::PerCacheLine)
+        .unwrap();
     assert_eq!(aligned, 1);
     assert_eq!(interleaved, 8);
     for row in &result.stress {
@@ -96,7 +100,15 @@ fn ext5_reactive_scrubbing_coverage_grows_with_time_and_toggle_rate() {
             assert!(window[1] >= window[0] - 1e-12, "coverage must not decrease");
         }
     }
-    let slow = result.cells[0].coverage_at_checkpoints.last().copied().unwrap();
-    let fast = result.cells[1].coverage_at_checkpoints.last().copied().unwrap();
+    let slow = result.cells[0]
+        .coverage_at_checkpoints
+        .last()
+        .copied()
+        .unwrap();
+    let fast = result.cells[1]
+        .coverage_at_checkpoints
+        .last()
+        .copied()
+        .unwrap();
     assert!(fast >= slow);
 }

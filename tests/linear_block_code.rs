@@ -1,0 +1,197 @@
+//! Cross-code property tests for the `LinearBlockCode` abstraction layer.
+//!
+//! Every property here is asserted for all three code families (SEC Hamming,
+//! SEC-DED extended Hamming, DEC BCH) *through the trait*, so a new
+//! implementation that violates the layer's contract fails these tests
+//! before it ever reaches an experiment. Includes the determinism check that
+//! `harp_sim::runner::parallel_map` matches the sequential path when driving
+//! whole campaigns.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use harp_bch::BchCode;
+use harp_ecc::analysis::{classify_decode, FailureDependence, GroundTruth};
+use harp_ecc::{DecodeOutcome, ErrorSpace, ExtendedHammingCode, HammingCode, LinearBlockCode};
+use harp_gf2::BitVec;
+use harp_memsim::pattern::DataPattern;
+use harp_memsim::FaultModel;
+use harp_profiler::{ProfilerKind, ProfilingCampaign};
+
+/// The three shipped implementations, boxed behind the trait.
+fn all_codes(data_bits: usize, seed: u64) -> Vec<Box<dyn LinearBlockCode>> {
+    vec![
+        Box::new(HammingCode::random(data_bits, seed).expect("valid Hamming code")),
+        Box::new(ExtendedHammingCode::random(data_bits, seed).expect("valid SEC-DED code")),
+        Box::new(BchCode::dec(data_bits).expect("valid BCH code")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Encode → decode round-trips cleanly for every code family.
+    #[test]
+    fn encode_decode_round_trip_across_codes(
+        seed in 0u64..200,
+        data_value in any::<u64>(),
+    ) {
+        for code in all_codes(32, seed) {
+            let data = BitVec::from_u64(32, data_value & 0xFFFF_FFFF);
+            let result = code.decode(&code.encode(&data));
+            prop_assert_eq!(&result.dataword, &data, "{}", code.description());
+            prop_assert_eq!(&result.outcome, &DecodeOutcome::NoErrorDetected);
+            prop_assert!(result.syndrome.is_zero());
+        }
+    }
+
+    /// Valid codewords have zero syndrome through the kernel path, and the
+    /// kernel agrees with the parity-check matrix on corrupted words.
+    #[test]
+    fn zero_syndrome_for_valid_codewords_across_codes(
+        seed in 0u64..200,
+        data_value in any::<u64>(),
+        flip in 0usize..32,
+    ) {
+        for code in all_codes(32, seed) {
+            let data = BitVec::from_u64(32, data_value & 0xFFFF_FFFF);
+            let mut stored = code.encode(&data);
+            prop_assert!(code.syndrome(&stored).is_zero(), "{}", code.description());
+            stored.flip(flip);
+            prop_assert_eq!(
+                code.syndrome(&stored),
+                code.parity_check_matrix().mul_vec(&stored)
+            );
+        }
+    }
+
+    /// Every code corrects any error of weight up to its stated capability.
+    #[test]
+    fn errors_within_capability_are_corrected(
+        seed in 0u64..100,
+        a in 0usize..32,
+        b in 0usize..32,
+    ) {
+        for code in all_codes(32, seed) {
+            let t = code.correction_capability();
+            let data = BitVec::from_u64(32, 0xA5A5_5A5A);
+            let positions: BTreeSet<usize> = [a, b].into_iter().take(t).collect();
+            let error = BitVec::from_indices(
+                code.codeword_len(),
+                positions.iter().copied(),
+            );
+            let result = code.encode_corrupt_decode(&data, &error);
+            prop_assert_eq!(&result.dataword, &data, "{}", code.description());
+        }
+    }
+
+    /// Ground-truth classification agrees between Hamming and BCH accessed
+    /// through the trait: a single raw error is a true correction for both,
+    /// and classification never mislabels the injected pattern.
+    #[test]
+    fn direct_vs_indirect_classification_agreement(
+        seed in 0u64..100,
+        pos in 0usize..32,
+    ) {
+        let hamming = HammingCode::random(32, seed).unwrap();
+        let bch = BchCode::dec(32).unwrap();
+        let data = BitVec::ones(32);
+        for code in [&hamming as &dyn LinearBlockCode, &bch as &dyn LinearBlockCode] {
+            let raw = BitVec::from_indices(code.codeword_len(), [pos]);
+            let result = code.encode_corrupt_decode(&data, &raw);
+            prop_assert_eq!(
+                classify_decode(code, &raw, &result),
+                GroundTruth::CorrectedTrue { positions: vec![pos] },
+                "{}", code.description()
+            );
+        }
+    }
+
+    /// The enumerated error space is exact for every family: direct and
+    /// indirect sets partition the post-correction set, and repairing the
+    /// direct bits bounds residual simultaneous errors by the capability.
+    #[test]
+    fn error_space_invariants_hold_across_codes(
+        seed in 0u64..60,
+        at_risk in proptest::collection::btree_set(0usize..32, 2..5),
+    ) {
+        let positions: Vec<usize> = at_risk.iter().copied().collect();
+        for code in all_codes(32, seed) {
+            let space = ErrorSpace::enumerate(
+                code.as_ref(),
+                &positions,
+                FailureDependence::TrueCell,
+            );
+            let union: BTreeSet<usize> = space
+                .direct_at_risk()
+                .union(space.indirect_at_risk())
+                .copied()
+                .collect();
+            prop_assert!(space.post_correction_at_risk().is_subset(&union));
+            let direct = space.direct_at_risk().clone();
+            prop_assert!(
+                space.max_simultaneous_errors_outside(&direct)
+                    <= code.correction_capability(),
+                "{}", code.description()
+            );
+        }
+    }
+}
+
+/// The generic campaign path produces identical results whether the word
+/// population is mapped sequentially or across worker threads.
+#[test]
+fn parallel_map_campaigns_match_sequential_path() {
+    let codes: Vec<HammingCode> = (0..8)
+        .map(|seed| HammingCode::random(64, seed).unwrap())
+        .collect();
+    let run_one = |code: &HammingCode| {
+        let campaign = ProfilingCampaign::new(
+            code.clone(),
+            FaultModel::uniform(&[3, 19, 42], 0.5),
+            DataPattern::Random,
+            11,
+        );
+        campaign.run(ProfilerKind::HarpA, 24)
+    };
+    let sequential = harp_sim::runner::parallel_map(&codes, 1, run_one);
+    let parallel = harp_sim::runner::parallel_map(&codes, 4, run_one);
+    let oversubscribed = harp_sim::runner::parallel_map(&codes, 64, run_one);
+    assert_eq!(sequential, parallel);
+    assert_eq!(sequential, oversubscribed);
+}
+
+/// The same profiler lineup completes a campaign against each code family
+/// and only ever reports genuinely at-risk bits.
+#[test]
+fn generic_campaign_reports_only_at_risk_bits_for_every_family() {
+    let at_risk = [2usize, 9, 21];
+    let hamming = HammingCode::random(32, 5).unwrap();
+    let secded = ExtendedHammingCode::random(32, 5).unwrap();
+    let bch = BchCode::dec(32).unwrap();
+
+    fn check<C: LinearBlockCode + Clone + 'static>(code: C, at_risk: &[usize]) {
+        let campaign = ProfilingCampaign::new(
+            code,
+            FaultModel::uniform(at_risk, 0.75),
+            DataPattern::Random,
+            13,
+        );
+        let space = campaign.error_space();
+        for kind in ProfilerKind::ALL {
+            let result = campaign.run(kind, 48);
+            for bit in result.final_identified() {
+                assert!(
+                    space.post_correction_at_risk().contains(&bit)
+                        || space.direct_at_risk().contains(&bit),
+                    "{kind}: bit {bit} is not at risk"
+                );
+            }
+        }
+    }
+
+    check(hamming, &at_risk);
+    check(secded, &at_risk);
+    check(bch, &at_risk);
+}

@@ -9,6 +9,7 @@
 
 use harp_beer::{reconstruct_equivalent_code, BeerCampaign};
 use harp_ecc::analysis::FailureDependence;
+use harp_ecc::LinearBlockCode;
 use harp_ecc::{ErrorSpace, HammingCode};
 use harp_memsim::pattern::DataPattern;
 use harp_memsim::FaultModel;

@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion 0.5 API the bench targets use —
+//! [`Criterion`], [`criterion_group!`] (plain and `name/config/targets`
+//! forms), [`criterion_main!`], benchmark groups, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`] — backed by a simple wall-clock measurement
+//! loop: a short warm-up, then timed batches whose per-iteration mean and
+//! min/max are printed. No statistics engine, HTML reports, or comparison
+//! baselines; the point is that `cargo bench` runs offline and prints
+//! honest per-iteration timings.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` sizes its setup batches (accepted for API
+/// compatibility; the stand-in always runs one setup per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Measurement settings shared by a group of benchmarks.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 30,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "sample_size must be nonzero");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.measurement_time = budget;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        let mut bencher = Bencher::new(self.clone());
+        f(&mut bencher);
+        bencher.report(name.as_ref());
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, mut f: F) {
+        let mut bencher = Bencher::new(self.criterion.clone());
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.as_ref()));
+    }
+
+    /// Finishes the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collected timing for one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    iterations: u64,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+/// The per-benchmark measurement driver handed to bench closures.
+pub struct Bencher {
+    settings: Criterion,
+    measurement: Option<Measurement>,
+}
+
+impl Bencher {
+    fn new(settings: Criterion) -> Self {
+        Self {
+            settings,
+            measurement: None,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::new();
+        let mut total_iterations = 0u64;
+        let deadline = Instant::now() + self.settings.measurement_time;
+        // One warm-up round.
+        black_box(routine(setup()));
+        for _ in 0..self.settings.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed());
+            total_iterations += 1;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.record(samples, total_iterations);
+    }
+
+    fn run<R: FnMut()>(&mut self, mut routine: R) {
+        // Warm up and estimate a batch size targeting ~1ms per sample.
+        let warmup_start = Instant::now();
+        let mut warmup_iterations = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(20) && warmup_iterations < 1_000_000 {
+            routine();
+            warmup_iterations += 1;
+        }
+        let per_iteration =
+            warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iterations.max(1));
+        let batch = (1_000_000 / per_iteration.max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::new();
+        let mut total_iterations = 0u64;
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                routine();
+            }
+            samples.push(start.elapsed() / batch as u32);
+            total_iterations += batch;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.record(samples, total_iterations);
+    }
+
+    fn record(&mut self, samples: Vec<Duration>, iterations: u64) {
+        assert!(!samples.is_empty(), "benchmark collected no samples");
+        let sum: Duration = samples.iter().sum();
+        self.measurement = Some(Measurement {
+            iterations,
+            mean: sum / samples.len() as u32,
+            min: samples.iter().min().copied().unwrap_or_default(),
+            max: samples.iter().max().copied().unwrap_or_default(),
+        });
+    }
+
+    fn report(&self, name: &str) {
+        match &self.measurement {
+            Some(m) => println!(
+                "bench {name:<60} {:>12} mean   [{} .. {}]   ({} iters)",
+                format_duration(m.mean),
+                format_duration(m.min),
+                format_duration(m.max),
+                m.iterations,
+            ),
+            None => println!("bench {name:<60} (no measurement recorded)"),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut criterion = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20));
+        criterion.bench_function("smoke/iter", |b| b.iter(|| black_box(3u64).pow(7)));
+        let mut group = criterion.benchmark_group("smoke");
+        group.bench_function("iter_batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

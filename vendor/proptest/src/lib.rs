@@ -1,0 +1,516 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//! inner attribute), `prop_assert*` / [`prop_assume!`], [`any`], integer
+//! range strategies, [`collection::btree_set`] / [`collection::vec`], and
+//! [`sample::select`].
+//!
+//! Semantics differ from real proptest in two deliberate ways: inputs are
+//! drawn from a deterministic per-test RNG stream (seeded from the test's
+//! module path) rather than an entropy source, and failing cases are not
+//! shrunk — the failing input values appear in the panic message location
+//! instead. Both keep test runs fully reproducible offline.
+
+pub mod strategy {
+    //! Input-generation strategies.
+
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// A source of generated test inputs.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent strategy from each generated value and samples
+        /// it once.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Keeps only values for which `f` returns `Some`, regenerating
+        /// otherwise. `whence` names the constraint in the panic raised if no
+        /// acceptable value is found within the attempt budget.
+        fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            for _ in 0..1000 {
+                if let Some(value) = (self.f)(self.inner.generate(rng)) {
+                    return value;
+                }
+            }
+            panic!("prop_filter_map exhausted its attempts: {}", self.whence);
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+);)+) => {
+            $(
+                #[allow(non_snake_case)]
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        let ($($name,)+) = self;
+                        ($($name.generate(rng),)+)
+                    }
+                }
+            )+
+        };
+    }
+
+    impl_tuple_strategy! {
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),* $(,)?) => {
+            $(
+                impl Strategy for core::ops::Range<$ty> {
+                    type Value = $ty;
+
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        rng.gen_range(self.clone())
+                    }
+                }
+
+                impl Strategy for core::ops::RangeInclusive<$ty> {
+                    type Value = $ty;
+
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Types with a canonical whole-domain strategy (see [`crate::any`]).
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),* $(,)?) => {
+            $(
+                impl Arbitrary for $ty {
+                    fn arbitrary(rng: &mut TestRng) -> $ty {
+                        rand::RngCore::next_u64(rng) as $ty
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rand::RngCore::next_u64(rng) & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.gen_range(-1.0e6..1.0e6)
+        }
+    }
+
+    /// Strategy returned by [`crate::any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+pub mod test_runner {
+    //! Deterministic test execution support.
+
+    use rand::SeedableRng;
+
+    /// The RNG driving input generation (deterministic per test).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Builds the deterministic RNG for a named test.
+    pub fn rng_for(test_path: &str) -> TestRng {
+        // FNV-1a over the fully qualified test name: stable across runs and
+        // independent per test.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in test_path.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(hash)
+    }
+
+    /// Per-test configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::collections::BTreeSet;
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A size specification: a fixed length or a half-open range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self {
+                min: len,
+                max_exclusive: len + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(range: core::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            Self {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.min..self.max_exclusive)
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s of distinct elements.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `BTreeSet` strategy with sizes drawn from `size`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+                assert!(
+                    attempts < 100 * (target + 1),
+                    "element strategy domain too small for a set of {target}"
+                );
+            }
+            set
+        }
+    }
+
+    /// Strategy producing `Vec`s.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly among fixed alternatives.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// A strategy selecting one of `options` per case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let index = rng.gen_range(0..self.options.len());
+            self.options[index].clone()
+        }
+    }
+}
+
+/// Property assertion (panics like `assert!` on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests. Supports the subset of real proptest syntax used
+/// in this workspace: an optional `#![proptest_config(...)]` inner attribute
+/// followed by `fn name(binding in strategy, ...) { body }` items (each
+/// carrying its own outer attributes such as `#[test]` and doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng = $crate::test_runner::rng_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    //! The imports property tests pull in wholesale.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0usize..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        /// Doc comments on property tests are preserved.
+        #[test]
+        fn sets_respect_size_and_domain(
+            s in crate::collection::btree_set(0usize..16, 2..6),
+        ) {
+            prop_assert!((2..6).contains(&s.len()));
+            prop_assert!(s.iter().all(|&v| v < 16));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u32..4, b in 0u32..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn select_picks_an_option(k in crate::sample::select(vec![8usize, 16, 32])) {
+            prop_assert!([8, 16, 32].contains(&k));
+        }
+
+        #[test]
+        fn vecs_have_requested_length(v in crate::collection::vec(any::<bool>(), 6)) {
+            prop_assert_eq!(v.len(), 6);
+        }
+    }
+
+    #[test]
+    fn generated_properties_exist() {
+        ranges_stay_in_bounds();
+        assume_skips_cases();
+    }
+}

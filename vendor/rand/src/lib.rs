@@ -1,0 +1,269 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! The build container has no crates.io access, so this crate implements the
+//! slice of the `rand` 0.8 API the workspace uses: [`RngCore`] / [`Rng`] /
+//! [`SeedableRng`], integer and float [`Rng::gen_range`], [`Rng::gen_bool`],
+//! [`seq::SliceRandom::shuffle`], and [`rngs::StdRng`]. Generators are fully
+//! deterministic per seed; exact output streams differ from upstream `rand`
+//! (nothing in the workspace depends on upstream streams — only on
+//! determinism and statistical quality).
+
+/// A source of random `u64` words.
+pub trait RngCore {
+    /// Returns the next random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Ranges that can be sampled uniformly, mirroring `rand::distributions`'
+/// `SampleRange`.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for core::ops::Range<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample an empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    // Modulo bias is negligible for the small spans used here.
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $ty
+                }
+            }
+
+            impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample an empty range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (start as i128 + offset as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        let unit = unit_f64(rng.next_u64());
+        let value = self.start + unit * (self.end - self.start);
+        // Guard against rounding below start (matters for ranges like
+        // `f64::MIN_POSITIVE..1.0` feeding a logarithm).
+        if value < self.start {
+            self.start
+        } else {
+            value
+        }
+    }
+}
+
+/// Maps a random word to `[0, 1)` with 53 bits of precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Convenience methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable deterministic generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64: used to expand seeds and as the [`rngs::StdRng`] engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw state word.
+    pub fn new(state: u64) -> Self {
+        Self { state }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed)
+    }
+}
+
+pub mod rngs {
+    //! Standard generators, mirroring `rand::rngs`.
+
+    use super::{RngCore, SeedableRng, SplitMix64};
+
+    /// Stand-in for `rand::rngs::StdRng` (upstream: ChaCha12; here a
+    /// xoshiro256**-class generator seeded via SplitMix64 — deterministic and
+    /// statistically strong for simulation purposes).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** step.
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut expander = SplitMix64::new(seed);
+            Self {
+                s: [
+                    expander.next_u64(),
+                    expander.next_u64(),
+                    expander.next_u64(),
+                    expander.next_u64(),
+                ],
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence utilities, mirroring `rand::seq`.
+
+    use super::{Rng, RngCore};
+
+    /// Shuffling support for slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher-Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j: usize = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The parts most callers import wholesale.
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, (0..8).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 40_000;
+        let hits = (0..trials).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            seen[v] = true;
+        }
+        assert!(seen[3..10].iter().all(|&s| s));
+        for _ in 0..1000 {
+            let f = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+        let tiny = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        assert!(tiny > 0.0 && tiny < 1.0);
+    }
+
+    #[test]
+    fn shuffle_permutes_in_place() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut items: Vec<usize> = (0..32).collect();
+        let original = items.clone();
+        items.shuffle(&mut rng);
+        assert_ne!(items, original, "32 elements almost surely move");
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, original);
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for `rand_chacha`, implementing a genuine ChaCha8 stream
+//! generator behind the [`ChaCha8Rng`] name.
+//!
+//! The keystream is real ChaCha with 8 rounds; only the seeding convention
+//! differs from upstream `rand_chacha` (the 64-bit seed is expanded to a
+//! 256-bit key with SplitMix64 instead of zero-padding), so per-seed streams
+//! are deterministic but not byte-identical to upstream. Nothing in the
+//! workspace depends on upstream byte streams.
+
+use rand::{RngCore, SeedableRng, SplitMix64};
+
+/// A deterministic ChaCha8 random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Key words 4..12 of the ChaCha state.
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14).
+    counter: u64,
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word within `block` (16 = exhausted).
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+const ROUNDS: usize = 8;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce words stay zero; the counter provides the stream position.
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.block = state;
+        self.cursor = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut expander = SplitMix64::new(seed);
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let word = expander.next_u64();
+            pair[0] = word as u32;
+            if pair.len() > 1 {
+                pair[1] = (word >> 32) as u32;
+            }
+        }
+        Self {
+            key,
+            counter: 0,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.cursor + 2 > 16 {
+            self.refill();
+        }
+        let low = self.block[self.cursor] as u64;
+        let high = self.block[self.cursor + 1] as u64;
+        self.cursor += 2;
+        low | (high << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stream_is_statistically_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let trials = 20_000;
+        let heads = (0..trials).filter(|_| rng.gen_bool(0.5)).count();
+        let rate = heads as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = rng.next_u64();
+        let mut copy = rng.clone();
+        assert_eq!(rng.next_u64(), copy.next_u64());
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build container has no access to crates.io, so this crate provides
+//! source-compatible marker traits for the subset of serde this workspace
+//! uses: `#[derive(Serialize, Deserialize)]` annotations and `T: Serialize`
+//! bounds. Nothing in the workspace performs real serialization through the
+//! serde data model — the CLI's `--json` dump goes through the vendored
+//! `serde_json`, which renders via `Debug` — so empty marker traits suffice.
+//!
+//! Swapping this crate for the real `serde` (same version requirement, same
+//! feature set) is a one-line change in the workspace manifest once network
+//! access is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The `Debug` supertrait is what lets the vendored `serde_json` render a
+/// value without a real serialization data model.
+pub trait Serialize: std::fmt::Debug {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {}
+            impl<'de> Deserialize<'de> for $ty {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, char, String, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64
+);
+
+impl Serialize for str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeSet<T> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+
+macro_rules! impl_tuple_markers {
+    ($($($name:ident)+;)+) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {}
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {}
+        )+
+    };
+}
+
+impl_tuple_markers! {
+    A;
+    A B;
+    A B C;
+    A B C D;
+}

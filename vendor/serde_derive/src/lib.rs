@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This container has no network access to crates.io, so the workspace
+//! vendors a minimal serde facade (see `vendor/serde`). The facade's
+//! `Serialize` / `Deserialize` traits are marker traits whose derives only
+//! need the name of the deriving type; this proc-macro extracts it by a small
+//! hand-rolled token walk (no `syn` / `quote` available offline).
+//!
+//! Limitation: the deriving type must not be generic. Every serde-derived
+//! type in this workspace is concrete; the macro panics with a clear message
+//! if that ever changes so the facade can be extended deliberately.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier following the `struct` / `enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "the vendored serde derive does not support generic types \
+                                 (deriving on `{name}`); extend vendor/serde_derive if needed"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected a type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde derive: no struct/enum definition found in input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

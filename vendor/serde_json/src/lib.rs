@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Without network access there is no real serde data model to drive, so
+//! `to_string_pretty` renders values through their `Debug` implementation
+//! (the vendored `serde::Serialize` marker trait requires `Debug`). The
+//! output is a human-readable structured dump rather than strict JSON; the
+//! CLI documents the substitution. Swap in the real `serde_json` alongside
+//! the real `serde` to restore strict JSON output.
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`. The Debug renderer is
+/// infallible, so this is never constructed, but the type keeps call sites
+/// source-compatible.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as a pretty-printed structured dump.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(format!("{value:#?}"))
+}
+
+/// Renders `value` as a single-line structured dump.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(format!("{value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(Debug, serde::Serialize)]
+    #[allow(dead_code)] // exercised through Debug rendering only
+    struct Sample {
+        x: u32,
+        label: String,
+    }
+
+    #[test]
+    fn renders_derived_types() {
+        let sample = Sample {
+            x: 7,
+            label: "hi".to_owned(),
+        };
+        let text = super::to_string_pretty(&sample).unwrap();
+        assert!(text.contains("x: 7"));
+        assert!(super::to_string(&sample).unwrap().contains("hi"));
+    }
+}
