@@ -21,7 +21,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use harp_ecc::{DecodeOutcome, DecodeResult, LinearBlockCode, WordLayout};
+use harp_ecc::{CorrectedPositions, DecodeOutcome, DecodeResult, LinearBlockCode, WordLayout};
 use harp_gf2::{BitVec, Gf2Matrix, SyndromeKernel};
 
 use crate::field::Gf2mField;
@@ -258,9 +258,19 @@ impl BchCode {
     pub fn power_sums_from_syndrome(&self, syndrome: &BitVec) -> (u32, u32) {
         let m = self.field.degree() as usize;
         assert_eq!(syndrome.len(), 2 * m, "syndrome length mismatch");
-        let word = syndrome.to_u64();
+        self.power_sums_from_word(syndrome.to_u64())
+    }
+
+    /// Splits a packed binary syndrome (as produced by the batched
+    /// `SyndromeKernel::syndrome_words_into`) into the power sums
+    /// `(S₁, S₃)`: bits `0..m` are `S₁`, bits `m..2m` are `S₃`.
+    pub fn power_sums_from_word(&self, syndrome_word: u64) -> (u32, u32) {
+        let m = self.field.degree() as usize;
         let mask = (1u64 << m) - 1;
-        ((word & mask) as u32, ((word >> m) & mask) as u32)
+        (
+            (syndrome_word & mask) as u32,
+            ((syndrome_word >> m) & mask) as u32,
+        )
     }
 
     fn uncorrectable(&self, stored: &BitVec, syndrome: BitVec) -> DecodeResult {
@@ -270,6 +280,72 @@ impl BchCode {
             syndrome,
         }
     }
+
+    /// Peterson's direct solution for `t = 2` on the power sums of a
+    /// *nonzero* syndrome: the single shared error-locator computation behind
+    /// both decode entry points (`decode` and `decode_with_syndrome_into`),
+    /// so the scalar and burst read paths can never diverge on the math.
+    fn resolve_nonzero_syndrome(&self, s1: u32, s3: u32) -> PetersonResolution {
+        // Single-error hypothesis: S₃ = S₁³ with S₁ ≠ 0.
+        if s1 != 0 && self.field.pow(s1, 3) == s3 {
+            let power = self.field.log(s1) as usize;
+            return match self.position_of_power(power) {
+                Some(position) => PetersonResolution::Single(position),
+                None => PetersonResolution::Uncorrectable,
+            };
+        }
+
+        // Double-error hypothesis. With two errors S₁ ≠ 0, so S₁ = 0 with
+        // S₃ ≠ 0 is already uncorrectable.
+        if s1 == 0 {
+            return PetersonResolution::Uncorrectable;
+        }
+        // Error-locator polynomial σ(x) = x² + S₁·x + (S₃/S₁ + S₁²); its
+        // roots are the error locators α^e₁, α^e₂.
+        let sigma2 = self
+            .field
+            .add(self.field.div(s3, s1), self.field.pow(s1, 2));
+        if sigma2 == 0 {
+            // A repeated root cannot correspond to two distinct positions.
+            return PetersonResolution::Uncorrectable;
+        }
+        let mut roots = [0usize; 2];
+        let mut root_count = 0usize;
+        for power in 0..self.field.order() {
+            let x = self.field.alpha_pow(power);
+            let value = self.field.add(
+                self.field.add(self.field.pow(x, 2), self.field.mul(s1, x)),
+                sigma2,
+            );
+            if value == 0 {
+                if root_count < 2 {
+                    roots[root_count] = power as usize;
+                }
+                root_count += 1;
+                if root_count > 2 {
+                    break;
+                }
+            }
+        }
+        if root_count != 2 {
+            return PetersonResolution::Uncorrectable;
+        }
+        match (
+            self.position_of_power(roots[0]),
+            self.position_of_power(roots[1]),
+        ) {
+            (Some(a), Some(b)) => PetersonResolution::Double(a, b),
+            _ => PetersonResolution::Uncorrectable,
+        }
+    }
+}
+
+/// What Peterson's solution concluded about a nonzero syndrome (codeword
+/// positions, already mapped out of the shortened region).
+enum PetersonResolution {
+    Single(usize),
+    Double(usize, usize),
+    Uncorrectable,
 }
 
 impl LinearBlockCode for BchCode {
@@ -311,70 +387,27 @@ impl LinearBlockCode for BchCode {
                 syndrome,
             };
         }
-
-        // Single-error hypothesis: S₃ = S₁³ with S₁ ≠ 0.
-        if s1 != 0 && self.field.pow(s1, 3) == s3 {
-            let power = self.field.log(s1) as usize;
-            if let Some(position) = self.position_of_power(power) {
+        match self.resolve_nonzero_syndrome(s1, s3) {
+            PetersonResolution::Single(position) => {
                 let mut corrected = stored.clone();
                 corrected.flip(position);
-                return DecodeResult {
+                DecodeResult {
                     dataword: corrected.slice(0, self.data_bits),
                     outcome: DecodeOutcome::corrected(position),
                     syndrome,
-                };
-            }
-            return self.uncorrectable(stored, syndrome);
-        }
-
-        // Double-error hypothesis. With two errors S₁ ≠ 0, so S₁ = 0 with
-        // S₃ ≠ 0 is already uncorrectable.
-        if s1 == 0 {
-            return self.uncorrectable(stored, syndrome);
-        }
-        // Error-locator polynomial σ(x) = x² + S₁·x + (S₃/S₁ + S₁²); its
-        // roots are the error locators α^e₁, α^e₂.
-        let sigma2 = self
-            .field
-            .add(self.field.div(s3, s1), self.field.pow(s1, 2));
-        if sigma2 == 0 {
-            // A repeated root cannot correspond to two distinct positions.
-            return self.uncorrectable(stored, syndrome);
-        }
-        let mut roots = Vec::new();
-        for power in 0..self.field.order() {
-            let x = self.field.alpha_pow(power);
-            let value = self.field.add(
-                self.field.add(self.field.pow(x, 2), self.field.mul(s1, x)),
-                sigma2,
-            );
-            if value == 0 {
-                roots.push(power as usize);
-                if roots.len() > 2 {
-                    break;
                 }
             }
-        }
-        if roots.len() != 2 {
-            return self.uncorrectable(stored, syndrome);
-        }
-        let positions: Option<Vec<usize>> = roots
-            .iter()
-            .map(|&power| self.position_of_power(power))
-            .collect();
-        match positions {
-            Some(positions) => {
+            PetersonResolution::Double(a, b) => {
                 let mut corrected = stored.clone();
-                for &position in &positions {
-                    corrected.flip(position);
-                }
+                corrected.flip(a);
+                corrected.flip(b);
                 DecodeResult {
                     dataword: corrected.slice(0, self.data_bits),
-                    outcome: DecodeOutcome::corrected_many(positions),
+                    outcome: DecodeOutcome::corrected_many([a, b]),
                     syndrome,
                 }
             }
-            None => self.uncorrectable(stored, syndrome),
+            PetersonResolution::Uncorrectable => self.uncorrectable(stored, syndrome),
         }
     }
 
@@ -385,6 +418,53 @@ impl LinearBlockCode for BchCode {
             self.data_bits,
             self.field
         )
+    }
+
+    /// The allocation-free twin of [`BchCode::decode`] for the burst read
+    /// path: same Peterson resolution, but the power sums come straight from
+    /// the packed syndrome and all buffers in `out` are reused.
+    fn decode_with_syndrome_into(
+        &self,
+        stored: &BitVec,
+        syndrome_word: u64,
+        out: &mut DecodeResult,
+    ) {
+        assert_eq!(
+            stored.len(),
+            self.data_bits + self.parity_bits,
+            "stored codeword length mismatch"
+        );
+        let k = self.data_bits;
+        let m = self.field.degree() as usize;
+        out.syndrome.assign_u64(2 * m, syndrome_word);
+        out.dataword.copy_prefix_from(stored, k);
+        let (s1, s3) = self.power_sums_from_word(syndrome_word);
+        if s1 == 0 && s3 == 0 {
+            out.outcome = DecodeOutcome::NoErrorDetected;
+            return;
+        }
+        match self.resolve_nonzero_syndrome(s1, s3) {
+            PetersonResolution::Single(position) => {
+                // Parity-bit corrections never touch the dataword.
+                if position < k {
+                    out.dataword.flip(position);
+                }
+                out.outcome = DecodeOutcome::corrected(position);
+            }
+            PetersonResolution::Double(a, b) => {
+                let mut positions = CorrectedPositions::new();
+                for position in [a, b] {
+                    positions.push(position);
+                    if position < k {
+                        out.dataword.flip(position);
+                    }
+                }
+                out.outcome = DecodeOutcome::Corrected { positions };
+            }
+            PetersonResolution::Uncorrectable => {
+                out.outcome = DecodeOutcome::DetectedUncorrectable;
+            }
+        }
     }
 }
 

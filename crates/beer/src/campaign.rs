@@ -30,7 +30,7 @@ use serde::{Deserialize, Serialize};
 
 use harp_ecc::LinearBlockCode;
 use harp_gf2::BitVec;
-use harp_memsim::{FaultModel, MemoryChip};
+use harp_memsim::{BurstScratch, FaultModel, MemoryChip};
 
 use crate::profile::MiscorrectionProfile;
 
@@ -97,6 +97,14 @@ impl BeerCampaign {
     /// Runs the campaign against a chip that uses the given (secret) code,
     /// constructing the black-box chip internally.
     ///
+    /// The internally built chip holds one ECC word per unordered data-bit
+    /// pair, all programmed up front, so the whole campaign executes as
+    /// [`MemoryChip::read_burst`] scrub passes (one per trial) through the
+    /// batched syndrome kernel instead of `pattern_count()` scalar reads.
+    /// The recovered profile is identical to the word-at-a-time reference
+    /// path ([`BeerCampaign::extract_profile_from_chip`]): the pair-charged
+    /// procedure is deterministic under the test condition.
+    ///
     /// # Panics
     ///
     /// Panics if the code's dataword length does not match the campaign.
@@ -108,12 +116,47 @@ impl BeerCampaign {
             self.data_bits,
             code.data_len()
         );
-        let mut chip = MemoryChip::new(code.clone(), 1);
-        self.extract_profile_from_chip(&mut chip, 0xBEE2)
+        let mut pairs = BTreeMap::new();
+        if self.pattern_count() == 0 {
+            return MiscorrectionProfile::new(self.data_bits, pairs);
+        }
+
+        // Program every pair pattern into its own word.
+        let mut chip = MemoryChip::new(code.clone(), self.pattern_count());
+        let mut pair_of_word = Vec::with_capacity(self.pattern_count());
+        for i in 0..self.data_bits {
+            for j in (i + 1)..self.data_bits {
+                let word = pair_of_word.len();
+                chip.set_fault_model(word, FaultModel::uniform(&[i, j], 1.0));
+                chip.write(word, &BitVec::from_indices(self.data_bits, [i, j]));
+                pair_of_word.push((i, j));
+            }
+        }
+
+        // One scrub-pass burst per trial over the whole pattern population.
+        let mut rng = ChaCha8Rng::seed_from_u64(0xBEE2);
+        let mut scratch = BurstScratch::new();
+        for _ in 0..self.trials_per_pattern {
+            let observations = chip.read_burst(0..chip.num_words(), &mut rng, &mut scratch);
+            for (&(i, j), observation) in pair_of_word.iter().zip(observations) {
+                let post = observation.post_correction_errors();
+                // A data-visible miscorrection shows up as a third
+                // post-correction error position beyond the pair itself.
+                if let Some(&extra) = post.iter().find(|&&p| p != i && p != j) {
+                    pairs.insert((i, j), Some(extra));
+                } else {
+                    pairs.entry((i, j)).or_insert(None);
+                }
+            }
+        }
+        MiscorrectionProfile::new(self.data_bits, pairs)
     }
 
     /// Runs the campaign against an existing chip through its normal read
-    /// path (no ECC bypass, no knowledge of the stored code).
+    /// path (no ECC bypass, no knowledge of the stored code). This is the
+    /// word-at-a-time reference implementation of the campaign; the
+    /// chip-constructing [`BeerCampaign::extract_profile`] batches the same
+    /// procedure through the burst read path.
     ///
     /// The chip's word 0 is used as the test location; its fault model is
     /// overwritten to emulate testing beyond the refresh margin, where every
@@ -185,6 +228,17 @@ mod tests {
         let code = HammingCode::random(64, 0xA11CE).unwrap();
         let profile = BeerCampaign::new(64).extract_profile(&code);
         assert_eq!(profile, MiscorrectionProfile::from_code(&code));
+    }
+
+    #[test]
+    fn batched_campaign_matches_the_scalar_reference_path() {
+        for seed in [3u64, 0xBEEF] {
+            let code = HammingCode::random(16, seed).unwrap();
+            let batched = BeerCampaign::new(16).extract_profile(&code);
+            let mut chip = MemoryChip::new(code.clone(), 1);
+            let scalar = BeerCampaign::new(16).extract_profile_from_chip(&mut chip, 0xBEE2);
+            assert_eq!(batched, scalar, "seed {seed}");
+        }
     }
 
     #[test]

@@ -1,19 +1,25 @@
 //! Benchmarks the batched syndrome kernel against the naive matrix-vector
-//! path, for both code families, at single-read and batched granularity.
+//! path, for both code families, at single-read and batched granularity —
+//! plus the end-to-end scrub-pass comparison: `MemoryChip::read_burst`
+//! against a word-at-a-time `MemoryChip::read` loop.
 //!
 //! The kernel is the hot path of every Monte-Carlo read (each decode starts
 //! with a syndrome), so this bench is the regression guard for the
 //! `LinearBlockCode` layer's performance claim: packed-word evaluation beats
-//! row-by-row `mul_vec`, and the batched entry points amortize output
-//! allocation across a campaign's worth of reads.
+//! row-by-row `mul_vec`, the batched entry points amortize output allocation
+//! across a campaign's worth of reads, and the allocation-free burst path
+//! turns that kernel speedup into an end-to-end read throughput win (the
+//! `read_path/*` groups read `BURST_WORDS` words per iteration, so words/sec
+//! = `BURST_WORDS` / reported per-iteration time).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use harp_bch::BchCode;
-use harp_ecc::{HammingCode, LinearBlockCode};
+use harp_ecc::{ExtendedHammingCode, HammingCode, LinearBlockCode};
 use harp_gf2::{BitVec, SyndromeKernel};
+use harp_memsim::{BurstScratch, FaultModel, MemoryChip};
 
 /// One campaign's worth of stored (possibly corrupted) codewords.
 fn stored_words<C: LinearBlockCode>(code: &C, count: usize, seed: u64) -> Vec<BitVec> {
@@ -72,6 +78,70 @@ fn bench_code<C: LinearBlockCode>(c: &mut Criterion, label: &str, code: &C) {
     group.finish();
 }
 
+/// Number of ECC words per simulated scrub pass in the `read_path` groups.
+const BURST_WORDS: usize = 1024;
+
+/// End-to-end scrub pass: every word read once per iteration, through the
+/// scalar reference path and through the burst path. A quarter of the words
+/// carry at-risk bits so the corrected/uncorrectable decode branches stay on
+/// the measured path.
+fn bench_read_path<C: LinearBlockCode + Clone>(c: &mut Criterion, label: &str, code: C) {
+    let n = code.codeword_len();
+    let k = code.data_len();
+    let mut chip = MemoryChip::new(code, BURST_WORDS);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5C0B);
+    for word in 0..BURST_WORDS {
+        let data: BitVec = (0..k).map(|_| rand::Rng::gen_bool(&mut rng, 0.5)).collect();
+        chip.write(word, &data);
+        if word % 4 == 0 {
+            let at_risk = [word % n, (word * 13 + 7) % n, (word * 29 + 3) % n];
+            chip.set_fault_model(word, FaultModel::uniform(&at_risk[..1 + word % 3], 0.5));
+        }
+    }
+
+    // Correctness cross-check before timing: burst == scalar loop.
+    let mut scalar_rng = ChaCha8Rng::seed_from_u64(7);
+    let scalar: Vec<_> = (0..BURST_WORDS)
+        .map(|w| chip.read(w, &mut scalar_rng))
+        .collect();
+    let mut burst_rng = ChaCha8Rng::seed_from_u64(7);
+    let mut scratch = BurstScratch::new();
+    assert_eq!(
+        chip.read_burst(0..BURST_WORDS, &mut burst_rng, &mut scratch),
+        scalar.as_slice()
+    );
+
+    let mut group = c.benchmark_group(format!("read_path/{label}"));
+    group.bench_function(format!("scalar_read_loop_{BURST_WORDS}"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        b.iter(|| {
+            let mut corrected = 0usize;
+            for word in 0..BURST_WORDS {
+                corrected += chip
+                    .read(word, &mut rng)
+                    .decode_result()
+                    .outcome
+                    .correction_count();
+            }
+            black_box(corrected)
+        })
+    });
+    group.bench_function(format!("read_burst_{BURST_WORDS}"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut scratch = BurstScratch::new();
+        b.iter(|| {
+            let observations = chip.read_burst(0..BURST_WORDS, &mut rng, &mut scratch);
+            black_box(
+                observations
+                    .iter()
+                    .map(|o| o.decode_result().outcome.correction_count())
+                    .sum::<usize>(),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_syndrome_kernels(c: &mut Criterion) {
     // Correctness cross-check before timing: kernel == matrix on every word.
     let hamming = HammingCode::random(64, 1).expect("valid code");
@@ -94,6 +164,14 @@ fn bench_syndrome_kernels(c: &mut Criterion) {
         &HammingCode::random(128, 1).expect("valid code"),
     );
     bench_code(c, "bch_78_64", &BchCode::dec(64).expect("valid code"));
+
+    bench_read_path(c, "hamming_71_64", hamming);
+    bench_read_path(
+        c,
+        "secded_72_64",
+        ExtendedHammingCode::random(64, 1).expect("valid code"),
+    );
+    bench_read_path(c, "bch_78_64", BchCode::dec(64).expect("valid code"));
 }
 
 criterion_group!(

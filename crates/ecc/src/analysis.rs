@@ -198,7 +198,7 @@ pub fn classify_decode<C: LinearBlockCode + ?Sized>(
                     // Every flip was a raw error and every raw error was
                     // flipped: a true correction.
                     GroundTruth::CorrectedTrue {
-                        positions: positions.clone(),
+                        positions: positions.to_vec(),
                     }
                 } else {
                     // The decoder fixed some of several raw errors; the rest

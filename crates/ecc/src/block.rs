@@ -90,6 +90,38 @@ pub trait LinearBlockCode {
     /// A human-readable description (e.g. `"SEC Hamming (71, 64)"`).
     fn description(&self) -> String;
 
+    /// Bounded-distance decodes a stored codeword whose packed syndrome has
+    /// already been computed (one bit per parity-check row, as produced by
+    /// [`SyndromeKernel::syndrome_word`] or the batched
+    /// [`SyndromeKernel::syndrome_words_into`]), writing the result into
+    /// `out`'s reusable buffers.
+    ///
+    /// This is the hot half of the burst read path: `MemoryChip::read_burst`
+    /// computes one batched kernel pass over a whole word range and then
+    /// resolves each syndrome through this method, so the steady-state decode
+    /// performs no heap allocation. The result must be identical to
+    /// [`LinearBlockCode::decode`] on the same stored word — `decode` stays
+    /// the reference implementation, and the cross-code equivalence suite
+    /// asserts the agreement.
+    ///
+    /// The default implementation falls back to the allocating `decode`, so
+    /// new code implementations are correct before they are fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stored.len() != codeword_len()`. `syndrome_word` must be
+    /// the packed syndrome of `stored`; passing anything else is a logic
+    /// error with unspecified (but memory-safe) results.
+    fn decode_with_syndrome_into(
+        &self,
+        stored: &BitVec,
+        syndrome_word: u64,
+        out: &mut DecodeResult,
+    ) {
+        let _ = syndrome_word;
+        *out = self.decode(stored);
+    }
+
     // ------------------------------------------------------------------
     // Provided methods.
     // ------------------------------------------------------------------
@@ -192,6 +224,15 @@ impl<C: LinearBlockCode + ?Sized> LinearBlockCode for &C {
 
     fn description(&self) -> String {
         (**self).description()
+    }
+
+    fn decode_with_syndrome_into(
+        &self,
+        stored: &BitVec,
+        syndrome_word: u64,
+        out: &mut DecodeResult,
+    ) {
+        (**self).decode_with_syndrome_into(stored, syndrome_word, out)
     }
 }
 

@@ -358,6 +358,21 @@ impl HammingCode {
         }
         self.columns.iter().position(|c| c == syndrome)
     }
+
+    /// Finds the codeword position whose parity-check column equals the
+    /// packed `p`-bit syndrome `syndrome_word` (bit `r` = syndrome row `r`),
+    /// if any. The packed twin of [`HammingCode::position_for_syndrome`],
+    /// used by the allocation-free burst decode path.
+    pub fn position_for_syndrome_word(&self, syndrome_word: u64) -> Option<usize> {
+        if syndrome_word == 0 {
+            return None;
+        }
+        // Every column is a p-bit vector with p <= 64, so it packs into the
+        // first word of its BitVec.
+        self.columns
+            .iter()
+            .position(|c| c.to_u64() == syndrome_word)
+    }
 }
 
 impl LinearBlockCode for HammingCode {
@@ -419,6 +434,37 @@ impl LinearBlockCode for HammingCode {
 
     fn description(&self) -> String {
         format!("SEC Hamming {}", self.shape())
+    }
+
+    fn decode_with_syndrome_into(
+        &self,
+        stored: &BitVec,
+        syndrome_word: u64,
+        out: &mut DecodeResult,
+    ) {
+        assert_eq!(
+            stored.len(),
+            self.layout.codeword_len(),
+            "stored codeword length mismatch"
+        );
+        let k = self.layout.data_len();
+        out.syndrome
+            .assign_u64(self.layout.parity_len(), syndrome_word);
+        out.dataword.copy_prefix_from(stored, k);
+        if syndrome_word == 0 {
+            out.outcome = DecodeOutcome::NoErrorDetected;
+            return;
+        }
+        match self.position_for_syndrome_word(syndrome_word) {
+            Some(position) => {
+                // Parity-bit corrections never touch the dataword.
+                if position < k {
+                    out.dataword.flip(position);
+                }
+                out.outcome = DecodeOutcome::corrected(position);
+            }
+            None => out.outcome = DecodeOutcome::DetectedUncorrectable,
+        }
     }
 }
 

@@ -18,6 +18,8 @@ use serde::{Deserialize, Serialize};
 
 use harp_gf2::BitVec;
 
+use crate::positions::CorrectedPositions;
+
 /// What an on-die ECC decoder believes happened during a read.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DecodeOutcome {
@@ -28,13 +30,13 @@ pub enum DecodeOutcome {
     /// decoder flipped the listed codeword positions (ascending, at most the
     /// code's correction capability).
     ///
-    /// The position list is a `Vec` so the vocabulary works for any `t`
-    /// without a hard-coded capacity; the resulting 1–2-element allocation
-    /// per corrected read is dwarfed by the `BitVec` allocations a decode
-    /// already performs (dataword slice, syndrome, corrected copy).
+    /// The position list is stored inline ([`CorrectedPositions`], capacity
+    /// `t ≤ 2` — enough for every code in the workspace), so a corrected
+    /// read performs no heap allocation on the outcome path; the batched
+    /// burst read in `harp_memsim` relies on this.
     Corrected {
         /// Codeword positions the decoder flipped.
-        positions: Vec<usize>,
+        positions: CorrectedPositions,
     },
     /// The syndrome was nonzero but matched no correctable pattern: the
     /// decoder detected an error it cannot locate and passed the stored data
@@ -46,15 +48,16 @@ impl DecodeOutcome {
     /// A correction of a single position.
     pub fn corrected(position: usize) -> Self {
         DecodeOutcome::Corrected {
-            positions: vec![position],
+            positions: CorrectedPositions::single(position),
         }
     }
 
-    /// A correction of several positions (sorted ascending internally).
+    /// A correction of several positions (sorted ascending internally; at
+    /// most [`CorrectedPositions::CAPACITY`] of them).
     pub fn corrected_many<I: IntoIterator<Item = usize>>(positions: I) -> Self {
-        let mut positions: Vec<usize> = positions.into_iter().collect();
-        positions.sort_unstable();
-        DecodeOutcome::Corrected { positions }
+        DecodeOutcome::Corrected {
+            positions: positions.into_iter().collect(),
+        }
     }
 
     /// The codeword positions the decoder flipped (empty unless a correction
@@ -97,6 +100,20 @@ pub struct DecodeResult {
     /// correction" transparency option discussed in §5.2 of the paper). For
     /// the BCH code this is the bit-expansion of the power sums `(S₁, S₃)`.
     pub syndrome: BitVec,
+}
+
+impl Default for DecodeResult {
+    /// An empty placeholder result (zero-length dataword and syndrome), used
+    /// to seed reusable decode buffers before
+    /// [`decode_with_syndrome_into`](crate::LinearBlockCode::decode_with_syndrome_into)
+    /// overwrites them in place.
+    fn default() -> Self {
+        Self {
+            dataword: BitVec::default(),
+            outcome: DecodeOutcome::NoErrorDetected,
+            syndrome: BitVec::default(),
+        }
+    }
 }
 
 impl DecodeResult {

@@ -53,6 +53,7 @@ pub mod analysis;
 pub mod block;
 pub mod code;
 pub mod decoder;
+pub mod positions;
 pub mod secded;
 pub mod secondary;
 pub mod word;
@@ -61,6 +62,7 @@ pub use analysis::ErrorSpace;
 pub use block::LinearBlockCode;
 pub use code::{CodeError, CodeShape, HammingCode};
 pub use decoder::{DecodeOutcome, DecodeResult};
+pub use positions::CorrectedPositions;
 pub use secded::ExtendedHammingCode;
 pub use secondary::{SecondaryEcc, SecondaryObservation};
 pub use word::{BitClass, WordLayout};

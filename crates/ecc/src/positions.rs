@@ -1,0 +1,323 @@
+//! Inline storage for the codeword positions a decoder flips.
+//!
+//! Every code in this workspace is bounded-distance with correction
+//! capability `t ≤ 2` (SEC Hamming and SEC-DED flip at most one bit, DEC BCH
+//! at most two), so a corrected read never needs more than two positions.
+//! [`CorrectedPositions`] stores them inline — no heap allocation per
+//! corrected read, which previously dominated the allocation profile of
+//! Monte-Carlo scrub passes ([`DecodeOutcome::Corrected`] used to carry a
+//! `Vec<usize>`).
+//!
+//! The type behaves like a sorted, deduplicated mini-`Vec`: positions are
+//! kept in ascending order, it dereferences to `&[usize]`, and equality /
+//! ordering / iteration match what the old `Vec<usize>` exposed.
+//!
+//! [`DecodeOutcome::Corrected`]: crate::DecodeOutcome::Corrected
+
+use std::fmt;
+use std::ops::Deref;
+
+use serde::{Deserialize, Serialize};
+
+/// The codeword positions a decoder flipped during one correction, stored
+/// inline (capacity [`CorrectedPositions::CAPACITY`], ascending order).
+///
+/// # Example
+///
+/// ```
+/// use harp_ecc::CorrectedPositions;
+///
+/// let positions: CorrectedPositions = [9, 2].into_iter().collect();
+/// assert_eq!(positions.as_slice(), &[2, 9]); // always sorted ascending
+/// assert_eq!(positions.len(), 2);
+/// assert!(positions.contains(&9));
+/// ```
+// The serde container attribute keeps the wire format the plain position
+// array the old `Vec<usize>` produced — and makes deserialization validate
+// through `TryFrom` — once the real serde replaces the vendored marker stub
+// (the stand-in registers but ignores the attribute). Without it, a real
+// derive would expose the {len, slots} internals and accept len > CAPACITY.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(try_from = "Vec<usize>", into = "Vec<usize>")]
+pub struct CorrectedPositions {
+    /// Number of valid entries in `slots`.
+    len: u8,
+    /// Inline storage; only `slots[..len]` is meaningful (unused slots stay
+    /// zero so derived equality/hashing see a canonical representation).
+    slots: [usize; Self::CAPACITY],
+}
+
+impl CorrectedPositions {
+    /// Maximum number of positions a correction can carry — the largest
+    /// correction capability `t` of any code in the workspace (DEC BCH).
+    pub const CAPACITY: usize = 2;
+
+    /// An empty position list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single-position correction.
+    pub fn single(position: usize) -> Self {
+        let mut out = Self::new();
+        out.push(position);
+        out
+    }
+
+    /// Appends a position, keeping the list sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics when pushing more than [`Self::CAPACITY`] positions — a
+    /// contract violation (no shipped decoder flips more than `t ≤ 2` bits)
+    /// that must fail loudly in release builds too: silently truncating a
+    /// future `t > 2` code's corrections would corrupt every downstream
+    /// classification. The assert runs at most `t` times per corrected read,
+    /// so it costs nothing on the hot path.
+    pub fn push(&mut self, position: usize) {
+        assert!(
+            (self.len as usize) < Self::CAPACITY,
+            "CorrectedPositions capacity {} exceeded",
+            Self::CAPACITY
+        );
+        let mut i = self.len as usize;
+        self.slots[i] = position;
+        // Insertion sort step: bubble the new entry left while smaller.
+        while i > 0 && self.slots[i - 1] > self.slots[i] {
+            self.slots.swap(i - 1, i);
+            i -= 1;
+        }
+        self.len += 1;
+    }
+
+    /// Number of corrected positions.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if no position was corrected.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The positions as a sorted slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.slots[..self.len as usize]
+    }
+
+    /// The positions as an owned `Vec` (for consumers that keep the old
+    /// `Vec<usize>` vocabulary, e.g. `GroundTruth`).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for CorrectedPositions {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for CorrectedPositions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render like the Vec<usize> this type replaced.
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialOrd for CorrectedPositions {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CorrectedPositions {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Lexicographic slice ordering, matching Vec<usize> semantics.
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl FromIterator<usize> for CorrectedPositions {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for position in iter {
+            out.push(position);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a CorrectedPositions {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl From<CorrectedPositions> for Vec<usize> {
+    fn from(positions: CorrectedPositions) -> Self {
+        positions.to_vec()
+    }
+}
+
+impl TryFrom<Vec<usize>> for CorrectedPositions {
+    type Error = String;
+
+    /// Validating construction from untrusted input (the deserialization
+    /// path): rejects — rather than debug-asserts on — more than
+    /// [`CorrectedPositions::CAPACITY`] positions.
+    fn try_from(positions: Vec<usize>) -> Result<Self, Self::Error> {
+        if positions.len() > Self::CAPACITY {
+            return Err(format!(
+                "at most {} corrected positions supported, got {}",
+                Self::CAPACITY,
+                positions.len()
+            ));
+        }
+        Ok(positions.into_iter().collect())
+    }
+}
+
+impl PartialEq<[usize]> for CorrectedPositions {
+    fn eq(&self, other: &[usize]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[usize; N]> for CorrectedPositions {
+    fn eq(&self, other: &[usize; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_list_behaves_like_an_empty_vec() {
+        let positions = CorrectedPositions::new();
+        assert_eq!(positions.len(), 0);
+        assert!(positions.is_empty());
+        assert!(positions.as_slice().is_empty());
+        assert_eq!(positions.to_vec(), Vec::<usize>::new());
+        assert_eq!(positions.iter().count(), 0);
+        assert_eq!(positions, CorrectedPositions::default());
+        assert_eq!(format!("{positions:?}"), "[]");
+    }
+
+    #[test]
+    fn push_keeps_positions_sorted_ascending() {
+        let mut positions = CorrectedPositions::new();
+        positions.push(9);
+        positions.push(2);
+        assert_eq!(positions.as_slice(), &[2, 9]);
+        assert_eq!(
+            [9usize, 2].into_iter().collect::<CorrectedPositions>(),
+            positions
+        );
+        assert_eq!(
+            [2usize, 9].into_iter().collect::<CorrectedPositions>(),
+            positions
+        );
+    }
+
+    #[test]
+    fn deref_exposes_slice_methods() {
+        let positions = CorrectedPositions::single(7);
+        assert!(positions.contains(&7));
+        assert!(!positions.contains(&8));
+        assert_eq!(positions.first(), Some(&7));
+        assert_eq!(positions.iter().copied().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(format!("{positions:?}"), "[7]");
+    }
+
+    #[test]
+    fn equality_and_ordering_match_vec_semantics() {
+        let a: CorrectedPositions = [2usize, 9].into_iter().collect();
+        let b: CorrectedPositions = [2usize, 9].into_iter().collect();
+        let c: CorrectedPositions = [3usize].into_iter().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, [2usize, 9]);
+        assert_eq!(a.cmp(&c), a.to_vec().cmp(&c.to_vec()));
+        assert_eq!(c.cmp(&a), c.to_vec().cmp(&a.to_vec()));
+        assert!(CorrectedPositions::new() < c);
+    }
+
+    #[test]
+    fn iteration_agrees_with_into_iterator() {
+        let positions: CorrectedPositions = [5usize, 1].into_iter().collect();
+        let via_ref: Vec<usize> = (&positions).into_iter().copied().collect();
+        assert_eq!(via_ref, vec![1, 5]);
+        let via_from: Vec<usize> = positions.into();
+        assert_eq!(via_from, vec![1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 2 exceeded")]
+    fn pushing_past_capacity_trips_the_assertion() {
+        let mut positions = CorrectedPositions::new();
+        positions.push(0);
+        positions.push(1);
+        positions.push(2);
+    }
+
+    #[test]
+    fn try_from_vec_validates_capacity() {
+        let ok = CorrectedPositions::try_from(vec![9, 2]).unwrap();
+        assert_eq!(ok.as_slice(), &[2, 9]);
+        assert!(CorrectedPositions::try_from(Vec::new()).unwrap().is_empty());
+        let err = CorrectedPositions::try_from(vec![1, 2, 3]).unwrap_err();
+        assert!(err.contains("at most 2"), "{err}");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Collecting up to CAPACITY positions behaves exactly like
+            /// collecting into a Vec and sorting it — the old semantics of
+            /// `DecodeOutcome::corrected_many`.
+            #[test]
+            fn collect_matches_sorted_vec(
+                a in 0usize..200,
+                b in 0usize..200,
+                take in 0usize..3,
+            ) {
+                let raw: Vec<usize> = [a, b].into_iter().take(take).collect();
+                let inline: CorrectedPositions = raw.iter().copied().collect();
+                let mut sorted = raw.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(inline.as_slice(), sorted.as_slice());
+                prop_assert_eq!(inline.len(), sorted.len());
+                prop_assert_eq!(inline.to_vec(), sorted.clone());
+                for p in &sorted {
+                    prop_assert!(inline.contains(p));
+                }
+            }
+
+            /// Equality and lexicographic ordering agree with Vec<usize>.
+            #[test]
+            fn ordering_is_lexicographic(
+                a in 0usize..16,
+                b in 0usize..16,
+                c in 0usize..16,
+                d in 0usize..16,
+            ) {
+                let x: CorrectedPositions = [a, b].into_iter().collect();
+                let y: CorrectedPositions = [c, d].into_iter().collect();
+                prop_assert_eq!(x.cmp(&y), x.to_vec().cmp(&y.to_vec()));
+                prop_assert_eq!(x == y, x.to_vec() == y.to_vec());
+            }
+        }
+    }
+}

@@ -191,6 +191,48 @@ impl LinearBlockCode for ExtendedHammingCode {
             self.layout.data_len()
         )
     }
+
+    fn decode_with_syndrome_into(
+        &self,
+        stored: &BitVec,
+        syndrome_word: u64,
+        out: &mut DecodeResult,
+    ) {
+        assert_eq!(
+            stored.len(),
+            self.layout.codeword_len(),
+            "stored codeword length mismatch"
+        );
+        let k = self.layout.data_len();
+        let p = self.inner.parity_len();
+        out.syndrome.assign_u64(p + 1, syndrome_word);
+        out.dataword.copy_prefix_from(stored, k);
+        if syndrome_word == 0 {
+            out.outcome = DecodeOutcome::NoErrorDetected;
+            return;
+        }
+        let hamming_syndrome = syndrome_word & ((1u64 << p) - 1);
+        let parity_mismatch = (syndrome_word >> p) & 1 == 1;
+        if !parity_mismatch {
+            // Double-error signature (see `decode`): detected, not corrected.
+            out.outcome = DecodeOutcome::DetectedUncorrectable;
+            return;
+        }
+        let position = if hamming_syndrome == 0 {
+            Some(self.overall_parity_position())
+        } else {
+            self.inner.position_for_syndrome_word(hamming_syndrome)
+        };
+        match position {
+            Some(position) => {
+                if position < k {
+                    out.dataword.flip(position);
+                }
+                out.outcome = DecodeOutcome::corrected(position);
+            }
+            None => out.outcome = DecodeOutcome::DetectedUncorrectable,
+        }
+    }
 }
 
 impl fmt::Display for ExtendedHammingCode {

@@ -189,17 +189,28 @@ impl SyndromeKernel {
 
     /// Computes the packed-`u64` syndromes of a batch of codewords, reusing
     /// `out` (cleared first). This is the allocation-free hot path used by
-    /// Monte-Carlo campaigns.
+    /// Monte-Carlo campaigns: `MemoryChip::read_burst` feeds it a whole scrub
+    /// pass worth of stored codewords in one call.
+    ///
+    /// Accepts any iterator of codeword references, so callers can stream
+    /// codewords straight out of their own scratch structures without
+    /// collecting them into a contiguous slice first.
     ///
     /// # Panics
     ///
     /// Panics as [`SyndromeKernel::syndrome_word`] does.
-    pub fn syndrome_words_into(&self, codewords: &[BitVec], out: &mut Vec<u64>) {
+    pub fn syndrome_words_into<'a, I>(&self, codewords: I, out: &mut Vec<u64>)
+    where
+        I: IntoIterator<Item = &'a BitVec>,
+    {
         out.clear();
-        out.reserve(codewords.len());
-        for codeword in codewords {
-            out.push(self.syndrome_word(codeword));
-        }
+        // `extend` pre-reserves from the iterator's size hint, so a fresh
+        // output vector takes one allocation instead of push-doubling.
+        out.extend(
+            codewords
+                .into_iter()
+                .map(|codeword| self.syndrome_word(codeword)),
+        );
     }
 }
 

@@ -356,6 +356,101 @@ impl BitVec {
         &self.words
     }
 
+    /// Makes `self` an exact copy of `src`, reusing the existing word buffer.
+    ///
+    /// Unlike `*self = src.clone()`, no allocation occurs once the buffer
+    /// capacity matches — this is the building block of the allocation-free
+    /// burst read path.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use harp_gf2::BitVec;
+    /// let src = BitVec::from_indices(71, [3, 70]);
+    /// let mut dst = BitVec::zeros(71);
+    /// dst.copy_from(&src);
+    /// assert_eq!(dst, src);
+    /// ```
+    pub fn copy_from(&mut self, src: &Self) {
+        self.len = src.len;
+        self.words.clear();
+        self.words.extend_from_slice(&src.words);
+    }
+
+    /// Makes `self` a copy of the first `len` bits of `src` (the in-place
+    /// equivalent of `src.slice(0, len)`), reusing the existing word buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > src.len()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use harp_gf2::BitVec;
+    /// let src = BitVec::from_indices(71, [3, 70]);
+    /// let mut prefix = BitVec::default();
+    /// prefix.copy_prefix_from(&src, 64);
+    /// assert_eq!(prefix, src.slice(0, 64));
+    /// ```
+    pub fn copy_prefix_from(&mut self, src: &Self, len: usize) {
+        assert!(
+            len <= src.len,
+            "prefix of {len} bits out of range for {} bits",
+            src.len
+        );
+        self.len = len;
+        self.words.clear();
+        self.words
+            .extend_from_slice(&src.words[..len.div_ceil(WORD_BITS)]);
+        self.mask_tail();
+    }
+
+    /// Makes `self` a `len`-bit vector holding the low bits of `value` (the
+    /// in-place equivalent of [`BitVec::from_u64`]), reusing the word buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use harp_gf2::BitVec;
+    /// let mut v = BitVec::default();
+    /// v.assign_u64(7, 0b101_0010);
+    /// assert_eq!(v, BitVec::from_u64(7, 0b101_0010));
+    /// ```
+    pub fn assign_u64(&mut self, len: usize, value: u64) {
+        assert!(len <= 64, "assign_u64 supports at most 64 bits, got {len}");
+        self.len = len;
+        self.words.clear();
+        if len > 0 {
+            self.words.push(if len == 64 {
+                value
+            } else {
+                value & ((1u64 << len) - 1)
+            });
+        }
+    }
+
+    /// Makes `self` an all-zero vector of `len` bits, reusing the word buffer
+    /// (the in-place equivalent of [`BitVec::zeros`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use harp_gf2::BitVec;
+    /// let mut v = BitVec::from_indices(8, [1, 2]);
+    /// v.reset(71);
+    /// assert_eq!(v, BitVec::zeros(71));
+    /// ```
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(WORD_BITS), 0);
+    }
+
     fn mask_tail(&mut self) {
         let rem = self.len % WORD_BITS;
         if rem != 0 {
@@ -575,6 +670,47 @@ mod tests {
     fn parity_counts_ones_mod_two() {
         assert!(BitVec::from_indices(9, [0, 4, 8]).parity());
         assert!(!BitVec::from_indices(9, [0, 4]).parity());
+    }
+
+    #[test]
+    fn in_place_assignments_match_their_allocating_counterparts() {
+        let src = BitVec::from_indices(130, [0, 63, 64, 71, 129]);
+        let mut reused = BitVec::from_indices(8, [3]);
+
+        reused.copy_from(&src);
+        assert_eq!(reused, src);
+
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            reused.copy_prefix_from(&src, len);
+            assert_eq!(reused, src.slice(0, len), "prefix of {len}");
+        }
+
+        for (len, value) in [(0usize, 0u64), (7, 0xFF), (64, u64::MAX), (13, 0x1234)] {
+            reused.assign_u64(len, value);
+            assert_eq!(reused, BitVec::from_u64(len, value), "assign_u64({len})");
+        }
+
+        reused.reset(71);
+        assert_eq!(reused, BitVec::zeros(71));
+        reused.reset(0);
+        assert_eq!(reused, BitVec::zeros(0));
+    }
+
+    #[test]
+    fn copy_from_does_not_leak_stale_high_words() {
+        // Shrinking reuse: a long vector copied over by a short one must not
+        // keep bits of the old tail words.
+        let mut v = BitVec::ones(200);
+        v.copy_from(&BitVec::from_indices(5, [1]));
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(v.as_words().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn copy_prefix_longer_than_source_panics() {
+        BitVec::default().copy_prefix_from(&BitVec::zeros(8), 9);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * simulator-only ground truth (the raw error pattern), used to score
 //!   profilers against the exact at-risk sets.
 
+use std::ops::Range;
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -81,6 +83,38 @@ impl ReadObservation {
     /// full codeword (including parity bits) for this access.
     pub fn raw_error_pattern(&self) -> &BitVec {
         &self.raw_error
+    }
+
+    /// An empty placeholder observation whose buffers the burst read path
+    /// overwrites in place.
+    fn placeholder() -> Self {
+        Self {
+            written: BitVec::default(),
+            raw_error: BitVec::default(),
+            stored_with_errors: BitVec::default(),
+            decode: DecodeResult::default(),
+            data_len: 0,
+        }
+    }
+}
+
+/// Reusable buffers for [`MemoryChip::read_burst`].
+///
+/// A scratch owns one [`ReadObservation`] slot per burst word plus the packed
+/// syndrome buffer of the batched kernel pass. Buffers grow to the largest
+/// burst they have served and are then reused verbatim, so steady-state scrub
+/// passes (same burst length, same code) perform **zero heap allocations** —
+/// see [`MemoryChip::read_burst`] for a usage example.
+#[derive(Debug, Default)]
+pub struct BurstScratch {
+    observations: Vec<ReadObservation>,
+    syndromes: Vec<u64>,
+}
+
+impl BurstScratch {
+    /// Creates an empty scratch; buffers are sized lazily by the first burst.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -204,6 +238,105 @@ impl<C: LinearBlockCode> MemoryChip<C> {
             decode,
             data_len: self.code.data_len(),
         }
+    }
+
+    /// Performs one access of every word in `words` as a single burst — the
+    /// batched twin of [`MemoryChip::read`], used for whole scrub passes.
+    ///
+    /// The burst samples each word's raw error pattern in word order
+    /// (consuming exactly the RNG draws a word-at-a-time `read` loop would),
+    /// computes all syndromes in **one** batched
+    /// `SyndromeKernel::syndrome_words_into` pass, and then resolves each
+    /// nonzero syndrome through the code's allocation-free
+    /// `decode_with_syndrome_into`. All buffers live in `scratch`, so after
+    /// the first burst of a given size the steady-state path performs no heap
+    /// allocation. Observations are byte-identical to what `read` returns for
+    /// the same words and RNG stream (`read` is the reference
+    /// implementation; the cross-code equivalence suite asserts this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty, reversed, or extends past
+    /// [`MemoryChip::num_words`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use harp_ecc::HammingCode;
+    /// use harp_gf2::BitVec;
+    /// use harp_memsim::{BurstScratch, FaultModel, MemoryChip};
+    /// use rand::SeedableRng;
+    ///
+    /// let code = HammingCode::random(64, 5)?;
+    /// let mut chip = MemoryChip::new(code, 8);
+    /// chip.set_fault_model(3, FaultModel::uniform(&[3], 1.0));
+    /// chip.write(3, &BitVec::ones(64));
+    ///
+    /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+    /// let mut scratch = BurstScratch::new();
+    /// // One scrub pass over the whole chip; `scratch` is reusable across
+    /// // passes, keeping the steady state allocation-free.
+    /// let observations = chip.read_burst(0..8, &mut rng, &mut scratch);
+    /// assert_eq!(observations.len(), 8);
+    /// assert_eq!(observations[3].direct_errors(), vec![3]); // corrected...
+    /// assert!(observations[3].post_correction_errors().is_empty()); // ...cleanly
+    /// # Ok::<(), harp_ecc::CodeError>(())
+    /// ```
+    pub fn read_burst<'s, R: Rng + ?Sized>(
+        &self,
+        words: Range<usize>,
+        rng: &mut R,
+        scratch: &'s mut BurstScratch,
+    ) -> &'s [ReadObservation] {
+        assert!(
+            words.start < words.end,
+            "word range {words:?} is empty or reversed"
+        );
+        assert!(
+            words.end <= self.num_words(),
+            "word range {words:?} out of range for {} words",
+            self.num_words()
+        );
+        let count = words.end - words.start;
+        if scratch.observations.len() < count {
+            scratch
+                .observations
+                .resize_with(count, ReadObservation::placeholder);
+        }
+        let BurstScratch {
+            observations,
+            syndromes,
+        } = scratch;
+        let burst = &mut observations[..count];
+
+        // Phase 1 — fault injection, in word order (same RNG stream as a
+        // scalar read loop).
+        let data_len = self.code.data_len();
+        for (offset, obs) in burst.iter_mut().enumerate() {
+            let word = words.start + offset;
+            let clean = &self.stored[word];
+            obs.written.copy_from(&self.written[word]);
+            self.faults[word].sample_errors_into(clean, rng, &mut obs.raw_error);
+            obs.stored_with_errors.copy_from(clean);
+            obs.stored_with_errors ^= &obs.raw_error;
+            obs.data_len = data_len;
+        }
+
+        // Phase 2 — one batched kernel pass over the whole burst.
+        self.code
+            .syndrome_kernel()
+            .syndrome_words_into(burst.iter().map(|obs| &obs.stored_with_errors), syndromes);
+
+        // Phase 3 — bounded-distance resolution of each syndrome, reusing
+        // the per-observation decode buffers.
+        for (obs, &syndrome_word) in burst.iter_mut().zip(syndromes.iter()) {
+            self.code.decode_with_syndrome_into(
+                &obs.stored_with_errors,
+                syndrome_word,
+                &mut obs.decode,
+            );
+        }
+        burst
     }
 }
 
@@ -347,6 +480,80 @@ mod tests {
         let chip = MemoryChip::new(code, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         chip.read(1, &mut rng);
+    }
+
+    #[test]
+    fn burst_observations_match_the_scalar_read_loop() {
+        let code = HammingCode::random(64, 17).unwrap();
+        let mut chip = MemoryChip::new(code, 6);
+        // A mix of clean words, single-error words, and a multi-error word.
+        chip.set_fault_model(1, FaultModel::uniform(&[5], 1.0));
+        chip.set_fault_model(3, FaultModel::uniform(&[0, 1, 2], 1.0));
+        chip.set_fault_model(4, FaultModel::uniform(&[9, 40], 0.5));
+        for word in 0..6 {
+            chip.write(word, &BitVec::ones(64));
+        }
+
+        let mut scalar_rng = ChaCha8Rng::seed_from_u64(21);
+        let scalar: Vec<ReadObservation> = (1..5).map(|w| chip.read(w, &mut scalar_rng)).collect();
+
+        let mut burst_rng = ChaCha8Rng::seed_from_u64(21);
+        let mut scratch = BurstScratch::new();
+        let burst = chip.read_burst(1..5, &mut burst_rng, &mut scratch);
+        assert_eq!(burst, scalar.as_slice());
+    }
+
+    #[test]
+    fn burst_scratch_is_reusable_across_bursts_of_different_sizes() {
+        let code = HammingCode::random(16, 23).unwrap();
+        let mut chip = MemoryChip::new(code, 8);
+        chip.set_fault_model(2, FaultModel::uniform(&[1], 1.0));
+        for word in 0..8 {
+            chip.write(word, &BitVec::ones(16));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut scratch = BurstScratch::new();
+        assert_eq!(chip.read_burst(0..8, &mut rng, &mut scratch).len(), 8);
+        // A shorter follow-up burst returns only its own observations even
+        // though the scratch still holds eight slots.
+        let short = chip.read_burst(2..4, &mut rng, &mut scratch);
+        assert_eq!(short.len(), 2);
+        assert_eq!(short[0].direct_errors(), vec![1]);
+
+        let mut fresh_rng = ChaCha8Rng::seed_from_u64(5);
+        let mut fresh_scratch = BurstScratch::new();
+        let mut replay = Vec::new();
+        replay.extend_from_slice(chip.read_burst(0..8, &mut fresh_rng, &mut fresh_scratch));
+        replay.extend_from_slice(chip.read_burst(2..4, &mut fresh_rng, &mut fresh_scratch));
+        assert_eq!(&replay[8..], short);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or reversed")]
+    fn read_burst_empty_range_panics() {
+        let code = HammingCode::random(8, 3).unwrap();
+        let chip = MemoryChip::new(code, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        chip.read_burst(2..2, &mut rng, &mut BurstScratch::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or reversed")]
+    fn read_burst_reversed_range_panics() {
+        let code = HammingCode::random(8, 3).unwrap();
+        let chip = MemoryChip::new(code, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        #[allow(clippy::reversed_empty_ranges)]
+        chip.read_burst(3..1, &mut rng, &mut BurstScratch::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_burst_past_words_per_chip_panics() {
+        let code = HammingCode::random(8, 3).unwrap();
+        let chip = MemoryChip::new(code, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        chip.read_burst(2..5, &mut rng, &mut BurstScratch::new());
     }
 
     #[test]

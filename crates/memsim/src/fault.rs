@@ -130,6 +130,26 @@ impl FaultModel {
     /// Panics if an at-risk position lies outside the stored codeword.
     pub fn sample_errors<R: Rng + ?Sized>(&self, stored: &BitVec, rng: &mut R) -> BitVec {
         let mut errors = BitVec::zeros(stored.len());
+        self.sample_errors_into(stored, rng, &mut errors);
+        errors
+    }
+
+    /// Samples a raw error pattern as [`FaultModel::sample_errors`] does, but
+    /// writes it into `out` (reusing its buffer) instead of allocating a new
+    /// `BitVec`. Consumes exactly the same RNG draws as `sample_errors`, so
+    /// the two paths stay stream-for-stream interchangeable — the burst read
+    /// path relies on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an at-risk position lies outside the stored codeword.
+    pub fn sample_errors_into<R: Rng + ?Sized>(
+        &self,
+        stored: &BitVec,
+        rng: &mut R,
+        out: &mut BitVec,
+    ) {
+        out.reset(stored.len());
         for bit in &self.at_risk {
             assert!(
                 bit.position < stored.len(),
@@ -142,10 +162,9 @@ impl FaultModel {
                 None => true,
             };
             if eligible && rng.gen_bool(bit.probability) {
-                errors.set(bit.position, true);
+                out.set(bit.position, true);
             }
         }
-        errors
     }
 }
 

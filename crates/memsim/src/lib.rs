@@ -42,7 +42,7 @@ pub mod fault;
 pub mod pattern;
 pub mod retention;
 
-pub use chip::{MemoryChip, ReadObservation};
+pub use chip::{BurstScratch, MemoryChip, ReadObservation};
 pub use fault::{AtRiskBit, FaultModel, RetentionSampler};
 pub use pattern::{DataPattern, PatternSchedule};
 pub use retention::{NormalRetentionSampler, VrtCell, VrtFaultProcess};

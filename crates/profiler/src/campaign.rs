@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use harp_ecc::analysis::FailureDependence;
 use harp_ecc::{ErrorSpace, LinearBlockCode};
 use harp_memsim::pattern::DataPattern;
-use harp_memsim::{FaultModel, MemoryChip};
+use harp_memsim::{BurstScratch, FaultModel, MemoryChip};
 
 use crate::traits::{Profiler, ProfilerKind};
 
@@ -138,16 +138,24 @@ impl<C: LinearBlockCode + Clone + 'static> ProfilingCampaign<C> {
     /// draws (the RNG is re-seeded from the campaign seed), preserving the
     /// paper's fairness requirement (§7.1.2) as closely as data-dependent
     /// errors allow.
+    ///
+    /// Each round's access goes through the chip's burst read path (a
+    /// one-word scrub pass whose [`BurstScratch`] persists across rounds), so
+    /// the whole campaign reuses one set of decode buffers instead of
+    /// allocating a fresh observation per round. The RNG stream — and
+    /// therefore every snapshot — is identical to the scalar
+    /// `MemoryChip::read` loop this replaces.
     pub fn run_profiler(&self, profiler: &mut dyn Profiler, rounds: usize) -> CampaignResult {
         let mut chip = MemoryChip::new(self.code.clone(), 1);
         chip.set_fault_model(0, self.faults.clone());
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5EED_CAFE_F00D_u64);
+        let mut scratch = BurstScratch::new();
         let mut snapshots = Vec::with_capacity(rounds);
         for round in 0..rounds {
             let data = profiler.dataword_for_round(round);
             chip.write(0, &data);
-            let observation = chip.read(0, &mut rng);
-            profiler.observe_round(round, &observation);
+            let observation = &chip.read_burst(0..1, &mut rng, &mut scratch)[0];
+            profiler.observe_round(round, observation);
             snapshots.push(RoundSnapshot {
                 round,
                 identified: profiler.identified().clone(),

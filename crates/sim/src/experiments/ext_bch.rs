@@ -27,7 +27,7 @@ use harp_ecc::analysis::{combinatorics as sec, FailureDependence};
 use harp_ecc::LinearBlockCode;
 use harp_ecc::{ErrorSpace, HammingCode};
 use harp_gf2::BitVec;
-use harp_memsim::{FaultModel, MemoryChip};
+use harp_memsim::{BurstScratch, FaultModel, MemoryChip};
 
 use crate::config::EvaluationConfig;
 use crate::report::{fixed, TextTable};
@@ -216,8 +216,11 @@ fn profile_dec_chip(code: &BchCode, at_risk: &[usize], rounds: usize, seed: u64)
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDEC);
     let mut harpu = BTreeSet::new();
     let mut naive = BTreeSet::new();
+    // One-word bursts through the batched decode path; the scratch persists
+    // across rounds so the campaign's steady state allocates nothing.
+    let mut scratch = BurstScratch::new();
     for _ in 0..rounds {
-        let observation = chip.read(0, &mut rng);
+        let observation = &chip.read_burst(0..1, &mut rng, &mut scratch)[0];
         harpu.extend(observation.direct_errors());
         naive.extend(observation.post_correction_errors());
     }

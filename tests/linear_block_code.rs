@@ -10,13 +10,15 @@
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use harp_bch::BchCode;
 use harp_ecc::analysis::{classify_decode, FailureDependence, GroundTruth};
 use harp_ecc::{DecodeOutcome, ErrorSpace, ExtendedHammingCode, HammingCode, LinearBlockCode};
 use harp_gf2::BitVec;
 use harp_memsim::pattern::DataPattern;
-use harp_memsim::FaultModel;
+use harp_memsim::{BurstScratch, FaultModel, MemoryChip, ReadObservation};
 use harp_profiler::{ProfilerKind, ProfilingCampaign};
 
 /// The three shipped implementations, boxed behind the trait.
@@ -108,6 +110,76 @@ proptest! {
         }
     }
 
+    /// Burst reads are byte-identical to a word-at-a-time `read` loop with
+    /// the same RNG stream, for every code family. The seeded chip mixes
+    /// clean words (all-zero syndromes), single-error words, and multi-error
+    /// words (beyond each code's correction capability), so every decode
+    /// outcome — no-error, true correction, miscorrection, and
+    /// detected-uncorrectable — flows through the comparison.
+    #[test]
+    fn burst_reads_match_scalar_reads_across_codes(
+        seed in 0u64..100,
+        probability in proptest::sample::select(vec![0.5f64, 1.0]),
+        heavy in proptest::collection::btree_set(0usize..38, 3..6),
+    ) {
+        for code in all_codes(32, seed) {
+            let n = code.codeword_len();
+            let mut chip = MemoryChip::new(&*code, 8);
+            // Word 0 stays clean; the rest cover increasing error weights.
+            chip.set_fault_model(1, FaultModel::uniform(&[n - 1], probability));
+            chip.set_fault_model(2, FaultModel::uniform(&[0, 7], probability));
+            chip.set_fault_model(3, FaultModel::uniform(&[1, 2, 3], probability));
+            let heavy: Vec<usize> = heavy.iter().map(|&b| b % n).collect();
+            chip.set_fault_model(4, FaultModel::uniform(&heavy, probability));
+            chip.set_fault_model(6, FaultModel::uniform(&[5, n - 2], 1.0));
+            for word in 0..8 {
+                let data = BitVec::from_u64(32, 0xF0F1_2345u64.rotate_left(word as u32));
+                chip.write(word as usize, &data);
+            }
+
+            let mut scalar_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB512);
+            let scalar: Vec<ReadObservation> =
+                (0..8).map(|w| chip.read(w, &mut scalar_rng)).collect();
+
+            let mut burst_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB512);
+            let mut scratch = BurstScratch::new();
+            let burst = chip.read_burst(0..8, &mut burst_rng, &mut scratch);
+
+            prop_assert_eq!(burst, scalar.as_slice(), "{}", code.description());
+            // Clean word sanity: the all-zero-syndrome path is exercised.
+            prop_assert_eq!(
+                &burst[0].decode_result().outcome,
+                &DecodeOutcome::NoErrorDetected
+            );
+        }
+    }
+
+    /// `decode_with_syndrome_into` (the allocation-free burst half) agrees
+    /// exactly with the reference `decode` for every family — including when
+    /// invoked repeatedly on one reused `DecodeResult`, which must never
+    /// leak state from a previous decode.
+    #[test]
+    fn syndrome_resolution_matches_reference_decode(
+        seed in 0u64..100,
+        weights in proptest::collection::vec(0usize..4, 4),
+    ) {
+        for code in all_codes(32, seed) {
+            let n = code.codeword_len();
+            let mut reused = harp_ecc::DecodeResult::default();
+            for (i, &weight) in weights.iter().enumerate() {
+                let error = BitVec::from_indices(
+                    n,
+                    (0..weight).map(|e| (e * 11 + i * 7) % n),
+                );
+                let stored = &code.encode(&BitVec::from_u64(32, 0x5EED_0000 + i as u64)) ^ &error;
+                let reference = code.decode(&stored);
+                let syndrome_word = code.syndrome_kernel().syndrome_word(&stored);
+                code.decode_with_syndrome_into(&stored, syndrome_word, &mut reused);
+                prop_assert_eq!(&reused, &reference, "{} weight {}", code.description(), weight);
+            }
+        }
+    }
+
     /// The enumerated error space is exact for every family: direct and
     /// indirect sets partition the post-correction set, and repairing the
     /// direct bits bounds residual simultaneous errors by the capability.
@@ -137,6 +209,58 @@ proptest! {
             );
         }
     }
+}
+
+/// A code that implements only the required `LinearBlockCode` methods, so
+/// burst reads resolve syndromes through the trait's *default*
+/// `decode_with_syndrome_into` (the allocating `decode` fallback). New code
+/// implementations must be correct on the burst path before they override
+/// the fast path; this wrapper proves the default keeps the equivalence.
+#[derive(Clone)]
+struct MinimalCode(HammingCode);
+
+impl LinearBlockCode for MinimalCode {
+    fn layout(&self) -> harp_ecc::WordLayout {
+        self.0.layout()
+    }
+    fn correction_capability(&self) -> usize {
+        self.0.correction_capability()
+    }
+    fn parity_check_matrix(&self) -> &harp_gf2::Gf2Matrix {
+        self.0.parity_check_matrix()
+    }
+    fn parity_block(&self) -> &harp_gf2::Gf2Matrix {
+        self.0.parity_block()
+    }
+    fn syndrome_kernel(&self) -> &harp_gf2::SyndromeKernel {
+        self.0.syndrome_kernel()
+    }
+    fn decode(&self, stored: &BitVec) -> harp_ecc::DecodeResult {
+        self.0.decode(stored)
+    }
+    fn description(&self) -> String {
+        format!("minimal wrapper of {}", self.0.description())
+    }
+    // Deliberately no decode_with_syndrome_into override.
+}
+
+#[test]
+fn burst_reads_through_the_default_decode_fallback_match_scalar_reads() {
+    let code = MinimalCode(HammingCode::random(64, 41).unwrap());
+    let mut chip = MemoryChip::new(code, 4);
+    chip.set_fault_model(1, FaultModel::uniform(&[8], 1.0));
+    chip.set_fault_model(2, FaultModel::uniform(&[3, 60], 1.0));
+    for word in 0..4 {
+        chip.write(word, &BitVec::ones(64));
+    }
+    let mut scalar_rng = ChaCha8Rng::seed_from_u64(77);
+    let scalar: Vec<ReadObservation> = (0..4).map(|w| chip.read(w, &mut scalar_rng)).collect();
+    let mut burst_rng = ChaCha8Rng::seed_from_u64(77);
+    let mut scratch = BurstScratch::new();
+    assert_eq!(
+        chip.read_burst(0..4, &mut burst_rng, &mut scratch),
+        scalar.as_slice()
+    );
 }
 
 /// The generic campaign path produces identical results whether the word

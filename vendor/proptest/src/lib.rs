@@ -252,6 +252,34 @@ pub mod test_runner {
             Self { cases: 64 }
         }
     }
+
+    /// Resolves the effective case count for one property test: when the
+    /// `PROPTEST_CASES` environment variable is set to a positive integer, it
+    /// overrides the configured count; otherwise the configuration wins.
+    ///
+    /// Deviation from real proptest (which folds the variable into
+    /// `Config::default()` only, so explicit `with_cases` values ignore it):
+    /// here the variable overrides explicit configs too, so a CI job can
+    /// elevate a whole suite — e.g. `PROPTEST_CASES=1024 cargo test` — without
+    /// touching per-test annotations.
+    pub fn resolved_cases(configured: u32) -> u32 {
+        cases_from_override(std::env::var("PROPTEST_CASES").ok().as_deref(), configured)
+    }
+
+    /// The pure resolution rule behind [`resolved_cases`]: a parseable
+    /// positive integer override wins, anything else falls back to the
+    /// configured count.
+    pub fn cases_from_override(override_value: Option<&str>, configured: u32) -> u32 {
+        match override_value {
+            Some(value) => value
+                .trim()
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or(configured),
+            None => configured,
+        }
+    }
 }
 
 pub mod collection {
@@ -448,10 +476,11 @@ macro_rules! __proptest_fns {
             $(#[$meta])*
             fn $name() {
                 let __config = $config;
+                let __cases = $crate::test_runner::resolved_cases(__config.cases);
                 let mut __rng = $crate::test_runner::rng_for(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
-                for __case in 0..__config.cases {
+                for __case in 0..__cases {
                     $(
                         let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);
                     )*
@@ -512,5 +541,23 @@ mod tests {
     fn generated_properties_exist() {
         ranges_stay_in_bounds();
         assume_skips_cases();
+    }
+
+    #[test]
+    fn case_count_override_rule_prefers_valid_positive_integers() {
+        // Exercises the pure rule; the env-reading wrapper is a one-liner
+        // (mutating the real environment here would race with the parallel
+        // property tests in this binary, which read it on startup).
+        use crate::test_runner::cases_from_override;
+        let configured = 24;
+        assert_eq!(cases_from_override(None, configured), configured);
+        assert_eq!(cases_from_override(Some("1024"), configured), 1024);
+        assert_eq!(cases_from_override(Some(" 512 "), configured), 512);
+        assert_eq!(
+            cases_from_override(Some("not-a-number"), configured),
+            configured
+        );
+        assert_eq!(cases_from_override(Some("0"), configured), configured);
+        assert_eq!(cases_from_override(Some(""), configured), configured);
     }
 }

@@ -38,7 +38,11 @@ fn type_name(input: TokenStream) -> String {
     panic!("serde derive: no struct/enum definition found in input");
 }
 
-#[proc_macro_derive(Serialize)]
+// The derives register `serde` as an inert helper attribute (exactly as the
+// real serde_derive does), so types can carry container attributes like
+// `#[serde(try_from = "...", into = "...")]` that become meaningful the day
+// the real serde is swapped back in; the stand-in itself ignores them.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let name = type_name(input);
     format!("impl serde::Serialize for {name} {{}}")
@@ -46,7 +50,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("generated impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let name = type_name(input);
     format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
