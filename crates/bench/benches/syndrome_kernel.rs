@@ -19,7 +19,9 @@ use rand_chacha::ChaCha8Rng;
 use harp_bch::BchCode;
 use harp_ecc::{ExtendedHammingCode, HammingCode, LinearBlockCode};
 use harp_gf2::{BitVec, SyndromeKernel};
+use harp_memsim::pattern::DataPattern;
 use harp_memsim::{BurstScratch, FaultModel, MemoryChip};
+use harp_profiler::{BatchWord, CampaignBatch, ProfilerKind, ProfilingCampaign};
 
 /// One campaign's worth of stored (possibly corrupted) codewords.
 fn stored_words<C: LinearBlockCode>(code: &C, count: usize, seed: u64) -> Vec<BitVec> {
@@ -142,6 +144,85 @@ fn bench_read_path<C: LinearBlockCode + Clone>(c: &mut Criterion, label: &str, c
     group.finish();
 }
 
+/// Words per simulated sweep cell in the `campaign_path` groups.
+const CELL_WORDS: usize = 64;
+
+/// Profiling rounds per campaign in the `campaign_path` groups (kept short
+/// so fixed per-word setup stays a realistic fraction of a sweep cell's
+/// cost; rounds/sec = `CELL_WORDS * CAMPAIGN_ROUNDS` / per-iteration time).
+const CAMPAIGN_ROUNDS: usize = 16;
+
+/// End-to-end campaign comparison for one sweep cell: the historical
+/// per-word data flow (one `ProfilingCampaign` and one one-word chip per
+/// word, each round a one-word burst) against the cell-batched engine (all
+/// words on one chip, one multi-word burst per round). Both paths produce
+/// bit-identical snapshots — asserted before timing — so the ratio is pure
+/// execution-plan overhead.
+fn bench_campaign_path<C: LinearBlockCode + Clone + 'static>(
+    c: &mut Criterion,
+    label: &str,
+    code: C,
+) {
+    let n = code.codeword_len();
+    let words: Vec<BatchWord> = (0..CELL_WORDS)
+        .map(|w| {
+            // Fixed offsets keep the 1–3 positions distinct modulo every
+            // benched codeword length (n > 41).
+            let at_risk = [w % n, (w + 17) % n, (w + 41) % n];
+            BatchWord::new(
+                FaultModel::uniform(&at_risk[..1 + w % 3], 0.5),
+                DataPattern::Random,
+                0xCE11_0000 + w as u64,
+            )
+        })
+        .collect();
+    let batch = CampaignBatch::new(code.clone(), words.clone());
+
+    // Correctness cross-check before timing: batched == scalar reference.
+    let batched = batch.run(ProfilerKind::HarpU, CAMPAIGN_ROUNDS);
+    for (index, result) in batched.iter().enumerate() {
+        assert_eq!(
+            result,
+            &batch
+                .scalar_campaign(index)
+                .run(ProfilerKind::HarpU, CAMPAIGN_ROUNDS)
+        );
+    }
+
+    let mut group = c.benchmark_group(format!("campaign_path/{label}"));
+    group.bench_function(format!("per_word_{CELL_WORDS}x{CAMPAIGN_ROUNDS}"), |b| {
+        b.iter(|| {
+            let mut identified = 0usize;
+            for word in &words {
+                let campaign = ProfilingCampaign::new(
+                    code.clone(),
+                    word.faults.clone(),
+                    word.pattern,
+                    word.seed,
+                );
+                let result = campaign.run(ProfilerKind::HarpU, CAMPAIGN_ROUNDS);
+                identified += result.final_identified().len();
+            }
+            black_box(identified)
+        })
+    });
+    group.bench_function(
+        format!("cell_batched_{CELL_WORDS}x{CAMPAIGN_ROUNDS}"),
+        |b| {
+            b.iter(|| {
+                let results = batch.run(ProfilerKind::HarpU, CAMPAIGN_ROUNDS);
+                black_box(
+                    results
+                        .iter()
+                        .map(|r| r.final_identified().len())
+                        .sum::<usize>(),
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
 fn bench_syndrome_kernels(c: &mut Criterion) {
     // Correctness cross-check before timing: kernel == matrix on every word.
     let hamming = HammingCode::random(64, 1).expect("valid code");
@@ -165,13 +246,21 @@ fn bench_syndrome_kernels(c: &mut Criterion) {
     );
     bench_code(c, "bch_78_64", &BchCode::dec(64).expect("valid code"));
 
-    bench_read_path(c, "hamming_71_64", hamming);
+    bench_read_path(c, "hamming_71_64", hamming.clone());
     bench_read_path(
         c,
         "secded_72_64",
         ExtendedHammingCode::random(64, 1).expect("valid code"),
     );
     bench_read_path(c, "bch_78_64", BchCode::dec(64).expect("valid code"));
+
+    bench_campaign_path(c, "hamming_71_64", hamming);
+    bench_campaign_path(
+        c,
+        "secded_72_64",
+        ExtendedHammingCode::random(64, 1).expect("valid code"),
+    );
+    bench_campaign_path(c, "bch_78_64", BchCode::dec(64).expect("valid code"));
 }
 
 criterion_group!(

@@ -451,6 +451,42 @@ impl BitVec {
         self.words.resize(len.div_ceil(WORD_BITS), 0);
     }
 
+    /// Overwrites the first `src.len()` bits of `self` with `src`, leaving
+    /// every later bit (and `self`'s length) untouched. Word-packed and
+    /// allocation-free: this is the building block of the in-place
+    /// systematic-encode write path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() > self.len()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use harp_gf2::BitVec;
+    /// let mut v = BitVec::ones(71);
+    /// v.overwrite_prefix(&BitVec::zeros(64));
+    /// assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![64, 65, 66, 67, 68, 69, 70]);
+    /// ```
+    pub fn overwrite_prefix(&mut self, src: &Self) {
+        assert!(
+            src.len <= self.len,
+            "prefix of {} bits out of range for {} bits",
+            src.len,
+            self.len
+        );
+        let full_words = src.len / WORD_BITS;
+        self.words[..full_words].copy_from_slice(&src.words[..full_words]);
+        let rem = src.len % WORD_BITS;
+        if rem != 0 {
+            let mask = (1u64 << rem) - 1;
+            // `src`'s tail bits beyond its length are kept masked to zero,
+            // so the masked merge splices exactly `rem` live bits.
+            self.words[full_words] =
+                (self.words[full_words] & !mask) | (src.words[full_words] & mask);
+        }
+    }
+
     fn mask_tail(&mut self) {
         let rem = self.len % WORD_BITS;
         if rem != 0 {

@@ -73,10 +73,33 @@ impl ReadObservation {
     /// Dataword positions where the *raw* data bits differ from the written
     /// data — the direct (pre-correction) errors visible through the bypass
     /// path.
+    ///
+    /// Evaluated word-by-word over the packed bit representations (no
+    /// intermediate `BitVec`s): this runs once per word per profiling round
+    /// in every bypass-based campaign.
     pub fn direct_errors(&self) -> Vec<usize> {
-        (&self.raw_data_bits() ^ &self.written)
-            .iter_ones()
-            .collect()
+        let mut errors = Vec::new();
+        let stored = self.stored_with_errors.as_words();
+        let written = self.written.as_words();
+        for (index, (&stored_word, &written_word)) in stored.iter().zip(written).enumerate() {
+            let mut diff = stored_word ^ written_word;
+            // Parity bits sharing the written word's last u64 are masked out
+            // (`written` carries exactly `data_len` bits with a masked tail).
+            let word_end = (index + 1) * 64;
+            if word_end > self.data_len {
+                let live = 64 - (word_end - self.data_len);
+                diff &= if live == 0 {
+                    0
+                } else {
+                    u64::MAX >> (64 - live)
+                };
+            }
+            while diff != 0 {
+                errors.push(index * 64 + diff.trailing_zeros() as usize);
+                diff &= diff - 1;
+            }
+        }
+        errors
     }
 
     /// Simulator-only ground truth: the raw error pattern injected into the
@@ -115,6 +138,28 @@ impl BurstScratch {
     /// Creates an empty scratch; buffers are sized lazily by the first burst.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a scratch pre-sized for bursts of `words` observations, so
+    /// even the first burst of a long-lived campaign performs no observation
+    /// resizing.
+    pub fn with_capacity(words: usize) -> Self {
+        let mut scratch = Self::default();
+        scratch
+            .observations
+            .resize_with(words, ReadObservation::placeholder);
+        scratch.syndromes.reserve(words);
+        scratch
+    }
+
+    /// The burst slots for a burst of `count` words, growing the observation
+    /// buffer if needed.
+    fn slots(&mut self, count: usize) -> (&mut [ReadObservation], &mut Vec<u64>) {
+        if self.observations.len() < count {
+            self.observations
+                .resize_with(count, ReadObservation::placeholder);
+        }
+        (&mut self.observations[..count], &mut self.syndromes)
     }
 }
 
@@ -207,6 +252,46 @@ impl<C: LinearBlockCode> MemoryChip<C> {
         self.written[word] = data.clone();
     }
 
+    /// Writes (and on-die-ECC encodes) a dataword into word `word`, reusing
+    /// the word's existing storage buffers: the semantic twin of
+    /// [`MemoryChip::write`] with no heap allocation in the steady state.
+    ///
+    /// The data bits are spliced into the stored codeword's prefix and the
+    /// parity bits recomputed from the code's parity block — exactly the
+    /// systematic layout [`LinearBlockCode::encode`] produces (checked by a
+    /// debug assertion, so any code overriding `encode` with a different
+    /// layout fails fast in tests). Per-round rewrites are the second-hottest
+    /// chip operation of a profiling campaign after the burst read itself;
+    /// the cell-batched campaign engine rewrites every word of a sweep cell
+    /// each round through this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range or the dataword length does not match
+    /// the code.
+    pub fn write_in_place(&mut self, word: usize, data: &BitVec) {
+        assert!(word < self.num_words(), "word index {word} out of range");
+        assert_eq!(
+            data.len(),
+            self.code.data_len(),
+            "dataword length mismatch: expected {}, got {}",
+            self.code.data_len(),
+            data.len()
+        );
+        self.written[word].copy_from(data);
+        let stored = &mut self.stored[word];
+        stored.overwrite_prefix(data);
+        let data_len = data.len();
+        for (row, parity_row) in self.code.parity_block().iter_rows().enumerate() {
+            stored.set(data_len + row, parity_row.dot(data));
+        }
+        debug_assert_eq!(
+            stored,
+            &self.code.encode(data),
+            "write_in_place must reproduce encode's systematic layout"
+        );
+    }
+
     /// The dataword most recently written to word `word` (simulation-side
     /// bookkeeping; the real chip does not retain this).
     ///
@@ -288,6 +373,64 @@ impl<C: LinearBlockCode> MemoryChip<C> {
         rng: &mut R,
         scratch: &'s mut BurstScratch,
     ) -> &'s [ReadObservation] {
+        let count = self.check_burst_range(&words);
+        let (burst, syndromes) = scratch.slots(count);
+
+        // Phase 1 — fault injection, in word order (same RNG stream as a
+        // scalar read loop).
+        for (offset, obs) in burst.iter_mut().enumerate() {
+            self.inject_word(words.start + offset, obs, rng);
+        }
+
+        self.decode_burst(burst, syndromes);
+        burst
+    }
+
+    /// Performs one access of every word in `words` as a single burst, with
+    /// **one independent RNG stream per word**: word `words.start + i` samples
+    /// its raw error pattern from `rngs[i]`, consuming exactly the draws a
+    /// scalar `read` (or a one-word [`MemoryChip::read_burst`]) of that word
+    /// with that RNG would.
+    ///
+    /// This is the entry point for cross-word batched campaigns: many
+    /// independent Monte-Carlo words (each with its own deterministic seed)
+    /// share one chip and are scrubbed per round in a single burst, while
+    /// every word's observation sequence stays bit-identical to running it
+    /// alone. Everything else matches [`MemoryChip::read_burst`]: one batched
+    /// syndrome pass, allocation-free steady state, observations identical to
+    /// the scalar reference path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty, reversed, or extends past
+    /// [`MemoryChip::num_words`], or if `rngs.len()` does not match the burst
+    /// length.
+    pub fn read_burst_with_rngs<'s, R: Rng>(
+        &self,
+        words: Range<usize>,
+        rngs: &mut [R],
+        scratch: &'s mut BurstScratch,
+    ) -> &'s [ReadObservation] {
+        let count = self.check_burst_range(&words);
+        assert_eq!(
+            rngs.len(),
+            count,
+            "burst of {count} words needs {count} RNG streams, got {}",
+            rngs.len()
+        );
+        let (burst, syndromes) = scratch.slots(count);
+
+        // Phase 1 — fault injection, each word drawing from its own stream.
+        for ((offset, obs), rng) in burst.iter_mut().enumerate().zip(rngs.iter_mut()) {
+            self.inject_word(words.start + offset, obs, rng);
+        }
+
+        self.decode_burst(burst, syndromes);
+        burst
+    }
+
+    /// Validates a burst range and returns its length.
+    fn check_burst_range(&self, words: &Range<usize>) -> usize {
         assert!(
             words.start < words.end,
             "word range {words:?} is empty or reversed"
@@ -297,38 +440,27 @@ impl<C: LinearBlockCode> MemoryChip<C> {
             "word range {words:?} out of range for {} words",
             self.num_words()
         );
-        let count = words.end - words.start;
-        if scratch.observations.len() < count {
-            scratch
-                .observations
-                .resize_with(count, ReadObservation::placeholder);
-        }
-        let BurstScratch {
-            observations,
-            syndromes,
-        } = scratch;
-        let burst = &mut observations[..count];
+        words.end - words.start
+    }
 
-        // Phase 1 — fault injection, in word order (same RNG stream as a
-        // scalar read loop).
-        let data_len = self.code.data_len();
-        for (offset, obs) in burst.iter_mut().enumerate() {
-            let word = words.start + offset;
-            let clean = &self.stored[word];
-            obs.written.copy_from(&self.written[word]);
-            self.faults[word].sample_errors_into(clean, rng, &mut obs.raw_error);
-            obs.stored_with_errors.copy_from(clean);
-            obs.stored_with_errors ^= &obs.raw_error;
-            obs.data_len = data_len;
-        }
+    /// Burst phase 1 for one word: samples the word's raw error pattern from
+    /// `rng` and fills the observation's pre-decode buffers in place.
+    fn inject_word<R: Rng + ?Sized>(&self, word: usize, obs: &mut ReadObservation, rng: &mut R) {
+        let clean = &self.stored[word];
+        obs.written.copy_from(&self.written[word]);
+        self.faults[word].sample_errors_into(clean, rng, &mut obs.raw_error);
+        obs.stored_with_errors.copy_from(clean);
+        obs.stored_with_errors ^= &obs.raw_error;
+        obs.data_len = self.code.data_len();
+    }
 
-        // Phase 2 — one batched kernel pass over the whole burst.
+    /// Burst phases 2–3: one batched kernel pass over the whole burst, then
+    /// bounded-distance resolution of each syndrome into the reused
+    /// per-observation decode buffers.
+    fn decode_burst(&self, burst: &mut [ReadObservation], syndromes: &mut Vec<u64>) {
         self.code
             .syndrome_kernel()
             .syndrome_words_into(burst.iter().map(|obs| &obs.stored_with_errors), syndromes);
-
-        // Phase 3 — bounded-distance resolution of each syndrome, reusing
-        // the per-observation decode buffers.
         for (obs, &syndrome_word) in burst.iter_mut().zip(syndromes.iter()) {
             self.code.decode_with_syndrome_into(
                 &obs.stored_with_errors,
@@ -336,7 +468,6 @@ impl<C: LinearBlockCode> MemoryChip<C> {
                 &mut obs.decode,
             );
         }
-        burst
     }
 }
 
@@ -526,6 +657,115 @@ mod tests {
         replay.extend_from_slice(chip.read_burst(0..8, &mut fresh_rng, &mut fresh_scratch));
         replay.extend_from_slice(chip.read_burst(2..4, &mut fresh_rng, &mut fresh_scratch));
         assert_eq!(&replay[8..], short);
+    }
+
+    #[test]
+    fn write_in_place_matches_write_for_every_code_family() {
+        let hamming = HammingCode::random(64, 3).unwrap();
+        let secded = harp_ecc::ExtendedHammingCode::random(64, 3).unwrap();
+        let patterns = [
+            BitVec::from_u64(64, 0xDEAD_BEEF_CAFE_F00D),
+            BitVec::zeros(64),
+            BitVec::ones(64),
+            BitVec::from_indices(64, [0, 7, 63]),
+        ];
+        fn check<C: LinearBlockCode + Clone>(code: C, patterns: &[BitVec]) {
+            let mut via_write = MemoryChip::new(code.clone(), 2);
+            let mut in_place = MemoryChip::new(code, 2);
+            // Repeated rewrites of the same slots must track `write` exactly.
+            for data in patterns {
+                via_write.write(1, data);
+                in_place.write_in_place(1, data);
+                assert_eq!(via_write.written_data(1), in_place.written_data(1));
+                let mut rng_a = ChaCha8Rng::seed_from_u64(5);
+                let mut rng_b = ChaCha8Rng::seed_from_u64(5);
+                assert_eq!(via_write.read(1, &mut rng_a), in_place.read(1, &mut rng_b));
+            }
+        }
+        check(hamming, &patterns);
+        check(secded, &patterns);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn write_in_place_rejects_wrong_dataword_length() {
+        let code = HammingCode::random(64, 3).unwrap();
+        let mut chip = MemoryChip::new(code, 1);
+        chip.write_in_place(0, &BitVec::zeros(32));
+    }
+
+    #[test]
+    fn per_word_rng_burst_matches_independent_scalar_streams() {
+        let code = HammingCode::random(64, 29).unwrap();
+        let mut chip = MemoryChip::new(code, 4);
+        chip.set_fault_model(0, FaultModel::uniform(&[3], 0.5));
+        chip.set_fault_model(1, FaultModel::uniform(&[7, 12], 0.5));
+        chip.set_fault_model(3, FaultModel::uniform(&[0, 1, 2], 0.75));
+        for word in 0..4 {
+            chip.write(word, &BitVec::ones(64));
+        }
+
+        // Reference: each word read alone, with its own RNG stream.
+        let scalar: Vec<ReadObservation> = (0..4)
+            .map(|w| {
+                let mut rng = ChaCha8Rng::seed_from_u64(100 + w as u64);
+                chip.read(w, &mut rng)
+            })
+            .collect();
+
+        let mut rngs: Vec<ChaCha8Rng> = (0..4)
+            .map(|w| ChaCha8Rng::seed_from_u64(100 + w as u64))
+            .collect();
+        let mut scratch = BurstScratch::new();
+        let burst = chip.read_burst_with_rngs(0..4, &mut rngs, &mut scratch);
+        assert_eq!(burst, scalar.as_slice());
+    }
+
+    #[test]
+    fn per_word_rng_streams_advance_independently_across_bursts() {
+        let code = HammingCode::random(16, 31).unwrap();
+        let mut chip = MemoryChip::new(code, 2);
+        chip.set_fault_model(0, FaultModel::uniform(&[1], 0.5));
+        chip.set_fault_model(1, FaultModel::uniform(&[2, 5], 0.5));
+        chip.write(0, &BitVec::ones(16));
+        chip.write(1, &BitVec::ones(16));
+
+        // Two burst rounds must equal two scalar rounds per word, with each
+        // word's stream advancing only by its own draws.
+        let mut scalar_rngs: Vec<ChaCha8Rng> =
+            (0..2).map(|w| ChaCha8Rng::seed_from_u64(7 + w)).collect();
+        let mut scalar = Vec::new();
+        for _round in 0..2 {
+            for (w, rng) in scalar_rngs.iter_mut().enumerate() {
+                scalar.push(chip.read(w, rng));
+            }
+        }
+
+        let mut rngs: Vec<ChaCha8Rng> = (0..2).map(|w| ChaCha8Rng::seed_from_u64(7 + w)).collect();
+        let mut scratch = BurstScratch::with_capacity(2);
+        let mut burst = Vec::new();
+        for _round in 0..2 {
+            burst.extend_from_slice(chip.read_burst_with_rngs(0..2, &mut rngs, &mut scratch));
+        }
+        assert_eq!(burst, scalar);
+    }
+
+    #[test]
+    #[should_panic(expected = "RNG streams")]
+    fn read_burst_with_rngs_rejects_mismatched_stream_count() {
+        let code = HammingCode::random(8, 3).unwrap();
+        let chip = MemoryChip::new(code, 4);
+        let mut rngs = vec![ChaCha8Rng::seed_from_u64(0); 2];
+        chip.read_burst_with_rngs(0..4, &mut rngs, &mut BurstScratch::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_burst_with_rngs_checks_word_range() {
+        let code = HammingCode::random(8, 3).unwrap();
+        let chip = MemoryChip::new(code, 2);
+        let mut rngs = vec![ChaCha8Rng::seed_from_u64(0); 3];
+        chip.read_burst_with_rngs(1..4, &mut rngs, &mut BurstScratch::new());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * **random** — a fresh uniform-random word every two rounds, inverted on
 //!   the second of the two rounds.
 
-use rand::Rng;
+use rand::RngCore;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -76,6 +76,10 @@ pub struct PatternSchedule {
     pattern: DataPattern,
     data_bits: usize,
     seed: u64,
+    /// Memoized `(pair, base word)` for [`DataPattern::Random`]: campaigns
+    /// query rounds in order, so each pair's base is derived once and its
+    /// second (inverted) round reuses it instead of re-keying the RNG.
+    cached: Option<(usize, BitVec)>,
 }
 
 impl PatternSchedule {
@@ -86,6 +90,7 @@ impl PatternSchedule {
             pattern,
             data_bits,
             seed,
+            cached: None,
         }
     }
 
@@ -101,10 +106,13 @@ impl PatternSchedule {
 
     /// The dataword programmed in profiling round `round` (0-based).
     ///
-    /// The schedule is deterministic: calling this twice with the same round
-    /// returns the same word, so independent profilers can be evaluated
-    /// against identical inputs (a fairness requirement from §7.1.2).
-    pub fn dataword_for_round(&self, round: usize) -> BitVec {
+    /// The schedule is deterministic and order-independent: calling this
+    /// twice with the same round returns the same word (whatever was queried
+    /// in between), so independent profilers can be evaluated against
+    /// identical inputs (a fairness requirement from §7.1.2). The `&mut`
+    /// receiver only updates the internal memo for [`DataPattern::Random`]
+    /// pairs.
+    pub fn dataword_for_round(&mut self, round: usize) -> BitVec {
         match self.pattern {
             DataPattern::Charged => BitVec::ones(self.data_bits),
             DataPattern::Discharged => BitVec::zeros(self.data_bits),
@@ -121,23 +129,47 @@ impl PatternSchedule {
             }
             DataPattern::Random => {
                 let pair = round / 2;
-                // Derive the word for this pair deterministically from the
-                // schedule seed so rounds can be queried in any order.
-                let mut rng = ChaCha8Rng::seed_from_u64(
-                    self.seed ^ (pair as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                let base = BitVec::from_bools(
-                    &(0..self.data_bits)
-                        .map(|_| rng.gen_bool(0.5))
-                        .collect::<Vec<_>>(),
-                );
+                let base = self.random_base_for_pair(pair);
                 if round.is_multiple_of(2) {
-                    base
+                    base.clone()
                 } else {
                     base.not()
                 }
             }
         }
+    }
+
+    /// The base word of one [`DataPattern::Random`] pair, memoized: the
+    /// second round of a pair (and any repeated query) reuses the cached
+    /// word instead of re-keying the RNG. Datawords are requested once per
+    /// word per profiling round, making this the hottest pattern path of a
+    /// campaign.
+    fn random_base_for_pair(&mut self, pair: usize) -> &BitVec {
+        let hit = matches!(&self.cached, Some((p, _)) if *p == pair);
+        if !hit {
+            // Derive the word for this pair deterministically from the
+            // schedule seed so rounds can be queried in any order, drawing
+            // 64 uniform bits per RNG word instead of one full RNG word per
+            // bit.
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                self.seed ^ (pair as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let base = if self.data_bits <= 64 {
+                BitVec::from_u64(self.data_bits, rng.next_u64())
+            } else {
+                let mut drawn = 0u64;
+                (0..self.data_bits)
+                    .map(|bit| {
+                        if bit % 64 == 0 {
+                            drawn = rng.next_u64();
+                        }
+                        (drawn >> (bit % 64)) & 1 == 1
+                    })
+                    .collect()
+            };
+            self.cached = Some((pair, base));
+        }
+        &self.cached.as_ref().expect("memo populated above").1
     }
 }
 
@@ -147,7 +179,7 @@ mod tests {
 
     #[test]
     fn charged_pattern_is_all_ones_every_round() {
-        let schedule = PatternSchedule::new(DataPattern::Charged, 64, 0);
+        let mut schedule = PatternSchedule::new(DataPattern::Charged, 64, 0);
         for round in 0..8 {
             assert_eq!(schedule.dataword_for_round(round), BitVec::ones(64));
         }
@@ -155,13 +187,13 @@ mod tests {
 
     #[test]
     fn discharged_pattern_is_all_zeros() {
-        let schedule = PatternSchedule::new(DataPattern::Discharged, 16, 0);
+        let mut schedule = PatternSchedule::new(DataPattern::Discharged, 16, 0);
         assert!(schedule.dataword_for_round(3).is_zero());
     }
 
     #[test]
     fn checkered_pattern_alternates_and_inverts() {
-        let schedule = PatternSchedule::new(DataPattern::Checkered, 8, 0);
+        let mut schedule = PatternSchedule::new(DataPattern::Checkered, 8, 0);
         let even = schedule.dataword_for_round(0);
         let odd = schedule.dataword_for_round(1);
         assert_eq!(even.to_string(), "10101010");
@@ -172,7 +204,7 @@ mod tests {
 
     #[test]
     fn random_pattern_changes_every_two_rounds_and_inverts_within_a_pair() {
-        let schedule = PatternSchedule::new(DataPattern::Random, 64, 123);
+        let mut schedule = PatternSchedule::new(DataPattern::Random, 64, 123);
         let r0 = schedule.dataword_for_round(0);
         let r1 = schedule.dataword_for_round(1);
         let r2 = schedule.dataword_for_round(2);
@@ -184,9 +216,9 @@ mod tests {
 
     #[test]
     fn random_pattern_is_deterministic_per_seed() {
-        let a = PatternSchedule::new(DataPattern::Random, 32, 7);
-        let b = PatternSchedule::new(DataPattern::Random, 32, 7);
-        let c = PatternSchedule::new(DataPattern::Random, 32, 8);
+        let mut a = PatternSchedule::new(DataPattern::Random, 32, 7);
+        let mut b = PatternSchedule::new(DataPattern::Random, 32, 7);
+        let mut c = PatternSchedule::new(DataPattern::Random, 32, 8);
         for round in 0..10 {
             assert_eq!(a.dataword_for_round(round), b.dataword_for_round(round));
         }
@@ -195,7 +227,7 @@ mod tests {
 
     #[test]
     fn random_pattern_queries_are_order_independent() {
-        let schedule = PatternSchedule::new(DataPattern::Random, 32, 99);
+        let mut schedule = PatternSchedule::new(DataPattern::Random, 32, 99);
         let r5_first = schedule.dataword_for_round(5);
         let _ = schedule.dataword_for_round(0);
         assert_eq!(schedule.dataword_for_round(5), r5_first);
@@ -210,7 +242,7 @@ mod tests {
 
     #[test]
     fn accessors_report_configuration() {
-        let schedule = PatternSchedule::new(DataPattern::Checkered, 128, 5);
+        let mut schedule = PatternSchedule::new(DataPattern::Checkered, 128, 5);
         assert_eq!(schedule.pattern(), DataPattern::Checkered);
         assert_eq!(schedule.data_bits(), 128);
         assert_eq!(schedule.dataword_for_round(0).len(), 128);

@@ -20,6 +20,13 @@ use harp_memsim::{BurstScratch, FaultModel, MemoryChip};
 
 use crate::traits::{Profiler, ProfilerKind};
 
+/// Salt folded into a word's campaign seed to derive its fault-injection RNG
+/// stream. Shared by the scalar [`ProfilingCampaign::run_profiler`] reference
+/// path and the cell-batched [`crate::batch::CampaignBatch`], so both derive
+/// the *same* per-word stream — the invariant the differential equivalence
+/// suite locks down.
+pub(crate) const CAMPAIGN_RNG_SALT: u64 = 0x5EED_CAFE_F00D;
+
 /// What a profiler knew at the end of one profiling round.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundSnapshot {
@@ -115,6 +122,11 @@ impl<C: LinearBlockCode + Clone + 'static> ProfilingCampaign<C> {
         self.pattern
     }
 
+    /// The campaign seed all per-word random streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The exact ground truth for this word: every bit at risk of
     /// post-correction error, split into direct and indirect sets.
     pub fn error_space(&self) -> ErrorSpace {
@@ -145,10 +157,15 @@ impl<C: LinearBlockCode + Clone + 'static> ProfilingCampaign<C> {
     /// allocating a fresh observation per round. The RNG stream — and
     /// therefore every snapshot — is identical to the scalar
     /// `MemoryChip::read` loop this replaces.
+    ///
+    /// This per-word path is the **scalar reference implementation** for the
+    /// cell-batched [`crate::batch::CampaignBatch`]: the differential suite
+    /// in `tests/campaign_equivalence.rs` asserts that batching a word with
+    /// the rest of its sweep cell never changes a single snapshot.
     pub fn run_profiler(&self, profiler: &mut dyn Profiler, rounds: usize) -> CampaignResult {
         let mut chip = MemoryChip::new(self.code.clone(), 1);
         chip.set_fault_model(0, self.faults.clone());
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5EED_CAFE_F00D_u64);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ CAMPAIGN_RNG_SALT);
         let mut scratch = BurstScratch::new();
         let mut snapshots = Vec::with_capacity(rounds);
         for round in 0..rounds {

@@ -24,7 +24,10 @@
 //!
 //! [`campaign::ProfilingCampaign`] drives a profiler against a single ECC
 //! word for a configurable number of rounds and records per-round snapshots;
-//! [`coverage`] scores those snapshots against the exact ground truth from
+//! [`batch::CampaignBatch`] drives a whole sweep cell of words sharing one
+//! code, scrubbing all of them with a single multi-word burst per round while
+//! producing snapshots bit-identical to the per-word path; [`coverage`]
+//! scores those snapshots against the exact ground truth from
 //! [`harp_ecc::ErrorSpace`].
 //!
 //! # Example
@@ -46,6 +49,7 @@
 //! # Ok::<(), harp_ecc::CodeError>(())
 //! ```
 
+pub mod batch;
 pub mod beep;
 pub mod campaign;
 pub mod coverage;
@@ -55,6 +59,7 @@ pub mod reactive;
 pub mod syndrome;
 pub mod traits;
 
+pub use batch::{BatchWord, CampaignBatch};
 pub use beep::BeepProfiler;
 pub use campaign::{CampaignResult, ProfilingCampaign, RoundSnapshot};
 pub use coverage::{bootstrap_round, direct_coverage, missed_indirect, CoverageSeries};

@@ -6,15 +6,24 @@
 //! population of ECC words and run each profiler for 128 rounds, scoring each
 //! round against the exact ground truth. [`run_coverage_sweep`] performs that
 //! experiment once; the per-figure modules aggregate different views of it.
+//!
+//! Execution is **cell-batched**: the population of each sweep cell is
+//! grouped by code index ([`crate::sample::group_by_code`]), every group runs
+//! as one [`CampaignBatch`] whose words are scrubbed with a single multi-word
+//! burst per round, and [`parallel_map`] shards across the groups — batching
+//! inside a shard, threading across shards. Batched snapshots are
+//! bit-identical to the per-word [`harp_profiler::ProfilingCampaign`]
+//! reference path (enforced by `tests/campaign_equivalence.rs`), so this is
+//! purely an execution-plan change.
 
 use serde::{Deserialize, Serialize};
 
 use harp_ecc::{HammingCode, LinearBlockCode};
-use harp_profiler::{CoverageSeries, ProfilerKind, ProfilingCampaign};
+use harp_profiler::{BatchWord, CampaignBatch, CoverageSeries, ProfilerKind};
 
 use crate::config::EvaluationConfig;
 use crate::runner::parallel_map;
-use crate::sample::{sample_words_with, WordSample};
+use crate::sample::{group_by_code, sample_words_with, shard_groups, WordSample};
 
 /// The coverage series of one (word, profiler) pair within the sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,34 +80,69 @@ impl CoverageSweep {
     }
 }
 
-/// Evaluates one word with every requested profiler.
-fn evaluate_word<C: LinearBlockCode + Clone + 'static>(
-    sample: &WordSample<C>,
+/// Runs every requested profiler against one code group (all words of a
+/// sweep cell sharing a code) as cell-batched campaigns — one
+/// [`CampaignBatch`] per profiler, one burst per round — and scores each
+/// word against its ground truth.
+///
+/// Returns the coverage series in word-major order
+/// (`result[word][profiler]`). The ground truth is enumerated once per word
+/// and shared across profilers, and each profiler's full per-round snapshots
+/// are reduced to compact series as soon as its batch completes, so only the
+/// series stay alive across profilers. This is the single cell-batched
+/// evaluation pipeline behind the coverage sweep *and* the fig10 case study.
+pub(crate) fn code_group_series<C: LinearBlockCode + Clone + 'static>(
+    group: &[WordSample<C>],
+    profilers: &[ProfilerKind],
+    pattern: harp_memsim::pattern::DataPattern,
+    rounds: usize,
+) -> Vec<Vec<CoverageSeries>> {
+    let batch = CampaignBatch::new(
+        group[0].code.clone(),
+        group
+            .iter()
+            .map(|sample| BatchWord::new(sample.faults.clone(), pattern, sample.campaign_seed))
+            .collect(),
+    );
+    let spaces: Vec<harp_ecc::ErrorSpace> = (0..group.len())
+        .map(|word| batch.error_space(word))
+        .collect();
+    let mut per_word: Vec<Vec<CoverageSeries>> = (0..group.len())
+        .map(|_| Vec::with_capacity(profilers.len()))
+        .collect();
+    for &profiler in profilers {
+        let results = batch.run(profiler, rounds);
+        for ((result, space), word_series) in results.iter().zip(&spaces).zip(per_word.iter_mut()) {
+            word_series.push(CoverageSeries::from_campaign(result, space));
+        }
+    }
+    per_word
+}
+
+/// Evaluates one code group for the sweep, emitting evaluations in
+/// word-major order (word, then profiler) — the same order the historical
+/// per-word loop produced.
+fn evaluate_code_group<C: LinearBlockCode + Clone + 'static>(
+    group: &[WordSample<C>],
     profilers: &[ProfilerKind],
     pattern: harp_memsim::pattern::DataPattern,
     rounds: usize,
     error_count: usize,
     probability: f64,
 ) -> Vec<WordEvaluation> {
-    let campaign = ProfilingCampaign::new(
-        sample.code.clone(),
-        sample.faults.clone(),
-        pattern,
-        sample.campaign_seed,
-    );
-    let space = campaign.error_space();
-    profilers
-        .iter()
-        .map(|&profiler| {
-            let result = campaign.run(profiler, rounds);
-            WordEvaluation {
+    let per_word = code_group_series(group, profilers, pattern, rounds);
+    let mut evaluations = Vec::with_capacity(group.len() * profilers.len());
+    for word_series in per_word {
+        for (&profiler, series) in profilers.iter().zip(word_series) {
+            evaluations.push(WordEvaluation {
                 error_count,
                 probability,
                 profiler,
-                series: CoverageSeries::from_campaign(&result, &space),
-            }
-        })
-        .collect()
+                series,
+            });
+        }
+    }
+    evaluations
 }
 
 /// Runs the full coverage sweep for the given profilers over any code
@@ -119,9 +163,13 @@ where
     for &error_count in &config.error_counts {
         for &probability in &config.probabilities {
             let samples = sample_words_with(config, error_count, probability, &make_code);
-            let per_word = parallel_map(&samples, config.threads, |sample| {
-                evaluate_word(
-                    sample,
+            let groups = shard_groups(
+                group_by_code(&samples),
+                crate::runner::effective_threads(config.threads),
+            );
+            let per_group = parallel_map(&groups, config.threads, |group| {
+                evaluate_code_group(
+                    group,
                     profilers,
                     config.pattern,
                     config.rounds,
@@ -129,7 +177,7 @@ where
                     probability,
                 )
             });
-            evaluations.extend(per_word.into_iter().flatten());
+            evaluations.extend(per_group.into_iter().flatten());
         }
     }
     CoverageSweep {

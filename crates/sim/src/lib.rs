@@ -33,4 +33,4 @@ pub mod sample;
 pub mod stats;
 
 pub use config::EvaluationConfig;
-pub use sample::WordSample;
+pub use sample::{group_by_code, WordSample};

@@ -37,6 +37,49 @@ pub struct WordSample<C: LinearBlockCode = HammingCode> {
     pub campaign_seed: u64,
 }
 
+/// The shared population builder: one code per code index (built by
+/// `make_code` from a deterministic seed), `words_per_code` words per code,
+/// each word's fault model drawn by `sample_faults` from the word's own
+/// seeded RNG. Both the coverage-sweep and the data-retention samplers are
+/// thin wrappers around this loop, so their populations share the code
+/// generation, word seeding, and campaign-seed derivation exactly.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`EvaluationConfig::validate`]).
+fn build_population<C, F, G>(
+    config: &EvaluationConfig,
+    word_salt: u64,
+    make_code: F,
+    mut sample_faults: G,
+) -> Vec<WordSample<C>>
+where
+    C: LinearBlockCode + Clone,
+    F: Fn(u64) -> C,
+    G: FnMut(&C, &mut ChaCha8Rng) -> FaultModel,
+{
+    config.validate();
+    let mut samples = Vec::with_capacity(config.words_total());
+    for code_index in 0..config.num_codes {
+        let code_seed = config.seed_for(code_index, 0, 0xC0DE);
+        let code = make_code(code_seed);
+        for word_index in 0..config.words_per_code {
+            let word_seed = config.seed_for(code_index, word_index, word_salt);
+            let mut rng = ChaCha8Rng::seed_from_u64(word_seed);
+            let faults = sample_faults(&code, &mut rng);
+            samples.push(WordSample {
+                code_index,
+                word_index,
+                code: code.clone(),
+                faults,
+                campaign_seed: word_seed ^ 0xA11C_E5ED,
+            });
+        }
+    }
+    samples
+}
+
 /// Generates the word population for one (error count, probability)
 /// configuration, building each per-code-index code with `make_code`
 /// (invoked with a deterministic seed).
@@ -60,26 +103,10 @@ where
     C: LinearBlockCode + Clone,
     F: Fn(u64) -> C,
 {
-    config.validate();
     let sampler = RetentionSampler::new(0.0, probability);
-    let mut samples = Vec::with_capacity(config.words_total());
-    for code_index in 0..config.num_codes {
-        let code_seed = config.seed_for(code_index, 0, 0xC0DE);
-        let code = make_code(code_seed);
-        for word_index in 0..config.words_per_code {
-            let word_seed = config.seed_for(code_index, word_index, error_count as u64);
-            let mut rng = ChaCha8Rng::seed_from_u64(word_seed);
-            let faults = sampler.sample_word_with_count(code.codeword_len(), error_count, &mut rng);
-            samples.push(WordSample {
-                code_index,
-                word_index,
-                code: code.clone(),
-                faults,
-                campaign_seed: word_seed ^ 0xA11C_E5ED,
-            });
-        }
-    }
-    samples
+    build_population(config, error_count as u64, make_code, |code, rng| {
+        sampler.sample_word_with_count(code.codeword_len(), error_count, rng)
+    })
 }
 
 /// Generates the word population for one (error count, probability)
@@ -109,35 +136,73 @@ pub fn sample_retention_words(
     rber: f64,
     probability: f64,
 ) -> Vec<WordSample> {
-    config.validate();
     let sampler = RetentionSampler::new(rber, probability);
-    let mut samples = Vec::with_capacity(config.words_total());
-    for code_index in 0..config.num_codes {
-        let code_seed = config.seed_for(code_index, 0, 0xC0DE);
-        let code = HammingCode::random(config.data_bits, code_seed)
-            .expect("valid configuration always yields a valid code");
-        for word_index in 0..config.words_per_code {
-            let word_seed = config.seed_for(code_index, word_index, (rber * 1e12) as u64);
-            let mut rng = ChaCha8Rng::seed_from_u64(word_seed);
-            let mut faults = sampler.sample_word(code.codeword_len(), &mut rng);
-            // Exhaustive ground-truth analysis is exponential in the at-risk
-            // count; clamp pathological samples (essentially impossible at
-            // the RBERs the paper sweeps, but cheap insurance).
-            if faults.at_risk_bits().len() > harp_ecc::ErrorSpace::MAX_AT_RISK_BITS {
-                let clamped: Vec<_> =
-                    faults.at_risk_bits()[..harp_ecc::ErrorSpace::MAX_AT_RISK_BITS].to_vec();
-                faults = FaultModel::new(clamped, faults.dependence());
-            }
-            samples.push(WordSample {
-                code_index,
-                word_index,
-                code: code.clone(),
-                faults,
-                campaign_seed: word_seed ^ 0xA11C_E5ED,
-            });
+    let make_code = |seed| {
+        HammingCode::random(config.data_bits, seed)
+            .expect("valid configuration always yields a valid code")
+    };
+    build_population(config, (rber * 1e12) as u64, make_code, |code, rng| {
+        let faults = sampler.sample_word(code.codeword_len(), rng);
+        // Exhaustive ground-truth analysis is exponential in the at-risk
+        // count; clamp pathological samples (essentially impossible at
+        // the RBERs the paper sweeps, but cheap insurance).
+        if faults.at_risk_bits().len() > harp_ecc::ErrorSpace::MAX_AT_RISK_BITS {
+            let clamped: Vec<_> =
+                faults.at_risk_bits()[..harp_ecc::ErrorSpace::MAX_AT_RISK_BITS].to_vec();
+            FaultModel::new(clamped, faults.dependence())
+        } else {
+            faults
+        }
+    })
+}
+
+/// Groups a population into its **sweep cells by code**: contiguous runs of
+/// words sharing a `code_index` (and therefore a parity-check matrix). The
+/// samplers above emit words in code-major order, so each returned slice is
+/// one complete code group, in code-index order.
+///
+/// This is the unit of cell-batched execution: every group becomes one
+/// [`harp_profiler::CampaignBatch`] scrubbed with a single burst per round,
+/// and `runner::parallel_map` shards across the groups (after
+/// [`shard_groups`] splits oversized groups so every worker thread has
+/// work).
+pub fn group_by_code<C: LinearBlockCode>(samples: &[WordSample<C>]) -> Vec<&[WordSample<C>]> {
+    let mut groups = Vec::new();
+    let mut start = 0;
+    for end in 1..=samples.len() {
+        if end == samples.len() || samples[end].code_index != samples[start].code_index {
+            groups.push(&samples[start..end]);
+            start = end;
         }
     }
-    samples
+    groups
+}
+
+/// Splits code groups into sub-shards when there are fewer groups than
+/// worker threads, so cell-batched execution never caps parallelism at the
+/// number of codes (e.g. `num_codes = 2`, `threads = 16`). Word order within
+/// and across groups is preserved, and each sub-shard still holds words of a
+/// single code, so it batches into one `CampaignBatch` like a full group.
+///
+/// Safe by construction: a word's campaign snapshots do not depend on its
+/// cell membership (each word keeps its own RNG streams — the invariant the
+/// `campaign_equivalence` differential suite enforces), so any partition of
+/// a group produces identical results.
+pub fn shard_groups<C: LinearBlockCode>(
+    groups: Vec<&[WordSample<C>]>,
+    threads: usize,
+) -> Vec<&[WordSample<C>]> {
+    let total: usize = groups.iter().map(|group| group.len()).sum();
+    if threads <= groups.len() || total == 0 {
+        return groups;
+    }
+    // Aim for ~2 shards per thread so uneven cells still load-balance.
+    let target_shards = (threads * 2).min(total);
+    let shard_size = total.div_ceil(target_shards).max(1);
+    groups
+        .into_iter()
+        .flat_map(|group| group.chunks(shard_size))
+        .collect()
 }
 
 #[cfg(test)]
@@ -191,6 +256,85 @@ mod tests {
         let four = sample_words(&config, 4, 0.5);
         assert!(two.iter().all(|s| s.faults.at_risk_positions().len() == 2));
         assert!(four.iter().all(|s| s.faults.at_risk_positions().len() == 4));
+    }
+
+    #[test]
+    fn group_by_code_yields_one_complete_group_per_code() {
+        let config = EvaluationConfig::smoke();
+        let samples = sample_words(&config, 2, 0.5);
+        let groups = group_by_code(&samples);
+        assert_eq!(groups.len(), config.num_codes);
+        for (code_index, group) in groups.iter().enumerate() {
+            assert_eq!(group.len(), config.words_per_code);
+            for (word_index, sample) in group.iter().enumerate() {
+                assert_eq!(sample.code_index, code_index);
+                assert_eq!(sample.word_index, word_index);
+                assert_eq!(&sample.code, &group[0].code);
+            }
+        }
+        // The grouping is a pure view: concatenating the groups reproduces
+        // the population in order.
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, samples.len());
+    }
+
+    #[test]
+    fn group_by_code_handles_empty_and_single_word_populations() {
+        let empty: Vec<WordSample> = Vec::new();
+        assert!(group_by_code(&empty).is_empty());
+
+        let config = EvaluationConfig {
+            num_codes: 3,
+            words_per_code: 1,
+            ..EvaluationConfig::smoke()
+        };
+        let samples = sample_words(&config, 2, 1.0);
+        let groups = group_by_code(&samples);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn shard_groups_is_a_no_op_when_groups_cover_the_threads() {
+        let config = EvaluationConfig::smoke();
+        let samples = sample_words(&config, 2, 0.5);
+        let groups = group_by_code(&samples);
+        for threads in [1, groups.len()] {
+            let sharded = shard_groups(groups.clone(), threads);
+            assert_eq!(sharded.len(), groups.len());
+            for (shard, group) in sharded.iter().zip(&groups) {
+                assert!(std::ptr::eq(*shard, *group));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_groups_splits_big_groups_and_preserves_word_order() {
+        let config = EvaluationConfig {
+            num_codes: 2,
+            words_per_code: 16,
+            ..EvaluationConfig::smoke()
+        };
+        let samples = sample_words(&config, 2, 0.5);
+        let groups = group_by_code(&samples);
+        let threads = 8;
+        let sharded = shard_groups(groups, threads);
+        // Enough shards for every thread, each holding one code only.
+        assert!(sharded.len() >= threads);
+        for shard in &sharded {
+            assert!(!shard.is_empty());
+            assert!(shard.iter().all(|s| s.code_index == shard[0].code_index));
+        }
+        // Concatenating the shards reproduces the population in order.
+        let flattened: Vec<(usize, usize)> = sharded
+            .iter()
+            .flat_map(|shard| shard.iter().map(|s| (s.code_index, s.word_index)))
+            .collect();
+        let expected: Vec<(usize, usize)> = samples
+            .iter()
+            .map(|s| (s.code_index, s.word_index))
+            .collect();
+        assert_eq!(flattened, expected);
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Differential equivalence suite for cell-batched campaigns.
+//!
+//! `harp_profiler::CampaignBatch` scrubs every word of a sweep cell with one
+//! multi-word burst per round; `ProfilingCampaign::run_profiler` is the
+//! scalar reference that runs each word alone through one-word bursts. The
+//! properties here prove the batched engine is a pure execution-plan change:
+//! for **every profiler kind** and **every code family** (SEC Hamming,
+//! SEC-DED extended Hamming, DEC BCH), batched per-round snapshots are
+//! byte-identical to the scalar reference — including 1-word cells, cells
+//! whose words carry heterogeneous fault models (different at-risk sets,
+//! per-bit probabilities, and data-dependence behaviours), and words whose
+//! cell membership changes.
+//!
+//! This layer is what makes hot-path rewrites of the campaign engine safe to
+//! keep making: any future change that perturbs a single RNG draw, write
+//! order, or snapshot breaks these tests before it reaches an experiment.
+
+use proptest::prelude::*;
+
+use harp_bch::BchCode;
+use harp_ecc::analysis::FailureDependence;
+use harp_ecc::{ExtendedHammingCode, HammingCode, LinearBlockCode};
+use harp_memsim::pattern::DataPattern;
+use harp_memsim::{AtRiskBit, FaultModel};
+use harp_profiler::{BatchWord, CampaignBatch, Profiler, ProfilerKind, ProfilingCampaign};
+
+/// Dataword length shared by all three families in this suite.
+const DATA_BITS: usize = 32;
+
+/// Profiling rounds per campaign (enough for every profiler to act on
+/// multi-round state: inversion schedules, bootstrapping, predictions).
+const ROUNDS: usize = 10;
+
+/// One generated word of a cell: raw at-risk positions (reduced modulo the
+/// code's length), a per-bit probability, a dependence selector, and seeds.
+type WordSpec = (Vec<usize>, f64, u8, u64);
+
+fn dependence_from(selector: u8) -> FailureDependence {
+    match selector % 3 {
+        0 => FailureDependence::TrueCell,
+        1 => FailureDependence::AntiCell,
+        _ => FailureDependence::DataIndependent,
+    }
+}
+
+/// Builds the fault model of one word for a specific code, folding the raw
+/// positions into the code's own codeword length.
+fn fault_model_for(code: &dyn LinearBlockCode, spec: &WordSpec) -> FaultModel {
+    let (positions, probability, dependence, _) = spec;
+    let n = code.codeword_len();
+    let mut folded: Vec<usize> = positions.iter().map(|&p| p % n).collect();
+    folded.sort_unstable();
+    folded.dedup();
+    FaultModel::new(
+        folded
+            .into_iter()
+            .enumerate()
+            .map(|(i, position)| {
+                // Heterogeneous per-bit probabilities within one word: step
+                // the configured probability down per position (clamped away
+                // from zero so the bit stays live).
+                let p = (probability - 0.1 * i as f64).max(0.25);
+                AtRiskBit::new(position, p)
+            })
+            .collect(),
+        dependence_from(*dependence),
+    )
+}
+
+/// Asserts that every word of the batched cell produces snapshots
+/// byte-identical to the scalar reference path, for the given profiler kind.
+fn assert_cell_matches_scalar<C: LinearBlockCode + Clone + 'static>(
+    code: &C,
+    specs: &[WordSpec],
+    kind: ProfilerKind,
+) {
+    let words: Vec<BatchWord> = specs
+        .iter()
+        .map(|spec| BatchWord::new(fault_model_for(code, spec), DataPattern::Random, spec.3))
+        .collect();
+    let batch = CampaignBatch::new(code.clone(), words);
+    let batched = batch.run(kind, ROUNDS);
+    assert_eq!(batched.len(), specs.len());
+    for (index, result) in batched.iter().enumerate() {
+        let scalar = batch.scalar_campaign(index).run(kind, ROUNDS);
+        assert_eq!(
+            result,
+            &scalar,
+            "{} word {} of {}: batched != scalar ({})",
+            kind,
+            index,
+            specs.len(),
+            code.description()
+        );
+        // Byte-identical, not merely equal: the serialized archives match.
+        assert_eq!(
+            serde_json::to_string(result).expect("serializable"),
+            serde_json::to_string(&scalar).expect("serializable")
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline differential property: for random cells of 1–5 words
+    /// with heterogeneous fault models, every profiler kind produces
+    /// byte-identical snapshots through the batched and scalar paths, for
+    /// all three code families.
+    #[test]
+    fn batched_cells_match_the_scalar_reference_for_all_kinds_and_codes(
+        seed in 0u64..200,
+        specs in proptest::collection::vec(
+            (
+                proptest::collection::vec(0usize..64, 1..5),
+                proptest::sample::select(vec![0.5f64, 0.75, 1.0]),
+                any::<u8>(),
+                any::<u64>(),
+            ),
+            1..5,
+        ),
+    ) {
+        let hamming = HammingCode::random(DATA_BITS, seed).expect("valid Hamming code");
+        let secded = ExtendedHammingCode::random(DATA_BITS, seed).expect("valid SEC-DED code");
+        let bch = BchCode::dec(DATA_BITS).expect("valid BCH code");
+        for kind in ProfilerKind::ALL {
+            assert_cell_matches_scalar(&hamming, &specs, kind);
+            assert_cell_matches_scalar(&secded, &specs, kind);
+            assert_cell_matches_scalar(&bch, &specs, kind);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A word's snapshots do not depend on its cell membership: evaluated
+    /// alone (a 1-word cell) or batched with arbitrary other words, the
+    /// results are identical. This is the independence invariant that lets
+    /// the sweep regroup words freely across shards.
+    #[test]
+    fn cell_membership_does_not_affect_a_words_snapshots(
+        seed in 0u64..200,
+        word in (
+            proptest::collection::vec(0usize..64, 1..5),
+            proptest::sample::select(vec![0.5f64, 1.0]),
+            any::<u8>(),
+            any::<u64>(),
+        ),
+        neighbors in proptest::collection::vec(
+            (
+                proptest::collection::vec(0usize..64, 1..4),
+                proptest::sample::select(vec![0.5f64, 1.0]),
+                any::<u8>(),
+                any::<u64>(),
+            ),
+            1..4,
+        ),
+        kind in proptest::sample::select(vec![
+            ProfilerKind::HarpU,
+            ProfilerKind::HarpA,
+            ProfilerKind::Naive,
+            ProfilerKind::Beep,
+        ]),
+    ) {
+        let code = HammingCode::random(DATA_BITS, seed).expect("valid Hamming code");
+        let make_batch_word =
+            |spec: &WordSpec| BatchWord::new(fault_model_for(&code, spec), DataPattern::Random, spec.3);
+
+        // 1-word cell.
+        let alone = CampaignBatch::new(code.clone(), vec![make_batch_word(&word)]);
+        let alone_result = alone.run(kind, ROUNDS).remove(0);
+        // Scalar path (the non-batched reference).
+        prop_assert_eq!(&alone_result, &alone.scalar_campaign(0).run(kind, ROUNDS));
+
+        // Same word batched last in a cell of strangers.
+        let mut words: Vec<BatchWord> = neighbors.iter().map(&make_batch_word).collect();
+        words.push(make_batch_word(&word));
+        let crowded = CampaignBatch::new(code.clone(), words);
+        let crowded_results = crowded.run(kind, ROUNDS);
+        prop_assert_eq!(
+            crowded_results.last().expect("at least one word"),
+            &alone_result,
+            "{} changed snapshots when batched with {} neighbors",
+            kind,
+            neighbors.len()
+        );
+    }
+}
+
+/// Error-free words (no at-risk bits at all) batch cleanly alongside faulty
+/// ones — the all-zero-syndrome burst slots must not perturb neighbors.
+#[test]
+fn error_free_words_batch_cleanly_with_faulty_neighbors() {
+    let code = HammingCode::random(DATA_BITS, 41).expect("valid Hamming code");
+    let batch = CampaignBatch::new(
+        code,
+        vec![
+            BatchWord::new(FaultModel::none(), DataPattern::Random, 5),
+            BatchWord::new(FaultModel::uniform(&[3, 17], 1.0), DataPattern::Random, 7),
+            BatchWord::new(FaultModel::none(), DataPattern::Random, 9),
+        ],
+    );
+    for kind in ProfilerKind::ALL {
+        let batched = batch.run(kind, ROUNDS);
+        for (index, result) in batched.iter().enumerate() {
+            assert_eq!(
+                result,
+                &batch.scalar_campaign(index).run(kind, ROUNDS),
+                "{kind} word {index}"
+            );
+        }
+        // The error-free words identified nothing.
+        assert!(batched[0].final_identified().is_empty());
+        assert!(batched[2].final_identified().is_empty());
+    }
+}
+
+/// The pre-instantiated-profiler entry point (`run_profilers`) matches the
+/// scalar `run_profiler` reference word for word, so callers that thread
+/// their own profiler state through a batch inherit the same guarantee.
+#[test]
+fn run_profilers_matches_scalar_run_profiler() {
+    let code = BchCode::dec(DATA_BITS).expect("valid BCH code");
+    let specs: Vec<(Vec<usize>, u64)> =
+        vec![(vec![1, 9], 101), (vec![4], 103), (vec![2, 20, 33], 107)];
+    let batch = CampaignBatch::new(
+        code.clone(),
+        specs
+            .iter()
+            .map(|(positions, seed)| {
+                BatchWord::new(
+                    FaultModel::uniform(positions, 0.5),
+                    DataPattern::Random,
+                    *seed,
+                )
+            })
+            .collect(),
+    );
+    let mut batched_profilers: Vec<Box<dyn Profiler>> = specs
+        .iter()
+        .map(|&(_, seed)| ProfilerKind::HarpU.instantiate(&code, DataPattern::Random, seed))
+        .collect();
+    let batched = batch.run_profilers(&mut batched_profilers, ROUNDS);
+
+    for (index, (positions, seed)) in specs.iter().enumerate() {
+        let campaign = ProfilingCampaign::new(
+            code.clone(),
+            FaultModel::uniform(positions, 0.5),
+            DataPattern::Random,
+            *seed,
+        );
+        let mut scalar_profiler =
+            ProfilerKind::HarpU.instantiate(&code, DataPattern::Random, *seed);
+        let scalar = campaign.run_profiler(scalar_profiler.as_mut(), ROUNDS);
+        assert_eq!(batched[index], scalar, "word {index}");
+    }
+}

@@ -125,6 +125,41 @@ fn fig9_and_headline_shapes_harp_needs_only_sec_secondary_ecc() {
 }
 
 #[test]
+fn sweep_experiments_are_identical_across_thread_counts() {
+    // Cell-batched execution shards code groups across worker threads;
+    // results must not depend on the shard layout. A single-threaded run is
+    // the reference: an 8-thread run of the same sweep (and of the fig10
+    // case study driving the same batch engine) must produce identical
+    // reports, value for value and byte for byte.
+    let mut config = EvaluationConfig {
+        num_codes: 3,
+        words_per_code: 4,
+        rounds: 32,
+        error_counts: vec![2, 4],
+        probabilities: vec![0.5],
+        ..EvaluationConfig::quick()
+    };
+    config.threads = 1;
+    let single = sweep::run_coverage_sweep(&config, &fig6::PROFILERS);
+    let single_fig10 = fig10::run_with_rbers(&config, &[0.05]);
+    config.threads = 8;
+    let multi = sweep::run_coverage_sweep(&config, &fig6::PROFILERS);
+    let multi_fig10 = fig10::run_with_rbers(&config, &[0.05]);
+
+    assert_eq!(single, multi, "sweep differs across thread counts");
+    assert_eq!(
+        single_fig10, multi_fig10,
+        "fig10 case study differs across thread counts"
+    );
+    // Rendered experiment reports are identical too.
+    assert_eq!(
+        fig6::from_sweep(&single).render(),
+        fig6::from_sweep(&multi).render()
+    );
+    assert_eq!(single_fig10.render(), multi_fig10.render());
+}
+
+#[test]
 fn fig10_shape_harp_repairs_everything_and_is_fastest() {
     let config = EvaluationConfig {
         num_codes: 3,
