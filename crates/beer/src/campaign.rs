@@ -30,9 +30,10 @@ use serde::{Deserialize, Serialize};
 
 use harp_ecc::LinearBlockCode;
 use harp_gf2::BitVec;
-use harp_memsim::{BurstScratch, FaultModel, MemoryChip};
+use harp_memsim::{BurstScratch, FaultModel, MemoryChip, ReadObservation};
 
-use crate::profile::MiscorrectionProfile;
+use crate::profile::{DecodeFlag, MiscorrectionProfile, PatternResponse, VisibleErrorProfile};
+use crate::reconstruct::{reconstruct_code, CodeFamily, ReconstructError, ReconstructedCode};
 
 /// A pair-charged reverse-engineering campaign over a chip with `data_bits`
 /// visible data bits per ECC word.
@@ -109,6 +110,44 @@ impl BeerCampaign {
     ///
     /// Panics if the code's dataword length does not match the campaign.
     pub fn extract_profile<C: LinearBlockCode + Clone>(&self, code: &C) -> MiscorrectionProfile {
+        let patterns: Vec<Vec<usize>> = (0..self.data_bits)
+            .flat_map(|i| ((i + 1)..self.data_bits).map(move |j| vec![i, j]))
+            .collect();
+        let mut pairs = BTreeMap::new();
+        self.run_pattern_campaign(code, &patterns, 0xBEE2, |charged, observation| {
+            let (i, j) = (charged[0], charged[1]);
+            let post = observation.post_correction_errors();
+            // A data-visible miscorrection shows up as a third
+            // post-correction error position beyond the pair itself.
+            if let Some(&extra) = post.iter().find(|&&p| p != i && p != j) {
+                pairs.insert((i, j), Some(extra));
+            } else {
+                pairs.entry((i, j)).or_insert(None);
+            }
+        });
+        MiscorrectionProfile::new(self.data_bits, pairs)
+    }
+
+    /// The shared engine of both campaign variants: programs one ECC word
+    /// per charged pattern (the charged cells — true cells storing '1'
+    /// tested beyond the refresh margin — fail during the test window,
+    /// everything else stores '0' and cannot fail), then executes one
+    /// [`MemoryChip::read_burst`] scrub pass per trial and feeds every
+    /// observation to `record`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code's dataword length does not match the campaign.
+    fn run_pattern_campaign<C, F>(
+        &self,
+        code: &C,
+        patterns: &[Vec<usize>],
+        seed: u64,
+        mut record: F,
+    ) where
+        C: LinearBlockCode + Clone,
+        F: FnMut(&[usize], &ReadObservation),
+    {
         assert_eq!(
             code.data_len(),
             self.data_bits,
@@ -116,40 +155,128 @@ impl BeerCampaign {
             self.data_bits,
             code.data_len()
         );
-        let mut pairs = BTreeMap::new();
-        if self.pattern_count() == 0 {
-            return MiscorrectionProfile::new(self.data_bits, pairs);
+        if patterns.is_empty() {
+            return;
         }
-
-        // Program every pair pattern into its own word.
-        let mut chip = MemoryChip::new(code.clone(), self.pattern_count());
-        let mut pair_of_word = Vec::with_capacity(self.pattern_count());
-        for i in 0..self.data_bits {
-            for j in (i + 1)..self.data_bits {
-                let word = pair_of_word.len();
-                chip.set_fault_model(word, FaultModel::uniform(&[i, j], 1.0));
-                chip.write(word, &BitVec::from_indices(self.data_bits, [i, j]));
-                pair_of_word.push((i, j));
-            }
+        let mut chip = MemoryChip::new(code.clone(), patterns.len());
+        for (word, charged) in patterns.iter().enumerate() {
+            chip.set_fault_model(word, FaultModel::uniform(charged, 1.0));
+            chip.write(
+                word,
+                &BitVec::from_indices(self.data_bits, charged.iter().copied()),
+            );
         }
-
-        // One scrub-pass burst per trial over the whole pattern population.
-        let mut rng = ChaCha8Rng::seed_from_u64(0xBEE2);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut scratch = BurstScratch::new();
         for _ in 0..self.trials_per_pattern {
             let observations = chip.read_burst(0..chip.num_words(), &mut rng, &mut scratch);
-            for (&(i, j), observation) in pair_of_word.iter().zip(observations) {
-                let post = observation.post_correction_errors();
-                // A data-visible miscorrection shows up as a third
-                // post-correction error position beyond the pair itself.
-                if let Some(&extra) = post.iter().find(|&&p| p != i && p != j) {
-                    pairs.insert((i, j), Some(extra));
-                } else {
-                    pairs.entry((i, j)).or_insert(None);
+            for (charged, observation) in patterns.iter().zip(observations) {
+                record(charged, observation);
+            }
+        }
+    }
+
+    /// The number of test patterns the extended (cross-family) campaign
+    /// programs: one per unordered pair *and* one per unordered triple of
+    /// data bits. Triples are the lowest-weight patterns that expose a
+    /// SEC-DED code's columns, so the extended campaign always includes
+    /// them.
+    pub fn visible_pattern_count(&self) -> usize {
+        let k = self.data_bits;
+        // `saturating_sub` keeps the triple term at zero for k < 3 (the
+        // (k - 1) factor already zeroes it for k = 2).
+        k * (k - 1) / 2 + k * (k - 1) * k.saturating_sub(2) / 6
+    }
+
+    /// Runs the extended campaign against a chip that uses the given
+    /// (secret) code, recording the full [`VisibleErrorProfile`]: the
+    /// post-correction error positions *and* the decoder's status flag for
+    /// every weight-2 and weight-3 charged data pattern.
+    ///
+    /// Like [`BeerCampaign::extract_profile`], the internally built chip
+    /// holds one ECC word per pattern, all programmed up front, and the
+    /// whole campaign executes as [`MemoryChip::read_burst`] scrub passes
+    /// (one per trial) through the batched syndrome kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code's dataword length does not match the campaign.
+    pub fn extract_visible_profile<C: LinearBlockCode + Clone>(
+        &self,
+        code: &C,
+    ) -> VisibleErrorProfile {
+        let k = self.data_bits;
+        let mut patterns: Vec<Vec<usize>> = Vec::with_capacity(self.visible_pattern_count());
+        for i in 0..k {
+            for j in (i + 1)..k {
+                patterns.push(vec![i, j]);
+                for l in (j + 1)..k {
+                    patterns.push(vec![i, j, l]);
                 }
             }
         }
-        MiscorrectionProfile::new(self.data_bits, pairs)
+        let mut pairs = BTreeMap::new();
+        let mut triples = BTreeMap::new();
+        self.run_pattern_campaign(code, &patterns, 0xBEE3, |charged, observation| {
+            let response = PatternResponse {
+                post_errors: observation.post_correction_errors(),
+                flag: DecodeFlag::from_outcome(&observation.decode_result().outcome),
+            };
+            // Mirror `extract_profile`'s cautious-experimenter semantics
+            // across trials: a miscorrection observed in ANY trial is
+            // kept; otherwise the first trial's response stands.
+            let informative = response.miscorrection(charged).is_some();
+            match *charged {
+                [i, j] => {
+                    if informative {
+                        pairs.insert((i, j), response);
+                    } else {
+                        pairs.entry((i, j)).or_insert(response);
+                    }
+                }
+                [i, j, l] => {
+                    if informative {
+                        triples.insert((i, j, l), response);
+                    } else {
+                        triples.entry((i, j, l)).or_insert(response);
+                    }
+                }
+                _ => unreachable!("patterns are pairs or triples"),
+            }
+        });
+        VisibleErrorProfile::new(k, pairs, triples)
+    }
+
+    /// Drives the full reverse-engineering pipeline end to end for the given
+    /// target family: extended pattern campaign → [`VisibleErrorProfile`] →
+    /// family-dispatched [`reconstruct_code`] at the family's minimal parity
+    /// width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReconstructError`] from the reconstruction search; in
+    /// particular, asking for a family the observations contradict (e.g.
+    /// SEC-DED for a chip whose pairs visibly miscorrect) returns
+    /// [`ReconstructError::InconsistentProfile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code's dataword length does not match the campaign.
+    pub fn reverse_engineer<C: LinearBlockCode + Clone>(
+        &self,
+        code: &C,
+        family: CodeFamily,
+        seed: u64,
+        max_attempts: usize,
+    ) -> Result<ReconstructedCode, ReconstructError> {
+        let profile = self.extract_visible_profile(code);
+        reconstruct_code(
+            &profile,
+            family,
+            family.min_parity_bits(self.data_bits),
+            seed,
+            max_attempts,
+        )
     }
 
     /// Runs the campaign against an existing chip through its normal read
@@ -257,6 +384,49 @@ mod tests {
         assert_eq!(BeerCampaign::new(16).pattern_count(), 120);
         assert_eq!(BeerCampaign::new(64).pattern_count(), 2016);
         assert_eq!(BeerCampaign::new(64).data_bits(), 64);
+        // The extended campaign adds the triples.
+        assert_eq!(BeerCampaign::new(4).visible_pattern_count(), 6 + 4);
+        assert_eq!(BeerCampaign::new(16).visible_pattern_count(), 120 + 560);
+        // Degenerate datawords have no pairs or triples (and no underflow).
+        assert_eq!(BeerCampaign::new(1).visible_pattern_count(), 0);
+        assert_eq!(BeerCampaign::new(2).visible_pattern_count(), 1);
+    }
+
+    #[test]
+    fn visible_profile_campaign_matches_ground_truth_across_families() {
+        use crate::profile::VisibleErrorProfile;
+        use harp_ecc::ExtendedHammingCode;
+
+        let campaign = BeerCampaign::new(8).with_trials_per_pattern(2);
+        let hamming = HammingCode::random(8, 5).unwrap();
+        assert_eq!(
+            campaign.extract_visible_profile(&hamming),
+            VisibleErrorProfile::from_code(&hamming)
+        );
+        let secded = ExtendedHammingCode::random(8, 5).unwrap();
+        assert_eq!(
+            campaign.extract_visible_profile(&secded),
+            VisibleErrorProfile::from_code(&secded)
+        );
+    }
+
+    #[test]
+    fn reverse_engineering_round_trips_both_families() {
+        use crate::reconstruct::{data_visible_equivalent, CodeFamily};
+        use harp_ecc::ExtendedHammingCode;
+
+        let campaign = BeerCampaign::new(8);
+        let hamming = HammingCode::random(8, 21).unwrap();
+        let recovered = campaign
+            .reverse_engineer(&hamming, CodeFamily::Hamming, 1, 50_000)
+            .expect("Hamming reconstruction converges");
+        assert!(data_visible_equivalent(&hamming, &recovered, 3));
+
+        let secded = ExtendedHammingCode::random(8, 21).unwrap();
+        let recovered = campaign
+            .reverse_engineer(&secded, CodeFamily::ExtendedHamming, 1, 50_000)
+            .expect("SEC-DED reconstruction converges");
+        assert!(data_visible_equivalent(&secded, &recovered, 3));
     }
 
     #[test]

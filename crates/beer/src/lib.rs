@@ -15,10 +15,18 @@
 //!   exactly that pair of raw errors occurs. This is the *data-visible*
 //!   signature of the parity-check matrix and is exactly the information the
 //!   BEEP profiler and HARP-A's indirect-error precomputation need;
+//! * its family-generic superset, the [`VisibleErrorProfile`] — decoder
+//!   status flags and weight-3 pattern responses in addition to the pairwise
+//!   miscorrections. A SEC-DED code detects every data-bit pair (the
+//!   pairwise profile carries zero information about it), so its columns are
+//!   only visible through these richer observables;
 //! * optionally, a concrete *equivalent* systematic parity-check matrix
 //!   reconstructed from the profile ([`reconstruct`]): a code that produces
 //!   the same data-visible decode behaviour even though the true proprietary
-//!   column arrangement remains unknowable from outside the chip.
+//!   column arrangement remains unknowable from outside the chip. The search
+//!   is dispatched over a [`CodeFamily`] — SEC Hamming
+//!   ([`reconstruct_equivalent_code`], pairs suffice) or SEC-DED extended
+//!   Hamming ([`reconstruct_code`], which consumes the richer profile).
 //!
 //! The original BEER work hands the consistency problem to the Z3 SAT
 //! solver. Here the same constraints are expressed as GF(2) linear equations
@@ -48,5 +56,8 @@ pub mod profile;
 pub mod reconstruct;
 
 pub use campaign::BeerCampaign;
-pub use profile::MiscorrectionProfile;
-pub use reconstruct::{data_visible_equivalent, reconstruct_equivalent_code, ReconstructError};
+pub use profile::{DecodeFlag, MiscorrectionProfile, PatternResponse, VisibleErrorProfile};
+pub use reconstruct::{
+    data_visible_equivalent, reconstruct_code, reconstruct_equivalent_code, CodeFamily,
+    ReconstructError, ReconstructedCode,
+};

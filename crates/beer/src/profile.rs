@@ -7,12 +7,24 @@
 //! part of that map — recovered by the BEER test campaign — is what the BEEP
 //! profiler uses to craft its targeted data patterns and what HARP-A uses to
 //! precompute bits at risk of indirect error.
+//!
+//! Pairwise miscorrections are enough to reverse-engineer a SEC Hamming
+//! code, but they carry *zero* information about a SEC-DED extended Hamming
+//! code: every data-bit pair is detected (never miscorrected), so all
+//! `C(k, 2)` observations collapse to "no data flip". The
+//! [`VisibleErrorProfile`] superset therefore also records the decoder's
+//! *status flag* (clean / corrected / detected-uncorrectable — the on-die
+//! ECC transparency signal discussed alongside "syndrome on correction" in
+//! §5.2 of the paper) and the responses to **weight-3** charged patterns,
+//! which are the lowest-weight patterns that expose a SEC-DED code's
+//! parity-check columns. [`crate::reconstruct_code`] consumes this profile
+//! generically for every supported [`crate::CodeFamily`].
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
-use harp_ecc::LinearBlockCode;
+use harp_ecc::{DecodeOutcome, DecodeResult, LinearBlockCode};
 use harp_gf2::BitVec;
 
 /// For every unordered pair of data-bit positions, the data-bit position (if
@@ -147,6 +159,264 @@ impl MiscorrectionProfile {
     }
 }
 
+/// The status flag an on-die ECC decoder reports alongside a read — the
+/// third observable (besides the post-correction data itself) a BEER-style
+/// experimenter can record per test pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecodeFlag {
+    /// Zero syndrome: the decoder saw nothing (either no raw error, or the
+    /// charged pattern silently aliased to another valid codeword).
+    Clean,
+    /// The decoder performed a correction (possibly a miscorrection, and
+    /// possibly of an invisible parity bit).
+    Corrected,
+    /// The decoder detected an error it could not locate.
+    Detected,
+}
+
+impl DecodeFlag {
+    /// The flag corresponding to a decoder outcome.
+    pub fn from_outcome(outcome: &DecodeOutcome) -> Self {
+        match outcome {
+            DecodeOutcome::NoErrorDetected => DecodeFlag::Clean,
+            DecodeOutcome::Corrected { .. } => DecodeFlag::Corrected,
+            DecodeOutcome::DetectedUncorrectable => DecodeFlag::Detected,
+        }
+    }
+}
+
+/// The complete data-visible response of the on-die ECC to one charged test
+/// pattern: which data positions still differ from the written data after
+/// correction, and which status flag the decoder raised.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternResponse {
+    /// Post-correction data-error positions (ascending), relative to the
+    /// written data.
+    pub post_errors: Vec<usize>,
+    /// The decoder's reported status.
+    pub flag: DecodeFlag,
+}
+
+impl PatternResponse {
+    /// Computes the response of `code` to the charged data positions
+    /// (ground truth, or a reconstruction candidate under test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any charged position is outside the dataword.
+    pub fn of_code<C: LinearBlockCode + ?Sized>(code: &C, charged: &[usize]) -> Self {
+        let error = BitVec::from_indices(code.codeword_len(), charged.iter().copied());
+        let result = code.decode_error_pattern(&error);
+        Self::from_decode(&result, code.data_len())
+    }
+
+    /// Builds the response from a raw decode result (linearity lets the
+    /// pattern be decoded against the all-zero codeword).
+    fn from_decode(result: &DecodeResult, data_bits: usize) -> Self {
+        let written = BitVec::zeros(data_bits);
+        PatternResponse {
+            post_errors: result.post_correction_errors(&written),
+            flag: DecodeFlag::from_outcome(&result.outcome),
+        }
+    }
+
+    /// The data-visible miscorrection this response exposes: the first
+    /// post-correction error position outside the charged set, if any.
+    pub fn miscorrection(&self, charged: &[usize]) -> Option<usize> {
+        self.post_errors
+            .iter()
+            .copied()
+            .find(|p| !charged.contains(p))
+    }
+}
+
+/// Everything a BEER-style campaign can observe about an on-die ECC code
+/// from outside the chip: the [`PatternResponse`] of every weight-2 and
+/// weight-3 charged data pattern.
+///
+/// This is the family-generic superset of [`MiscorrectionProfile`]. The
+/// pairwise view (via [`VisibleErrorProfile::miscorrection_profile`]) is
+/// what BEEP and HARP-A consume; the weight-3 responses and decode flags are
+/// what [`crate::reconstruct_code`] needs to reverse-engineer codes — like
+/// SEC-DED — whose pairs are all detected and therefore pairwise-invisible.
+///
+/// # Example
+///
+/// ```
+/// use harp_beer::{DecodeFlag, VisibleErrorProfile};
+/// use harp_ecc::ExtendedHammingCode;
+///
+/// let code = ExtendedHammingCode::random(8, 3)?;
+/// let profile = VisibleErrorProfile::from_code(&code);
+/// // SEC-DED: every data-bit pair is detected, never miscorrected...
+/// assert!(profile.pairs().all(|(_, r)| r.flag == DecodeFlag::Detected));
+/// // ...so only the weight-3 responses carry column information.
+/// assert!(profile.miscorrecting_triple_count() > 0);
+/// # Ok::<(), harp_ecc::CodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisibleErrorProfile {
+    data_bits: usize,
+    pairs: BTreeMap<(usize, usize), PatternResponse>,
+    triples: BTreeMap<(usize, usize, usize), PatternResponse>,
+}
+
+impl VisibleErrorProfile {
+    /// Builds a profile from explicit pattern observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern key is not strictly ascending, any position is
+    /// out of range, or any recorded post-correction error is out of range.
+    pub fn new(
+        data_bits: usize,
+        pairs: BTreeMap<(usize, usize), PatternResponse>,
+        triples: BTreeMap<(usize, usize, usize), PatternResponse>,
+    ) -> Self {
+        for (&(i, j), response) in &pairs {
+            assert!(i < j && j < data_bits, "pair ({i}, {j}) invalid");
+            for &p in &response.post_errors {
+                assert!(p < data_bits, "post error {p} out of range");
+            }
+        }
+        for (&(i, j, l), response) in &triples {
+            assert!(
+                i < j && j < l && l < data_bits,
+                "triple ({i}, {j}, {l}) invalid"
+            );
+            for &p in &response.post_errors {
+                assert!(p < data_bits, "post error {p} out of range");
+            }
+        }
+        Self {
+            data_bits,
+            pairs,
+            triples,
+        }
+    }
+
+    /// The ground-truth profile computed directly from a known code. Exact
+    /// for any [`LinearBlockCode`], by the same linearity argument as
+    /// [`MiscorrectionProfile::from_code`].
+    pub fn from_code<C: LinearBlockCode + ?Sized>(code: &C) -> Self {
+        let k = code.data_len();
+        let mut pairs = BTreeMap::new();
+        let mut triples = BTreeMap::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                pairs.insert((i, j), PatternResponse::of_code(code, &[i, j]));
+                for l in (j + 1)..k {
+                    triples.insert((i, j, l), PatternResponse::of_code(code, &[i, j, l]));
+                }
+            }
+        }
+        Self {
+            data_bits: k,
+            pairs,
+            triples,
+        }
+    }
+
+    /// The dataword length the profile describes.
+    pub fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    /// All pair observations in canonical order.
+    pub fn pairs(&self) -> impl Iterator<Item = (&(usize, usize), &PatternResponse)> {
+        self.pairs.iter()
+    }
+
+    /// All triple observations in canonical order.
+    pub fn triples(&self) -> impl Iterator<Item = (&(usize, usize, usize), &PatternResponse)> {
+        self.triples.iter()
+    }
+
+    /// All observations — pairs then triples — as (charged positions,
+    /// response). This is the family-agnostic view the reconstruction
+    /// constraint extractor consumes.
+    pub fn patterns(&self) -> impl Iterator<Item = (Vec<usize>, &PatternResponse)> {
+        self.pairs.iter().map(|(&(i, j), r)| (vec![i, j], r)).chain(
+            self.triples
+                .iter()
+                .map(|(&(i, j, l), r)| (vec![i, j, l], r)),
+        )
+    }
+
+    /// The number of recorded patterns (pairs plus triples).
+    pub fn pattern_count(&self) -> usize {
+        self.pairs.len() + self.triples.len()
+    }
+
+    /// The number of pairs that provoke a data-visible miscorrection.
+    pub fn miscorrecting_pair_count(&self) -> usize {
+        self.pairs
+            .iter()
+            .filter(|(&(i, j), r)| r.miscorrection(&[i, j]).is_some())
+            .count()
+    }
+
+    /// The number of triples that provoke a data-visible miscorrection —
+    /// the observations that expose a SEC-DED code's columns.
+    pub fn miscorrecting_triple_count(&self) -> usize {
+        self.triples
+            .iter()
+            .filter(|(&(i, j, l), r)| r.miscorrection(&[i, j, l]).is_some())
+            .count()
+    }
+
+    /// The pairwise [`MiscorrectionProfile`] view of this profile (what the
+    /// BEEP profiler and HARP-A's pairwise precomputation consume).
+    pub fn miscorrection_profile(&self) -> MiscorrectionProfile {
+        MiscorrectionProfile::new(
+            self.data_bits,
+            self.pairs
+                .iter()
+                .map(|(&(i, j), r)| ((i, j), r.miscorrection(&[i, j])))
+                .collect(),
+        )
+    }
+
+    /// Returns `true` if every recorded observation — post-correction errors
+    /// *and* decoder status flag — matches the behaviour of `code`. Partial
+    /// profiles (fewer patterns than the full weight-2/3 enumeration) are
+    /// judged on what they recorded.
+    pub fn is_consistent_with<C: LinearBlockCode + ?Sized>(&self, code: &C) -> bool {
+        if code.data_len() != self.data_bits {
+            return false;
+        }
+        self.pairs
+            .iter()
+            .all(|(&(i, j), r)| PatternResponse::of_code(code, &[i, j]) == *r)
+            && self
+                .triples
+                .iter()
+                .all(|(&(i, j, l), r)| PatternResponse::of_code(code, &[i, j, l]) == *r)
+    }
+
+    /// Returns `true` if the *post-correction error* part of every recorded
+    /// observation matches `code` — i.e. the code is indistinguishable from
+    /// the observed chip by normal data reads over the recorded patterns.
+    ///
+    /// This deliberately ignores the status flag: a detected-uncorrectable
+    /// pattern and an invisible parity-bit correction return identical data,
+    /// and which of the two a given syndrome produces depends on residual
+    /// column freedom that data reads cannot pin down. Reconstruction
+    /// ([`crate::reconstruct_code`]) accepts candidates on this criterion,
+    /// which is exactly what [`crate::data_visible_equivalent`] certifies
+    /// and what the H-aware profilers (BEEP, HARP-A) consume.
+    pub fn is_data_visible_consistent_with<C: LinearBlockCode + ?Sized>(&self, code: &C) -> bool {
+        if code.data_len() != self.data_bits {
+            return false;
+        }
+        self.pairs.iter().all(|(&(i, j), r)| {
+            PatternResponse::of_code(code, &[i, j]).post_errors == r.post_errors
+        }) && self.triples.iter().all(|(&(i, j, l), r)| {
+            PatternResponse::of_code(code, &[i, j, l]).post_errors == r.post_errors
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +505,95 @@ mod tests {
         let mut pairs = BTreeMap::new();
         pairs.insert((1usize, 3usize), Some(3usize));
         MiscorrectionProfile::new(8, pairs);
+    }
+
+    mod visible {
+        use super::*;
+        use harp_ecc::ExtendedHammingCode;
+
+        #[test]
+        fn covers_every_pair_and_triple() {
+            let code = HammingCode::random(8, 4).unwrap();
+            let profile = VisibleErrorProfile::from_code(&code);
+            assert_eq!(profile.data_bits(), 8);
+            assert_eq!(profile.pairs().count(), 8 * 7 / 2);
+            assert_eq!(profile.triples().count(), 8 * 7 * 6 / 6);
+            assert_eq!(profile.pattern_count(), 28 + 56);
+            assert_eq!(profile.patterns().count(), profile.pattern_count());
+            assert!(profile.is_consistent_with(&code));
+        }
+
+        #[test]
+        fn pairwise_view_matches_the_legacy_profile() {
+            for seed in [2u64, 11, 0xFE] {
+                let code = HammingCode::random(16, seed).unwrap();
+                let visible = VisibleErrorProfile::from_code(&code);
+                assert_eq!(
+                    visible.miscorrection_profile(),
+                    MiscorrectionProfile::from_code(&code),
+                    "seed {seed}"
+                );
+            }
+        }
+
+        #[test]
+        fn secded_pairs_are_all_detected_and_carry_no_miscorrections() {
+            let code = ExtendedHammingCode::random(8, 7).unwrap();
+            let profile = VisibleErrorProfile::from_code(&code);
+            for (&(i, j), response) in profile.pairs() {
+                assert_eq!(response.flag, DecodeFlag::Detected, "pair ({i}, {j})");
+                assert_eq!(response.post_errors, vec![i, j]);
+            }
+            assert_eq!(profile.miscorrecting_pair_count(), 0);
+            // Weight 3 is where the columns become visible.
+            assert!(profile.miscorrecting_triple_count() > 0);
+        }
+
+        #[test]
+        fn sec_pairs_do_miscorrect_where_secded_detects() {
+            let inner = HammingCode::random(8, 7).unwrap();
+            let profile = VisibleErrorProfile::from_code(&inner);
+            assert!(profile.miscorrecting_pair_count() > 0);
+            // The same inner columns, extended: those observations vanish.
+            let extended = ExtendedHammingCode::from_hamming(inner);
+            assert!(!profile.is_consistent_with(&extended));
+        }
+
+        #[test]
+        fn consistency_distinguishes_codes() {
+            let a = HammingCode::random(16, 31).unwrap();
+            let b = HammingCode::random(16, 32).unwrap();
+            let profile = VisibleErrorProfile::from_code(&a);
+            assert!(profile.is_consistent_with(&a));
+            assert!(!profile.is_consistent_with(&b));
+            // Wrong dataword length is never consistent.
+            let small = HammingCode::random(8, 31).unwrap();
+            assert!(!profile.is_consistent_with(&small));
+        }
+
+        #[test]
+        fn miscorrection_accessor_skips_charged_positions() {
+            let response = PatternResponse {
+                post_errors: vec![1, 3, 5],
+                flag: DecodeFlag::Corrected,
+            };
+            assert_eq!(response.miscorrection(&[1, 3]), Some(5));
+            assert_eq!(response.miscorrection(&[1, 3, 5]), None);
+        }
+
+        #[test]
+        #[should_panic(expected = "triple (2, 1, 3) invalid")]
+        fn unordered_triples_are_rejected() {
+            let mut triples = BTreeMap::new();
+            triples.insert(
+                (2usize, 1usize, 3usize),
+                PatternResponse {
+                    post_errors: vec![],
+                    flag: DecodeFlag::Clean,
+                },
+            );
+            VisibleErrorProfile::new(8, BTreeMap::new(), triples);
+        }
     }
 
     mod proptests {

@@ -1,0 +1,68 @@
+//! Benchmarks the family-generic BEER reconstruction path: black-box
+//! profile extraction, time-to-converge of the full equivalent-code search,
+//! and per-attempt candidate evaluation throughput, for both supported
+//! [`CodeFamily`] targets at 8- and 16-bit datawords.
+//!
+//! The search cost model is `time_to_converge ≈ attempts_needed /
+//! attempts_per_sec`: `reconstruct_converge` measures the left side
+//! end-to-end (averaged over rotating search seeds, so it includes the
+//! expected number of rejected candidates), while `attempt_accept` /
+//! `attempt_reject` bound the right side — one consistency evaluation of a
+//! matching and a non-matching candidate respectively (rejection is the
+//! common case and early-exits on the first mismatching pattern).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use harp_beer::{reconstruct_code, BeerCampaign, CodeFamily, VisibleErrorProfile};
+
+fn bench_family(c: &mut Criterion, family: CodeFamily, label: &str) {
+    for data_bits in [8usize, 16] {
+        let secret = family.random(data_bits, 1).expect("valid code");
+        let other = family.random(data_bits, 2).expect("valid code");
+        let campaign = BeerCampaign::new(data_bits);
+        let profile = VisibleErrorProfile::from_code(&secret);
+        let parity_bits = family.min_parity_bits(data_bits);
+
+        // Correctness cross-check before timing: the campaign observes the
+        // ground truth and the search converges to a consistent code.
+        assert_eq!(campaign.extract_visible_profile(&secret), profile);
+        let recovered =
+            reconstruct_code(&profile, family, parity_bits, 1, 500_000).expect("converges");
+        assert!(profile.is_data_visible_consistent_with(&recovered));
+        assert!(!profile.is_data_visible_consistent_with(&other));
+
+        let mut group = c.benchmark_group(format!("beer_reconstruction/{label}_{data_bits}"));
+        group.bench_function("campaign_extract", |b| {
+            b.iter(|| black_box(campaign.extract_visible_profile(&secret)))
+        });
+        group.bench_function("reconstruct_converge", |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    reconstruct_code(&profile, family, parity_bits, seed, 500_000)
+                        .expect("reconstruction converges"),
+                )
+            })
+        });
+        group.bench_function("attempt_accept", |b| {
+            b.iter(|| black_box(profile.is_data_visible_consistent_with(&recovered)))
+        });
+        group.bench_function("attempt_reject", |b| {
+            b.iter(|| black_box(profile.is_data_visible_consistent_with(&other)))
+        });
+        group.finish();
+    }
+}
+
+fn bench_beer_reconstruction(c: &mut Criterion) {
+    bench_family(c, CodeFamily::Hamming, "hamming");
+    bench_family(c, CodeFamily::ExtendedHamming, "secded");
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_beer_reconstruction
+);
+criterion_main!(benches);

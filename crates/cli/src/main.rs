@@ -17,7 +17,9 @@
 //!   summary   the paper's headline speedup claims
 //!   ablation  data-pattern / transparency / secondary-ECC / code-length ablations
 //!   ext-bch     extension 1: double-error-correcting BCH on-die ECC
-//!   ext-beer    extension 2: BEER-style reverse engineering of the on-die ECC
+//!   ext-beer    extension 2: BEER-style reverse engineering of the on-die ECC,
+//!               including cross-family (SEC Hamming + SEC-DED) equivalent-code
+//!               reconstruction from visible-error profiles
 //!   ext-module  extension 3: secondary-ECC layout across a multi-chip rank
 //!   ext-repair  extension 4: repair-capacity planning (Table 1)
 //!   ext-vrt     extension 5: VRT errors under reactive scrubbing

@@ -94,6 +94,38 @@ impl ExtendedHammingCode {
         }
     }
 
+    /// Builds a SEC-DED code from the *inner* Hamming parity-check columns
+    /// assigned to the `k` data positions (the overall-parity row is always
+    /// the implied all-ones row, so the extended column for data position `i`
+    /// is `(column_i, 1)` and never needs to be supplied).
+    ///
+    /// This is the reconstruction entry point used by `harp_beer`: the
+    /// family-generic equivalent-code search solves for the inner columns
+    /// and materializes candidates through this constructor, exactly as
+    /// [`HammingCode::from_data_columns`] serves the SEC family.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodeError`] if the columns do not define a valid inner
+    /// SEC Hamming code (wrong length, zero, unit, or duplicate columns).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use harp_ecc::{ExtendedHammingCode, LinearBlockCode};
+    ///
+    /// let reference = ExtendedHammingCode::random(16, 5)?;
+    /// let columns = (0..16).map(|i| reference.inner().data_block().col(i)).collect();
+    /// let rebuilt = ExtendedHammingCode::from_data_columns(columns)?;
+    /// assert_eq!(rebuilt, reference);
+    /// # Ok::<(), harp_ecc::CodeError>(())
+    /// ```
+    pub fn from_data_columns(data_columns: Vec<BitVec>) -> Result<Self, CodeError> {
+        Ok(Self::from_hamming(HammingCode::from_data_columns(
+            data_columns,
+        )?))
+    }
+
     /// Generates a uniform-random SEC-DED code for a `data_bits`-bit
     /// dataword, deterministically derived from `seed`.
     ///
@@ -338,6 +370,40 @@ mod tests {
         assert_eq!(
             ExtendedHammingCode::random(0, 1),
             Err(CodeError::EmptyDataword)
+        );
+    }
+
+    #[test]
+    fn from_data_columns_round_trips_the_inner_columns() {
+        let reference = ExtendedHammingCode::random(16, 9).unwrap();
+        let columns: Vec<BitVec> = (0..16)
+            .map(|i| reference.inner().data_block().col(i))
+            .collect();
+        let rebuilt = ExtendedHammingCode::from_data_columns(columns).unwrap();
+        assert_eq!(rebuilt, reference);
+        assert_eq!(
+            rebuilt.parity_check_matrix(),
+            reference.parity_check_matrix()
+        );
+    }
+
+    #[test]
+    fn from_data_columns_rejects_invalid_inner_columns() {
+        assert_eq!(
+            ExtendedHammingCode::from_data_columns(vec![]),
+            Err(CodeError::EmptyDataword)
+        );
+        assert_eq!(
+            ExtendedHammingCode::from_data_columns(vec![BitVec::zeros(3)]),
+            Err(CodeError::ZeroColumn { column: 0 })
+        );
+        let dup = BitVec::from_u64(3, 0b111);
+        assert_eq!(
+            ExtendedHammingCode::from_data_columns(vec![dup.clone(), dup]),
+            Err(CodeError::DuplicateColumn {
+                first: 0,
+                second: 1
+            })
         );
     }
 }

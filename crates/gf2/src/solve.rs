@@ -105,6 +105,54 @@ pub fn row_echelon(a: &Gf2Matrix) -> RowEchelon {
     RowEchelon { rref: m, pivots }
 }
 
+/// Returns a basis of the subspace of GF(2)^`unknowns` orthogonal to every
+/// relation row: all `x` with `r · x = 0` for each `r` in `relations`.
+///
+/// This is the constraint-system primitive of BEER-style reconstruction in
+/// `harp_beer`: each observed miscorrection contributes one relation row over
+/// the unknown parity-check data columns, and every row of the reconstructed
+/// parity block must lie in the space this function returns. An empty
+/// relation set leaves the full space free (the standard basis); an empty
+/// returned basis means the relations admit only the zero assignment — i.e.
+/// the constraint system is inconsistent with any non-degenerate code.
+///
+/// # Panics
+///
+/// Panics if any relation row's length differs from `unknowns`.
+///
+/// # Example
+///
+/// ```
+/// use harp_gf2::{BitVec, solve::nullspace_of_relations};
+///
+/// // One relation x0 ⊕ x1 ⊕ x2 = 0 over four unknowns.
+/// let relations = [BitVec::from_indices(4, [0, 1, 2])];
+/// let basis = nullspace_of_relations(&relations, 4);
+/// assert_eq!(basis.len(), 3);
+/// for v in &basis {
+///     assert!(!relations[0].dot(v));
+/// }
+///
+/// // No relations at all: the whole space is free.
+/// assert_eq!(nullspace_of_relations(&[], 4).len(), 4);
+/// ```
+pub fn nullspace_of_relations(relations: &[BitVec], unknowns: usize) -> Vec<BitVec> {
+    for (i, row) in relations.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            unknowns,
+            "relation row {i} has length {}, expected {unknowns}",
+            row.len()
+        );
+    }
+    if relations.is_empty() {
+        return (0..unknowns)
+            .map(|i| BitVec::from_indices(unknowns, [i]))
+            .collect();
+    }
+    row_echelon(&Gf2Matrix::from_rows(relations)).nullspace()
+}
+
 /// Outcome of solving a linear system `A·x = b` over GF(2).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LinearSolution {
@@ -253,6 +301,49 @@ mod tests {
         for v in &basis {
             assert!(a.mul_vec(v).is_zero());
         }
+    }
+
+    #[test]
+    fn relation_nullspace_spans_exactly_the_orthogonal_space() {
+        let relations = [
+            BitVec::from_indices(5, [0, 1, 2]),
+            BitVec::from_indices(5, [1, 3, 4]),
+        ];
+        let basis = nullspace_of_relations(&relations, 5);
+        assert_eq!(basis.len(), 3);
+        for v in &basis {
+            for r in &relations {
+                assert!(!r.dot(v), "basis vector violates a relation");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_relation_set_frees_the_whole_space() {
+        let basis = nullspace_of_relations(&[], 6);
+        assert_eq!(basis.len(), 6);
+        for (i, v) in basis.iter().enumerate() {
+            assert_eq!(v, &BitVec::from_indices(6, [i]));
+        }
+    }
+
+    #[test]
+    fn full_rank_relations_leave_only_the_zero_assignment() {
+        // Four weight-3 rows over four unknowns with rank 4: the nullspace
+        // is trivial, reported as an empty basis.
+        let relations = [
+            BitVec::from_indices(4, [0, 1, 2]),
+            BitVec::from_indices(4, [0, 1, 3]),
+            BitVec::from_indices(4, [0, 2, 3]),
+            BitVec::from_indices(4, [1, 2, 3]),
+        ];
+        assert!(nullspace_of_relations(&relations, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "relation row 1 has length 3")]
+    fn mismatched_relation_row_length_panics() {
+        nullspace_of_relations(&[BitVec::zeros(5), BitVec::zeros(3)], 5);
     }
 
     #[test]

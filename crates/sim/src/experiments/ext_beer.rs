@@ -13,11 +13,21 @@
 //! * how much of HARP-A's indirect-error prediction the recovered profile
 //!   already provides, relative to full knowledge of `H`;
 //! * for small codes, whether a concrete *equivalent* code can be
-//!   reconstructed from the profile.
+//!   reconstructed from the profile;
+//! * cross-family: the same family-generic pipeline (extended
+//!   weight-2/weight-3 campaign → [`VisibleErrorProfile`] →
+//!   [`reconstruct_code`]) run against both SEC Hamming *and* SEC-DED
+//!   secrets, certifying each recovery with a weight-3
+//!   [`data_visible_equivalent`] check. SEC-DED detects every data-bit pair,
+//!   so its reconstruction works entirely from the weight-3 observations —
+//!   the scenario the pairwise-only profile cannot handle at all.
 
 use serde::{Deserialize, Serialize};
 
-use harp_beer::{reconstruct_equivalent_code, BeerCampaign, MiscorrectionProfile};
+use harp_beer::{
+    data_visible_equivalent, reconstruct_code, reconstruct_equivalent_code, BeerCampaign,
+    CodeFamily, MiscorrectionProfile, VisibleErrorProfile,
+};
 use harp_ecc::analysis::{predict_indirect_from_direct, FailureDependence};
 use harp_ecc::HammingCode;
 use harp_ecc::LinearBlockCode;
@@ -48,6 +58,34 @@ pub struct Ext2CodeOutcome {
     pub reconstructed_equivalent: Option<bool>,
 }
 
+/// The per-(family, code) outcome of the cross-family reconstruction
+/// pipeline: extended pattern campaign → [`VisibleErrorProfile`] →
+/// family-dispatched [`reconstruct_code`] → weight-3 data-visible
+/// equivalence against the secret.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext2FamilyOutcome {
+    /// The secret (and reconstruction target) code family.
+    pub family: CodeFamily,
+    /// Seed of the secret code.
+    pub code_seed: u64,
+    /// Dataword length of the secret code.
+    pub data_bits: usize,
+    /// Number of charged patterns programmed (pairs plus triples).
+    pub patterns_tested: usize,
+    /// Number of observations carrying a data-visible miscorrection (the
+    /// ones that become linear relation rows). SEC-DED pairs contribute
+    /// zero by construction — only its triples are informative.
+    pub miscorrecting_patterns: usize,
+    /// Whether the recovered profile matches the ground truth from `H`.
+    pub profile_matches: bool,
+    /// Whether reconstruction converged to a code of the requested family.
+    pub reconstructed: bool,
+    /// Whether the recovered code is weight-3 data-visible-equivalent to
+    /// the secret (the strongest certificate observable from outside the
+    /// chip).
+    pub visible_equivalent_w3: bool,
+}
+
 /// The full extension-2 result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Ext2BeerResult {
@@ -56,6 +94,10 @@ pub struct Ext2BeerResult {
     /// Outcomes for the small (16-bit dataword) codes used to exercise full
     /// code reconstruction.
     pub small_codes: Vec<Ext2CodeOutcome>,
+    /// Cross-family reconstruction outcomes (SEC Hamming and SEC-DED
+    /// secrets, each reverse-engineered through the same family-generic
+    /// pipeline).
+    pub cross_family: Vec<Ext2FamilyOutcome>,
 }
 
 fn evaluate_code(data_bits: usize, code_seed: u64, reconstruct: bool) -> Ext2CodeOutcome {
@@ -104,6 +146,36 @@ fn evaluate_code(data_bits: usize, code_seed: u64, reconstruct: bool) -> Ext2Cod
     }
 }
 
+fn evaluate_family(family: CodeFamily, data_bits: usize, code_seed: u64) -> Ext2FamilyOutcome {
+    let secret = family.random(data_bits, code_seed).expect("secret code");
+    let campaign = BeerCampaign::new(data_bits);
+    let profile = campaign.extract_visible_profile(&secret);
+    let profile_matches = profile == VisibleErrorProfile::from_code(&secret);
+    let miscorrecting_patterns =
+        profile.miscorrecting_pair_count() + profile.miscorrecting_triple_count();
+    let recovered = reconstruct_code(
+        &profile,
+        family,
+        family.min_parity_bits(data_bits),
+        code_seed,
+        200_000,
+    );
+    let visible_equivalent_w3 = recovered
+        .as_ref()
+        .map(|code| data_visible_equivalent(&secret, code, 3))
+        .unwrap_or(false);
+    Ext2FamilyOutcome {
+        family,
+        code_seed,
+        data_bits,
+        patterns_tested: campaign.visible_pattern_count(),
+        miscorrecting_patterns,
+        profile_matches,
+        reconstructed: recovered.is_ok(),
+        visible_equivalent_w3,
+    }
+}
+
 /// Runs the extension experiment.
 ///
 /// # Panics
@@ -117,6 +189,10 @@ pub fn run(config: &EvaluationConfig) -> Ext2BeerResult {
     let small_seeds: Vec<u64> = (0..config.num_codes.min(2) as u64)
         .map(|i| config.base_seed ^ (0x5A00 + i))
         .collect();
+    let family_tasks: Vec<(CodeFamily, u64)> = CodeFamily::ALL
+        .iter()
+        .flat_map(|&family| small_seeds.iter().map(move |&seed| (family, seed)))
+        .collect();
 
     let large_codes = parallel_map(&large_seeds, config.threads, |&seed| {
         evaluate_code(config.data_bits, seed, false)
@@ -124,10 +200,14 @@ pub fn run(config: &EvaluationConfig) -> Ext2BeerResult {
     let small_codes = parallel_map(&small_seeds, config.threads, |&seed| {
         evaluate_code(16, seed, true)
     });
+    let cross_family = parallel_map(&family_tasks, config.threads, |&(family, seed)| {
+        evaluate_family(family, 16, seed)
+    });
 
     Ext2BeerResult {
         large_codes,
         small_codes,
+        cross_family,
     }
 }
 
@@ -157,9 +237,33 @@ impl Ext2BeerResult {
                     .unwrap_or_else(|| "-".to_owned()),
             ]);
         }
+        let mut family_table = TextTable::new([
+            "family",
+            "dataword",
+            "code seed",
+            "patterns (w2+w3)",
+            "miscorrecting",
+            "profile matches H",
+            "reconstructed",
+            "visible-equivalent (w<=3)",
+        ]);
+        for outcome in &self.cross_family {
+            family_table.push_row([
+                outcome.family.to_string(),
+                outcome.data_bits.to_string(),
+                format!("{:#x}", outcome.code_seed),
+                outcome.patterns_tested.to_string(),
+                outcome.miscorrecting_patterns.to_string(),
+                outcome.profile_matches.to_string(),
+                outcome.reconstructed.to_string(),
+                outcome.visible_equivalent_w3.to_string(),
+            ]);
+        }
         format!(
-            "Extension 2: BEER-style reverse engineering of the on-die ECC\n{}",
-            table.render()
+            "Extension 2: BEER-style reverse engineering of the on-die ECC\n{}\n\
+             Cross-family reconstruction (visible-error profile -> equivalent code)\n{}",
+            table.render(),
+            family_table.render()
         )
     }
 
@@ -170,6 +274,17 @@ impl Ext2BeerResult {
             .iter()
             .chain(&self.small_codes)
             .all(|o| o.profile_matches)
+            && self.cross_family.iter().all(|o| o.profile_matches)
+    }
+
+    /// Returns `true` if every cross-family pipeline reconstructed a
+    /// weight-3 data-visible-equivalent code of its secret's family.
+    pub fn all_cross_family_roundtrip(&self) -> bool {
+        !self.cross_family.is_empty()
+            && self
+                .cross_family
+                .iter()
+                .all(|o| o.reconstructed && o.visible_equivalent_w3)
     }
 }
 
@@ -202,6 +317,30 @@ mod tests {
     }
 
     #[test]
+    fn cross_family_pipelines_round_trip_both_families() {
+        let result = run(&smoke_config());
+        assert!(result.all_cross_family_roundtrip());
+        // Both families appear, and SEC-DED's information really does come
+        // exclusively from the weight-3 patterns.
+        for family in CodeFamily::ALL {
+            let outcomes: Vec<_> = result
+                .cross_family
+                .iter()
+                .filter(|o| o.family == family)
+                .collect();
+            assert!(!outcomes.is_empty(), "{family} missing");
+            for outcome in outcomes {
+                assert!(outcome.profile_matches);
+                assert!(outcome.miscorrecting_patterns > 0);
+                assert_eq!(
+                    outcome.patterns_tested,
+                    BeerCampaign::new(outcome.data_bits).visible_pattern_count()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn prediction_coverage_is_a_fraction() {
         let result = run(&smoke_config());
         for outcome in result.large_codes.iter().chain(&result.small_codes) {
@@ -209,5 +348,7 @@ mod tests {
             assert!((0.0..=1.0).contains(&outcome.miscorrecting_fraction));
         }
         assert!(result.render().contains("Extension 2"));
+        assert!(result.render().contains("Cross-family reconstruction"));
+        assert!(result.render().contains("SEC-DED extended Hamming"));
     }
 }

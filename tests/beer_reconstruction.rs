@@ -1,0 +1,141 @@
+//! Cross-family differential suite for BEER reconstruction.
+//!
+//! The reverse-engineering layer must be generic over the code-abstraction
+//! seam: for **every supported [`CodeFamily`]** (SEC Hamming, SEC-DED
+//! extended Hamming) and random secret codes at 8- and 16-bit datawords, the
+//! full pipeline
+//!
+//! ```text
+//! secret code → BeerCampaign::extract_visible_profile (black-box chip reads)
+//!             → reconstruct_code (family-dispatched GF(2) constraint solve)
+//!             → data_visible_equivalent(secret, recovered, 3)
+//! ```
+//!
+//! must round-trip from observables alone. The SEC-DED leg is the hard one:
+//! every data-bit pair is detected (carrying zero pairwise information), so
+//! the reconstruction works entirely from the weight-3 pattern responses —
+//! no code-specific analysis exists outside the `CodeFamily` dispatch.
+//!
+//! Like `campaign_equivalence.rs`, this suite runs at its default case
+//! counts on every push and at an elevated `PROPTEST_CASES` count in the
+//! nightly CI job.
+
+use proptest::prelude::*;
+
+use harp_beer::{
+    data_visible_equivalent, reconstruct_code, BeerCampaign, CodeFamily, DecodeFlag,
+    ReconstructError, VisibleErrorProfile,
+};
+use harp_ecc::{ExtendedHammingCode, HammingCode, LinearBlockCode};
+
+/// The shared property body: secret → campaign profile → reconstruction →
+/// weight-3 data-visible equivalence, all from outside the chip.
+fn assert_roundtrip(family: CodeFamily, data_bits: usize, seed: u64) {
+    let secret = family.random(data_bits, seed).expect("secret code");
+    let campaign = BeerCampaign::new(data_bits);
+
+    // The black-box campaign recovers exactly the ground-truth observables.
+    let profile = campaign.extract_visible_profile(&secret);
+    assert_eq!(&profile, &VisibleErrorProfile::from_code(&secret));
+
+    let recovered = reconstruct_code(
+        &profile,
+        family,
+        family.min_parity_bits(data_bits),
+        seed ^ 0xD1CE,
+        500_000,
+    )
+    .unwrap_or_else(|err| {
+        panic!("{family} reconstruction failed for {data_bits}-bit seed {seed}: {err}")
+    });
+    assert_eq!(recovered.family(), family);
+    assert!(profile.is_data_visible_consistent_with(&recovered));
+    assert!(
+        data_visible_equivalent(&secret, &recovered, 3),
+        "recovered {} not weight-3 equivalent to secret (seed {seed})",
+        recovered.description(),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// SEC Hamming secrets round-trip through the family-generic pipeline.
+    #[test]
+    fn hamming_secrets_round_trip_from_observables(
+        seed in 0u64..10_000,
+        data_bits in proptest::sample::select(vec![8usize, 16]),
+    ) {
+        assert_roundtrip(CodeFamily::Hamming, data_bits, seed);
+    }
+
+    /// SEC-DED secrets round-trip from observables alone — the acceptance
+    /// criterion of the cross-family generalization. All information comes
+    /// from weight-3 patterns (every pair is detected).
+    #[test]
+    fn secded_secrets_round_trip_from_observables(
+        seed in 0u64..10_000,
+        data_bits in proptest::sample::select(vec![8usize, 16]),
+    ) {
+        assert_roundtrip(CodeFamily::ExtendedHamming, data_bits, seed);
+    }
+
+    /// The SEC/SEC-DED discrimination property: a secret whose pairs visibly
+    /// miscorrect can never be explained by the extended family (its
+    /// overall-parity row makes weight-2 miscorrections structurally
+    /// impossible), and the solver reports the contradiction as
+    /// `InconsistentProfile` rather than burning the attempt budget.
+    #[test]
+    fn sec_observables_are_inconsistent_with_the_extended_family(seed in 0u64..10_000) {
+        let secret = HammingCode::random(16, seed).expect("secret code");
+        let profile = VisibleErrorProfile::from_code(&secret);
+        prop_assume!(profile.miscorrecting_pair_count() > 0);
+        prop_assert_eq!(
+            reconstruct_code(
+                &profile,
+                CodeFamily::ExtendedHamming,
+                CodeFamily::ExtendedHamming.min_parity_bits(16),
+                seed,
+                1_000,
+            ),
+            Err(ReconstructError::InconsistentProfile)
+        );
+    }
+
+    /// SEC-DED profiles really are pairwise-blank: the campaign observes a
+    /// detected flag and no data flips beyond the charged pair, for every
+    /// pair — so the pairwise `MiscorrectionProfile` view of a SEC-DED chip
+    /// carries zero information.
+    #[test]
+    fn secded_pairs_observe_nothing(seed in 0u64..10_000) {
+        let secret = ExtendedHammingCode::random(8, seed).expect("secret code");
+        let profile = BeerCampaign::new(8).extract_visible_profile(&secret);
+        for (&(i, j), response) in profile.pairs() {
+            prop_assert_eq!(response.flag, DecodeFlag::Detected);
+            prop_assert_eq!(&response.post_errors, &vec![i, j]);
+        }
+        prop_assert_eq!(profile.miscorrection_profile().miscorrecting_pair_count(), 0);
+        // The weight-3 responses are what carry the columns.
+        prop_assert!(profile.miscorrecting_triple_count() > 0);
+    }
+
+    /// Reconstruction is deterministic in its seed: the same observables and
+    /// search seed recover the identical code.
+    #[test]
+    fn reconstruction_is_deterministic(
+        seed in 0u64..10_000,
+        family_selector in any::<bool>(),
+    ) {
+        let family = if family_selector {
+            CodeFamily::Hamming
+        } else {
+            CodeFamily::ExtendedHamming
+        };
+        let secret = family.random(8, seed).expect("secret code");
+        let profile = VisibleErrorProfile::from_code(&secret);
+        let parity = family.min_parity_bits(8);
+        let a = reconstruct_code(&profile, family, parity, 77, 500_000);
+        let b = reconstruct_code(&profile, family, parity, 77, 500_000);
+        prop_assert_eq!(a, b);
+    }
+}

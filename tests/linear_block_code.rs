@@ -319,3 +319,67 @@ fn generic_campaign_reports_only_at_risk_bits_for_every_family() {
     check(secded, &at_risk);
     check(bch, &at_risk);
 }
+
+/// The SEC/SEC-DED visibility asymmetry: the same weight-2 data error that
+/// a plain Hamming code (sometimes visibly) miscorrects is *detected* by
+/// its extended counterpart — for every pair, and through the same trait.
+#[test]
+fn weight_2_data_errors_miscorrect_under_sec_but_are_detected_under_sec_ded() {
+    for seed in [3u64, 9, 27] {
+        let inner = HammingCode::random(16, seed).unwrap();
+        let extended = ExtendedHammingCode::from_hamming(inner.clone());
+        let mut visible_miscorrections = 0usize;
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                let sec =
+                    inner.decode_error_pattern(&BitVec::from_indices(inner.codeword_len(), [i, j]));
+                // SEC applies *some* correction or detects — and when the
+                // correction lands on a third data bit it is data-visible.
+                if let Some(m) = sec.outcome.corrected_position() {
+                    if m < 16 && m != i && m != j {
+                        visible_miscorrections += 1;
+                    }
+                }
+                let secded = extended
+                    .decode_error_pattern(&BitVec::from_indices(extended.codeword_len(), [i, j]));
+                assert_eq!(
+                    secded.outcome,
+                    DecodeOutcome::DetectedUncorrectable,
+                    "seed {seed}: SEC-DED must detect pair ({i}, {j})"
+                );
+            }
+        }
+        assert!(
+            visible_miscorrections > 0,
+            "seed {seed}: a random (21, 16) Hamming code should visibly miscorrect some pair"
+        );
+    }
+}
+
+/// `data_visible_equivalent` tells a Hamming code apart from its own
+/// extended counterpart exactly at the weights where the SEC/SEC-DED
+/// asymmetry is observable: they agree at weight 1 (both correct every
+/// single error) and differ at weights 2 and 3.
+#[test]
+fn data_visible_equivalence_distinguishes_a_code_from_its_extension() {
+    use harp_beer::{data_visible_equivalent, MiscorrectionProfile};
+    for seed in [5u64, 14] {
+        let inner = HammingCode::random(16, seed).unwrap();
+        // Precondition: the inner code has at least one data-visible pair
+        // miscorrection (which the extension turns into a detection).
+        assert!(
+            MiscorrectionProfile::from_code(&inner).miscorrecting_pair_count() > 0,
+            "seed {seed}"
+        );
+        let extended = ExtendedHammingCode::from_hamming(inner.clone());
+        assert!(data_visible_equivalent(&inner, &extended, 1), "seed {seed}");
+        assert!(
+            !data_visible_equivalent(&inner, &extended, 2),
+            "seed {seed}"
+        );
+        assert!(
+            !data_visible_equivalent(&inner, &extended, 3),
+            "seed {seed}"
+        );
+    }
+}

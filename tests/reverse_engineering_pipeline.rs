@@ -72,3 +72,41 @@ fn beep_runs_on_the_reconstructed_code() {
     // BEEP algorithm itself — see Fig. 6 — not of the reconstruction.)
     assert!(!result.final_identified().is_empty());
 }
+
+/// The family-generic pipeline closes the same loop for a SEC-DED chip: the
+/// campaign observes only weight-2/3 pattern responses (every pair is
+/// detected), reconstruction targets the extended family, and HARP-A driven
+/// by the recovered code predicts the same indirect-error space as HARP-A
+/// with full knowledge of the secret `H`.
+#[test]
+fn harp_a_works_identically_with_a_reconstructed_secded_code() {
+    use harp_beer::CodeFamily;
+    use harp_ecc::ExtendedHammingCode;
+
+    let secret = ExtendedHammingCode::random(16, 0x5ECD).unwrap();
+    let recovered = BeerCampaign::new(16)
+        .reverse_engineer(&secret, CodeFamily::ExtendedHamming, 3, 500_000)
+        .expect("SEC-DED reconstruction converges for 16-bit datawords");
+    assert_eq!(recovered.family(), CodeFamily::ExtendedHamming);
+
+    let faults = FaultModel::uniform(&[2, 9], 1.0);
+    let rounds = 32;
+    let campaign = ProfilingCampaign::new(secret.clone(), faults, DataPattern::Random, 7);
+
+    let with_secret = campaign.run(ProfilerKind::HarpA, rounds);
+    let mut informed_by_recovery = HarpAProfiler::new(recovered.clone(), DataPattern::Random, 7);
+    let with_recovered = campaign.run_profiler(&mut informed_by_recovery, rounds);
+    assert_eq!(
+        with_secret.final_identified(),
+        with_recovered.final_identified()
+    );
+
+    // The indirect-error space implied by the direct at-risk bits agrees
+    // whether computed from the secret or the reconstructed code.
+    let space_secret = ErrorSpace::enumerate(&secret, &[2, 9], FailureDependence::TrueCell);
+    let space_recovered = ErrorSpace::enumerate(&recovered, &[2, 9], FailureDependence::TrueCell);
+    assert_eq!(
+        space_secret.post_correction_at_risk(),
+        space_recovered.post_correction_at_risk()
+    );
+}
