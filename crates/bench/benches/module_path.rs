@@ -1,0 +1,189 @@
+//! Benchmarks the burst-routed controller/module read paths against their
+//! scalar reference twins, per on-die ECC family.
+//!
+//! * `module_path/*` — one DDR4-style rank cache-line read:
+//!   `MemoryModule::read` (one `read_burst` per chip per line + precomputed
+//!   `BitInterleaveMap` assembly) against `MemoryModule::read_scalar` (the
+//!   word-at-a-time, `locate`-per-bit reference). Lines/sec = `LINES` /
+//!   reported per-iteration time.
+//! * `controller_path/*` — one whole-chip scrub pass through the full
+//!   on-die ECC → bit repair → secondary ECC path:
+//!   `MemoryController::read_range` (one chip-side burst) against a scalar
+//!   `MemoryController::read` loop.
+//!
+//! Both comparisons assert byte-identical outcomes before timing, so the
+//! measured ratio is pure execution-plan overhead — the regression guard for
+//! the controller/module layer's burst-routing performance claim.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use harp_bch::BchCode;
+use harp_controller::MemoryController;
+use harp_ecc::{ExtendedHammingCode, HammingCode, LinearBlockCode, SecondaryEcc};
+use harp_gf2::BitVec;
+use harp_memsim::{FaultModel, MemoryChip};
+use harp_module::{MemoryModule, ModuleGeometry};
+
+/// Cache lines per module-path iteration.
+const LINES: usize = 16;
+
+/// ECC words per controller scrub pass.
+const SCRUB_WORDS: usize = 1024;
+
+fn bench_module_path<C, E, F>(c: &mut Criterion, label: &str, make_code: F)
+where
+    C: LinearBlockCode + Clone,
+    E: std::fmt::Debug,
+    F: FnMut(u64) -> Result<C, E>,
+{
+    let geometry = ModuleGeometry::ddr4_style_rank();
+    let mut module =
+        MemoryModule::heterogeneous_with(geometry, LINES, 0x30D, make_code).expect("module codes");
+    let n = module.chips()[0].code().codeword_len();
+    for line in 0..LINES {
+        // A quarter of the chips carry at-risk cells so the corrected and
+        // uncorrectable decode branches stay on the measured path.
+        for chip in 0..geometry.chips() {
+            if (line + chip) % 4 == 0 {
+                let at_risk = [(line * 13 + chip) % n, (line * 29 + chip * 7 + 3) % n];
+                module.set_fault_model(
+                    chip,
+                    line,
+                    0,
+                    FaultModel::uniform(&at_risk[..1 + (line + chip) % 2], 0.5),
+                );
+            }
+        }
+        let payload: BitVec = (0..geometry.line_bits())
+            .map(|i| (i + line) % 3 != 0)
+            .collect();
+        module.write(line, &payload);
+    }
+
+    // Correctness cross-check before timing: burst == scalar on both paths.
+    let mut scalar_rng = ChaCha8Rng::seed_from_u64(7);
+    let mut burst_rng = ChaCha8Rng::seed_from_u64(7);
+    for line in 0..LINES {
+        let scalar = module.read_scalar(line, &mut scalar_rng);
+        assert_eq!(module.read(line, &mut burst_rng), scalar);
+        let scalar = module.read_bypass_scalar(line, &mut scalar_rng);
+        assert_eq!(module.read_bypass(line, &mut burst_rng), scalar);
+    }
+
+    let mut group = c.benchmark_group(format!("module_path/{label}"));
+    group.bench_function(format!("scalar_line_read_{LINES}"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        b.iter(|| {
+            let mut errors = 0usize;
+            for line in 0..LINES {
+                errors += module
+                    .read_scalar(line, &mut rng)
+                    .post_correction_errors
+                    .len();
+            }
+            black_box(errors)
+        })
+    });
+    group.bench_function(format!("burst_line_read_{LINES}"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        b.iter(|| {
+            let mut errors = 0usize;
+            for line in 0..LINES {
+                errors += module.read(line, &mut rng).post_correction_errors.len();
+            }
+            black_box(errors)
+        })
+    });
+    group.finish();
+}
+
+fn bench_controller_path<C: LinearBlockCode + Clone>(c: &mut Criterion, label: &str, code: C) {
+    let n = code.codeword_len();
+    let k = code.data_len();
+    let mut chip = MemoryChip::new(code, SCRUB_WORDS);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5C0B);
+    for word in 0..SCRUB_WORDS {
+        let data: BitVec = (0..k).map(|_| rand::Rng::gen_bool(&mut rng, 0.5)).collect();
+        chip.write(word, &data);
+        if word % 4 == 0 {
+            let at_risk = [word % n, (word * 13 + 7) % n, (word * 29 + 3) % n];
+            chip.set_fault_model(word, FaultModel::uniform(&at_risk[..1 + word % 3], 0.5));
+        }
+    }
+    let mut controller = MemoryController::new(chip, SecondaryEcc::ideal_sec());
+    // Reactive profiling off keeps each timed pass stateless (the profile
+    // would otherwise grow once and flatten later iterations).
+    controller.set_reactive_profiling(false);
+
+    // Correctness cross-check before timing: read_range == scalar loop.
+    let mut scalar_rng = ChaCha8Rng::seed_from_u64(7);
+    let mut scalar_check = controller.clone();
+    let scalar: Vec<_> = (0..SCRUB_WORDS)
+        .map(|w| scalar_check.read(w, &mut scalar_rng))
+        .collect();
+    let mut burst_rng = ChaCha8Rng::seed_from_u64(7);
+    assert_eq!(
+        controller.read_range(0..SCRUB_WORDS, &mut burst_rng),
+        scalar
+    );
+
+    let mut group = c.benchmark_group(format!("controller_path/{label}"));
+    group.bench_function(format!("scalar_read_loop_{SCRUB_WORDS}"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        b.iter(|| {
+            let mut escaped = 0usize;
+            for word in 0..SCRUB_WORDS {
+                escaped += controller.read(word, &mut rng).escaped_errors.len();
+            }
+            black_box(escaped)
+        })
+    });
+    group.bench_function(format!("read_range_{SCRUB_WORDS}"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        b.iter(|| {
+            let outcomes = controller.read_range(0..SCRUB_WORDS, &mut rng);
+            black_box(
+                outcomes
+                    .iter()
+                    .map(|o| o.escaped_errors.len())
+                    .sum::<usize>(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_module_and_controller_paths(c: &mut Criterion) {
+    let word_bits = ModuleGeometry::ddr4_style_rank().ondie_word_bits();
+    bench_module_path(c, "hamming_71_64", |seed| {
+        HammingCode::random(word_bits, seed)
+    });
+    bench_module_path(c, "secded_72_64", |seed| {
+        ExtendedHammingCode::random(word_bits, seed)
+    });
+    let bch = BchCode::dec(word_bits).expect("valid code");
+    bench_module_path(c, "bch_78_64", |_seed| {
+        Ok::<_, harp_bch::BchError>(bch.clone())
+    });
+
+    bench_controller_path(
+        c,
+        "hamming_71_64",
+        HammingCode::random(64, 1).expect("valid code"),
+    );
+    bench_controller_path(
+        c,
+        "secded_72_64",
+        ExtendedHammingCode::random(64, 1).expect("valid code"),
+    );
+    bench_controller_path(c, "bch_78_64", BchCode::dec(64).expect("valid code"));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_module_and_controller_paths
+);
+criterion_main!(benches);

@@ -20,8 +20,11 @@
 //!   ext-beer    extension 2: BEER-style reverse engineering of the on-die ECC,
 //!               including cross-family (SEC Hamming + SEC-DED) equivalent-code
 //!               reconstruction from visible-error profiles
-//!   ext-module  extension 3: secondary-ECC layout across a multi-chip rank
-//!   ext-repair  extension 4: repair-capacity planning (Table 1)
+//!   ext-module  extension 3: secondary-ECC layout across a multi-chip rank,
+//!               stress-testing all three on-die ECC families (SEC Hamming,
+//!               SEC-DED, DEC BCH) through the generic burst module path
+//!   ext-repair  extension 4: repair-capacity planning (Table 1) from the
+//!               exact post-correction error profiles of all three families
 //!   ext-vrt     extension 5: VRT errors under reactive scrubbing
 //!   ext-codes   extension 6: one generic HARP campaign across Hamming / SEC-DED / BCH
 //!   extensions  all six extensions, in order

@@ -7,35 +7,50 @@
 //!   post-correction error ([`profile::ErrorProfile`]);
 //! * a **repair mechanism** — hardware that repairs profiled bits on every
 //!   access ([`repair`]); the paper's case study assumes an ideal
-//!   bit-granularity repair, and [`granularity`] reproduces the Fig. 2
-//!   analysis of why bit-granularity repair is the right choice at high error
-//!   rates;
+//!   bit-granularity repair, [`granularity`] reproduces the Fig. 2 analysis
+//!   of why bit-granularity repair is the right choice at high error rates,
+//!   and [`sparing`] / [`mechanisms`] model the finite-capacity designs of
+//!   Table 1 (block sparing, ECP pointers, ArchShield two-level repair) with
+//!   exact waste/overflow accounting;
 //! * a **secondary ECC** used by HARP's reactive profiling phase
 //!   (re-exported from [`harp_ecc::SecondaryEcc`]).
 //!
 //! [`controller::MemoryController`] ties these together with a
 //! [`harp_memsim::MemoryChip`] into the end-to-end read path evaluated in the
-//! paper's Fig. 10 case study.
+//! paper's Fig. 10 case study. The controller is generic over the chip's
+//! on-die ECC [`harp_ecc::LinearBlockCode`] (SEC Hamming — the default —
+//! SEC-DED, or DEC BCH all run through the same path), and scrub-style
+//! multi-word accesses run through the burst engine:
+//! [`MemoryController::read_range`] performs the chip phase of a whole word
+//! range as one `MemoryChip::read_burst` (a single batched syndrome-kernel
+//! pass, buffers persisted across calls) before applying repair and
+//! secondary ECC per word. The scalar [`MemoryController::read`] stays as
+//! the byte-identical reference enforced by the controller/module
+//! differential suite.
 //!
 //! # Example
 //!
 //! ```
 //! use harp_controller::{MemoryController, ErrorProfile};
-//! use harp_ecc::{HammingCode, SecondaryEcc};
+//! use harp_ecc::{ExtendedHammingCode, SecondaryEcc};
 //! use harp_gf2::BitVec;
 //! use harp_memsim::{MemoryChip, FaultModel};
 //! use rand::SeedableRng;
 //!
-//! let code = HammingCode::random(64, 11)?;
-//! let mut chip = MemoryChip::new(code, 1);
-//! chip.set_fault_model(0, FaultModel::uniform(&[8], 1.0));
+//! // Any LinearBlockCode works as on-die ECC; here a SEC-DED chip.
+//! let code = ExtendedHammingCode::random(64, 11)?;
+//! let mut chip = MemoryChip::new(code, 4);
+//! chip.set_fault_model(2, FaultModel::uniform(&[8], 1.0));
 //!
 //! let mut controller = MemoryController::new(chip, SecondaryEcc::ideal_sec());
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
-//! controller.write(0, &BitVec::ones(64));
-//! let outcome = controller.read(0, &mut rng);
+//! for word in 0..4 {
+//!     controller.write(word, &BitVec::ones(64));
+//! }
+//! // One scrub pass over the chip = one burst through the read path.
+//! let outcomes = controller.read_range(0..4, &mut rng);
 //! // The single raw error is corrected by on-die ECC; nothing escapes.
-//! assert!(outcome.escaped_errors.is_empty());
+//! assert!(outcomes.iter().all(|outcome| outcome.escaped_errors.is_empty()));
 //! # Ok::<(), harp_ecc::CodeError>(())
 //! ```
 

@@ -87,19 +87,26 @@ impl EcpRepair {
 
     /// Requests coverage of at-risk bit `(word, bit)`. Returns `true` if the
     /// bit is covered by a pointer entry, `false` if the block's budget is
-    /// exhausted.
+    /// exhausted. The budget check happens *before* any entry set is created,
+    /// so overflow-only blocks (every block of a zero-budget mechanism) never
+    /// allocate phantom entries.
     pub fn cover(&mut self, word: usize, bit: usize) -> bool {
         let key = self.key(word, bit);
-        let entries = self.entries.entry(key).or_default();
-        if entries.contains(&bit) {
-            return true;
+        match self.entries.get_mut(&key) {
+            Some(entries) if entries.contains(&bit) => true,
+            Some(entries) if entries.len() < self.entries_per_block => {
+                entries.insert(bit);
+                true
+            }
+            None if self.entries_per_block > 0 => {
+                self.entries.insert(key, BTreeSet::from([bit]));
+                true
+            }
+            _ => {
+                self.overflowed.insert(key);
+                false
+            }
         }
-        if entries.len() >= self.entries_per_block {
-            self.overflowed.insert(key);
-            return false;
-        }
-        entries.insert(bit);
-        true
     }
 
     /// Returns `true` if the bit is covered by an allocated pointer.
@@ -309,8 +316,89 @@ mod tests {
     }
 
     #[test]
+    fn ecp_overflow_allocates_no_phantom_entry_sets() {
+        // Regression: `cover` used to insert an empty entry set via
+        // `entry(key).or_default()` before checking the budget, so every
+        // rejected block of a zero-budget mechanism grew the entries map
+        // unboundedly (phantom allocated blocks with no pointers). The
+        // budget check now runs first; `overhead_bits()` — which charges
+        // `entries_per_block * pointer_bits` per allocated block — can no
+        // longer be skewed by blocks that never received an entry.
+        let mut ecp = EcpRepair::new(64, 0);
+        assert!(!ecp.cover(0, 3));
+        assert!(!ecp.cover(1, 40));
+        assert_eq!(ecp.overflowed_blocks(), 2);
+        assert_eq!(ecp.entries_used(), 0);
+        assert_eq!(ecp.overhead_bits(), 0);
+        assert!(
+            ecp.entries.is_empty(),
+            "an overflowed cover must not allocate an entry set"
+        );
+
+        // A nonzero-budget mechanism keeps its overflow accounting intact.
+        let mut ecp = EcpRepair::new(64, 1);
+        assert!(ecp.cover(0, 3));
+        assert!(!ecp.cover(0, 9));
+        assert_eq!(ecp.entries.len(), 1, "only the covered block is allocated");
+        let one_block = ecp.overhead_bits();
+        assert!(ecp.cover(2, 0));
+        assert!(!ecp.cover(2, 9));
+        assert_eq!(ecp.overhead_bits(), 2 * one_block);
+    }
+
+    #[test]
     #[should_panic(expected = "block size must be nonzero")]
     fn ecp_rejects_zero_blocks() {
         EcpRepair::new(0, 2);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// `load_profile`'s uncovered count matches a brute-force recount
+            /// of profiled bits that ended up without a pointer entry.
+            #[test]
+            fn ecp_load_profile_uncovered_matches_brute_force(
+                block_bits in 1usize..=64,
+                entries_per_block in 0usize..=4,
+                bits in proptest::collection::btree_set((0usize..6, 0usize..128), 0..48),
+            ) {
+                let profile: ErrorProfile = bits.iter().copied().collect();
+                let mut ecp = EcpRepair::new(block_bits, entries_per_block);
+                let uncovered = ecp.load_profile(&profile);
+                let recount = profile
+                    .iter()
+                    .filter(|&(word, bit)| !ecp.is_covered(word, bit))
+                    .count();
+                prop_assert_eq!(uncovered, recount);
+                prop_assert_eq!(
+                    ecp.entries_used() + uncovered,
+                    profile.total_bits()
+                );
+            }
+
+            /// Covering arbitrarily many multi-bit words never underflows the
+            /// spare accounting: remapped words are capped by the spare pool
+            /// and `spares_remaining` stays consistent.
+            #[test]
+            fn archshield_spares_never_underflow(
+                spare_words in 0usize..=4,
+                covers in proptest::collection::vec((0usize..8, 0usize..64), 0..64),
+            ) {
+                let mut arch = ArchShieldRepair::new(spare_words);
+                for &(word, bit) in &covers {
+                    arch.cover(word, bit);
+                }
+                prop_assert!(arch.remapped_words() <= spare_words);
+                prop_assert_eq!(
+                    arch.spares_remaining(),
+                    spare_words - arch.remapped_words()
+                );
+            }
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! measured directly and compared against the ideal bit-granularity repair of
 //! [`crate::repair::BitRepairMechanism`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -49,8 +49,11 @@ pub enum SparingOutcome {
 pub struct BlockRepairMechanism {
     block_bits: usize,
     spare_blocks: usize,
-    /// Map from (word, block index) to the number of at-risk bits it covers.
-    allocated: BTreeMap<(usize, usize), usize>,
+    /// Map from (word, block index) to the *distinct* at-risk bit positions
+    /// it covers. Tracking positions (not a counter) keeps the fragmentation
+    /// accounting exact when the same bit is reported more than once — e.g.
+    /// by reactive profiling re-identifying an already-profiled bit.
+    allocated: BTreeMap<(usize, usize), BTreeSet<usize>>,
 }
 
 impl BlockRepairMechanism {
@@ -88,17 +91,20 @@ impl BlockRepairMechanism {
         bit / self.block_bits
     }
 
-    /// Requests coverage of at-risk bit `(word, bit)`.
+    /// Requests coverage of at-risk bit `(word, bit)`. Re-covering a bit that
+    /// the block already accounts for is a no-op (the at-risk set per block is
+    /// a set of distinct positions, so repeated reports cannot skew
+    /// [`BlockRepairMechanism::wasted_bits`]).
     pub fn cover(&mut self, word: usize, bit: usize) -> SparingOutcome {
         let key = (word, self.block_of(bit));
-        if let Some(count) = self.allocated.get_mut(&key) {
-            *count += 1;
+        if let Some(bits) = self.allocated.get_mut(&key) {
+            bits.insert(bit);
             return SparingOutcome::AlreadyCovered;
         }
         if self.allocated.len() >= self.spare_blocks {
             return SparingOutcome::OutOfSpares;
         }
-        self.allocated.insert(key, 1);
+        self.allocated.insert(key, BTreeSet::from([bit]));
         SparingOutcome::Allocated
     }
 
@@ -130,12 +136,19 @@ impl BlockRepairMechanism {
         self.allocated.len() * self.block_bits
     }
 
+    /// Number of *distinct* at-risk bits covered across all allocated blocks.
+    pub fn distinct_at_risk(&self) -> usize {
+        self.allocated.values().map(BTreeSet::len).sum()
+    }
+
     /// Number of sacrificed bits that were *not* actually at risk — the
-    /// internal fragmentation Fig. 2 quantifies.
+    /// internal fragmentation Fig. 2 quantifies. Always equals
+    /// [`Self::sacrificed_bits`]` - `[`Self::distinct_at_risk`], since a block
+    /// never accounts for more distinct bits than it holds.
     pub fn wasted_bits(&self) -> usize {
         self.allocated
             .values()
-            .map(|&at_risk| self.block_bits.saturating_sub(at_risk))
+            .map(|at_risk| self.block_bits - at_risk.len())
             .sum()
     }
 }
@@ -199,8 +212,59 @@ mod tests {
     }
 
     #[test]
+    fn re_covering_the_same_bit_does_not_inflate_the_at_risk_count() {
+        // Regression: the at-risk count per block used to be a plain counter,
+        // so re-covering the same (word, bit) — e.g. reactive profiling
+        // re-identifying an already-profiled bit — undercounted fragmentation
+        // and could silently saturate the block's accounting.
+        let mut repair = BlockRepairMechanism::new(8, 2);
+        assert_eq!(repair.cover(0, 3), SparingOutcome::Allocated);
+        assert_eq!(repair.cover(0, 3), SparingOutcome::AlreadyCovered);
+        assert_eq!(repair.cover(0, 3), SparingOutcome::AlreadyCovered);
+        assert_eq!(repair.distinct_at_risk(), 1);
+        assert_eq!(repair.wasted_bits(), 7, "one distinct at-risk bit wastes 7");
+        // A genuinely new bit in the same block still reduces the waste.
+        assert_eq!(repair.cover(0, 5), SparingOutcome::AlreadyCovered);
+        assert_eq!(repair.distinct_at_risk(), 2);
+        assert_eq!(repair.wasted_bits(), 6);
+    }
+
+    #[test]
     #[should_panic(expected = "block size must be nonzero")]
     fn zero_block_size_is_rejected() {
         BlockRepairMechanism::new(0, 1);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Waste accounting is exact: every sacrificed bit is either a
+            /// distinct covered at-risk bit or counted as waste, even when
+            /// the cover sequence repeats bits and overflows the spare pool.
+            #[test]
+            fn wasted_plus_distinct_equals_sacrificed(
+                block_bits in 1usize..=64,
+                spare_blocks in 0usize..=6,
+                covers in proptest::collection::vec((0usize..4, 0usize..256), 0..64),
+            ) {
+                let mut repair = BlockRepairMechanism::new(block_bits, spare_blocks);
+                for &(word, bit) in &covers {
+                    repair.cover(word, bit);
+                }
+                prop_assert_eq!(
+                    repair.wasted_bits() + repair.distinct_at_risk(),
+                    repair.sacrificed_bits()
+                );
+                prop_assert!(repair.spares_used() <= spare_blocks);
+                prop_assert_eq!(
+                    repair.spares_remaining(),
+                    spare_blocks - repair.spares_used()
+                );
+            }
+        }
     }
 }

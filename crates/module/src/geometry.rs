@@ -199,6 +199,103 @@ impl ModuleGeometry {
     }
 }
 
+/// A precomputed, bidirectional form of the burst mapping: every
+/// ([`ModuleGeometry::locate`], [`ModuleGeometry::line_bit_of`]) answer for
+/// one geometry, tabulated once.
+///
+/// The per-bit mapping arithmetic is cheap but sits inside the innermost
+/// loop of every module-level line read (`line_bits` lookups per access), so
+/// [`crate::MemoryModule`] caches one of these at construction and the burst
+/// read path indexes it directly.
+///
+/// # Example
+///
+/// ```
+/// use harp_module::ModuleGeometry;
+///
+/// let geometry = ModuleGeometry::ddr4_style_rank();
+/// let map = geometry.bit_interleave();
+/// for bit in 0..geometry.line_bits() {
+///     let location = geometry.locate(bit);
+///     assert_eq!(map.locate(bit), location);
+///     assert_eq!(
+///         map.line_bit(location.chip, location.ondie_word, location.bit_in_word),
+///         bit
+///     );
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitInterleaveMap {
+    geometry: ModuleGeometry,
+    /// Chip-major inverse mapping: index
+    /// `chip · bits_per_chip + ondie_word · ondie_word_bits + bit_in_word`
+    /// holds the cache-line bit driven by that physical location.
+    to_line: Vec<usize>,
+    /// Forward mapping: index `line_bit` holds its physical location.
+    to_location: Vec<BitLocation>,
+}
+
+impl BitInterleaveMap {
+    fn new(geometry: ModuleGeometry) -> Self {
+        let line_bits = geometry.line_bits();
+        let mut to_line = vec![0usize; line_bits];
+        let mut to_location = Vec::with_capacity(line_bits);
+        for bit in 0..line_bits {
+            let location = geometry.locate(bit);
+            let chip_local =
+                location.ondie_word * geometry.ondie_word_bits() + location.bit_in_word;
+            to_line[location.chip * geometry.bits_per_chip() + chip_local] = bit;
+            to_location.push(location);
+        }
+        Self {
+            geometry,
+            to_line,
+            to_location,
+        }
+    }
+
+    /// The geometry this map was built for.
+    pub fn geometry(&self) -> &ModuleGeometry {
+        &self.geometry
+    }
+
+    /// The cache-line bit driven by `(chip, ondie_word, bit_in_word)` — the
+    /// tabulated [`ModuleGeometry::line_bit_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is outside the geometry.
+    pub fn line_bit(&self, chip: usize, ondie_word: usize, bit_in_word: usize) -> usize {
+        assert!(
+            chip < self.geometry.chips()
+                && ondie_word < self.geometry.ondie_words_per_chip()
+                && bit_in_word < self.geometry.ondie_word_bits(),
+            "location ({chip}, {ondie_word}, {bit_in_word}) outside {}",
+            self.geometry
+        );
+        let chip_local = ondie_word * self.geometry.ondie_word_bits() + bit_in_word;
+        self.to_line[chip * self.geometry.bits_per_chip() + chip_local]
+    }
+
+    /// The physical location of a cache-line bit — the tabulated
+    /// [`ModuleGeometry::locate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bit >= line_bits()`.
+    pub fn locate(&self, line_bit: usize) -> BitLocation {
+        self.to_location[line_bit]
+    }
+}
+
+impl ModuleGeometry {
+    /// Tabulates the burst mapping into a [`BitInterleaveMap`] (both
+    /// directions, one entry per cache-line bit).
+    pub fn bit_interleave(&self) -> BitInterleaveMap {
+        BitInterleaveMap::new(*self)
+    }
+}
+
 impl fmt::Display for ModuleGeometry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -335,6 +432,20 @@ mod tests {
                     seen.insert((location.chip, location.ondie_word, location.bit_in_word));
                 }
                 prop_assert_eq!(seen.len(), geometry.line_bits());
+            }
+
+            #[test]
+            fn interleave_map_tabulates_the_mapping_exactly(geometry in arbitrary_geometry()) {
+                let map = geometry.bit_interleave();
+                prop_assert_eq!(map.geometry(), &geometry);
+                for bit in 0..geometry.line_bits() {
+                    let location = geometry.locate(bit);
+                    prop_assert_eq!(map.locate(bit), location);
+                    prop_assert_eq!(
+                        map.line_bit(location.chip, location.ondie_word, location.bit_in_word),
+                        bit
+                    );
+                }
             }
 
             #[test]

@@ -15,9 +15,13 @@
 //!   line), with the exact correction capability each requires once HARP's
 //!   active phase has bounded every on-die word to at most `t` concurrent
 //!   indirect errors;
-//! * [`MemoryModule`] — a rank of [`harp_memsim::MemoryChip`]s behind a
-//!   single controller-facing read/write interface, including the bypass
-//!   read path HARP's active profiling phase uses.
+//! * [`MemoryModule`] — a rank of [`harp_memsim::MemoryChip`]s (generic over
+//!   the per-chip [`harp_ecc::LinearBlockCode`]) behind a single
+//!   controller-facing read/write interface, including the bypass read path
+//!   HARP's active profiling phase uses. Line reads run one chip-level burst
+//!   per chip per access and assemble the line through a precomputed
+//!   [`BitInterleaveMap`]; `read_scalar`/`read_bypass_scalar` keep the
+//!   word-at-a-time reference implementation.
 //!
 //! # Quickstart
 //!
@@ -38,6 +42,6 @@ pub mod geometry;
 pub mod layout;
 pub mod module;
 
-pub use geometry::{BitLocation, ModuleGeometry};
+pub use geometry::{BitInterleaveMap, BitLocation, ModuleGeometry};
 pub use layout::SecondaryLayout;
 pub use module::{MemoryModule, ModuleReadOutcome};

@@ -1,11 +1,23 @@
 //! A rank of memory chips behind a single controller-facing interface.
 //!
 //! [`MemoryModule`] owns one [`MemoryChip`] per geometry slot, each running
-//! its own (potentially different) proprietary on-die ECC code, and maps
-//! whole cache lines onto per-chip on-die ECC words using the rank's burst
-//! mapping. It exposes the same two read paths a HARP-enabled chip exposes —
-//! the normal decoded path and the raw-data bypass path — so both profiling
-//! phases can be exercised at module scale.
+//! its own (potentially different) proprietary on-die ECC code — any
+//! [`LinearBlockCode`], so a rank of SEC Hamming, SEC-DED, or DEC BCH chips
+//! runs through the same model — and maps whole cache lines onto per-chip
+//! on-die ECC words using the rank's burst mapping. It exposes the same two
+//! read paths a HARP-enabled chip exposes — the normal decoded path and the
+//! raw-data bypass path — so both profiling phases can be exercised at
+//! module scale.
+//!
+//! Line reads run **one [`MemoryChip::read_burst`] per chip per line** (all
+//! of a chip's on-die words for the access decoded through a single batched
+//! syndrome-kernel pass, buffers persisted across reads) and assemble the
+//! cache line through the geometry's precomputed
+//! [`BitInterleaveMap`](crate::BitInterleaveMap) instead of re-deriving the
+//! burst mapping per bit. [`MemoryModule::read_scalar`] and
+//! [`MemoryModule::read_bypass_scalar`] keep the word-at-a-time,
+//! `locate`-per-bit implementation as the byte-identical reference the
+//! controller/module differential suite checks against.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -13,10 +25,21 @@ use serde::{Deserialize, Serialize};
 use harp_ecc::HammingCode;
 use harp_ecc::LinearBlockCode;
 use harp_gf2::BitVec;
-use harp_memsim::{FaultModel, MemoryChip};
+use harp_memsim::{BurstScratch, FaultModel, MemoryChip};
 
-use crate::geometry::ModuleGeometry;
+use crate::geometry::{BitInterleaveMap, ModuleGeometry};
 use crate::layout::SecondaryLayout;
+
+/// Derives the on-die ECC code seed of one chip from the module seed with a
+/// SplitMix64-style finalizer, so nearby module seeds (`s`, `s ^ 1`, `s + 1`,
+/// …) produce unrelated per-chip code seeds. (A plain `seed ^ chip` made
+/// modules seeded `s` and `s ^ 1` share chip codes pairwise.)
+fn chip_code_seed(seed: u64, chip: u64) -> u64 {
+    let mut z = seed.wrapping_add((chip + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// What the memory controller observes when reading one cache line.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,7 +84,9 @@ impl ModuleReadOutcome {
     }
 }
 
-/// A rank of memory chips with on-die ECC, addressed by cache line.
+/// A rank of memory chips with on-die ECC, addressed by cache line and
+/// generic over the chips' code (default: the paper's SEC Hamming
+/// configuration).
 ///
 /// # Example
 ///
@@ -72,8 +97,7 @@ impl ModuleReadOutcome {
 /// use rand::SeedableRng;
 ///
 /// let geometry = ModuleGeometry::ddr4_style_rank();
-/// let module = MemoryModule::homogeneous(geometry, 4, 7)?;
-/// let mut module = module;
+/// let mut module = MemoryModule::heterogeneous(geometry, 4, 7)?;
 /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
 ///
 /// let line = BitVec::ones(geometry.line_bits());
@@ -82,28 +106,80 @@ impl ModuleReadOutcome {
 /// assert!(outcome.is_clean());
 /// # Ok::<(), harp_ecc::CodeError>(())
 /// ```
-#[derive(Debug, Clone)]
-pub struct MemoryModule {
+#[derive(Debug)]
+pub struct MemoryModule<C: LinearBlockCode = HammingCode> {
     geometry: ModuleGeometry,
-    chips: Vec<MemoryChip>,
+    interleave: BitInterleaveMap,
+    chips: Vec<MemoryChip<C>>,
     lines: usize,
+    /// Reusable burst buffers shared by the per-chip line bursts, persisted
+    /// so steady-state line reads allocate nothing chip-side.
+    scratch: BurstScratch,
+}
+
+impl<C: LinearBlockCode + Clone> Clone for MemoryModule<C> {
+    fn clone(&self) -> Self {
+        // The scratch is a pure buffer cache, so a clone starts with fresh
+        // (lazily sized) buffers; read outcomes are unaffected.
+        Self {
+            geometry: self.geometry,
+            interleave: self.interleave.clone(),
+            chips: self.chips.clone(),
+            lines: self.lines,
+            scratch: BurstScratch::new(),
+        }
+    }
 }
 
 impl MemoryModule {
-    /// Builds a module whose chips all use independently drawn random codes
-    /// of the geometry's on-die word size (manufacturers ship different
-    /// proprietary codes; a rank mixes them freely).
+    /// Builds a module whose chips use independently drawn random SEC
+    /// Hamming codes of the geometry's on-die word size (manufacturers ship
+    /// different proprietary codes; a rank mixes them freely). Per-chip code
+    /// seeds are derived with a SplitMix64-style mix, so nearby module seeds
+    /// yield unrelated code sets.
     ///
     /// # Errors
     ///
     /// Returns a [`harp_ecc::CodeError`] if a code cannot be constructed.
+    pub fn heterogeneous(
+        geometry: ModuleGeometry,
+        lines: usize,
+        seed: u64,
+    ) -> Result<Self, harp_ecc::CodeError> {
+        Self::heterogeneous_with(geometry, lines, seed, |chip_seed| {
+            HammingCode::random(geometry.ondie_word_bits(), chip_seed)
+        })
+    }
+
+    /// Deprecated name of [`MemoryModule::heterogeneous`]: the constructor
+    /// has always drawn an *independent* random code per chip, which is a
+    /// heterogeneous rank.
+    #[deprecated(note = "renamed to `heterogeneous` (chips draw independent random codes)")]
     pub fn homogeneous(
         geometry: ModuleGeometry,
         lines: usize,
         seed: u64,
     ) -> Result<Self, harp_ecc::CodeError> {
+        Self::heterogeneous(geometry, lines, seed)
+    }
+}
+
+impl<C: LinearBlockCode> MemoryModule<C> {
+    /// Builds a module whose chips use independent codes produced by
+    /// `make_code`, invoked with one SplitMix64-derived seed per chip — the
+    /// code-generic twin of [`MemoryModule::heterogeneous`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error returned by `make_code`.
+    pub fn heterogeneous_with<E>(
+        geometry: ModuleGeometry,
+        lines: usize,
+        seed: u64,
+        mut make_code: impl FnMut(u64) -> Result<C, E>,
+    ) -> Result<Self, E> {
         let codes = (0..geometry.chips())
-            .map(|chip| HammingCode::random(geometry.ondie_word_bits(), seed ^ (chip as u64)))
+            .map(|chip| make_code(chip_code_seed(seed, chip as u64)))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self::with_codes(geometry, codes, lines))
     }
@@ -115,7 +191,7 @@ impl MemoryModule {
     /// Panics if the number of codes does not match the geometry's chip
     /// count, if any code's dataword length differs from the geometry's
     /// on-die word size, or if `lines` is zero.
-    pub fn with_codes(geometry: ModuleGeometry, codes: Vec<HammingCode>, lines: usize) -> Self {
+    pub fn with_codes(geometry: ModuleGeometry, codes: Vec<C>, lines: usize) -> Self {
         assert_eq!(
             codes.len(),
             geometry.chips(),
@@ -140,8 +216,10 @@ impl MemoryModule {
             .collect();
         Self {
             geometry,
+            interleave: geometry.bit_interleave(),
             chips,
             lines,
+            scratch: BurstScratch::new(),
         }
     }
 
@@ -156,8 +234,13 @@ impl MemoryModule {
     }
 
     /// The chips in the rank.
-    pub fn chips(&self) -> &[MemoryChip] {
+    pub fn chips(&self) -> &[MemoryChip<C>] {
         &self.chips
+    }
+
+    /// The precomputed burst mapping the read paths index.
+    pub fn bit_interleave(&self) -> &BitInterleaveMap {
+        &self.interleave
     }
 
     fn word_index(&self, line: usize, ondie_word: usize) -> usize {
@@ -220,25 +303,113 @@ impl MemoryModule {
     /// Reads a full cache line through the normal (on-die-ECC decoded) path,
     /// sampling raw errors from each word's fault model.
     ///
+    /// The chip phase of each chip's contribution runs as one
+    /// [`MemoryChip::read_burst`] over the line's on-die words (single
+    /// batched syndrome pass per chip, buffers persisted in the module), and
+    /// the cache line is assembled through the precomputed
+    /// [`BitInterleaveMap`]. Byte-identical to
+    /// [`MemoryModule::read_scalar`], the word-at-a-time reference.
+    ///
     /// # Panics
     ///
     /// Panics if the line index is out of range.
-    pub fn read<R: Rng + ?Sized>(&self, line: usize, rng: &mut R) -> ModuleReadOutcome {
-        self.read_internal(line, rng, false)
+    pub fn read<R: Rng + ?Sized>(&mut self, line: usize, rng: &mut R) -> ModuleReadOutcome {
+        self.read_burst_internal(line, rng, false)
     }
 
     /// Reads a full cache line through the on-die-ECC *bypass* path, so the
     /// returned line contains the raw (pre-correction) data bits of every
-    /// chip — the read HARP's active profiling phase uses.
+    /// chip — the read HARP's active profiling phase uses. Burst-routed like
+    /// [`MemoryModule::read`]; byte-identical to
+    /// [`MemoryModule::read_bypass_scalar`].
     ///
     /// # Panics
     ///
     /// Panics if the line index is out of range.
-    pub fn read_bypass<R: Rng + ?Sized>(&self, line: usize, rng: &mut R) -> ModuleReadOutcome {
-        self.read_internal(line, rng, true)
+    pub fn read_bypass<R: Rng + ?Sized>(&mut self, line: usize, rng: &mut R) -> ModuleReadOutcome {
+        self.read_burst_internal(line, rng, true)
     }
 
-    fn read_internal<R: Rng + ?Sized>(
+    /// The scalar reference twin of [`MemoryModule::read`]: word-at-a-time
+    /// chip reads and per-bit burst-mapping arithmetic, kept deliberately
+    /// simple. The controller/module differential suite asserts the burst
+    /// path reproduces it byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line index is out of range.
+    pub fn read_scalar<R: Rng + ?Sized>(&self, line: usize, rng: &mut R) -> ModuleReadOutcome {
+        self.read_scalar_internal(line, rng, false)
+    }
+
+    /// The scalar reference twin of [`MemoryModule::read_bypass`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line index is out of range.
+    pub fn read_bypass_scalar<R: Rng + ?Sized>(
+        &self,
+        line: usize,
+        rng: &mut R,
+    ) -> ModuleReadOutcome {
+        self.read_scalar_internal(line, rng, true)
+    }
+
+    fn read_burst_internal<R: Rng + ?Sized>(
+        &mut self,
+        line: usize,
+        rng: &mut R,
+        bypass: bool,
+    ) -> ModuleReadOutcome {
+        assert!(line < self.lines, "line {line} out of range");
+        let line_bits = self.geometry.line_bits();
+        let mut data = BitVec::zeros(line_bits);
+        let mut written = BitVec::zeros(line_bits);
+        let mut corrections = 0;
+
+        let words_per_chip = self.geometry.ondie_words_per_chip();
+        let word_bits = self.geometry.ondie_word_bits();
+        let first_word = line * words_per_chip;
+        for (chip_index, chip) in self.chips.iter().enumerate() {
+            // One burst covers every on-die word this chip contributes to the
+            // line, consuming the RNG stream in the same word order as the
+            // scalar reference loop.
+            let observations = chip.read_burst(
+                first_word..first_word + words_per_chip,
+                rng,
+                &mut self.scratch,
+            );
+            for (ondie_word, observation) in observations.iter().enumerate() {
+                if observation.decode_result().outcome.is_correction() {
+                    corrections += 1;
+                }
+                let bypass_bits;
+                let word_data = if bypass {
+                    bypass_bits = observation.raw_data_bits();
+                    &bypass_bits
+                } else {
+                    observation.post_correction_data()
+                };
+                for bit_in_word in 0..word_bits {
+                    let line_bit = self
+                        .interleave
+                        .line_bit(chip_index, ondie_word, bit_in_word);
+                    data.set(line_bit, word_data.get(bit_in_word));
+                    written.set(line_bit, observation.written_data().get(bit_in_word));
+                }
+            }
+        }
+
+        let post_correction_errors = (&data ^ &written).iter_ones().collect();
+        ModuleReadOutcome {
+            data,
+            written,
+            post_correction_errors,
+            corrections_performed: corrections,
+        }
+    }
+
+    fn read_scalar_internal<R: Rng + ?Sized>(
         &self,
         line: usize,
         rng: &mut R,
@@ -308,7 +479,7 @@ mod tests {
             ModuleGeometry::ddr5_style_subchannel(),
             ModuleGeometry::single_chip_64(),
         ] {
-            let mut module = MemoryModule::homogeneous(geometry, 2, 3).unwrap();
+            let mut module = MemoryModule::heterogeneous(geometry, 2, 3).unwrap();
             let line = patterned_line(geometry.line_bits());
             module.write(1, &line);
             let outcome = module.read(1, &mut rng());
@@ -321,7 +492,7 @@ mod tests {
     #[test]
     fn single_raw_error_per_chip_is_absorbed_by_on_die_ecc() {
         let geometry = ModuleGeometry::ddr4_style_rank();
-        let mut module = MemoryModule::homogeneous(geometry, 1, 11).unwrap();
+        let mut module = MemoryModule::heterogeneous(geometry, 1, 11).unwrap();
         // One always-failing charged cell in every chip.
         for chip in 0..geometry.chips() {
             module.set_fault_model(chip, 0, 0, FaultModel::uniform(&[chip * 3], 1.0));
@@ -336,7 +507,7 @@ mod tests {
     #[test]
     fn bypass_read_exposes_raw_errors_that_the_decoded_path_hides() {
         let geometry = ModuleGeometry::single_chip_64();
-        let mut module = MemoryModule::homogeneous(geometry, 1, 5).unwrap();
+        let mut module = MemoryModule::heterogeneous(geometry, 1, 5).unwrap();
         module.set_fault_model(0, 0, 0, FaultModel::uniform(&[7], 1.0));
         let line = BitVec::ones(geometry.line_bits());
         module.write(0, &line);
@@ -358,7 +529,7 @@ mod tests {
     #[test]
     fn uncorrectable_errors_stay_confined_to_their_chip() {
         let geometry = ModuleGeometry::ddr4_style_rank();
-        let mut module = MemoryModule::homogeneous(geometry, 1, 21).unwrap();
+        let mut module = MemoryModule::heterogeneous(geometry, 1, 21).unwrap();
         // Chip 3 word 0 has two always-failing cells: an uncorrectable
         // pattern for its SEC on-die ECC.
         module.set_fault_model(3, 0, 0, FaultModel::uniform(&[10, 20], 1.0));
@@ -374,7 +545,7 @@ mod tests {
     #[test]
     fn concurrent_miscorrections_stress_the_interleaved_layout_most() {
         let geometry = ModuleGeometry::ddr4_style_rank();
-        let mut module = MemoryModule::homogeneous(geometry, 1, 33).unwrap();
+        let mut module = MemoryModule::heterogeneous(geometry, 1, 33).unwrap();
         // Every chip holds an uncorrectable double error.
         for chip in 0..geometry.chips() {
             module.set_fault_model(chip, 0, 0, FaultModel::uniform(&[1, 2], 1.0));
@@ -397,7 +568,7 @@ mod tests {
     #[test]
     fn accessors_report_the_construction_parameters() {
         let geometry = ModuleGeometry::lpddr4_x16();
-        let module = MemoryModule::homogeneous(geometry, 3, 1).unwrap();
+        let module = MemoryModule::heterogeneous(geometry, 3, 1).unwrap();
         assert_eq!(module.lines(), 3);
         assert_eq!(module.geometry().chips(), 1);
         assert_eq!(module.chips().len(), 1);
@@ -423,7 +594,7 @@ mod tests {
     #[should_panic(expected = "line data length mismatch")]
     fn short_lines_are_rejected() {
         let geometry = ModuleGeometry::single_chip_64();
-        let mut module = MemoryModule::homogeneous(geometry, 1, 0).unwrap();
+        let mut module = MemoryModule::heterogeneous(geometry, 1, 0).unwrap();
         module.write(0, &BitVec::ones(32));
     }
 
@@ -431,7 +602,104 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_line_is_rejected() {
         let geometry = ModuleGeometry::single_chip_64();
-        let module = MemoryModule::homogeneous(geometry, 1, 0).unwrap();
+        let mut module = MemoryModule::heterogeneous(geometry, 1, 0).unwrap();
         module.read(5, &mut rng());
+    }
+
+    #[test]
+    fn burst_reads_match_the_scalar_reference_on_both_paths() {
+        for geometry in [
+            ModuleGeometry::ddr4_style_rank(),
+            ModuleGeometry::lpddr4_x16(),
+            ModuleGeometry::ddr5_style_subchannel(),
+        ] {
+            let mut module = MemoryModule::heterogeneous(geometry, 2, 91).unwrap();
+            // A mix of clean words, correctable errors, an uncorrectable
+            // pair, and a probabilistic cell.
+            module.set_fault_model(0, 1, 0, FaultModel::uniform(&[4], 1.0));
+            let last_chip = geometry.chips() - 1;
+            module.set_fault_model(last_chip, 1, 0, FaultModel::uniform(&[10, 20], 1.0));
+            module.set_fault_model(last_chip, 0, 0, FaultModel::uniform(&[7], 0.5));
+            for line in 0..2 {
+                module.write(line, &patterned_line(geometry.line_bits()));
+            }
+
+            let mut scalar_rng = rng();
+            let mut burst_rng = rng();
+            for _round in 0..4 {
+                for line in 0..2 {
+                    let scalar = module.read_scalar(line, &mut scalar_rng);
+                    let burst = module.read(line, &mut burst_rng);
+                    assert_eq!(burst, scalar, "decoded path, {geometry}");
+                    let scalar = module.read_bypass_scalar(line, &mut scalar_rng);
+                    let burst = module.read_bypass(line, &mut burst_rng);
+                    assert_eq!(burst, scalar, "bypass path, {geometry}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modules_are_generic_over_the_code() {
+        // A rank of SEC-DED chips: an uncorrectable pair is *detected*
+        // instead of miscorrected, so exactly the two raw errors surface.
+        let geometry = ModuleGeometry::ddr4_style_rank();
+        let mut module = MemoryModule::heterogeneous_with(geometry, 1, 7, |seed| {
+            harp_ecc::ExtendedHammingCode::random(geometry.ondie_word_bits(), seed)
+        })
+        .unwrap();
+        module.set_fault_model(2, 0, 0, FaultModel::uniform(&[10, 20], 1.0));
+        let line = BitVec::ones(geometry.line_bits());
+        module.write(0, &line);
+        let outcome = module.read(0, &mut rng());
+        assert_eq!(outcome.post_correction_errors.len(), 2);
+        assert_eq!(outcome.corrections_performed, 0);
+        for &bit in &outcome.post_correction_errors {
+            assert_eq!(geometry.locate(bit).chip, 2);
+        }
+    }
+
+    #[test]
+    fn nearby_module_seeds_produce_unrelated_chip_codes() {
+        // Regression: `seed ^ chip` as the per-chip code seed made modules
+        // seeded `s` and `s ^ 1` share their chip codes pairwise (chip 0 of
+        // one was chip 1 of the other).
+        let geometry = ModuleGeometry::ddr4_style_rank();
+        for (a, b) in [(3u64, 2u64), (3, 4), (0, 1)] {
+            let left = MemoryModule::heterogeneous(geometry, 1, a).unwrap();
+            let right = MemoryModule::heterogeneous(geometry, 1, b).unwrap();
+            for (i, left_chip) in left.chips().iter().enumerate() {
+                for (j, right_chip) in right.chips().iter().enumerate() {
+                    assert_ne!(
+                        left_chip.code(),
+                        right_chip.code(),
+                        "seeds {a}/{b}: chip {i} and chip {j} collide"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_homogeneous_alias_delegates_to_heterogeneous() {
+        let geometry = ModuleGeometry::single_chip_64();
+        let via_alias = MemoryModule::homogeneous(geometry, 1, 5).unwrap();
+        let direct = MemoryModule::heterogeneous(geometry, 1, 5).unwrap();
+        assert_eq!(via_alias.chips()[0].code(), direct.chips()[0].code());
+    }
+
+    #[test]
+    fn cloned_modules_read_identically() {
+        let geometry = ModuleGeometry::lpddr4_x16();
+        let mut module = MemoryModule::heterogeneous(geometry, 1, 13).unwrap();
+        module.set_fault_model(0, 0, 1, FaultModel::uniform(&[3, 9], 0.5));
+        module.write(0, &BitVec::ones(geometry.line_bits()));
+        let mut clone = module.clone();
+        let mut rng_a = rng();
+        let mut rng_b = rng();
+        for _ in 0..4 {
+            assert_eq!(module.read(0, &mut rng_a), clone.read(0, &mut rng_b));
+        }
     }
 }

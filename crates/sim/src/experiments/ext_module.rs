@@ -11,17 +11,20 @@
 //!   error;
 //! * empirically, the worst number of simultaneous post-correction errors a
 //!   secondary ECC word actually sees when a configurable number of chips
-//!   hold uncorrectable fault patterns at once — confirming the analytic
-//!   bound is tight for the interleaved layout and loose only when fewer
-//!   chips are faulty.
+//!   hold uncorrectable fault patterns at once — for **all three on-die ECC
+//!   families** (SEC Hamming, SEC-DED, DEC BCH) through the same generic
+//!   [`MemoryModule`] burst read path. The analytic bound scales with the
+//!   family's correction capability `t` (a bounded-distance decoder flips at
+//!   most `t` positions per word), and the stress test confirms it is tight
+//!   for the interleaved layout and loose only when fewer chips are faulty.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use harp_bch::BchCode;
 use harp_ecc::analysis::FailureDependence;
-use harp_ecc::HammingCode;
-use harp_ecc::LinearBlockCode;
+use harp_ecc::{ExtendedHammingCode, HammingCode, LinearBlockCode};
 use harp_gf2::BitVec;
 use harp_memsim::{AtRiskBit, FaultModel};
 use harp_module::{MemoryModule, ModuleGeometry, SecondaryLayout};
@@ -57,20 +60,35 @@ pub struct Ext3StressRow {
     pub worst_per_layout: Vec<usize>,
 }
 
+/// The stress-test sweep of one on-die ECC family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ext3FamilyStress {
+    /// Human-readable family description (e.g. `"SEC Hamming (71, 64)"`).
+    pub family: String,
+    /// The family's correction capability `t` — each on-die word contributes
+    /// at most this many indirect errors, so the analytic per-layout bound is
+    /// `required_capability(geometry, t)`.
+    pub correction_capability: usize,
+    /// One row per faulty-chip count.
+    pub rows: Vec<Ext3StressRow>,
+}
+
 /// The full extension-3 result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Ext3ModuleResult {
     /// Analytic capability/overhead table.
     pub layouts: Vec<Ext3LayoutRow>,
-    /// Stress-test rows for the DDR4-style rank.
-    pub stress: Vec<Ext3StressRow>,
+    /// Stress-test sweeps for the DDR4-style rank, one per on-die ECC family
+    /// (SEC Hamming, SEC-DED, DEC BCH).
+    pub stress: Vec<Ext3FamilyStress>,
 }
 
 /// Runs the extension experiment.
 ///
 /// # Panics
 ///
-/// Panics if the configuration is invalid.
+/// Panics if the configuration is invalid or a code family cannot be
+/// constructed for the geometry's on-die word size.
 pub fn run(config: &EvaluationConfig) -> Ext3ModuleResult {
     config.validate();
     let geometries = [
@@ -93,23 +111,65 @@ pub fn run(config: &EvaluationConfig) -> Ext3ModuleResult {
     }
 
     let geometry = ModuleGeometry::ddr4_style_rank();
+    let word_bits = geometry.ondie_word_bits();
+    let bch = BchCode::dec(word_bits).expect("valid DEC BCH code");
+    let stress = vec![
+        stress_family(config, geometry, |seed| {
+            HammingCode::random(word_bits, seed)
+        }),
+        stress_family(config, geometry, |seed| {
+            ExtendedHammingCode::random(word_bits, seed)
+        }),
+        // The BCH construction is deterministic, so every chip shares the
+        // code; the injected fault patterns still differ per trial seed.
+        stress_family(config, geometry, |_seed| {
+            Ok::<_, harp_bch::BchError>(bch.clone())
+        }),
+    ];
+
+    Ext3ModuleResult { layouts, stress }
+}
+
+/// Runs the DDR4-rank stress sweep for one on-die ECC family through the
+/// generic [`MemoryModule`] burst read path.
+fn stress_family<C, E, F>(
+    config: &EvaluationConfig,
+    geometry: ModuleGeometry,
+    make_code: F,
+) -> Ext3FamilyStress
+where
+    C: LinearBlockCode + Clone + PartialEq + Send + Sync,
+    E: std::fmt::Debug,
+    F: Fn(u64) -> Result<C, E> + Sync,
+{
+    let reference = make_code(config.seed_for(0, 0, 0x30D)).expect("family code");
+    // Memoizes the subset search for deterministic families (every BCH chip
+    // shares the one `BchCode::dec` code); randomly drawn codes miss and
+    // search their own pattern.
+    let reference_pattern = miscorrecting_parity_pattern(&reference);
     let trials = (config.words_total()).max(8);
     let faulty_counts = [1usize, 2, 4, 8];
-    let stress = parallel_map(&faulty_counts, config.threads, |&faulty_chips| {
+    let rows = parallel_map(&faulty_counts, config.threads, |&faulty_chips| {
         let mut worst = vec![0usize; SecondaryLayout::ALL.len()];
         for trial in 0..trials {
             let seed = config.seed_for(trial, faulty_chips, 0x30D);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let mut module =
-                MemoryModule::homogeneous(geometry, 1, seed ^ 0xC0DE).expect("module codes");
+                MemoryModule::heterogeneous_with(geometry, 1, seed ^ 0xC0DE, &make_code)
+                    .expect("module codes");
             for chip in 0..faulty_chips {
-                // Two raw errors confined to the parity bits of each faulty
+                // Raw errors confined to the parity bits of each faulty
                 // chip's word, chosen to provoke a data-bit miscorrection:
                 // the scenario after HARP's active phase, where every
                 // remaining post-correction error is an indirect error (at
-                // most one per on-die ECC word).
-                let pair = miscorrecting_parity_pair(module.chips()[chip].code());
-                let at_risk = pair.iter().map(|&p| AtRiskBit::new(p, 1.0)).collect();
+                // most `t` per on-die ECC word).
+                let code = module.chips()[chip].code();
+                let pattern = if code == &reference {
+                    reference_pattern.clone()
+                } else {
+                    miscorrecting_parity_pattern(code)
+                };
+                let at_risk = pattern.iter().map(|&p| AtRiskBit::new(p, 1.0)).collect();
                 module.set_fault_model(
                     chip,
                     0,
@@ -131,24 +191,61 @@ pub fn run(config: &EvaluationConfig) -> Ext3ModuleResult {
             worst_per_layout: worst,
         }
     });
-
-    Ext3ModuleResult { layouts, stress }
+    Ext3FamilyStress {
+        family: reference.description(),
+        correction_capability: reference.correction_capability(),
+        rows,
+    }
 }
 
-/// Finds two parity positions of `code` whose simultaneous failure provokes a
-/// miscorrection of a data bit (falling back to the first two parity
-/// positions if no such pair exists for this code).
-fn miscorrecting_parity_pair(code: &HammingCode) -> [usize; 2] {
+/// Finds a small set of parity positions of `code` whose simultaneous
+/// failure provokes a miscorrection of at least one *data* bit, generically
+/// over the code family: subsets of `t + 1` (then `t + 2`) parity positions
+/// are decoded as error patterns until one flips a data bit. Falls back to
+/// the first `t + 1` parity positions if no such subset exists (the chip
+/// then contributes detected-but-uncorrected parity errors only, which is
+/// harmless to the stress bound).
+fn miscorrecting_parity_pattern<C: LinearBlockCode>(code: &C) -> Vec<usize> {
     let k = code.data_len();
-    for a in k..code.codeword_len() {
-        for b in (a + 1)..code.codeword_len() {
-            let syndrome = code.column(a) ^ code.column(b);
-            if code.position_for_syndrome(&syndrome).is_some_and(|m| m < k) {
-                return [a, b];
-            }
+    let n = code.codeword_len();
+    let t = code.correction_capability();
+    for size in [t + 1, t + 2] {
+        if size > n - k {
+            continue;
+        }
+        let mut subset = vec![0usize; size];
+        if search_parity_subset(code, &mut subset, 0, k) {
+            return subset;
         }
     }
-    [k, k + 1]
+    (k..(k + t + 1).min(n)).collect()
+}
+
+/// Depth-first search over ascending parity-position subsets; fills
+/// `subset[depth..]` starting at `from` and returns `true` once the decoded
+/// error pattern flips a data bit.
+fn search_parity_subset<C: LinearBlockCode>(
+    code: &C,
+    subset: &mut Vec<usize>,
+    depth: usize,
+    from: usize,
+) -> bool {
+    if depth == subset.len() {
+        let error = BitVec::from_indices(code.codeword_len(), subset.iter().copied());
+        let result = code.decode_error_pattern(&error);
+        return result
+            .outcome
+            .corrected_positions()
+            .iter()
+            .any(|&position| position < code.data_len());
+    }
+    for position in from..code.codeword_len() {
+        subset[depth] = position;
+        if search_parity_subset(code, subset, depth + 1, position + 1) {
+            return true;
+        }
+    }
+    false
 }
 
 impl Ext3ModuleResult {
@@ -171,23 +268,36 @@ impl Ext3ModuleResult {
             ]);
         }
 
-        let mut header = vec!["faulty chips".to_owned(), "trials".to_owned()];
+        let mut header = vec![
+            "on-die ECC".to_owned(),
+            "t".to_owned(),
+            "faulty chips".to_owned(),
+            "trials".to_owned(),
+        ];
         header.extend(
             SecondaryLayout::ALL
                 .iter()
                 .map(|l| format!("worst in {l} word")),
         );
         let mut stress = TextTable::new(header);
-        for row in &self.stress {
-            let mut cells = vec![row.faulty_chips.to_string(), row.trials.to_string()];
-            cells.extend(row.worst_per_layout.iter().map(usize::to_string));
-            stress.push_row(cells);
+        for family in &self.stress {
+            for row in &family.rows {
+                let mut cells = vec![
+                    family.family.clone(),
+                    family.correction_capability.to_string(),
+                    row.faulty_chips.to_string(),
+                    row.trials.to_string(),
+                ];
+                cells.extend(row.worst_per_layout.iter().map(usize::to_string));
+                stress.push_row(cells);
+            }
         }
 
         format!(
             "Extension 3: secondary-ECC layout across a multi-chip rank (§6.3)\n\n\
              Required secondary-ECC strength per layout (on-die ECC t = 1):\n{}\n\
-             Worst simultaneous errors per secondary word, DDR4-style rank stress test:\n{}",
+             Worst simultaneous errors per secondary word, DDR4-style rank stress test\n\
+             (per on-die ECC family; the analytic bound scales with the family's t):\n{}",
             analytic.render(),
             stress.render()
         )
@@ -222,19 +332,36 @@ mod tests {
     }
 
     #[test]
-    fn observed_errors_never_exceed_the_analytic_bound() {
-        // The stress test injects indirect errors only (raw errors confined
-        // to parity bits), so the analytic per-layout capability is a hard
-        // bound on what any secondary word observes.
+    fn stress_covers_all_three_families() {
         let result = run(&EvaluationConfig::smoke());
-        for row in &result.stress {
-            for (index, layout) in SecondaryLayout::ALL.iter().enumerate() {
-                let bound = result.ddr4_capability(*layout).unwrap();
-                assert!(
-                    row.worst_per_layout[index] <= bound,
-                    "{layout}: observed {} exceeds bound {bound}",
-                    row.worst_per_layout[index]
-                );
+        assert_eq!(result.stress.len(), 3);
+        assert!(result.stress[0].family.contains("SEC Hamming"));
+        assert!(result.stress[1].family.contains("SEC-DED"));
+        assert!(result.stress[2].family.contains("DEC BCH"));
+        assert_eq!(result.stress[0].correction_capability, 1);
+        assert_eq!(result.stress[1].correction_capability, 1);
+        assert_eq!(result.stress[2].correction_capability, 2);
+    }
+
+    #[test]
+    fn observed_errors_never_exceed_the_analytic_bound_per_family() {
+        // The stress test injects indirect errors only (raw errors confined
+        // to parity bits), so each word holds at most `t` post-correction
+        // errors and the per-layout capability at that `t` is a hard bound
+        // on what any secondary word observes.
+        let geometry = ModuleGeometry::ddr4_style_rank();
+        let result = run(&EvaluationConfig::smoke());
+        for family in &result.stress {
+            for row in &family.rows {
+                for (index, layout) in SecondaryLayout::ALL.iter().enumerate() {
+                    let bound = layout.required_capability(&geometry, family.correction_capability);
+                    assert!(
+                        row.worst_per_layout[index] <= bound,
+                        "{} / {layout}: observed {} exceeds bound {bound}",
+                        family.family,
+                        row.worst_per_layout[index]
+                    );
+                }
             }
         }
     }
@@ -246,11 +373,38 @@ mod tests {
             .iter()
             .position(|l| *l == SecondaryLayout::PerCacheLine)
             .unwrap();
-        let single = &result.stress[0];
-        let all = result.stress.last().unwrap();
-        assert!(
-            all.worst_per_layout[interleaved_index] >= single.worst_per_layout[interleaved_index]
-        );
+        for family in &result.stress {
+            let single = &family.rows[0];
+            let all = family.rows.last().unwrap();
+            assert!(
+                all.worst_per_layout[interleaved_index]
+                    >= single.worst_per_layout[interleaved_index],
+                "{}",
+                family.family
+            );
+        }
         assert!(result.render().contains("Extension 3"));
+    }
+
+    #[test]
+    fn miscorrecting_patterns_stay_inside_the_parity_region() {
+        let hamming = HammingCode::random(64, 3).unwrap();
+        let secded = ExtendedHammingCode::random(64, 3).unwrap();
+        let bch = BchCode::dec(64).unwrap();
+        fn check<C: LinearBlockCode>(code: &C) {
+            let pattern = miscorrecting_parity_pattern(code);
+            assert!(!pattern.is_empty());
+            assert!(pattern.len() <= code.correction_capability() + 2);
+            for &position in &pattern {
+                assert!(
+                    position >= code.data_len() && position < code.codeword_len(),
+                    "{}: position {position} is not a parity bit",
+                    code.description()
+                );
+            }
+        }
+        check(&hamming);
+        check(&secded);
+        check(&bch);
     }
 }

@@ -2,32 +2,51 @@
 //!
 //! The paper's case study assumes an *ideal* repair mechanism with unlimited
 //! spare capacity so that profiler coverage is the only variable. Real
-//! mechanisms (Table 1) have finite capacity at a fixed granularity. Given a
-//! profile produced by a full-coverage profiler such as HARP, this
-//! experiment asks how much repair capacity each mechanism actually needs at
-//! a given raw bit error rate, and how many at-risk bits are left exposed
-//! when the capacity is fixed at realistic values:
+//! mechanisms (Table 1) have finite capacity at a fixed granularity. Given
+//! the profile a full-coverage profiler such as HARP would hand over — every
+//! data bit at risk of post-correction error, i.e. the word's
+//! [`ErrorSpace::post_correction_at_risk`] set: direct at-risk bits plus
+//! every achievable miscorrection target — this experiment asks how much
+//! repair capacity each mechanism actually needs at a given raw bit error
+//! rate, and how many at-risk bits are left exposed when the capacity is
+//! fixed at realistic values:
 //!
 //! * ECP-style per-word pointer entries (2 and 6 entries per 64-bit word);
 //! * an ArchShield-style spare region sized at 1% of all words;
 //! * ideal bit-granularity repair as the reference point.
+//!
+//! The sweep runs for **all three on-die ECC families** (SEC Hamming,
+//! SEC-DED, DEC BCH) through the same generic [`ErrorSpace`] analysis:
+//! stronger codes absorb more raw-error combinations and miscorrect less, so
+//! the profile a mechanism must absorb — and therefore the capacity it needs
+//! — shrinks from Hamming to SEC-DED to BCH.
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use harp_bch::BchCode;
 use harp_controller::{ArchShieldRepair, BitRepairMechanism, EcpRepair, ErrorProfile};
+use harp_ecc::analysis::FailureDependence;
+use harp_ecc::{ErrorSpace, ExtendedHammingCode, HammingCode, LinearBlockCode};
 
 use crate::config::EvaluationConfig;
 use crate::report::{fixed, scientific, TextTable};
+use crate::runner::parallel_map;
 
 /// The raw bit error rates swept by default.
 pub const DEFAULT_RBERS: [f64; 3] = [1e-4, 1e-3, 1e-2];
 
+/// Number of independently drawn codes each family's word population cycles
+/// through (chips ship one proprietary code each; a population mixes a few).
+const CODES_PER_FAMILY: usize = 4;
+
 /// Capacity outcome of one mechanism at one RBER.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Ext4MechanismRow {
+    /// On-die ECC family whose post-correction error space was profiled.
+    pub family: String,
     /// Mechanism label.
     pub mechanism: String,
     /// Raw bit error rate of the profiled population.
@@ -45,9 +64,9 @@ pub struct Ext4MechanismRow {
 /// The full extension-4 result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Ext4RepairResult {
-    /// Number of 64-bit words in the simulated population.
+    /// Number of on-die ECC words in the simulated population (per family).
     pub words: usize,
-    /// One row per (mechanism, RBER) pair.
+    /// One row per (family, mechanism, RBER) triple.
     pub rows: Vec<Ext4MechanismRow>,
 }
 
@@ -64,7 +83,8 @@ pub fn run(config: &EvaluationConfig) -> Ext4RepairResult {
 ///
 /// # Panics
 ///
-/// Panics if the configuration is invalid or any RBER is outside `[0, 1]`.
+/// Panics if the configuration is invalid, any RBER is outside `[0, 1]`, or
+/// a code family cannot be constructed for the configured dataword length.
 pub fn run_with_rbers(config: &EvaluationConfig, rbers: &[f64]) -> Ext4RepairResult {
     config.validate();
     for &rber in rbers {
@@ -75,76 +95,157 @@ pub fn run_with_rbers(config: &EvaluationConfig, rbers: &[f64]) -> Ext4RepairRes
     let words = (config.words_total() * 256).max(4096);
     let word_bits = config.data_bits;
 
-    let mut rows = Vec::new();
-    for &rber in rbers {
-        let mut rng = ChaCha8Rng::seed_from_u64(config.base_seed ^ (rber.to_bits()));
-        // The profile a full-coverage profiler (HARP) would hand to the
-        // repair mechanism: every at-risk data bit of every word.
-        let mut profile = ErrorProfile::new();
-        for word in 0..words {
-            for bit in 0..word_bits {
-                if rng.gen_bool(rber) {
-                    profile.mark(word, bit);
-                }
+    let families = build_families(config);
+    // One task per (family, RBER) pair: profile construction dominates the
+    // runtime, and every pair is independent.
+    let tasks: Vec<(usize, f64)> = (0..families.len())
+        .flat_map(|family| rbers.iter().map(move |&rber| (family, rber)))
+        .collect();
+    let rows_per_task = parallel_map(&tasks, config.threads, |&(family_index, rber)| {
+        let (family, codes) = &families[family_index];
+        let profile = family_profile(config, codes, words, rber);
+        mechanism_rows(family, &profile, words, word_bits, rber)
+    });
+
+    Ext4RepairResult {
+        words,
+        rows: rows_per_task.into_iter().flatten().collect(),
+    }
+}
+
+/// Builds the three code families' code sets (a few independently drawn
+/// codes each; the deterministic BCH construction yields one shared code).
+#[allow(clippy::type_complexity)]
+fn build_families(
+    config: &EvaluationConfig,
+) -> Vec<(String, Vec<Box<dyn LinearBlockCode + Send + Sync>>)> {
+    let word_bits = config.data_bits;
+    let hamming: Vec<Box<dyn LinearBlockCode + Send + Sync>> = (0..CODES_PER_FAMILY)
+        .map(|index| {
+            Box::new(
+                HammingCode::random(word_bits, config.seed_for(index, 0, 0xE47))
+                    .expect("valid SEC Hamming code"),
+            ) as Box<dyn LinearBlockCode + Send + Sync>
+        })
+        .collect();
+    let secded: Vec<Box<dyn LinearBlockCode + Send + Sync>> = (0..CODES_PER_FAMILY)
+        .map(|index| {
+            Box::new(
+                ExtendedHammingCode::random(word_bits, config.seed_for(index, 1, 0xE47))
+                    .expect("valid SEC-DED code"),
+            ) as Box<dyn LinearBlockCode + Send + Sync>
+        })
+        .collect();
+    let bch: Vec<Box<dyn LinearBlockCode + Send + Sync>> = vec![Box::new(
+        BchCode::dec(word_bits).expect("valid DEC BCH code"),
+    )];
+    [hamming, secded, bch]
+        .into_iter()
+        .map(|codes| (codes[0].description(), codes))
+        .collect()
+}
+
+/// The profile a full-coverage profiler would hand to the repair mechanism
+/// for one family: each word samples at-risk cells over its code's *whole
+/// codeword* with probability `rber`, and the word's exact post-correction
+/// error space (direct bits plus achievable miscorrection targets) is
+/// profiled.
+fn family_profile(
+    config: &EvaluationConfig,
+    codes: &[Box<dyn LinearBlockCode + Send + Sync>],
+    words: usize,
+    rber: f64,
+) -> ErrorProfile {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.base_seed ^ rber.to_bits());
+    let mut profile = ErrorProfile::new();
+    for word in 0..words {
+        let code = codes[word % codes.len()].as_ref();
+        let mut at_risk = Vec::new();
+        for position in 0..code.codeword_len() {
+            if rng.gen_bool(rber) {
+                at_risk.push(position);
             }
         }
-        let profiled_bits = profile.total_bits();
-        let faulty_words = (0..words).filter(|&w| profile.count_for(w) > 0).count();
-
-        // Ideal bit-granularity repair: one spare bit per profiled bit.
-        let bit_repair = BitRepairMechanism::new(profile.clone());
-        rows.push(Ext4MechanismRow {
-            mechanism: "ideal bit repair".to_owned(),
-            rber,
-            profiled_bits,
-            overhead_bits: bit_repair.spare_bits_required(),
-            uncovered: 0,
-            uncovered_fraction: 0.0,
-        });
-
-        // ECP-style pointer entries per word.
-        for entries in [2usize, 6] {
-            let mut ecp = EcpRepair::new(word_bits, entries);
-            let uncovered = ecp.load_profile(&profile);
-            rows.push(Ext4MechanismRow {
-                mechanism: format!("ECP-{entries} (per {word_bits}-bit word)"),
-                rber,
-                profiled_bits,
-                overhead_bits: ecp.overhead_bits(),
-                uncovered,
-                uncovered_fraction: if profiled_bits == 0 {
-                    0.0
-                } else {
-                    uncovered as f64 / profiled_bits as f64
-                },
-            });
+        if at_risk.is_empty() {
+            continue;
         }
+        // Exhaustive ground truth is exponential in the at-risk count; clamp
+        // pathological samples (essentially impossible at the swept RBERs).
+        at_risk.truncate(ErrorSpace::MAX_AT_RISK_BITS);
+        let space = ErrorSpace::enumerate(code, &at_risk, FailureDependence::TrueCell);
+        profile.mark_all(word, space.post_correction_at_risk().iter().copied());
+    }
+    profile
+}
 
-        // ArchShield-style spare region: 1% of all words.
-        let spare_words = (words / 100).max(1);
-        let mut arch = ArchShieldRepair::new(spare_words);
-        let unprotected = arch.load_profile(&profile);
+/// Loads one family's profile into every mechanism and collects the rows.
+fn mechanism_rows(
+    family: &str,
+    profile: &ErrorProfile,
+    words: usize,
+    word_bits: usize,
+    rber: f64,
+) -> Vec<Ext4MechanismRow> {
+    let profiled_bits = profile.total_bits();
+    let faulty_words = (0..words).filter(|&w| profile.count_for(w) > 0).count();
+    let mut rows = Vec::new();
+
+    // Ideal bit-granularity repair: one spare bit per profiled bit.
+    let bit_repair = BitRepairMechanism::new(profile.clone());
+    rows.push(Ext4MechanismRow {
+        family: family.to_owned(),
+        mechanism: "ideal bit repair".to_owned(),
+        rber,
+        profiled_bits,
+        overhead_bits: bit_repair.spare_bits_required(),
+        uncovered: 0,
+        uncovered_fraction: 0.0,
+    });
+
+    // ECP-style pointer entries per word.
+    for entries in [2usize, 6] {
+        let mut ecp = EcpRepair::new(word_bits, entries);
+        let uncovered = ecp.load_profile(profile);
         rows.push(Ext4MechanismRow {
-            mechanism: format!("ArchShield ({spare_words} spare words)"),
+            family: family.to_owned(),
+            mechanism: format!("ECP-{entries} (per {word_bits}-bit word)"),
             rber,
             profiled_bits,
-            overhead_bits: spare_words * word_bits,
-            uncovered: unprotected,
-            uncovered_fraction: if faulty_words == 0 {
+            overhead_bits: ecp.overhead_bits(),
+            uncovered,
+            uncovered_fraction: if profiled_bits == 0 {
                 0.0
             } else {
-                unprotected as f64 / faulty_words as f64
+                uncovered as f64 / profiled_bits as f64
             },
         });
     }
 
-    Ext4RepairResult { words, rows }
+    // ArchShield-style spare region: 1% of all words.
+    let spare_words = (words / 100).max(1);
+    let mut arch = ArchShieldRepair::new(spare_words);
+    let unprotected = arch.load_profile(profile);
+    rows.push(Ext4MechanismRow {
+        family: family.to_owned(),
+        mechanism: format!("ArchShield ({spare_words} spare words)"),
+        rber,
+        profiled_bits,
+        overhead_bits: spare_words * word_bits,
+        uncovered: unprotected,
+        uncovered_fraction: if faulty_words == 0 {
+            0.0
+        } else {
+            unprotected as f64 / faulty_words as f64
+        },
+    });
+    rows
 }
 
 impl Ext4RepairResult {
     /// Renders the result as a plain-text table.
     pub fn render(&self) -> String {
         let mut table = TextTable::new([
+            "on-die ECC",
             "mechanism",
             "RBER",
             "profiled at-risk bits",
@@ -154,6 +255,7 @@ impl Ext4RepairResult {
         ]);
         for row in &self.rows {
             table.push_row([
+                row.family.clone(),
                 row.mechanism.clone(),
                 scientific(row.rber),
                 row.profiled_bits.to_string(),
@@ -163,18 +265,38 @@ impl Ext4RepairResult {
             ]);
         }
         format!(
-            "Extension 4: repair-capacity planning over {} words (Table 1 made executable)\n{}",
+            "Extension 4: repair-capacity planning over {} words per on-die ECC family \
+             (Table 1 made executable)\n{}",
             self.words,
             table.render()
         )
     }
 
-    /// Rows for one mechanism label prefix.
+    /// Rows for one mechanism label prefix (across all families).
     pub fn rows_for(&self, prefix: &str) -> Vec<&Ext4MechanismRow> {
         self.rows
             .iter()
             .filter(|r| r.mechanism.starts_with(prefix))
             .collect()
+    }
+
+    /// Rows for one (family prefix, mechanism prefix) pair.
+    pub fn rows_for_family(&self, family: &str, mechanism: &str) -> Vec<&Ext4MechanismRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.family.starts_with(family) && r.mechanism.starts_with(mechanism))
+            .collect()
+    }
+
+    /// The distinct family labels, in row order.
+    pub fn families(&self) -> Vec<&str> {
+        let mut families: Vec<&str> = Vec::new();
+        for row in &self.rows {
+            if !families.contains(&row.family.as_str()) {
+                families.push(&row.family);
+            }
+        }
+        families
     }
 }
 
@@ -184,6 +306,18 @@ mod tests {
 
     fn smoke_config() -> EvaluationConfig {
         EvaluationConfig::smoke()
+    }
+
+    #[test]
+    fn all_three_families_are_swept() {
+        let result = run_with_rbers(&smoke_config(), &[1e-2]);
+        let families = result.families();
+        assert_eq!(families.len(), 3);
+        assert!(families[0].contains("SEC Hamming"));
+        assert!(families[1].contains("SEC-DED"));
+        assert!(families[2].contains("DEC BCH"));
+        // Four mechanisms per (family, RBER) pair.
+        assert_eq!(result.rows.len(), 3 * 4);
     }
 
     #[test]
@@ -198,18 +332,35 @@ mod tests {
     #[test]
     fn ecp6_covers_at_least_as_much_as_ecp2() {
         let result = run_with_rbers(&smoke_config(), &[1e-2]);
-        let ecp2 = result.rows_for("ECP-2")[0];
-        let ecp6 = result.rows_for("ECP-6")[0];
-        assert!(ecp6.uncovered <= ecp2.uncovered);
-        assert_eq!(ecp2.rber, 1e-2);
+        for family in result.families() {
+            let ecp2 = result.rows_for_family(family, "ECP-2")[0];
+            let ecp6 = result.rows_for_family(family, "ECP-6")[0];
+            assert!(ecp6.uncovered <= ecp2.uncovered, "{family}");
+            assert_eq!(ecp2.rber, 1e-2);
+        }
+    }
+
+    #[test]
+    fn stronger_codes_need_no_more_repair_capacity() {
+        // SEC-DED detects the pairs Hamming miscorrects and BCH corrects
+        // them outright, so the profiled at-risk population shrinks (or at
+        // worst stays equal) as the code strengthens.
+        let result = run_with_rbers(&smoke_config(), &[1e-2]);
+        let families = result.families();
+        let profiled = |family: &str| -> usize {
+            result.rows_for_family(family, "ideal bit repair")[0].profiled_bits
+        };
+        assert!(profiled(families[1]) <= profiled(families[0]));
+        assert!(profiled(families[2]) <= profiled(families[0]));
     }
 
     #[test]
     fn higher_rber_profiles_more_bits() {
         let result = run_with_rbers(&smoke_config(), &[1e-4, 1e-2]);
-        let low = result.rows_for("ideal bit repair")[0].profiled_bits;
-        let high = result.rows_for("ideal bit repair")[1].profiled_bits;
-        assert!(high > low);
+        for family in result.families() {
+            let rows = result.rows_for_family(family, "ideal bit repair");
+            assert!(rows[1].profiled_bits > rows[0].profiled_bits, "{family}");
+        }
         assert!(result.render().contains("Extension 4"));
     }
 

@@ -63,16 +63,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         controller.chip().num_words()
     );
 
-    // Normal operation: reads go through repair + reactive profiling.
+    // Normal operation: reads go through repair + reactive profiling. Each
+    // scrub pass over the chip is one `read_range` burst (a single batched
+    // syndrome-kernel pass chip-side), byte-identical to a scalar read loop.
     let payload = BitVec::ones(64);
-    for word in 0..controller.chip().num_words() {
+    let num_words = controller.chip().num_words();
+    for word in 0..num_words {
         controller.write(word, &payload);
     }
     let mut escaped = 0usize;
     let mut identified_reactively = 0usize;
     for _ in 0..200 {
-        for word in 0..controller.chip().num_words() {
-            let outcome = controller.read(word, &mut rng);
+        for outcome in controller.read_range(0..num_words, &mut rng) {
             escaped += outcome.escaped_errors.len();
             identified_reactively += outcome.newly_identified.len();
         }

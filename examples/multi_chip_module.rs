@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    decoder miscorrects a data bit. Each on-die ECC word therefore
     //    contributes exactly one *indirect* post-correction error, the
     //    situation HARP's reactive phase faces after active profiling.
-    let mut module = MemoryModule::homogeneous(geometry, 1, 0xAA17)?;
+    let mut module = MemoryModule::heterogeneous(geometry, 1, 0xAA17)?;
     for chip in 0..geometry.chips() {
         let pair = miscorrecting_parity_pair(module.chips()[chip].code());
         let at_risk = pair.iter().map(|&p| AtRiskBit::new(p, 1.0)).collect();

@@ -54,9 +54,20 @@ fn ext3_aligned_layout_is_cheapest_and_bounds_hold() {
         .unwrap();
     assert_eq!(aligned, 1);
     assert_eq!(interleaved, 8);
-    for row in &result.stress {
-        for (index, layout) in SecondaryLayout::ALL.iter().enumerate() {
-            assert!(row.worst_per_layout[index] <= result.ddr4_capability(*layout).unwrap());
+    // All three on-die ECC families go through the stress sweep; the
+    // analytic bound scales with each family's correction capability.
+    assert_eq!(result.stress.len(), 3);
+    let geometry = harp_module::ModuleGeometry::ddr4_style_rank();
+    for family in &result.stress {
+        for row in &family.rows {
+            for (index, layout) in SecondaryLayout::ALL.iter().enumerate() {
+                assert!(
+                    row.worst_per_layout[index]
+                        <= layout.required_capability(&geometry, family.correction_capability),
+                    "{}",
+                    family.family
+                );
+            }
         }
     }
 }
@@ -70,19 +81,29 @@ fn ext4_fine_granularity_repair_wastes_the_least_capacity() {
         assert_eq!(row.uncovered, 0);
     }
     // A larger ECP budget covers at least as many bits as a smaller one at
-    // the same error rate.
-    for rber in [1e-3, 1e-2] {
-        let ecp2 = result
-            .rows
-            .iter()
-            .find(|r| r.mechanism.starts_with("ECP-2") && (r.rber - rber).abs() < 1e-12)
-            .unwrap();
-        let ecp6 = result
-            .rows
-            .iter()
-            .find(|r| r.mechanism.starts_with("ECP-6") && (r.rber - rber).abs() < 1e-12)
-            .unwrap();
-        assert!(ecp6.uncovered <= ecp2.uncovered);
+    // the same error rate, for every on-die ECC family.
+    for family in result.families() {
+        for rber in [1e-3, 1e-2] {
+            let ecp2 = result
+                .rows
+                .iter()
+                .find(|r| {
+                    r.family == family
+                        && r.mechanism.starts_with("ECP-2")
+                        && (r.rber - rber).abs() < 1e-12
+                })
+                .unwrap();
+            let ecp6 = result
+                .rows
+                .iter()
+                .find(|r| {
+                    r.family == family
+                        && r.mechanism.starts_with("ECP-6")
+                        && (r.rber - rber).abs() < 1e-12
+                })
+                .unwrap();
+            assert!(ecp6.uncovered <= ecp2.uncovered, "{family}");
+        }
     }
 }
 
