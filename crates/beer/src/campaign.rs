@@ -13,7 +13,9 @@
 //!
 //! The campaign drives an actual [`harp_memsim::MemoryChip`] through its
 //! normal (non-bypass) read path, exactly as an experimenter without HARP's
-//! chip modification would.
+//! chip modification would. All trials of a round are read as one burst, so
+//! the campaign rides the chip's bit-sliced syndrome pass and clean-word
+//! mask fast path for free.
 //!
 //! **Modelling note.** The campaign assumes a test condition under which the
 //! two targeted (charged) data cells fail during the test window while the

@@ -36,9 +36,17 @@
 //!   --json PATH  additionally dump the raw result as a structured text dump
 //!                (Debug-rendered by the vendored offline serde_json stand-in,
 //!                not strict JSON; see vendor/serde_json)
+//!
+//! tooling subcommand (its own flags, see BENCHMARKS.md):
+//!   bench-export [--check] [--input PATH] [--output-dir DIR]
+//!                persist each bench group's medians as BENCH_<group>.json
+//!                (default: runs `cargo bench --workspace` with the
+//!                machine-readable hook); --check validates the files
 //! ```
 
 use std::process::ExitCode;
+
+mod bench_export;
 
 use harp_sim::experiments::{
     ablation, ext_bch, ext_beer, ext_codes, ext_module, ext_repair, ext_vrt, fig10, fig2, fig4,
@@ -280,6 +288,18 @@ fn run_experiment(options: &cli::Options) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The bench-export tooling subcommand has its own flag set and no
+    // experiment semantics, so it bypasses the experiment parser entirely.
+    if args.first().map(String::as_str) == Some("bench-export") {
+        return match bench_export::run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("usage: harp bench-export [--check] [--input PATH] [--output-dir DIR]");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match cli::parse(&args) {
         Ok(options) => options,
         Err(message) => {

@@ -178,8 +178,10 @@ impl<C: LinearBlockCode> MemoryController<C> {
     /// Reads every ECC word in `words` through the full path as one scrub
     /// burst: the chip phase runs as a single [`MemoryChip::read_burst`]
     /// (fault sampling in word order on the same RNG stream a scalar `read`
-    /// loop would consume, then **one** batched syndrome-kernel pass), and
-    /// repair + secondary ECC are applied per word in word order.
+    /// loop would consume, then **one** batched bit-sliced syndrome-kernel
+    /// pass whose clean-word masks let all clean words skip the syndrome
+    /// resolve), and repair + secondary ECC are applied per word in word
+    /// order.
     ///
     /// Outcomes — including profile updates made by reactive profiling — are
     /// byte-identical to calling [`MemoryController::read`] on each word in

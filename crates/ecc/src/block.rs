@@ -122,6 +122,26 @@ pub trait LinearBlockCode {
         *out = self.decode(stored);
     }
 
+    /// Decodes a stored codeword already known to have a **zero** syndrome
+    /// (a clean word), writing the result into `out`'s reusable buffers.
+    ///
+    /// This is the clean-word short-circuit of the bit-sliced burst read
+    /// path: the batched kernel pass reports which words of a block have
+    /// nonzero syndromes as a mask, and every unflagged word resolves here
+    /// with no per-word syndrome state at all. Defined as
+    /// `decode_with_syndrome_into(stored, 0, out)`, so it is byte-identical
+    /// to the general path (and to `decode`) by construction for every
+    /// implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stored.len() != codeword_len()`. The caller is responsible
+    /// for the zero-syndrome precondition; violating it is a logic error
+    /// with unspecified (but memory-safe) results.
+    fn decode_clean_into(&self, stored: &BitVec, out: &mut DecodeResult) {
+        self.decode_with_syndrome_into(stored, 0, out);
+    }
+
     // ------------------------------------------------------------------
     // Provided methods.
     // ------------------------------------------------------------------
@@ -233,6 +253,10 @@ impl<C: LinearBlockCode + ?Sized> LinearBlockCode for &C {
         out: &mut DecodeResult,
     ) {
         (**self).decode_with_syndrome_into(stored, syndrome_word, out)
+    }
+
+    fn decode_clean_into(&self, stored: &BitVec, out: &mut DecodeResult) {
+        (**self).decode_clean_into(stored, out)
     }
 }
 

@@ -74,6 +74,11 @@ impl SecondaryObservation {
 ///     other => panic!("expected identification, got {other:?}"),
 /// }
 /// ```
+// The `Hamming` variant embeds a full `HammingCode` (parity matrix plus its
+// precomputed syndrome kernel). The size gap to `Ideal` is irrelevant here:
+// a controller holds exactly one `SecondaryEcc` for its lifetime, so boxing
+// the code would buy nothing and cost every caller an indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SecondaryEcc {
     /// An idealized code that corrects (and identifies) up to `capability`

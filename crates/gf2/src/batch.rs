@@ -10,16 +10,20 @@
 //! and no per-row `BitVec` allocation. For whole batches,
 //! [`SyndromeKernel::syndrome_words_into`] additionally reuses one packed
 //! output buffer across all codewords (the `BitVec`-producing batch entry
-//! points still allocate one output vector per codeword).
+//! points still allocate one output vector per codeword), and
+//! [`SyndromeKernel::syndrome_words_bitsliced_into`] drops the per-word loop
+//! entirely: 64-codeword blocks are transposed into bit-position lanes (see
+//! [`bitslice`](crate::bitslice)) and every syndrome row is evaluated for a
+//! whole block at once, emitting a per-block nonzero-syndrome mask alongside
+//! the packed syndromes.
 //!
-//! Both code implementations in the workspace ([`HammingCode`] and the BCH
-//! code) own a kernel and route their `syndrome` path through it; campaign
-//! drivers can additionally call [`SyndromeKernel::syndromes`] /
-//! [`SyndromeKernel::syndromes_into`] to amortize output allocation across a
-//! whole batch of reads. The `syndrome_kernel` bench target measures the
-//! per-read vs. batched cost.
-//!
-//! [`HammingCode`]: https://docs.rs/harp_ecc
+//! All three code families in the workspace (SEC Hamming, SEC-DED extended
+//! Hamming, and the DEC BCH code) implement the `harp_ecc` trait seam —
+//! `LinearBlockCode::syndrome_kernel` — and route their `syndrome` path
+//! through a kernel owned by the code; campaign drivers can additionally
+//! call [`SyndromeKernel::syndromes`] / [`SyndromeKernel::syndromes_into`]
+//! to batch reads. The `syndrome_kernel` and `bitsliced_kernel` bench
+//! targets measure the per-read vs. batched vs. bit-sliced cost.
 //!
 //! # Example
 //!
@@ -37,6 +41,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bitslice::{transpose64, BitsliceScratch, BLOCK_WORDS};
 use crate::{BitVec, Gf2Matrix};
 
 /// A parity-check matrix pre-packed for fast (and batched) syndrome
@@ -56,6 +61,13 @@ pub struct SyndromeKernel {
     /// Row-major packed copy of `H`: row `r` occupies
     /// `packed[r * words_per_row .. (r + 1) * words_per_row]`.
     packed: Vec<u64>,
+    /// Column indices of the nonzero entries of each row, flattened; row `r`
+    /// occupies `support[support_offsets[r] .. support_offsets[r + 1]]`.
+    /// Derived from `packed`, so the derived equality/serialization stay
+    /// consistent; drives the lane gathers of the bit-sliced entry points.
+    support: Vec<u32>,
+    /// Row boundaries into `support` (`rows + 1` entries).
+    support_offsets: Vec<u32>,
 }
 
 impl SyndromeKernel {
@@ -63,16 +75,23 @@ impl SyndromeKernel {
     pub fn new(h: &Gf2Matrix) -> Self {
         let words_per_row = h.cols().div_ceil(64).max(1);
         let mut packed = Vec::with_capacity(h.rows() * words_per_row);
+        let mut support = Vec::new();
+        let mut support_offsets = Vec::with_capacity(h.rows() + 1);
+        support_offsets.push(0);
         for row in h.iter_rows() {
             let words = row.as_words();
             packed.extend_from_slice(words);
             packed.extend(std::iter::repeat_n(0, words_per_row - words.len()));
+            support.extend(row.iter_ones().map(|col| col as u32));
+            support_offsets.push(support.len() as u32);
         }
         Self {
             rows: h.rows(),
             cols: h.cols(),
             words_per_row,
             packed,
+            support,
+            support_offsets,
         }
     }
 
@@ -154,8 +173,14 @@ impl SyndromeKernel {
         out
     }
 
-    /// Computes the syndromes of a batch of codewords in one pass, appending
-    /// one `BitVec` per codeword to `out`.
+    /// Computes the syndromes of a batch of codewords, appending one `BitVec`
+    /// per codeword to `out`.
+    ///
+    /// This is a convenience entry point, *not* the allocation-free hot path:
+    /// it still allocates one output `BitVec` per codeword (`out` is only
+    /// reserved once up front). Hot callers should use the packed
+    /// [`SyndromeKernel::syndrome_words_into`] or the bit-sliced
+    /// [`SyndromeKernel::syndrome_words_bitsliced_into`] instead.
     ///
     /// # Panics
     ///
@@ -167,7 +192,9 @@ impl SyndromeKernel {
         }
     }
 
-    /// Computes the syndromes of a batch of codewords in one pass.
+    /// Computes the syndromes of a batch of codewords, allocating the output
+    /// vector (see [`SyndromeKernel::syndromes_into`] for the allocation
+    /// caveat).
     ///
     /// # Example
     ///
@@ -181,6 +208,7 @@ impl SyndromeKernel {
     /// assert_eq!(syndromes[0], words[0]);
     /// assert!(syndromes[1].is_zero());
     /// ```
+    #[must_use]
     pub fn syndromes(&self, codewords: &[BitVec]) -> Vec<BitVec> {
         let mut out = Vec::new();
         self.syndromes_into(codewords, &mut out);
@@ -211,6 +239,204 @@ impl SyndromeKernel {
                 .into_iter()
                 .map(|codeword| self.syndrome_word(codeword)),
         );
+    }
+
+    /// Computes the packed-`u64` syndromes of a batch of codewords with the
+    /// bit-sliced block evaluator, reusing `out` and `masks` (both cleared
+    /// first). Byte-for-byte equivalent to
+    /// [`SyndromeKernel::syndrome_words_into`] on the same codewords — the
+    /// per-word path stays the reference implementation — but evaluated 64
+    /// codewords at a time: each block is transposed into bit-position lanes
+    /// (see [`bitslice`](crate::bitslice)) and every syndrome row becomes one
+    /// XOR chain over the lanes in its support, with no per-word loop.
+    ///
+    /// `masks` receives one `u64` per 64-codeword block: bit `i` is set iff
+    /// codeword `64 * block + i` has a **nonzero** syndrome. Clean words'
+    /// packed syndromes are written as `0` without ever being extracted from
+    /// the lanes, so a caller that honors the mask (the burst read path does)
+    /// never touches per-word syndrome state for clean words at all.
+    ///
+    /// Blocks whose gathered 64-bit chunks are all zero skip their transpose
+    /// and row evaluation outright, which makes the pass effectively free for
+    /// sparse inputs — e.g. raw error patterns, whose syndromes equal the
+    /// stored codewords' syndromes by linearity.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`SyndromeKernel::syndrome_word`] does (any codeword length
+    /// mismatch, or more than 64 syndrome rows).
+    pub fn syndrome_words_bitsliced_into<'a, I>(
+        &self,
+        codewords: I,
+        out: &mut Vec<u64>,
+        masks: &mut Vec<u64>,
+        scratch: &mut BitsliceScratch,
+    ) where
+        I: IntoIterator<Item = &'a BitVec>,
+    {
+        assert!(
+            self.rows <= 64,
+            "syndrome_word supports at most 64 syndrome bits, kernel has {}",
+            self.rows
+        );
+        out.clear();
+        masks.clear();
+        self.for_each_block(codewords, scratch, |kernel, block, scratch| {
+            let mask = if kernel.slice_block(block, scratch) {
+                kernel.accumulate_rows(scratch)
+            } else {
+                0
+            };
+            // Clean words keep a packed syndrome of zero; only flagged words
+            // pay the per-row bit extraction from the lane accumulators.
+            let base = out.len();
+            out.resize(base + block.len(), 0);
+            let mut dirty = mask;
+            while dirty != 0 {
+                let i = dirty.trailing_zeros() as usize;
+                let mut word = 0u64;
+                for (r, acc) in scratch.row_acc.iter().enumerate() {
+                    word |= ((acc >> i) & 1) << r;
+                }
+                out[base + i] = word;
+                dirty &= dirty - 1;
+            }
+            masks.push(mask);
+        });
+    }
+
+    /// Computes only the per-block nonzero-syndrome masks of a batch of
+    /// codewords (bit `i` of `masks[block]` set iff codeword
+    /// `64 * block + i` has a nonzero syndrome), reusing `masks` (cleared
+    /// first).
+    ///
+    /// Unlike [`SyndromeKernel::syndrome_words_bitsliced_into`], this entry
+    /// point has no 64-row limit: it is the bit-sliced twin of the
+    /// wide-syndrome [`SyndromeKernel::syndrome`] fallback, since the mask
+    /// only needs the OR of the row accumulators, never a packed syndrome
+    /// word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any codeword length does not match the kernel.
+    pub fn nonzero_masks_bitsliced_into<'a, I>(
+        &self,
+        codewords: I,
+        masks: &mut Vec<u64>,
+        scratch: &mut BitsliceScratch,
+    ) where
+        I: IntoIterator<Item = &'a BitVec>,
+    {
+        masks.clear();
+        self.for_each_block(codewords, scratch, |kernel, block, scratch| {
+            let mask = if kernel.slice_block(block, scratch) {
+                kernel.accumulate_rows(scratch)
+            } else {
+                0
+            };
+            masks.push(mask);
+        });
+    }
+
+    /// Streams `codewords` through fixed 64-word blocks (the final block may
+    /// be ragged), invoking `process` once per block. Blocks are collected
+    /// into a fixed stack array of filled `Option` slots, so the streaming
+    /// never allocates whatever the iterator's size hint says; the scratch
+    /// is threaded through `process` (rather than captured) so callers can
+    /// also borrow their output vectors in the closure.
+    fn for_each_block<'a, I, F>(&self, codewords: I, scratch: &mut BitsliceScratch, mut process: F)
+    where
+        I: IntoIterator<Item = &'a BitVec>,
+        F: FnMut(&Self, &[Option<&'a BitVec>], &mut BitsliceScratch),
+    {
+        let mut block: [Option<&'a BitVec>; BLOCK_WORDS] = [None; BLOCK_WORDS];
+        let mut count = 0usize;
+        for codeword in codewords {
+            assert_eq!(
+                codeword.len(),
+                self.cols,
+                "codeword length mismatch: expected {}, got {}",
+                self.cols,
+                codeword.len()
+            );
+            block[count] = Some(codeword);
+            count += 1;
+            if count == BLOCK_WORDS {
+                process(self, &block, scratch);
+                count = 0;
+            }
+        }
+        if count > 0 {
+            process(self, &block[..count], scratch);
+        }
+    }
+
+    /// Gathers and transposes one block of codewords into `scratch.lanes`,
+    /// returning `false` when every gathered chunk was zero — the sparse
+    /// fast path: the lanes are left untouched (stale) and every syndrome in
+    /// the block is known to be zero without any row evaluation.
+    fn slice_block(&self, block: &[Option<&BitVec>], scratch: &mut BitsliceScratch) -> bool {
+        let lane_words = self.words_per_row * 64;
+        if scratch.lanes.len() < lane_words {
+            scratch.lanes.resize(lane_words, 0);
+        }
+        if scratch.zero_chunks.len() < self.words_per_row {
+            scratch.zero_chunks.resize(self.words_per_row, false);
+        }
+        let mut all_zero = true;
+        for chunk in 0..self.words_per_row {
+            let mut gather = [0u64; 64];
+            let mut any = 0u64;
+            for (lane_bit, slot) in block.iter().enumerate() {
+                let word = slot
+                    .expect("block slot filled by for_each_block")
+                    .as_words()
+                    .get(chunk)
+                    .copied()
+                    .unwrap_or(0);
+                gather[lane_bit] = word;
+                any |= word;
+            }
+            if any == 0 {
+                scratch.zero_chunks[chunk] = true;
+                continue;
+            }
+            scratch.zero_chunks[chunk] = false;
+            all_zero = false;
+            transpose64(&mut gather);
+            scratch.lanes[chunk * 64..(chunk + 1) * 64].copy_from_slice(&gather);
+        }
+        if all_zero {
+            return false;
+        }
+        // Chunks skipped above may hold stale lanes from an earlier block;
+        // zero them now that this block does need a row evaluation.
+        for chunk in 0..self.words_per_row {
+            if scratch.zero_chunks[chunk] {
+                scratch.lanes[chunk * 64..(chunk + 1) * 64].fill(0);
+            }
+        }
+        true
+    }
+
+    /// XORs the lanes of each row's support into `scratch.row_acc` and
+    /// returns the OR of all accumulators: bit `i` of the result is set iff
+    /// word `i` of the current block has a nonzero syndrome.
+    fn accumulate_rows(&self, scratch: &mut BitsliceScratch) -> u64 {
+        scratch.row_acc.clear();
+        scratch.row_acc.reserve(self.rows);
+        let mut mask = 0u64;
+        for r in 0..self.rows {
+            let start = self.support_offsets[r] as usize;
+            let end = self.support_offsets[r + 1] as usize;
+            let mut acc = 0u64;
+            for &col in &self.support[start..end] {
+                acc ^= scratch.lanes[col as usize];
+            }
+            scratch.row_acc.push(acc);
+            mask |= acc;
+        }
+        mask
     }
 }
 
@@ -294,6 +520,118 @@ mod tests {
     fn mismatched_codeword_length_panics() {
         let kernel = SyndromeKernel::new(&dense_h(3, 7, 17));
         kernel.syndrome(&BitVec::zeros(8));
+    }
+
+    #[test]
+    fn bitsliced_syndromes_match_per_word_path() {
+        let mut scratch = BitsliceScratch::new();
+        for (rows, cols, salt) in [(3, 7, 1), (7, 71, 2), (8, 136, 3), (16, 144, 4), (1, 1, 5)] {
+            let h = dense_h(rows, cols, salt);
+            let kernel = SyndromeKernel::new(&h);
+            for count in [1usize, 5, 63, 64, 65, 130] {
+                let words: Vec<BitVec> = (0..count)
+                    .map(|k| {
+                        BitVec::from_indices(
+                            cols,
+                            (0..cols).filter(move |&b| (b * 11 + k) % 7 == 0),
+                        )
+                    })
+                    .collect();
+                let mut reference = Vec::new();
+                kernel.syndrome_words_into(&words, &mut reference);
+                let mut bitsliced = Vec::new();
+                let mut masks = Vec::new();
+                kernel.syndrome_words_bitsliced_into(
+                    &words,
+                    &mut bitsliced,
+                    &mut masks,
+                    &mut scratch,
+                );
+                assert_eq!(
+                    bitsliced, reference,
+                    "rows={rows} cols={cols} count={count}"
+                );
+                assert_eq!(masks.len(), count.div_ceil(64));
+                for (i, &syndrome) in reference.iter().enumerate() {
+                    let bit = (masks[i / 64] >> (i % 64)) & 1;
+                    assert_eq!(bit == 1, syndrome != 0, "mask bit {i}");
+                }
+                // Mask bits beyond the ragged tail stay clear.
+                let tail = count % 64;
+                if tail != 0 {
+                    assert_eq!(masks.last().unwrap() >> tail, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitsliced_pass_handles_sparse_and_zero_blocks() {
+        let h = dense_h(7, 71, 21);
+        let kernel = SyndromeKernel::new(&h);
+        let mut scratch = BitsliceScratch::new();
+        // A dense block first, so a later all-zero block must not reuse its
+        // stale lanes.
+        let dense: Vec<BitVec> = (0..64)
+            .map(|k| BitVec::from_indices(71, (0..71).filter(move |&b| (b + k) % 3 == 0)))
+            .collect();
+        let zeros: Vec<BitVec> = (0..64).map(|_| BitVec::zeros(71)).collect();
+        let mut one_error = zeros.clone();
+        one_error[17].set(70, true);
+        for words in [&dense, &zeros, &one_error] {
+            let mut reference = Vec::new();
+            kernel.syndrome_words_into(words.as_slice(), &mut reference);
+            let (mut out, mut masks) = (Vec::new(), Vec::new());
+            kernel.syndrome_words_bitsliced_into(
+                words.as_slice(),
+                &mut out,
+                &mut masks,
+                &mut scratch,
+            );
+            assert_eq!(out, reference);
+        }
+    }
+
+    #[test]
+    fn wide_kernel_masks_match_wide_syndromes() {
+        // More than 64 rows: packed syndrome words are unavailable, but the
+        // nonzero masks still are (the wide-syndrome fallback's twin).
+        let h = dense_h(70, 100, 31);
+        let kernel = SyndromeKernel::new(&h);
+        let words: Vec<BitVec> = (0..70)
+            .map(|k| BitVec::from_indices(100, (0..100).filter(move |&b| (b * 3 + k) % 9 == 0)))
+            .collect();
+        let mut masks = Vec::new();
+        kernel.nonzero_masks_bitsliced_into(&words, &mut masks, &mut BitsliceScratch::new());
+        assert_eq!(masks.len(), 2);
+        for (i, word) in words.iter().enumerate() {
+            let bit = (masks[i / 64] >> (i % 64)) & 1;
+            assert_eq!(bit == 1, !kernel.syndrome(word).is_zero(), "word {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 syndrome bits")]
+    fn bitsliced_syndrome_words_reject_wide_kernels() {
+        let kernel = SyndromeKernel::new(&dense_h(65, 80, 1));
+        kernel.syndrome_words_bitsliced_into(
+            &[BitVec::zeros(80)],
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut BitsliceScratch::new(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bitsliced_pass_rejects_mismatched_codeword_length() {
+        let kernel = SyndromeKernel::new(&dense_h(7, 71, 1));
+        kernel.syndrome_words_bitsliced_into(
+            &[BitVec::zeros(72)],
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut BitsliceScratch::new(),
+        );
     }
 
     #[test]

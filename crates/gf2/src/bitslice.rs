@@ -1,0 +1,228 @@
+//! Bit-sliced codeword blocks: transpose up to 64 codewords so that one
+//! `u64` lane carries 64 words' worth of a single codeword bit.
+//!
+//! The word-packed [`SyndromeKernel`] evaluates one codeword per call — fast,
+//! but still a per-word loop inside a burst. Bit-slicing turns the loop
+//! inside out: a block of up to 64 codewords is transposed into *lanes*
+//! (`lane[j]` bit `i` = codeword `i`'s bit `j`), after which one syndrome row
+//! is a plain XOR of the lanes in its support, evaluated for **all 64 words
+//! at once** with whole-block word ops and no per-word control flow. The
+//! OR of all row accumulators is the block's *nonzero-syndrome mask* (bit `i`
+//! set iff word `i` has a nonzero syndrome), which is what lets the burst
+//! read path short-circuit clean words without ever extracting their packed
+//! syndromes.
+//!
+//! The module exposes the transpose primitive and the slicing round-trip
+//! ([`transpose64`], [`slice_words`], [`unslice_word`]) for direct use and
+//! property testing; the batched kernel entry points live on
+//! [`SyndromeKernel`] itself and reuse a [`BitsliceScratch`] so steady-state
+//! passes stay allocation-free.
+//!
+//! [`SyndromeKernel`]: crate::SyndromeKernel
+
+use crate::BitVec;
+
+/// Number of codewords per bit-sliced block (one per bit of a `u64` lane).
+pub const BLOCK_WORDS: usize = 64;
+
+/// Transposes a 64×64 bit matrix in place.
+///
+/// `block[i]` is row `i` with its columns packed LSB-first (bit `j` of
+/// `block[i]` is entry `(i, j)`), matching the [`BitVec`] word convention.
+/// After the call, bit `j` of `block[i]` is the *old* entry `(j, i)`.
+///
+/// This is the recursive block-swap transpose (swap the off-diagonal
+/// half-blocks, recurse into halves), expressed iteratively with shrinking
+/// strides; all six rounds are branch-free word ops.
+pub fn transpose64(block: &mut [u64; 64]) {
+    let mut j = 32;
+    // Mask of the "low half" columns at the current stride (bits whose
+    // `j`-valued index bit is 0).
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            // Swap the low-half columns of row `k + j` with the high-half
+            // columns of row `k` (LSB-first variant of the classic trick).
+            let t = (block[k + j] ^ (block[k] >> j)) & m;
+            block[k + j] ^= t;
+            block[k] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Transposes up to [`BLOCK_WORDS`] equal-length codewords into bit-position
+/// lanes, returning the number of codewords consumed.
+///
+/// `lanes` is resized to the codeword length: `lanes[j]` holds codeword
+/// `i`'s bit `j` at bit `i`, with lane bits at indices `>= count` zero. An
+/// empty iterator clears `lanes` and returns 0.
+///
+/// # Panics
+///
+/// Panics if the iterator yields more than [`BLOCK_WORDS`] codewords or the
+/// codeword lengths disagree.
+pub fn slice_words<'a, I>(codewords: I, lanes: &mut Vec<u64>) -> usize
+where
+    I: IntoIterator<Item = &'a BitVec>,
+{
+    let mut block: [Option<&BitVec>; BLOCK_WORDS] = [None; BLOCK_WORDS];
+    let mut count = 0usize;
+    let mut len = 0usize;
+    for codeword in codewords {
+        assert!(
+            count < BLOCK_WORDS,
+            "a bit-sliced block holds at most {BLOCK_WORDS} codewords"
+        );
+        if count == 0 {
+            len = codeword.len();
+        }
+        assert_eq!(
+            codeword.len(),
+            len,
+            "codeword length mismatch: expected {}, got {}",
+            len,
+            codeword.len()
+        );
+        block[count] = Some(codeword);
+        count += 1;
+    }
+    lanes.clear();
+    lanes.resize(len, 0);
+    for (chunk, lane_chunk) in lanes.chunks_mut(64).enumerate() {
+        let mut gather = [0u64; 64];
+        for (i, slot) in block[..count].iter().enumerate() {
+            gather[i] = slot
+                .expect("slot filled above")
+                .as_words()
+                .get(chunk)
+                .copied()
+                .unwrap_or(0);
+        }
+        transpose64(&mut gather);
+        lane_chunk.copy_from_slice(&gather[..lane_chunk.len()]);
+    }
+    count
+}
+
+/// Reconstructs codeword `index` of a sliced block (the inverse of
+/// [`slice_words`] for one word).
+///
+/// # Panics
+///
+/// Panics if `index >= BLOCK_WORDS`.
+pub fn unslice_word(lanes: &[u64], index: usize) -> BitVec {
+    assert!(
+        index < BLOCK_WORDS,
+        "a bit-sliced block holds at most {BLOCK_WORDS} codewords"
+    );
+    BitVec::from_indices(
+        lanes.len(),
+        lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, lane)| (*lane >> index) & 1 == 1)
+            .map(|(j, _)| j),
+    )
+}
+
+/// Reusable buffers for the bit-sliced kernel entry points on
+/// [`SyndromeKernel`]. Buffers grow to the widest kernel they have served
+/// and are then reused verbatim, so steady-state burst passes perform zero
+/// heap allocations.
+///
+/// [`SyndromeKernel`]: crate::SyndromeKernel
+#[derive(Debug, Default, Clone)]
+pub struct BitsliceScratch {
+    /// Lane storage for one block: chunk `c` of the codewords occupies
+    /// `lanes[c * 64 .. (c + 1) * 64]`.
+    pub(crate) lanes: Vec<u64>,
+    /// One accumulator per syndrome row: bit `i` is row `r`'s parity for
+    /// word `i` of the current block.
+    pub(crate) row_acc: Vec<u64>,
+    /// Per-chunk flags: `true` when every gathered word of the chunk was
+    /// zero, so the chunk skipped its transpose.
+    pub(crate) zero_chunks: Vec<bool>,
+}
+
+impl BitsliceScratch {
+    /// Creates an empty scratch; buffers are sized lazily by the first pass.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(len: usize, salt: u64) -> BitVec {
+        BitVec::from_indices(
+            len,
+            (0..len).filter(|&b| {
+                let x = (b as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+                (x ^ (x >> 31)).count_ones() & 1 == 1
+            }),
+        )
+    }
+
+    #[test]
+    fn transpose64_is_an_involution_and_transposes() {
+        let mut block = [0u64; 64];
+        for (i, row) in block.iter_mut().enumerate() {
+            *row = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        let original = block;
+        transpose64(&mut block);
+        for (i, lane) in block.iter().enumerate() {
+            for (j, row) in original.iter().enumerate() {
+                assert_eq!((lane >> j) & 1, (row >> i) & 1, "entry ({i}, {j})");
+            }
+        }
+        transpose64(&mut block);
+        assert_eq!(block, original);
+    }
+
+    #[test]
+    fn slice_round_trips_full_and_ragged_blocks() {
+        let mut lanes = Vec::new();
+        for (count, len) in [(64, 71), (64, 136), (5, 71), (1, 1), (63, 200)] {
+            let words: Vec<BitVec> = (0..count).map(|i| word(len, i as u64)).collect();
+            assert_eq!(slice_words(&words, &mut lanes), count);
+            assert_eq!(lanes.len(), len);
+            for (i, original) in words.iter().enumerate() {
+                assert_eq!(&unslice_word(&lanes, i), original, "word {i} len {len}");
+            }
+            // Lane bits beyond the block's word count stay zero.
+            for (j, lane) in lanes.iter().enumerate() {
+                if count < 64 {
+                    assert_eq!(lane >> count, 0, "lane {j} tail");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_of_empty_iterator_clears_lanes() {
+        let mut lanes = vec![7u64; 3];
+        assert_eq!(slice_words(std::iter::empty(), &mut lanes), 0);
+        assert!(lanes.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 codewords")]
+    fn slice_rejects_oversized_blocks() {
+        let words: Vec<BitVec> = (0..65).map(|i| word(8, i)).collect();
+        slice_words(&words, &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn slice_rejects_mismatched_lengths() {
+        let words = [BitVec::zeros(8), BitVec::zeros(9)];
+        slice_words(&words, &mut Vec::new());
+    }
+}

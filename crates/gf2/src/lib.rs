@@ -16,7 +16,9 @@
 //!   can all be *charged* under some data pattern), and null-space bases;
 //! * [`SyndromeKernel`] — a word-packed parity-check matrix evaluating
 //!   syndromes (one or a whole batch of codewords per call) on the hot
-//!   Monte-Carlo read path.
+//!   Monte-Carlo read path, including a bit-sliced block mode (see
+//!   [`bitslice`]) that evaluates 64 codewords at a time and reports which
+//!   of them have nonzero syndromes as a single mask word.
 //!
 //! # Example
 //!
@@ -34,11 +36,13 @@
 //! ```
 
 pub mod batch;
+pub mod bitslice;
 pub mod bitvec;
 pub mod matrix;
 pub mod solve;
 
 pub use batch::SyndromeKernel;
+pub use bitslice::BitsliceScratch;
 pub use bitvec::BitVec;
 pub use matrix::Gf2Matrix;
 pub use solve::{solve, LinearSolution, RowEchelon};

@@ -23,7 +23,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use harp_ecc::{DecodeResult, HammingCode, LinearBlockCode};
-use harp_gf2::BitVec;
+use harp_gf2::{BitVec, BitsliceScratch};
 
 use crate::fault::FaultModel;
 
@@ -123,15 +123,21 @@ impl ReadObservation {
 
 /// Reusable buffers for [`MemoryChip::read_burst`].
 ///
-/// A scratch owns one [`ReadObservation`] slot per burst word plus the packed
-/// syndrome buffer of the batched kernel pass. Buffers grow to the largest
-/// burst they have served and are then reused verbatim, so steady-state scrub
-/// passes (same burst length, same code) perform **zero heap allocations** —
-/// see [`MemoryChip::read_burst`] for a usage example.
+/// A scratch owns one [`ReadObservation`] slot per burst word plus the
+/// buffers of the batched bit-sliced kernel pass: the packed syndromes, the
+/// per-block nonzero-syndrome masks, and the lane scratch of the transpose.
+/// Buffers grow **geometrically** to the largest burst they have served and
+/// are then reused verbatim, so steady-state scrub passes — including
+/// alternating burst sizes, such as module line reads interleaved with
+/// controller scrub ranges — perform **zero heap allocations**; see
+/// [`MemoryChip::read_burst`] for a usage example and the root
+/// `burst_alloc` test for the allocation-count guarantee.
 #[derive(Debug, Default)]
 pub struct BurstScratch {
     observations: Vec<ReadObservation>,
     syndromes: Vec<u64>,
+    masks: Vec<u64>,
+    slices: BitsliceScratch,
 }
 
 impl BurstScratch {
@@ -149,17 +155,44 @@ impl BurstScratch {
             .observations
             .resize_with(words, ReadObservation::placeholder);
         scratch.syndromes.reserve(words);
+        scratch.masks.reserve(words.div_ceil(64));
         scratch
     }
 
+    /// Clears the recorded syndromes and masks of the last burst **without
+    /// freeing any capacity**: observation slots (and the buffers inside
+    /// them), syndrome/mask vectors, and the bit-slice lanes all stay
+    /// allocated, so a cleared scratch serves its next burst with zero heap
+    /// allocations.
+    pub fn clear(&mut self) {
+        self.syndromes.clear();
+        self.masks.clear();
+    }
+
     /// The burst slots for a burst of `count` words, growing the observation
-    /// buffer if needed.
-    fn slots(&mut self, count: usize) -> (&mut [ReadObservation], &mut Vec<u64>) {
+    /// buffer geometrically if needed (so a sequence of growing or
+    /// alternating burst sizes settles after logarithmically many resizes
+    /// instead of re-reserving on every new maximum).
+    fn slots(
+        &mut self,
+        count: usize,
+    ) -> (
+        &mut [ReadObservation],
+        &mut Vec<u64>,
+        &mut Vec<u64>,
+        &mut BitsliceScratch,
+    ) {
         if self.observations.len() < count {
+            let target = count.max(self.observations.len().saturating_mul(2));
             self.observations
-                .resize_with(count, ReadObservation::placeholder);
+                .resize_with(target, ReadObservation::placeholder);
         }
-        (&mut self.observations[..count], &mut self.syndromes)
+        (
+            &mut self.observations[..count],
+            &mut self.syndromes,
+            &mut self.masks,
+            &mut self.slices,
+        )
     }
 }
 
@@ -330,14 +363,18 @@ impl<C: LinearBlockCode> MemoryChip<C> {
     ///
     /// The burst samples each word's raw error pattern in word order
     /// (consuming exactly the RNG draws a word-at-a-time `read` loop would),
-    /// computes all syndromes in **one** batched
-    /// `SyndromeKernel::syndrome_words_into` pass, and then resolves each
-    /// nonzero syndrome through the code's allocation-free
-    /// `decode_with_syndrome_into`. All buffers live in `scratch`, so after
-    /// the first burst of a given size the steady-state path performs no heap
-    /// allocation. Observations are byte-identical to what `read` returns for
-    /// the same words and RNG stream (`read` is the reference
-    /// implementation; the cross-code equivalence suite asserts this).
+    /// computes all syndromes in **one** batched bit-sliced
+    /// `SyndromeKernel::syndrome_words_bitsliced_into` pass (64 words per
+    /// transposed block), and then resolves the burst sparsely: words the
+    /// per-block nonzero-syndrome masks leave unflagged short-circuit
+    /// through the code's `decode_clean_into` with zero resolve work, and
+    /// only the flagged words run the allocation-free
+    /// `decode_with_syndrome_into` scalar resolve. All buffers live in
+    /// `scratch`, so after the first burst of a given size the steady-state
+    /// path performs no heap allocation. Observations are byte-identical to
+    /// what `read` returns for the same words and RNG stream (`read` is the
+    /// reference implementation; the cross-code equivalence suite asserts
+    /// this).
     ///
     /// # Panics
     ///
@@ -374,7 +411,7 @@ impl<C: LinearBlockCode> MemoryChip<C> {
         scratch: &'s mut BurstScratch,
     ) -> &'s [ReadObservation] {
         let count = self.check_burst_range(&words);
-        let (burst, syndromes) = scratch.slots(count);
+        let (burst, syndromes, masks, slices) = scratch.slots(count);
 
         // Phase 1 — fault injection, in word order (same RNG stream as a
         // scalar read loop).
@@ -382,7 +419,7 @@ impl<C: LinearBlockCode> MemoryChip<C> {
             self.inject_word(words.start + offset, obs, rng);
         }
 
-        self.decode_burst(burst, syndromes);
+        self.decode_burst(burst, syndromes, masks, slices);
         burst
     }
 
@@ -418,14 +455,14 @@ impl<C: LinearBlockCode> MemoryChip<C> {
             "burst of {count} words needs {count} RNG streams, got {}",
             rngs.len()
         );
-        let (burst, syndromes) = scratch.slots(count);
+        let (burst, syndromes, masks, slices) = scratch.slots(count);
 
         // Phase 1 — fault injection, each word drawing from its own stream.
         for ((offset, obs), rng) in burst.iter_mut().enumerate().zip(rngs.iter_mut()) {
             self.inject_word(words.start + offset, obs, rng);
         }
 
-        self.decode_burst(burst, syndromes);
+        self.decode_burst(burst, syndromes, masks, slices);
         burst
     }
 
@@ -454,19 +491,59 @@ impl<C: LinearBlockCode> MemoryChip<C> {
         obs.data_len = self.code.data_len();
     }
 
-    /// Burst phases 2–3: one batched kernel pass over the whole burst, then
-    /// bounded-distance resolution of each syndrome into the reused
-    /// per-observation decode buffers.
-    fn decode_burst(&self, burst: &mut [ReadObservation], syndromes: &mut Vec<u64>) {
-        self.code
-            .syndrome_kernel()
-            .syndrome_words_into(burst.iter().map(|obs| &obs.stored_with_errors), syndromes);
-        for (obs, &syndrome_word) in burst.iter_mut().zip(syndromes.iter()) {
-            self.code.decode_with_syndrome_into(
-                &obs.stored_with_errors,
-                syndrome_word,
-                &mut obs.decode,
-            );
+    /// Burst phases 2–3: one batched bit-sliced kernel pass over the whole
+    /// burst, then **sparse** bounded-distance resolution of only the words
+    /// the per-block nonzero-syndrome masks flag as dirty; every clean word
+    /// short-circuits through the code's zero-syndrome decode.
+    ///
+    /// The kernel pass runs over the **raw error patterns**, not the stored
+    /// codewords: every clean stored word is a codeword (writes go through
+    /// the systematic encoder), so `H · (c ⊕ e) = H · e` by linearity and
+    /// the syndromes are identical. Error patterns are overwhelmingly sparse
+    /// at realistic error rates, which lets the bit-sliced pass skip the
+    /// transpose and row evaluation of every all-zero block outright.
+    fn decode_burst(
+        &self,
+        burst: &mut [ReadObservation],
+        syndromes: &mut Vec<u64>,
+        masks: &mut Vec<u64>,
+        slices: &mut BitsliceScratch,
+    ) {
+        self.code.syndrome_kernel().syndrome_words_bitsliced_into(
+            burst.iter().map(|obs| &obs.raw_error),
+            syndromes,
+            masks,
+            slices,
+        );
+        for (block, &mask) in masks.iter().enumerate() {
+            let start = block * 64;
+            let block_len = (burst.len() - start).min(64);
+            let block_width = if block_len == 64 {
+                u64::MAX
+            } else {
+                (1u64 << block_len) - 1
+            };
+            // Clean words (mask bit 0) short-circuit to the zero-syndrome
+            // decode with no per-word syndrome state...
+            let mut clean = !mask & block_width;
+            while clean != 0 {
+                let obs = &mut burst[start + clean.trailing_zeros() as usize];
+                self.code
+                    .decode_clean_into(&obs.stored_with_errors, &mut obs.decode);
+                clean &= clean - 1;
+            }
+            // ...and only the flagged words run the scalar syndrome resolve.
+            let mut dirty = mask;
+            while dirty != 0 {
+                let index = start + dirty.trailing_zeros() as usize;
+                let obs = &mut burst[index];
+                self.code.decode_with_syndrome_into(
+                    &obs.stored_with_errors,
+                    syndromes[index],
+                    &mut obs.decode,
+                );
+                dirty &= dirty - 1;
+            }
         }
     }
 }

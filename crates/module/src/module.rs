@@ -11,7 +11,8 @@
 //!
 //! Line reads run **one [`MemoryChip::read_burst`] per chip per line** (all
 //! of a chip's on-die words for the access decoded through a single batched
-//! syndrome-kernel pass, buffers persisted across reads) and assemble the
+//! bit-sliced syndrome-kernel pass with a clean-word mask fast path, buffers
+//! persisted across reads) and assemble the
 //! cache line through the geometry's precomputed
 //! [`BitInterleaveMap`](crate::BitInterleaveMap) instead of re-deriving the
 //! burst mapping per bit. [`MemoryModule::read_scalar`] and
@@ -305,7 +306,8 @@ impl<C: LinearBlockCode> MemoryModule<C> {
     ///
     /// The chip phase of each chip's contribution runs as one
     /// [`MemoryChip::read_burst`] over the line's on-die words (single
-    /// batched syndrome pass per chip, buffers persisted in the module), and
+    /// batched bit-sliced syndrome pass per chip with clean words
+    /// short-circuited by mask, buffers persisted in the module), and
     /// the cache line is assembled through the precomputed
     /// [`BitInterleaveMap`]. Byte-identical to
     /// [`MemoryModule::read_scalar`], the word-at-a-time reference.

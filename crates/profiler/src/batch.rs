@@ -9,7 +9,9 @@
 //! kernel never sees more than a single word per call. [`CampaignBatch`]
 //! loads a whole cell's words into one multi-word chip and scrubs them with
 //! **one [`MemoryChip::read_burst_with_rngs`] per round**, turning the
-//! kernel's batched evaluation into the default data flow of every sweep.
+//! kernel's batched bit-sliced evaluation — 64 words per transposed block,
+//! clean words short-circuited by the block's nonzero-syndrome mask — into
+//! the default data flow of every sweep.
 //!
 //! The batching is an execution-plan change only. Each word keeps its own
 //! ChaCha8 fault-injection stream (derived from its campaign seed exactly as

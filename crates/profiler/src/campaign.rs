@@ -151,11 +151,12 @@ impl<C: LinearBlockCode + Clone + 'static> ProfilingCampaign<C> {
     /// paper's fairness requirement (§7.1.2) as closely as data-dependent
     /// errors allow.
     ///
-    /// Each round's access goes through the chip's burst read path (a
-    /// one-word scrub pass whose [`BurstScratch`] persists across rounds), so
-    /// the whole campaign reuses one set of decode buffers instead of
-    /// allocating a fresh observation per round. The RNG stream — and
-    /// therefore every snapshot — is identical to the scalar
+    /// Each round's access goes through the chip's bit-sliced burst read
+    /// path (a one-word scrub pass whose [`BurstScratch`] persists across
+    /// rounds), so the whole campaign reuses one set of decode buffers
+    /// instead of allocating a fresh observation per round, and clean rounds
+    /// short-circuit through the kernel's nonzero-syndrome mask. The RNG
+    /// stream — and therefore every snapshot — is identical to the scalar
     /// `MemoryChip::read` loop this replaces.
     ///
     /// This per-word path is the **scalar reference implementation** for the

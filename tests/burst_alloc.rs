@@ -1,0 +1,142 @@
+//! Steady-state allocation guard for the burst read path.
+//!
+//! `BurstScratch` grows geometrically and `clear()` keeps capacity, so a
+//! campaign that alternates burst sizes (module line reads vs. controller
+//! scrub ranges) must stop allocating once its scratch has seen each size
+//! once. This test pins that down with a counting global allocator: after a
+//! warm-up pass over both burst sizes, whole alternating read bursts run
+//! with **zero** heap allocations for every code family.
+//!
+//! The test lives in its own integration-test binary because the counting
+//! allocator is process-global: sharing a binary with concurrently running
+//! tests would make the counter racy.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use harp_bch::BchCode;
+use harp_ecc::{ExtendedHammingCode, HammingCode, LinearBlockCode};
+use harp_gf2::BitVec;
+use harp_memsim::{BurstScratch, FaultModel, MemoryChip};
+
+/// Counts every allocation and reallocation made through the global
+/// allocator (deallocations are not counted: freeing is fine, *acquiring*
+/// in the steady state is the regression this test guards against).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Scrub-range burst size (the large shape).
+const LARGE_BURST: usize = 384;
+/// Module line-read burst size (the small shape).
+const SMALL_BURST: usize = 48;
+
+/// A chip with a mix of clean, single-error, and multi-error words, so the
+/// steady-state pass exercises every decode branch (clean short-circuit,
+/// correction, detected-uncorrectable).
+fn seeded_chip<C: LinearBlockCode>(code: C) -> MemoryChip<C> {
+    let n = code.codeword_len();
+    let k = code.data_len();
+    let mut chip = MemoryChip::new(code, LARGE_BURST);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA110C);
+    for word in 0..LARGE_BURST {
+        let data: BitVec = (0..k).map(|_| rand::Rng::gen_bool(&mut rng, 0.5)).collect();
+        chip.write(word, &data);
+        if word % 4 == 0 {
+            let at_risk = [word % n, (word * 13 + 7) % n, (word * 29 + 3) % n];
+            chip.set_fault_model(word, FaultModel::uniform(&at_risk[..1 + word % 3], 0.5));
+        }
+    }
+    chip
+}
+
+fn alternating_bursts<C: LinearBlockCode>(
+    chip: &MemoryChip<C>,
+    rng: &mut ChaCha8Rng,
+    scratch: &mut BurstScratch,
+    rounds: usize,
+) -> usize {
+    let mut corrected = 0;
+    for _ in 0..rounds {
+        for range in [0..LARGE_BURST, 0..SMALL_BURST] {
+            corrected += chip
+                .read_burst(range, rng, scratch)
+                .iter()
+                .map(|o| o.decode_result().outcome.correction_count())
+                .sum::<usize>();
+        }
+    }
+    corrected
+}
+
+fn assert_steady_state<C: LinearBlockCode>(
+    label: &str,
+    chip: &MemoryChip<C>,
+    rng: &mut ChaCha8Rng,
+    scratch: &mut BurstScratch,
+) {
+    // Warm up: let the scratch and every observation's decode buffers reach
+    // their steady-state capacity for both burst shapes.
+    alternating_bursts(chip, rng, scratch, 2);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let corrected = alternating_bursts(chip, rng, scratch, 8);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(corrected > 0, "{label}: decode branches not exercised");
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: steady-state bursts performed heap allocations"
+    );
+
+    // `clear()` drops contents but keeps capacity, so the next burst after
+    // a clear is still allocation-free.
+    scratch.clear();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    alternating_bursts(chip, rng, scratch, 1);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: burst after clear() re-allocated"
+    );
+}
+
+#[test]
+fn steady_state_bursts_do_not_allocate() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut scratch = BurstScratch::new();
+    let hamming = seeded_chip(HammingCode::random(64, 1).expect("valid code"));
+    assert_steady_state("hamming", &hamming, &mut rng, &mut scratch);
+    let secded = seeded_chip(ExtendedHammingCode::random(64, 1).expect("valid code"));
+    assert_steady_state("secded", &secded, &mut rng, &mut scratch);
+    let bch = seeded_chip(BchCode::dec(64).expect("valid code"));
+    assert_steady_state("bch", &bch, &mut rng, &mut scratch);
+}

@@ -4,10 +4,16 @@
 //! [`Criterion`], [`criterion_group!`] (plain and `name/config/targets`
 //! forms), [`criterion_main!`], benchmark groups, [`Bencher::iter`] and
 //! [`Bencher::iter_batched`] — backed by a simple wall-clock measurement
-//! loop: a short warm-up, then timed batches whose per-iteration mean and
-//! min/max are printed. No statistics engine, HTML reports, or comparison
-//! baselines; the point is that `cargo bench` runs offline and prints
-//! honest per-iteration timings.
+//! loop: a short warm-up, then timed batches whose per-iteration mean,
+//! median, and min/max are printed. No statistics engine, HTML reports, or
+//! comparison baselines; the point is that `cargo bench` runs offline and
+//! prints honest per-iteration timings.
+//!
+//! When the `HARP_BENCH_JSON` environment variable is set, every benchmark
+//! additionally prints one machine-readable line of strict JSON prefixed
+//! with `bench-json ` — the hook `harp bench-export` uses to persist the
+//! repo's `BENCH_<group>.json` perf trajectory (see BENCHMARKS.md at the
+//! repository root).
 
 use std::time::{Duration, Instant};
 
@@ -94,6 +100,7 @@ impl BenchmarkGroup<'_> {
 struct Measurement {
     iterations: u64,
     mean: Duration,
+    median: Duration,
     min: Duration,
     max: Duration,
 }
@@ -176,23 +183,44 @@ impl Bencher {
     fn record(&mut self, samples: Vec<Duration>, iterations: u64) {
         assert!(!samples.is_empty(), "benchmark collected no samples");
         let sum: Duration = samples.iter().sum();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        // Even sample counts take the lower-middle sample: honest, cheap,
+        // and stable for the small sample counts the stand-in collects.
+        let median = sorted[(sorted.len() - 1) / 2];
         self.measurement = Some(Measurement {
             iterations,
             mean: sum / samples.len() as u32,
-            min: samples.iter().min().copied().unwrap_or_default(),
-            max: samples.iter().max().copied().unwrap_or_default(),
+            median,
+            min: sorted.first().copied().unwrap_or_default(),
+            max: sorted.last().copied().unwrap_or_default(),
         });
     }
 
     fn report(&self, name: &str) {
         match &self.measurement {
-            Some(m) => println!(
-                "bench {name:<60} {:>12} mean   [{} .. {}]   ({} iters)",
-                format_duration(m.mean),
-                format_duration(m.min),
-                format_duration(m.max),
-                m.iterations,
-            ),
+            Some(m) => {
+                println!(
+                    "bench {name:<60} {:>12} median {:>12} mean   [{} .. {}]   ({} iters)",
+                    format_duration(m.median),
+                    format_duration(m.mean),
+                    format_duration(m.min),
+                    format_duration(m.max),
+                    m.iterations,
+                );
+                if std::env::var_os("HARP_BENCH_JSON").is_some() {
+                    let ns = |d: Duration| d.as_secs_f64() * 1e9;
+                    println!(
+                        "bench-json {{\"id\":\"{name}\",\"median_ns\":{},\"mean_ns\":{},\
+                         \"min_ns\":{},\"max_ns\":{},\"iterations\":{}}}",
+                        ns(m.median),
+                        ns(m.mean),
+                        ns(m.min),
+                        ns(m.max),
+                        m.iterations,
+                    );
+                }
+            }
             None => println!("bench {name:<60} (no measurement recorded)"),
         }
     }
