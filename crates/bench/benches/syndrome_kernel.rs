@@ -158,7 +158,7 @@ const CAMPAIGN_ROUNDS: usize = 16;
 /// words on one chip, one multi-word burst per round). Both paths produce
 /// bit-identical snapshots — asserted before timing — so the ratio is pure
 /// execution-plan overhead.
-fn bench_campaign_path<C: LinearBlockCode + Clone + 'static>(
+fn bench_campaign_path<C: LinearBlockCode + Clone + Send + 'static>(
     c: &mut Criterion,
     label: &str,
     code: C,

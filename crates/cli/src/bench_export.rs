@@ -24,6 +24,7 @@ pub const REGISTERED_GROUPS: &[&str] = &[
     "beer_reconstruction",
     "bitsliced_kernel",
     "campaign_path",
+    "checkpoint_path",
     "controller_path",
     "core",
     "ext1",

@@ -37,16 +37,26 @@
 //!                (Debug-rendered by the vendored offline serde_json stand-in,
 //!                not strict JSON; see vendor/serde_json)
 //!
-//! tooling subcommand (its own flags, see BENCHMARKS.md):
+//! tooling subcommands (their own flags; see BENCHMARKS.md and ROADMAP.md):
 //!   bench-export [--check] [--input PATH] [--output-dir DIR]
 //!                persist each bench group's medians as BENCH_<group>.json
 //!                (default: runs `cargo bench --workspace` with the
 //!                machine-readable hook); --check validates the files
+//!   sweep [--full] [--long-code] [--checkpoint-dir DIR]
+//!         [--checkpoint-interval N] [--resume] [--shard i/N] [--out PATH]
+//!                run the active-phase coverage sweep as a resumable
+//!                campaign: checkpoint every N rounds into DIR, resume from
+//!                an archive, or run as worker i of N and persist a
+//!                shard-output file for `merge`
+//!   merge FILE...
+//!                fold shard-output files back into the single-process
+//!                sweep report, validating completeness
 //! ```
 
 use std::process::ExitCode;
 
 mod bench_export;
+mod sweep_cli;
 
 use harp_sim::experiments::{
     ablation, ext_bch, ext_beer, ext_codes, ext_module, ext_repair, ext_vrt, fig10, fig2, fig4,
@@ -300,6 +310,30 @@ fn main() -> ExitCode {
             }
         };
     }
+    // Likewise for the checkpointed-sweep worker and merge coordinator.
+    if args.first().map(String::as_str) == Some("sweep") {
+        return match sweep_cli::run_sweep(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!(
+                    "usage: harp sweep [--full] [--long-code] [--checkpoint-dir DIR] \
+                     [--checkpoint-interval N] [--resume] [--shard i/N] [--out PATH]"
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("merge") {
+        return match sweep_cli::run_merge(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("usage: harp merge SHARD_0_of_N.json SHARD_1_of_N.json ...");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match cli::parse(&args) {
         Ok(options) => options,
         Err(message) => {
@@ -307,7 +341,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: harp <fig2|table2|fig4|fig6|fig7|fig8|fig9|fig10|summary|ablation|\
                  ext-bch|ext-beer|ext-module|ext-repair|ext-vrt|ext-codes|extensions|all> \
-                 [--full] [--long-code] [--json PATH]"
+                 [--full] [--long-code] [--json PATH]\n       \
+                 harp sweep [--checkpoint-dir DIR] [--resume] [--shard i/N] ... | \
+                 harp merge FILE... | harp bench-export [--check]"
             );
             return ExitCode::from(2);
         }

@@ -60,7 +60,9 @@ use crate::word::WordLayout;
 /// profiling, reverse engineering — only relies on this structure plus the
 /// decoder, so implementing this trait is all it takes to carry a new code
 /// scenario through every experiment in the workspace.
-pub trait LinearBlockCode {
+/// (`Debug` is a supertrait so code-generic campaign state — including the
+/// resumable checkpoint engines holding boxed profilers — stays debuggable.)
+pub trait LinearBlockCode: std::fmt::Debug {
     /// The systematic word layout (`k` data bits, then `p` parity bits).
     fn layout(&self) -> WordLayout;
 

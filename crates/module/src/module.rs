@@ -151,18 +151,6 @@ impl MemoryModule {
             HammingCode::random(geometry.ondie_word_bits(), chip_seed)
         })
     }
-
-    /// Deprecated name of [`MemoryModule::heterogeneous`]: the constructor
-    /// has always drawn an *independent* random code per chip, which is a
-    /// heterogeneous rank.
-    #[deprecated(note = "renamed to `heterogeneous` (chips draw independent random codes)")]
-    pub fn homogeneous(
-        geometry: ModuleGeometry,
-        lines: usize,
-        seed: u64,
-    ) -> Result<Self, harp_ecc::CodeError> {
-        Self::heterogeneous(geometry, lines, seed)
-    }
 }
 
 impl<C: LinearBlockCode> MemoryModule<C> {
@@ -683,12 +671,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_homogeneous_alias_delegates_to_heterogeneous() {
+    fn heterogeneous_delegates_to_the_generic_constructor() {
+        // `heterogeneous` is the ergonomic front of `heterogeneous_with`:
+        // both must derive identical per-chip codes from the same seed.
         let geometry = ModuleGeometry::single_chip_64();
-        let via_alias = MemoryModule::homogeneous(geometry, 1, 5).unwrap();
         let direct = MemoryModule::heterogeneous(geometry, 1, 5).unwrap();
-        assert_eq!(via_alias.chips()[0].code(), direct.chips()[0].code());
+        let via_generic = MemoryModule::heterogeneous_with(geometry, 1, 5, |chip_seed| {
+            HammingCode::random(geometry.ondie_word_bits(), chip_seed)
+        })
+        .unwrap();
+        assert_eq!(direct.chips()[0].code(), via_generic.chips()[0].code());
     }
 
     #[test]

@@ -56,6 +56,40 @@ use harp_memsim::{BurstScratch, FaultModel, MemoryChip};
 use crate::campaign::{CampaignResult, ProfilingCampaign, RoundSnapshot, CAMPAIGN_RNG_SALT};
 use crate::traits::{Profiler, ProfilerKind};
 
+/// Executes one batched profiling round: write every slot's dataword, scrub
+/// the whole cell with one multi-word burst, and let each profiler observe
+/// its own slot. This is the single round loop shared by
+/// [`CampaignBatch::run_profilers`] and the resumable
+/// [`crate::checkpoint::BatchRun`], so checkpointed campaigns replay exactly
+/// the reference data flow.
+pub(crate) fn step_batch_round<C: LinearBlockCode>(
+    chip: &mut MemoryChip<C>,
+    rngs: &mut [ChaCha8Rng],
+    scratch: &mut BurstScratch,
+    profilers: &mut [Box<dyn Profiler>],
+    snapshots: &mut [Vec<RoundSnapshot>],
+    round: usize,
+) {
+    let count = profilers.len();
+    for (slot, profiler) in profilers.iter_mut().enumerate() {
+        let data = profiler.dataword_for_round(round);
+        chip.write_in_place(slot, &data);
+    }
+    let observations = chip.read_burst_with_rngs(0..count, rngs, scratch);
+    for ((profiler, observation), word_snapshots) in profilers
+        .iter_mut()
+        .zip(observations)
+        .zip(snapshots.iter_mut())
+    {
+        profiler.observe_round(round, observation);
+        word_snapshots.push(RoundSnapshot {
+            round,
+            identified: profiler.identified().clone(),
+            predicted: profiler.predicted(),
+        });
+    }
+}
+
 /// The per-word configuration of one batched campaign slot: everything a
 /// [`ProfilingCampaign`] holds except the (shared) code.
 #[derive(Debug, Clone)]
@@ -88,7 +122,7 @@ pub struct CampaignBatch<C: LinearBlockCode = harp_ecc::HammingCode> {
     words: Vec<BatchWord>,
 }
 
-impl<C: LinearBlockCode + Clone + 'static> CampaignBatch<C> {
+impl<C: LinearBlockCode + Clone + Send + 'static> CampaignBatch<C> {
     /// Creates a batch for one cell of `words` independent ECC words, all
     /// protected by `code`.
     ///
@@ -209,23 +243,14 @@ impl<C: LinearBlockCode + Clone + 'static> CampaignBatch<C> {
         let mut snapshots: Vec<Vec<RoundSnapshot>> =
             (0..count).map(|_| Vec::with_capacity(rounds)).collect();
         for round in 0..rounds {
-            for (slot, profiler) in profilers.iter_mut().enumerate() {
-                let data = profiler.dataword_for_round(round);
-                chip.write_in_place(slot, &data);
-            }
-            let observations = chip.read_burst_with_rngs(0..count, &mut rngs, &mut scratch);
-            for ((profiler, observation), word_snapshots) in profilers
-                .iter_mut()
-                .zip(observations)
-                .zip(snapshots.iter_mut())
-            {
-                profiler.observe_round(round, observation);
-                word_snapshots.push(RoundSnapshot {
-                    round,
-                    identified: profiler.identified().clone(),
-                    predicted: profiler.predicted(),
-                });
-            }
+            step_batch_round(
+                &mut chip,
+                &mut rngs,
+                &mut scratch,
+                profilers,
+                &mut snapshots,
+                round,
+            );
         }
         profilers
             .iter()

@@ -28,6 +28,7 @@ use harp_gf2::BitVec;
 use harp_memsim::pattern::{DataPattern, PatternSchedule};
 use harp_memsim::ReadObservation;
 
+use crate::checkpoint::ProfilerState;
 use crate::traits::Profiler;
 
 /// Crafts a BEEP test pattern: charge a targeted combination of the known
@@ -138,7 +139,7 @@ impl<C: LinearBlockCode> BeepProfiler<C> {
     }
 }
 
-impl<C: LinearBlockCode> Profiler for BeepProfiler<C> {
+impl<C: LinearBlockCode + Send> Profiler for BeepProfiler<C> {
     fn name(&self) -> &'static str {
         "BEEP"
     }
@@ -165,6 +166,19 @@ impl<C: LinearBlockCode> Profiler for BeepProfiler<C> {
 
     fn uses_bypass_read(&self) -> bool {
         false
+    }
+
+    fn state(&self) -> ProfilerState {
+        ProfilerState {
+            identified: self.identified.clone(),
+            observed_indirect: BTreeSet::new(),
+            crafted_rounds: self.crafted_iterations,
+        }
+    }
+
+    fn restore(&mut self, state: &ProfilerState) {
+        self.identified = state.identified.clone();
+        self.crafted_iterations = state.crafted_rounds;
     }
 }
 

@@ -96,7 +96,7 @@ pub struct ProfilingCampaign<C: LinearBlockCode = harp_ecc::HammingCode> {
     seed: u64,
 }
 
-impl<C: LinearBlockCode + Clone + 'static> ProfilingCampaign<C> {
+impl<C: LinearBlockCode + Clone + Send + 'static> ProfilingCampaign<C> {
     /// Creates a campaign for one ECC word.
     pub fn new(code: C, faults: FaultModel, pattern: DataPattern, seed: u64) -> Self {
         Self {

@@ -1,0 +1,439 @@
+//! Campaign checkpointing: snapshot a running campaign after any round and
+//! resume it — in the same or a different process — byte-identically.
+//!
+//! The paper parallelizes its Monte-Carlo evaluation across compute-cluster
+//! jobs (§A.7); long sweeps therefore need to survive interruption. A
+//! campaign's mutable state is small and fully enumerable:
+//!
+//! * the per-word fault-injection RNG position ([`ChaCha8RngState`] — the
+//!   keystream block is a pure function of key and counter, so only the
+//!   counter and cursor are stored);
+//! * the profiler's accumulators ([`ProfilerState`] — identified bits plus,
+//!   for the BEEP-flavoured kinds, observed indirect bits and the crafted
+//!   pattern counter; HARP-A's predictions are recomputed on restore);
+//! * the per-round snapshots recorded so far.
+//!
+//! Chip contents need no checkpointing: every round rewrites each slot before
+//! the burst read, and the pattern schedule is a pure function of the round
+//! index. [`BatchRun`] is the resumable twin of
+//! [`CampaignBatch::run`](crate::batch::CampaignBatch::run) and
+//! [`CampaignRun`] of
+//! [`ProfilingCampaign::run_profiler`](crate::campaign::ProfilingCampaign);
+//! both replicate their reference round loop exactly, so
+//! checkpoint-at-round-k-then-resume produces the same [`CampaignResult`]s as
+//! an uninterrupted run — the invariant `tests/checkpoint_resume.rs` locks
+//! down across all profiler kinds and code families.
+
+use std::collections::BTreeSet;
+
+use rand::SeedableRng;
+use rand_chacha::{ChaCha8Rng, ChaCha8RngState};
+
+use harp_ecc::LinearBlockCode;
+use harp_memsim::{BurstScratch, MemoryChip};
+
+use crate::batch::{step_batch_round, CampaignBatch};
+use crate::campaign::{CampaignResult, ProfilingCampaign, RoundSnapshot, CAMPAIGN_RNG_SALT};
+use crate::traits::{Profiler, ProfilerKind};
+
+/// The mutable accumulators of any [`Profiler`] implementation, in one
+/// concrete shape shared by every kind.
+///
+/// Kinds that do not use a field leave it at its default: only the
+/// BEEP-flavoured kinds craft patterns (`crafted_rounds`), and only
+/// HARP-A+BEEP tracks observed indirect errors separately from its direct
+/// set. Derived state (HARP-A's predictions, HARP-A+BEEP's union) is
+/// recomputed by [`Profiler::restore`], never stored.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfilerState {
+    /// Directly accumulated at-risk bits. For HARP-A+BEEP this is the
+    /// *direct* (bypass-observed) set, not the published union.
+    pub identified: BTreeSet<usize>,
+    /// Post-correction error positions observed outside the direct set
+    /// (HARP-A+BEEP only).
+    pub observed_indirect: BTreeSet<usize>,
+    /// Number of crafted BEEP patterns issued so far (BEEP and HARP-A+BEEP).
+    pub crafted_rounds: usize,
+}
+
+impl ProfilerState {
+    /// State holding only an identified set — what the non-crafting kinds
+    /// (Naive, HARP-U, HARP-S) capture.
+    pub fn with_identified(identified: BTreeSet<usize>) -> Self {
+        Self {
+            identified,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything needed to resume one word of a campaign: RNG position,
+/// profiler accumulators, and the snapshots recorded so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordCheckpoint {
+    /// The word's fault-injection RNG position.
+    pub rng: ChaCha8RngState,
+    /// The word's profiler accumulators.
+    pub profiler: ProfilerState,
+    /// Per-round snapshots recorded before the checkpoint.
+    pub snapshots: Vec<RoundSnapshot>,
+}
+
+/// A whole campaign frozen after `round` completed rounds: one
+/// [`WordCheckpoint`] per word of the batch (a scalar campaign is the
+/// one-word special case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignCheckpoint {
+    /// Which profiler kind the campaign runs.
+    pub kind: ProfilerKind,
+    /// Number of completed rounds.
+    pub round: usize,
+    /// Per-word state, in batch word order.
+    pub words: Vec<WordCheckpoint>,
+}
+
+/// A resumable cell-batched campaign: the stateful twin of
+/// [`CampaignBatch::run`], advanced in increments and checkpointable between
+/// them.
+///
+/// # Example
+///
+/// ```
+/// use harp_ecc::HammingCode;
+/// use harp_memsim::{pattern::DataPattern, FaultModel};
+/// use harp_profiler::{BatchRun, BatchWord, CampaignBatch, ProfilerKind};
+///
+/// let code = HammingCode::random(64, 3)?;
+/// let batch = CampaignBatch::new(
+///     code,
+///     vec![BatchWord::new(FaultModel::uniform(&[5, 9], 0.5), DataPattern::Random, 0xFEED)],
+/// );
+/// let mut run = BatchRun::new(&batch, ProfilerKind::HarpU);
+/// run.advance(10);
+/// let frozen = run.checkpoint();
+/// let mut resumed = BatchRun::resume(&batch, &frozen);
+/// run.advance(22);
+/// resumed.advance(22);
+/// assert_eq!(run.results(), batch.run(ProfilerKind::HarpU, 32));
+/// assert_eq!(resumed.results(), run.results());
+/// # Ok::<(), harp_ecc::CodeError>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchRun<C: LinearBlockCode = harp_ecc::HammingCode> {
+    kind: ProfilerKind,
+    chip: MemoryChip<C>,
+    rngs: Vec<ChaCha8Rng>,
+    scratch: BurstScratch,
+    profilers: Vec<Box<dyn Profiler>>,
+    snapshots: Vec<Vec<RoundSnapshot>>,
+    round: usize,
+}
+
+impl<C: LinearBlockCode + Clone + Send + 'static> BatchRun<C> {
+    /// Starts a resumable campaign of `kind` over the batch, at round 0.
+    pub fn new(batch: &CampaignBatch<C>, kind: ProfilerKind) -> Self {
+        let count = batch.len();
+        let mut chip = MemoryChip::new(batch.code().clone(), count);
+        for (slot, word) in batch.words().iter().enumerate() {
+            chip.set_fault_model(slot, word.faults.clone());
+        }
+        Self {
+            kind,
+            chip,
+            rngs: batch
+                .words()
+                .iter()
+                .map(|word| ChaCha8Rng::seed_from_u64(word.seed ^ CAMPAIGN_RNG_SALT))
+                .collect(),
+            scratch: BurstScratch::with_capacity(count),
+            profilers: batch
+                .words()
+                .iter()
+                .map(|word| kind.instantiate(batch.code(), word.pattern, word.seed))
+                .collect(),
+            snapshots: (0..count).map(|_| Vec::new()).collect(),
+            round: 0,
+        }
+    }
+
+    /// Reconstructs a run at exactly the checkpointed position. The batch
+    /// must be the one the checkpoint was taken from (the checkpoint stores
+    /// only mutable state; the word configuration is regenerated by the
+    /// caller, deterministically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's word count does not match the batch.
+    pub fn resume(batch: &CampaignBatch<C>, checkpoint: &CampaignCheckpoint) -> Self {
+        assert_eq!(
+            checkpoint.words.len(),
+            batch.len(),
+            "checkpoint of {} words cannot resume a batch of {}",
+            checkpoint.words.len(),
+            batch.len()
+        );
+        let mut run = Self::new(batch, checkpoint.kind);
+        run.round = checkpoint.round;
+        for (slot, word) in checkpoint.words.iter().enumerate() {
+            run.rngs[slot] = ChaCha8Rng::from_state(word.rng);
+            run.profilers[slot].restore(&word.profiler);
+            run.snapshots[slot] = word.snapshots.clone();
+        }
+        run
+    }
+
+    /// Number of completed rounds.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The profiler kind this run evaluates.
+    pub fn kind(&self) -> ProfilerKind {
+        self.kind
+    }
+
+    /// Runs `rounds` further rounds through the same batched burst loop as
+    /// [`CampaignBatch::run_profilers`].
+    pub fn advance(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            step_batch_round(
+                &mut self.chip,
+                &mut self.rngs,
+                &mut self.scratch,
+                &mut self.profilers,
+                &mut self.snapshots,
+                self.round,
+            );
+            self.round += 1;
+        }
+    }
+
+    /// Freezes the run after the current round.
+    pub fn checkpoint(&self) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            kind: self.kind,
+            round: self.round,
+            words: self
+                .rngs
+                .iter()
+                .zip(&self.profilers)
+                .zip(&self.snapshots)
+                .map(|((rng, profiler), snapshots)| WordCheckpoint {
+                    rng: rng.state(),
+                    profiler: profiler.state(),
+                    snapshots: snapshots.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The per-word results so far, identical to what
+    /// [`CampaignBatch::run`] returns after the same number of rounds.
+    pub fn results(&self) -> Vec<CampaignResult> {
+        self.profilers
+            .iter()
+            .zip(&self.snapshots)
+            .map(|(profiler, snapshots)| CampaignResult {
+                profiler: profiler.name().to_owned(),
+                snapshots: snapshots.clone(),
+            })
+            .collect()
+    }
+}
+
+/// A resumable scalar campaign: the stateful twin of
+/// [`ProfilingCampaign::run_profiler`] for one word, using the same one-word
+/// burst path (`MemoryChip::write` + `read_burst`) as the scalar reference.
+#[derive(Debug)]
+pub struct CampaignRun<C: LinearBlockCode = harp_ecc::HammingCode> {
+    chip: MemoryChip<C>,
+    rng: ChaCha8Rng,
+    scratch: BurstScratch,
+    profiler: Box<dyn Profiler>,
+    snapshots: Vec<RoundSnapshot>,
+    kind: ProfilerKind,
+    round: usize,
+}
+
+impl<C: LinearBlockCode + Clone + Send + 'static> CampaignRun<C> {
+    /// Starts a resumable scalar campaign of `kind`, at round 0.
+    pub fn new(campaign: &ProfilingCampaign<C>, kind: ProfilerKind) -> Self {
+        let mut chip = MemoryChip::new(campaign.code().clone(), 1);
+        chip.set_fault_model(0, campaign.faults().clone());
+        Self {
+            chip,
+            rng: ChaCha8Rng::seed_from_u64(campaign.seed() ^ CAMPAIGN_RNG_SALT),
+            scratch: BurstScratch::new(),
+            profiler: kind.instantiate(campaign.code(), campaign.pattern(), campaign.seed()),
+            snapshots: Vec::new(),
+            kind,
+            round: 0,
+        }
+    }
+
+    /// Reconstructs a scalar run at exactly the checkpointed position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint does not hold exactly one word.
+    pub fn resume(campaign: &ProfilingCampaign<C>, checkpoint: &CampaignCheckpoint) -> Self {
+        assert_eq!(
+            checkpoint.words.len(),
+            1,
+            "a scalar campaign checkpoint holds exactly one word"
+        );
+        let mut run = Self::new(campaign, checkpoint.kind);
+        let word = &checkpoint.words[0];
+        run.round = checkpoint.round;
+        run.rng = ChaCha8Rng::from_state(word.rng);
+        run.profiler.restore(&word.profiler);
+        run.snapshots = word.snapshots.clone();
+        run
+    }
+
+    /// Number of completed rounds.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Runs `rounds` further rounds through the scalar reference loop.
+    pub fn advance(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            let round = self.round;
+            let data = self.profiler.dataword_for_round(round);
+            self.chip.write(0, &data);
+            let observation = &self.chip.read_burst(0..1, &mut self.rng, &mut self.scratch)[0];
+            self.profiler.observe_round(round, observation);
+            self.snapshots.push(RoundSnapshot {
+                round,
+                identified: self.profiler.identified().clone(),
+                predicted: self.profiler.predicted(),
+            });
+            self.round += 1;
+        }
+    }
+
+    /// Freezes the run after the current round (a one-word
+    /// [`CampaignCheckpoint`]).
+    pub fn checkpoint(&self) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            kind: self.kind,
+            round: self.round,
+            words: vec![WordCheckpoint {
+                rng: self.rng.state(),
+                profiler: self.profiler.state(),
+                snapshots: self.snapshots.clone(),
+            }],
+        }
+    }
+
+    /// The result so far, identical to what
+    /// [`ProfilingCampaign::run`] returns after the same number of rounds.
+    pub fn result(&self) -> CampaignResult {
+        CampaignResult {
+            profiler: self.profiler.name().to_owned(),
+            snapshots: self.snapshots.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_ecc::HammingCode;
+    use harp_memsim::pattern::DataPattern;
+    use harp_memsim::FaultModel;
+
+    use crate::batch::BatchWord;
+
+    fn cell(seed: u64) -> CampaignBatch {
+        let code = HammingCode::random(64, seed).unwrap();
+        CampaignBatch::new(
+            code,
+            vec![
+                BatchWord::new(
+                    FaultModel::uniform(&[2, 9, 44], 0.5),
+                    DataPattern::Random,
+                    3,
+                ),
+                BatchWord::new(FaultModel::uniform(&[7], 1.0), DataPattern::Random, 11),
+                BatchWord::new(
+                    FaultModel::uniform(&[1, 33, 60], 0.25),
+                    DataPattern::Random,
+                    19,
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn uninterrupted_batch_run_matches_the_batch_reference() {
+        let batch = cell(5);
+        for kind in ProfilerKind::ALL {
+            let mut run = BatchRun::new(&batch, kind);
+            run.advance(24);
+            assert_eq!(run.results(), batch.run(kind, 24), "{kind}");
+            assert_eq!(run.round(), 24);
+            assert_eq!(run.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn resume_at_every_round_matches_uninterrupted() {
+        let batch = cell(7);
+        let rounds = 16;
+        for kind in ProfilerKind::ALL {
+            let reference = batch.run(kind, rounds);
+            for k in 0..=rounds {
+                let mut first = BatchRun::new(&batch, kind);
+                first.advance(k);
+                let frozen = first.checkpoint();
+                let mut resumed = BatchRun::resume(&batch, &frozen);
+                resumed.advance(rounds - k);
+                assert_eq!(resumed.results(), reference, "{kind} at round {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_run_resumes_identically() {
+        let batch = cell(9);
+        let campaign = batch.scalar_campaign(0);
+        for kind in ProfilerKind::ALL {
+            let reference = campaign.run(kind, 20);
+            let mut run = CampaignRun::new(&campaign, kind);
+            run.advance(13);
+            let mut resumed = CampaignRun::resume(&campaign, &run.checkpoint());
+            assert_eq!(resumed.round(), 13);
+            resumed.advance(7);
+            assert_eq!(resumed.result(), reference, "{kind}");
+        }
+    }
+
+    #[test]
+    fn profiler_state_round_trips_through_restore() {
+        let batch = cell(13);
+        let code = batch.code().clone();
+        for kind in ProfilerKind::ALL {
+            let mut original = kind.instantiate(&code, DataPattern::Random, 3);
+            let mut run = BatchRun::new(&batch, kind);
+            run.advance(12);
+            let state = run.profilers[0].state();
+            original.restore(&state);
+            assert_eq!(original.state(), state, "{kind}");
+            assert_eq!(original.identified(), run.profilers[0].identified());
+            assert_eq!(original.predicted(), run.profilers[0].predicted());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resume")]
+    fn word_count_mismatch_is_rejected() {
+        let batch = cell(15);
+        let mut run = BatchRun::new(&batch, ProfilerKind::Naive);
+        run.advance(2);
+        let mut frozen = run.checkpoint();
+        frozen.words.pop();
+        let _ = BatchRun::resume(&batch, &frozen);
+    }
+}

@@ -129,9 +129,28 @@ impl CoverageSeries {
         self.max_simultaneous.iter().position(|&m| m <= limit)
     }
 
-    /// Direct coverage after the final round (0.0 if no rounds ran).
+    /// Whether the series holds no rounds at all. An empty series carries no
+    /// coverage information — distinguish it from a genuine zero-coverage
+    /// run with [`CoverageSeries::checked_final_direct_coverage`].
+    pub fn is_empty(&self) -> bool {
+        self.direct_coverage.is_empty()
+    }
+
+    /// Direct coverage after the final round.
+    ///
+    /// **Caveat:** returns 0.0 when no rounds ran, which is indistinguishable
+    /// from a genuine zero-coverage run. Aggregators that must tell the two
+    /// apart (e.g. a merge coordinator validating shard completeness) should
+    /// use [`CoverageSeries::checked_final_direct_coverage`] instead.
     pub fn final_direct_coverage(&self) -> f64 {
-        self.direct_coverage.last().copied().unwrap_or(0.0)
+        self.checked_final_direct_coverage().unwrap_or(0.0)
+    }
+
+    /// Direct coverage after the final round, or `None` if no rounds ran —
+    /// the unambiguous accessor behind
+    /// [`CoverageSeries::final_direct_coverage`].
+    pub fn checked_final_direct_coverage(&self) -> Option<f64> {
+        self.direct_coverage.last().copied()
     }
 }
 
@@ -253,5 +272,29 @@ mod tests {
         let series = CoverageSeries::from_campaign(&result, &space);
         assert_eq!(series.bootstrap_round, None);
         assert_eq!(series.final_direct_coverage(), 0.0);
+    }
+
+    #[test]
+    fn empty_series_is_detectable_unlike_the_silent_zero() {
+        let code = HammingCode::random(64, 35).unwrap();
+        let campaign = ProfilingCampaign::new(
+            code,
+            FaultModel::uniform(&[3], 1.0),
+            DataPattern::Random,
+            35,
+        );
+        let space = campaign.error_space();
+        let empty = CoverageSeries::from_campaign(&campaign.run(ProfilerKind::Naive, 0), &space);
+        assert!(empty.is_empty());
+        assert_eq!(empty.checked_final_direct_coverage(), None);
+        // The legacy accessor still collapses to 0.0 — the documented trap.
+        assert_eq!(empty.final_direct_coverage(), 0.0);
+
+        let real = CoverageSeries::from_campaign(&campaign.run(ProfilerKind::Naive, 4), &space);
+        assert!(!real.is_empty());
+        assert_eq!(
+            real.checked_final_direct_coverage(),
+            Some(real.final_direct_coverage())
+        );
     }
 }

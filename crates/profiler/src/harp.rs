@@ -26,6 +26,7 @@ use harp_memsim::pattern::{DataPattern, PatternSchedule};
 use harp_memsim::ReadObservation;
 
 use crate::beep::craft_beep_pattern;
+use crate::checkpoint::ProfilerState;
 use crate::traits::Profiler;
 
 /// HARP-Unaware: active profiling through the decode-bypass read path,
@@ -79,6 +80,14 @@ impl Profiler for HarpUProfiler {
     fn uses_bypass_read(&self) -> bool {
         true
     }
+
+    fn state(&self) -> ProfilerState {
+        ProfilerState::with_identified(self.identified.clone())
+    }
+
+    fn restore(&mut self, state: &ProfilerState) {
+        self.identified = state.identified.clone();
+    }
 }
 
 /// HARP-Aware: HARP-U plus knowledge of the parity-check matrix, used to
@@ -119,7 +128,7 @@ impl<C: LinearBlockCode> HarpAProfiler<C> {
     }
 }
 
-impl<C: LinearBlockCode> Profiler for HarpAProfiler<C> {
+impl<C: LinearBlockCode + Send> Profiler for HarpAProfiler<C> {
     fn name(&self) -> &'static str {
         "HARP-A"
     }
@@ -146,6 +155,17 @@ impl<C: LinearBlockCode> Profiler for HarpAProfiler<C> {
 
     fn uses_bypass_read(&self) -> bool {
         true
+    }
+
+    fn state(&self) -> ProfilerState {
+        ProfilerState::with_identified(self.inner.identified.clone())
+    }
+
+    fn restore(&mut self, state: &ProfilerState) {
+        // Predictions are derived from the direct set; recompute rather than
+        // store them so the checkpoint stays minimal and cannot go stale.
+        self.inner.identified = state.identified.clone();
+        self.refresh_predictions();
     }
 }
 
@@ -180,14 +200,15 @@ impl<C: LinearBlockCode> HarpABeepProfiler<C> {
     fn rebuild_union(&mut self) {
         self.union = self
             .harp_a
-            .identified()
+            .inner
+            .identified
             .union(&self.observed_indirect)
             .copied()
             .collect();
     }
 }
 
-impl<C: LinearBlockCode> Profiler for HarpABeepProfiler<C> {
+impl<C: LinearBlockCode + Send> Profiler for HarpABeepProfiler<C> {
     fn name(&self) -> &'static str {
         "HARP-A+BEEP"
     }
@@ -229,6 +250,24 @@ impl<C: LinearBlockCode> Profiler for HarpABeepProfiler<C> {
 
     fn uses_bypass_read(&self) -> bool {
         true
+    }
+
+    fn state(&self) -> ProfilerState {
+        ProfilerState {
+            // The *direct* (bypass-observed) set, not the published union —
+            // the union is derived state, rebuilt on restore.
+            identified: self.harp_a.inner.identified.clone(),
+            observed_indirect: self.observed_indirect.clone(),
+            crafted_rounds: self.crafted_rounds,
+        }
+    }
+
+    fn restore(&mut self, state: &ProfilerState) {
+        self.harp_a.inner.identified = state.identified.clone();
+        self.harp_a.refresh_predictions();
+        self.observed_indirect = state.observed_indirect.clone();
+        self.crafted_rounds = state.crafted_rounds;
+        self.rebuild_union();
     }
 }
 

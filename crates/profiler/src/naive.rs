@@ -13,6 +13,7 @@ use harp_gf2::BitVec;
 use harp_memsim::pattern::{DataPattern, PatternSchedule};
 use harp_memsim::ReadObservation;
 
+use crate::checkpoint::ProfilerState;
 use crate::traits::Profiler;
 
 /// Round-based profiling from post-correction errors only.
@@ -70,6 +71,14 @@ impl Profiler for NaiveProfiler {
 
     fn uses_bypass_read(&self) -> bool {
         false
+    }
+
+    fn state(&self) -> ProfilerState {
+        ProfilerState::with_identified(self.identified.clone())
+    }
+
+    fn restore(&mut self, state: &ProfilerState) {
+        self.identified = state.identified.clone();
     }
 }
 

@@ -22,6 +22,7 @@ use harp_gf2::BitVec;
 use harp_memsim::pattern::{DataPattern, PatternSchedule};
 use harp_memsim::ReadObservation;
 
+use crate::checkpoint::ProfilerState;
 use crate::traits::Profiler;
 
 /// HARP with the syndrome-on-correction interface instead of a bypass read.
@@ -89,6 +90,14 @@ impl Profiler for HarpSProfiler {
 
     fn uses_bypass_read(&self) -> bool {
         false
+    }
+
+    fn state(&self) -> ProfilerState {
+        ProfilerState::with_identified(self.identified.clone())
+    }
+
+    fn restore(&mut self, state: &ProfilerState) {
+        self.identified = state.identified.clone();
     }
 }
 

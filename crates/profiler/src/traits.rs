@@ -11,6 +11,7 @@ use harp_memsim::pattern::DataPattern;
 use harp_memsim::ReadObservation;
 
 use crate::beep::BeepProfiler;
+use crate::checkpoint::ProfilerState;
 use crate::harp::{HarpABeepProfiler, HarpAProfiler, HarpUProfiler};
 use crate::naive::NaiveProfiler;
 
@@ -32,7 +33,11 @@ use crate::naive::NaiveProfiler;
 /// The trait is deliberately code-agnostic: profilers that need the on-die
 /// ECC structure are generic over [`LinearBlockCode`], so the same lineup
 /// runs against Hamming, SEC-DED, and BCH-protected words.
-pub trait Profiler {
+///
+/// `Send` is a supertrait so boxed profilers can migrate across worker
+/// threads inside resumable sweeps (the codes they capture are plain data);
+/// `Debug` so resumable engines holding boxed profilers stay debuggable.
+pub trait Profiler: Send + std::fmt::Debug {
     /// Short identifier used in reports (e.g. `"HARP-U"`).
     fn name(&self) -> &'static str;
 
@@ -65,6 +70,16 @@ pub trait Profiler {
             .copied()
             .collect()
     }
+
+    /// Captures every mutable accumulator of the profiler, for campaign
+    /// checkpointing. Derived state (e.g. HARP-A's predictions) is *not*
+    /// captured; [`Profiler::restore`] recomputes it.
+    fn state(&self) -> ProfilerState;
+
+    /// Overwrites the profiler's accumulators with a previously captured
+    /// state and recomputes any derived state, so that subsequent rounds
+    /// behave exactly as if the profiler had accumulated `state` itself.
+    fn restore(&mut self, state: &ProfilerState);
 }
 
 /// The profiling algorithms evaluated in the paper (§7.1.1), used as a
@@ -119,6 +134,15 @@ impl ProfilerKind {
         }
     }
 
+    /// The inverse of [`ProfilerKind::name`]: resolves a display name back to
+    /// its kind. Used by checkpoint archives and CLI flags, which identify
+    /// profilers by their paper names.
+    pub fn from_name(name: &str) -> Option<ProfilerKind> {
+        ProfilerKind::ALL
+            .into_iter()
+            .find(|kind| kind.name() == name)
+    }
+
     /// Instantiates a profiler of this kind for one ECC word.
     ///
     /// `code` is the on-die ECC code (only consulted by the `H`-aware
@@ -126,7 +150,7 @@ impl ProfilerKind {
     /// testing rounds, and `seed` the deterministic seed for random patterns.
     /// The factory is generic over the code, so every kind can be evaluated
     /// against any [`LinearBlockCode`] implementation.
-    pub fn instantiate<C: LinearBlockCode + Clone + 'static>(
+    pub fn instantiate<C: LinearBlockCode + Clone + Send + 'static>(
         &self,
         code: &C,
         pattern: DataPattern,
@@ -168,6 +192,14 @@ mod tests {
         assert_eq!(ProfilerKind::HarpA.name(), "HARP-A");
         assert_eq!(ProfilerKind::HarpABeep.to_string(), "HARP-A+BEEP");
         assert_eq!(ProfilerKind::HarpS.name(), "HARP-S");
+    }
+
+    #[test]
+    fn from_name_inverts_name_for_every_kind() {
+        for kind in ProfilerKind::ALL {
+            assert_eq!(ProfilerKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ProfilerKind::from_name("HARP-X"), None);
     }
 
     #[test]

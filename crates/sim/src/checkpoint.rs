@@ -1,0 +1,1350 @@
+//! Sweep checkpointing, resumption, and cross-process sharding.
+//!
+//! The paper parallelizes its evaluation across compute-cluster jobs and
+//! burned ~14 CPU-years on the full sweep (§A.7); a faithful reproduction at
+//! scale must survive interruption and distribute across machines. This
+//! module makes the coverage sweep behind Figs. 6–9 snapshottable end to end:
+//!
+//! * [`ResumableSweep`] is the stateful twin of
+//!   [`run_coverage_sweep_with`](crate::experiments::sweep::run_coverage_sweep_with):
+//!   one resumable [`BatchRun`] per (sweep cell, code group, profiler),
+//!   advanced in round increments and frozen between them. An uninterrupted
+//!   run and a stop-at-round-`k`-then-resume run produce byte-identical
+//!   [`CoverageSweep`]s (`tests/checkpoint_resume.rs` locks this down for
+//!   every profiler kind and code family).
+//! * A **versioned checkpoint archive**: a directory holding one JSON file
+//!   per code group plus a manifest, written atomically (temp file + rename)
+//!   so a crash mid-checkpoint never corrupts a resumable archive. Schema
+//!   versioned like the `BENCH_<group>.json` contract.
+//! * [`ShardSpec`] worker mode: `--shard i/N` assigns each worker the code
+//!   groups whose **global group index** satisfies `g % N == i`. The group
+//!   index `g = cell_index * num_codes + code_index` depends only on the
+//!   configuration — never on thread counts — so any two machines agree on
+//!   the partition. Shard outputs are folded back into one sweep by
+//!   [`merge_shards`], which validates completeness via
+//!   [`CoverageSeries::checked_final_direct_coverage`] instead of trusting
+//!   the silent 0.0 of an empty series.
+//!
+//! All persistence goes through [`crate::minijson`]: `u64` seeds and RNG
+//! block counters are stored as raw literals (never through `f64`), so a
+//! resumed RNG stream is positioned bit-exactly.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use harp_ecc::{HammingCode, LinearBlockCode};
+use harp_memsim::pattern::DataPattern;
+use harp_profiler::{
+    BatchRun, BatchWord, CampaignBatch, CampaignCheckpoint, CoverageSeries, ProfilerKind,
+    ProfilerState, WordCheckpoint,
+};
+use rand_chacha::ChaCha8RngState;
+
+use crate::config::EvaluationConfig;
+use crate::experiments::sweep::{CoverageSweep, WordEvaluation};
+use crate::minijson::Json;
+use crate::report::{fixed, TextTable};
+use crate::runner::parallel_map_mut;
+use crate::sample::{group_by_code, sample_words_with};
+use crate::stats::mean;
+
+/// Version of the on-disk checkpoint and shard-output schema. Bump on any
+/// incompatible layout change; readers reject mismatched versions instead of
+/// misinterpreting them.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+
+/// Name of the archive manifest file.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Which slice of a sweep's code groups one worker owns: shard `i` of `N`
+/// takes every group whose global index is `≡ i (mod N)`.
+///
+/// The partition is a pure function of the configuration (groups are indexed
+/// `cell_index * num_codes + code_index`), so workers on different machines
+/// — with different thread counts — agree on it without coordination. Word
+/// results do not depend on how groups are batched (the membership-
+/// independence invariant of `tests/campaign_equivalence.rs`), so any
+/// partition reproduces the single-process sweep exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This worker's index, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of workers.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// The trivial single-worker shard owning every group.
+    pub fn full() -> Self {
+        Self { index: 0, count: 1 }
+    }
+
+    /// Parses the CLI form `"i/N"` (e.g. `"0/2"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem when the text is not of the form
+    /// `i/N` with `i < N` and `N >= 1`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (index, count) = text
+            .split_once('/')
+            .ok_or_else(|| format!("shard '{text}' is not of the form i/N"))?;
+        let index: usize = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard index '{index}' is not a number"))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard count '{count}' is not a number"))?;
+        if count == 0 {
+            return Err("shard count must be at least 1".to_owned());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} workers"
+            ));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Whether this shard owns the group with the given global index.
+    pub fn owns(&self, group_index: usize) -> bool {
+        group_index % self.count == self.index
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// One resumable work unit: all profilers over one code group of one sweep
+/// cell.
+#[derive(Debug)]
+struct SweepUnit<C: LinearBlockCode> {
+    group_index: usize,
+    cell_index: usize,
+    code_index: usize,
+    error_count: usize,
+    probability: f64,
+    batch: CampaignBatch<C>,
+    runs: Vec<BatchRun<C>>,
+}
+
+/// The resumable coverage sweep: the checkpointable twin of
+/// [`run_coverage_sweep_with`](crate::experiments::sweep::run_coverage_sweep_with).
+///
+/// Construction regenerates the word population deterministically from the
+/// configuration (samples are never persisted — only mutable campaign state
+/// is), builds one [`BatchRun`] per (cell, code group, profiler), and
+/// advances all of them in lock-step round increments. After
+/// `config.rounds` rounds, [`ResumableSweep::into_sweep`] assembles the
+/// exact [`CoverageSweep`] the one-shot path produces.
+#[derive(Debug)]
+pub struct ResumableSweep<C: LinearBlockCode = HammingCode> {
+    config: EvaluationConfig,
+    profilers: Vec<ProfilerKind>,
+    shard: ShardSpec,
+    units: Vec<SweepUnit<C>>,
+    round: usize,
+}
+
+impl<C: LinearBlockCode + Clone + Send + 'static> ResumableSweep<C> {
+    /// Starts a full (unsharded) resumable sweep at round 0.
+    pub fn new<F: Fn(u64) -> C>(
+        config: &EvaluationConfig,
+        profilers: &[ProfilerKind],
+        make_code: F,
+    ) -> Self {
+        Self::sharded(config, profilers, ShardSpec::full(), make_code)
+    }
+
+    /// Starts a resumable sweep owning only the given shard's groups.
+    pub fn sharded<F: Fn(u64) -> C>(
+        config: &EvaluationConfig,
+        profilers: &[ProfilerKind],
+        shard: ShardSpec,
+        make_code: F,
+    ) -> Self {
+        config.validate();
+        let mut units = Vec::new();
+        let mut cell_index = 0;
+        for &error_count in &config.error_counts {
+            for &probability in &config.probabilities {
+                let samples = sample_words_with(config, error_count, probability, &make_code);
+                for group in group_by_code(&samples) {
+                    let code_index = group[0].code_index;
+                    let group_index = cell_index * config.num_codes + code_index;
+                    if !shard.owns(group_index) {
+                        continue;
+                    }
+                    let batch = CampaignBatch::new(
+                        group[0].code.clone(),
+                        group
+                            .iter()
+                            .map(|sample| {
+                                BatchWord::new(
+                                    sample.faults.clone(),
+                                    config.pattern,
+                                    sample.campaign_seed,
+                                )
+                            })
+                            .collect(),
+                    );
+                    let runs = profilers
+                        .iter()
+                        .map(|&kind| BatchRun::new(&batch, kind))
+                        .collect();
+                    units.push(SweepUnit {
+                        group_index,
+                        cell_index,
+                        code_index,
+                        error_count,
+                        probability,
+                        batch,
+                        runs,
+                    });
+                }
+                cell_index += 1;
+            }
+        }
+        Self {
+            config: config.clone(),
+            profilers: profilers.to_vec(),
+            shard,
+            units,
+            round: 0,
+        }
+    }
+
+    /// Number of completed rounds.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// This worker's shard assignment.
+    pub fn shard(&self) -> ShardSpec {
+        self.shard
+    }
+
+    /// The sweep configuration.
+    pub fn config(&self) -> &EvaluationConfig {
+        &self.config
+    }
+
+    /// Number of code groups this worker owns.
+    pub fn num_groups(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Total number of code groups across all shards.
+    pub fn total_groups(&self) -> usize {
+        total_groups(&self.config)
+    }
+
+    /// Whether all configured rounds have completed.
+    pub fn is_complete(&self) -> bool {
+        self.round >= self.config.rounds
+    }
+
+    /// Advances every owned group to `round() + rounds` (clamped to the
+    /// configured total), threading across groups.
+    ///
+    /// Groups already past the target — possible after resuming a torn
+    /// archive whose interrupted generation had overwritten some group
+    /// files — simply hold position until the rest catch up; each campaign
+    /// is deterministic, so the order of interleaving never matters.
+    pub fn advance(&mut self, rounds: usize) {
+        let target = self
+            .round
+            .saturating_add(rounds)
+            .min(self.config.rounds)
+            .max(self.round);
+        if target == self.round {
+            return;
+        }
+        let threads = self.config.threads;
+        parallel_map_mut(&mut self.units, threads, |unit| {
+            for run in &mut unit.runs {
+                let behind = target.saturating_sub(run.round());
+                if behind > 0 {
+                    run.advance(behind);
+                }
+            }
+        });
+        self.round = target;
+    }
+
+    /// Writes a checkpoint archive of the current state into `dir`
+    /// (created if needed): one `GROUP_<cell>_<code>.json` per owned code
+    /// group, then the manifest. Every file is written to a temp path and
+    /// atomically renamed, and the manifest is written last, so an archive
+    /// with a readable manifest always has every group present at the
+    /// manifest's round *or later*: a crash mid-archive can leave some
+    /// group files from the interrupted (newer) generation, and
+    /// [`resume`](Self::resume) accepts those, since each group file is
+    /// individually atomic and each group's campaign is independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the archive.
+    pub fn write_archive(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for unit in &self.units {
+            let round = unit.runs.first().map_or(self.round, |run| run.round());
+            let json = encode_group(unit, round);
+            write_atomically(
+                &dir.join(group_file_name(unit.cell_index, unit.code_index)),
+                &json,
+            )?;
+        }
+        write_atomically(&dir.join(MANIFEST_FILE), &self.manifest_json())
+    }
+
+    fn manifest_json(&self) -> Json {
+        Json::Object(vec![
+            ("schema".into(), Json::from_u64(CHECKPOINT_SCHEMA_VERSION)),
+            ("round".into(), Json::from_usize(self.round)),
+            ("shard".into(), encode_shard(self.shard)),
+            ("profilers".into(), encode_profilers(&self.profilers)),
+            ("config".into(), encode_config(&self.config)),
+            ("num_groups".into(), Json::from_usize(self.units.len())),
+        ])
+    }
+
+    /// Reconstructs a sweep at exactly the position of the archive in `dir`.
+    /// Configuration, profiler lineup, and shard assignment all come from
+    /// the manifest; `make_code` rebuilds the per-code-index codes (consult
+    /// [`read_manifest`] first for the archived `data_bits`).
+    ///
+    /// A group file frozen *ahead* of the manifest is accepted: it means a
+    /// newer archive generation was interrupted after overwriting that
+    /// group but before its manifest, and the group's own state is still a
+    /// valid atomic snapshot. [`advance`](Self::advance) lets the other
+    /// groups catch up. A group *behind* the manifest (or past the
+    /// configured rounds) is corruption and is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the archive is missing, has a mismatched schema
+    /// version, or any group file is absent or corrupt.
+    pub fn resume<F: Fn(u64) -> C>(dir: &Path, make_code: F) -> io::Result<Self> {
+        let manifest = read_manifest(dir)?;
+        let mut sweep = Self::sharded(
+            &manifest.config,
+            &manifest.profilers,
+            manifest.shard,
+            make_code,
+        );
+        for unit in &mut sweep.units {
+            let path = dir.join(group_file_name(unit.cell_index, unit.code_index));
+            let text = std::fs::read_to_string(&path)?;
+            let json =
+                Json::parse(&text).map_err(|e| invalid(format!("{}: {e}", path.display())))?;
+            let (round, checkpoints) = decode_group(&json, &manifest)
+                .map_err(|e| invalid(format!("{}: {e}", path.display())))?;
+            if round < manifest.round || round > manifest.config.rounds {
+                return Err(invalid(format!(
+                    "{}: group frozen at round {round}, manifest says {} of {}",
+                    path.display(),
+                    manifest.round,
+                    manifest.config.rounds
+                )));
+            }
+            if checkpoints.len() != sweep.profilers.len() {
+                return Err(invalid(format!(
+                    "{}: {} campaign checkpoints for {} profilers",
+                    path.display(),
+                    checkpoints.len(),
+                    sweep.profilers.len()
+                )));
+            }
+            unit.runs = checkpoints
+                .iter()
+                .map(|checkpoint| BatchRun::resume(&unit.batch, checkpoint))
+                .collect();
+        }
+        sweep.round = manifest.round;
+        Ok(sweep)
+    }
+
+    /// Assembles the owned groups' evaluations, in global group order, once
+    /// all rounds have completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep has not completed all configured rounds.
+    fn owned_evaluations(&self) -> Vec<(usize, Vec<WordEvaluation>)> {
+        assert!(
+            self.is_complete(),
+            "sweep stopped at round {} of {}",
+            self.round,
+            self.config.rounds
+        );
+        self.units
+            .iter()
+            .map(|unit| {
+                let per_profiler: Vec<_> = unit.runs.iter().map(|run| run.results()).collect();
+                let mut evaluations = Vec::with_capacity(unit.batch.len() * self.profilers.len());
+                for word in 0..unit.batch.len() {
+                    let space = unit.batch.error_space(word);
+                    for (&profiler, results) in self.profilers.iter().zip(&per_profiler) {
+                        evaluations.push(WordEvaluation {
+                            error_count: unit.error_count,
+                            probability: unit.probability,
+                            profiler,
+                            series: CoverageSeries::from_campaign(&results[word], &space),
+                        });
+                    }
+                }
+                (unit.group_index, evaluations)
+            })
+            .collect()
+    }
+
+    /// Finishes a **full** (unsharded) sweep into the exact
+    /// [`CoverageSweep`] the one-shot
+    /// [`run_coverage_sweep`](crate::experiments::sweep::run_coverage_sweep)
+    /// path produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounds remain or the sweep owns only a shard (shard workers
+    /// persist a [`ShardOutput`](Self::write_shard_output) for `merge`
+    /// instead).
+    pub fn into_sweep(&self) -> CoverageSweep {
+        assert_eq!(
+            self.shard,
+            ShardSpec::full(),
+            "a {} shard cannot assemble the full sweep; merge shard outputs",
+            self.shard
+        );
+        let evaluations = self
+            .owned_evaluations()
+            .into_iter()
+            .flat_map(|(_, evals)| evals)
+            .collect();
+        CoverageSweep {
+            rounds: self.config.rounds,
+            error_counts: self.config.error_counts.clone(),
+            probabilities: self.config.probabilities.clone(),
+            profilers: self.profilers.clone(),
+            evaluations,
+        }
+    }
+
+    /// Writes this worker's completed groups as a shard-output file for the
+    /// `merge` coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep has not completed all configured rounds.
+    pub fn write_shard_output(&self, path: &Path) -> io::Result<()> {
+        let groups = self
+            .owned_evaluations()
+            .into_iter()
+            .map(|(group_index, evaluations)| {
+                Json::Object(vec![
+                    ("group_index".into(), Json::from_usize(group_index)),
+                    (
+                        "evaluations".into(),
+                        Json::Array(evaluations.iter().map(encode_evaluation).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let json = Json::Object(vec![
+            ("schema".into(), Json::from_u64(CHECKPOINT_SCHEMA_VERSION)),
+            ("shard".into(), encode_shard(self.shard)),
+            ("profilers".into(), encode_profilers(&self.profilers)),
+            ("config".into(), encode_config(&self.config)),
+            ("groups".into(), Json::Array(groups)),
+        ]);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        write_atomically(path, &json)
+    }
+}
+
+/// Conventional shard-output file name for worker `i` of `N`.
+pub fn shard_file_name(shard: ShardSpec) -> String {
+    format!("SHARD_{}_of_{}.json", shard.index, shard.count)
+}
+
+fn group_file_name(cell_index: usize, code_index: usize) -> String {
+    format!("GROUP_{cell_index}_{code_index}.json")
+}
+
+/// Total number of code groups a configuration produces (across all shards):
+/// one per (error count, probability, code index).
+pub fn total_groups(config: &EvaluationConfig) -> usize {
+    config.error_counts.len() * config.probabilities.len() * config.num_codes
+}
+
+/// A parsed checkpoint-archive manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Completed rounds at the time of the checkpoint.
+    pub round: usize,
+    /// The worker's shard assignment.
+    pub shard: ShardSpec,
+    /// Profiler lineup, in evaluation order.
+    pub profilers: Vec<ProfilerKind>,
+    /// The sweep configuration the archive was generated from.
+    pub config: EvaluationConfig,
+}
+
+/// Reads and validates the manifest of a checkpoint archive.
+///
+/// # Errors
+///
+/// Returns an error when the manifest is missing, malformed, or of an
+/// unsupported schema version.
+pub fn read_manifest(dir: &Path) -> io::Result<Manifest> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&path)?;
+    let json = Json::parse(&text).map_err(|e| invalid(format!("{}: {e}", path.display())))?;
+    decode_manifest(&json).map_err(|e| invalid(format!("{}: {e}", path.display())))
+}
+
+fn decode_manifest(json: &Json) -> Result<Manifest, String> {
+    check_schema(json)?;
+    Ok(Manifest {
+        round: require_usize(json, "round")?,
+        shard: decode_shard(require(json, "shard")?)?,
+        profilers: decode_profilers(require(json, "profilers")?)?,
+        config: decode_config(require(json, "config")?)?,
+    })
+}
+
+/// Folds the shard-output files of a distributed sweep back into the single
+/// [`CoverageSweep`] an unsharded run produces.
+///
+/// Validates that every file shares one schema version, configuration, and
+/// profiler lineup; that the shards jointly cover every code group exactly
+/// once; and that every coverage series actually holds the configured number
+/// of rounds — an empty series is a hole in the data, not a zero-coverage
+/// word, and is rejected via
+/// [`CoverageSeries::checked_final_direct_coverage`].
+///
+/// # Errors
+///
+/// Returns an error describing the first inconsistency found.
+pub fn merge_shards(paths: &[PathBuf]) -> io::Result<CoverageSweep> {
+    if paths.is_empty() {
+        return Err(invalid("no shard files to merge".to_owned()));
+    }
+    let mut reference: Option<(EvaluationConfig, Vec<ProfilerKind>)> = None;
+    let mut groups: BTreeMap<usize, Vec<WordEvaluation>> = BTreeMap::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path)?;
+        let json = Json::parse(&text).map_err(|e| invalid(format!("{}: {e}", path.display())))?;
+        let fail = |e: String| invalid(format!("{}: {e}", path.display()));
+        check_schema(&json).map_err(fail)?;
+        let config = decode_config(require(&json, "config").map_err(fail)?).map_err(fail)?;
+        let profilers =
+            decode_profilers(require(&json, "profilers").map_err(fail)?).map_err(fail)?;
+        match &reference {
+            None => reference = Some((config, profilers)),
+            Some((ref_config, ref_profilers)) => {
+                if *ref_config != config || *ref_profilers != profilers {
+                    return Err(invalid(format!(
+                        "{}: shard was produced by a different sweep configuration",
+                        path.display()
+                    )));
+                }
+            }
+        }
+        let shard_groups = require(&json, "groups")
+            .map_err(fail)?
+            .as_array()
+            .ok_or_else(|| invalid(format!("{}: 'groups' is not an array", path.display())))?;
+        for group in shard_groups {
+            let group_index = require_usize(group, "group_index").map_err(fail)?;
+            let evaluations = require(group, "evaluations")
+                .map_err(fail)?
+                .as_array()
+                .ok_or_else(|| {
+                    invalid(format!(
+                        "{}: group evaluations are not an array",
+                        path.display()
+                    ))
+                })?
+                .iter()
+                .map(decode_evaluation)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(fail)?;
+            if groups.insert(group_index, evaluations).is_some() {
+                return Err(invalid(format!(
+                    "group {group_index} appears in more than one shard"
+                )));
+            }
+        }
+    }
+    let (config, profilers) = reference.expect("at least one shard file was read");
+    let expected = total_groups(&config);
+    if groups.len() != expected {
+        let missing: Vec<String> = (0..expected)
+            .filter(|g| !groups.contains_key(g))
+            .map(|g| g.to_string())
+            .collect();
+        return Err(invalid(format!(
+            "shards cover {} of {expected} code groups; missing: {}",
+            groups.len(),
+            missing.join(", ")
+        )));
+    }
+    for (group_index, evaluations) in &groups {
+        for evaluation in evaluations {
+            if evaluation.series.checked_final_direct_coverage().is_none()
+                || evaluation.series.rounds() != config.rounds
+            {
+                return Err(invalid(format!(
+                    "group {group_index}: a {} series holds {} of {} rounds",
+                    evaluation.profiler,
+                    evaluation.series.rounds(),
+                    config.rounds
+                )));
+            }
+        }
+    }
+    Ok(CoverageSweep {
+        rounds: config.rounds,
+        error_counts: config.error_counts.clone(),
+        probabilities: config.probabilities.clone(),
+        profilers,
+        evaluations: groups.into_values().flatten().collect(),
+    })
+}
+
+/// Renders a per-cell summary of a sweep for the CLI: mean final direct
+/// coverage and mean missed indirect bits per (error count, probability,
+/// profiler).
+pub fn render_sweep_summary(sweep: &CoverageSweep) -> String {
+    let mut table = TextTable::new([
+        "errors",
+        "probability",
+        "profiler",
+        "mean final direct coverage",
+        "mean missed indirect",
+    ]);
+    for &error_count in &sweep.error_counts {
+        for &probability in &sweep.probabilities {
+            for &profiler in &sweep.profilers {
+                let cell: Vec<&WordEvaluation> =
+                    sweep.cell(profiler, error_count, probability).collect();
+                let coverage: Vec<f64> = cell
+                    .iter()
+                    .map(|e| e.series.final_direct_coverage())
+                    .collect();
+                let missed: Vec<f64> = cell
+                    .iter()
+                    .map(|e| *e.series.missed_indirect.last().unwrap_or(&0) as f64)
+                    .collect();
+                table.push_row([
+                    error_count.to_string(),
+                    fixed(probability, 2),
+                    profiler.to_string(),
+                    fixed(mean(&coverage), 3),
+                    fixed(mean(&missed), 2),
+                ]);
+            }
+        }
+    }
+    format!(
+        "Coverage sweep: {} rounds, {} words per cell\n{}",
+        sweep.rounds,
+        sweep.words_per_cell(),
+        table.render()
+    )
+}
+
+fn invalid<S: Into<String>>(message: S) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn write_atomically(path: &Path, json: &Json) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, json.render())?;
+    std::fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Codecs: hand-rolled because the vendored serde stack has no parser. Every
+// encode/decode pair below is covered by a round-trip test.
+// ---------------------------------------------------------------------------
+
+fn check_schema(json: &Json) -> Result<(), String> {
+    let schema = require_u64(json, "schema")?;
+    if schema != CHECKPOINT_SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {schema} is not the supported {CHECKPOINT_SCHEMA_VERSION}"
+        ));
+    }
+    Ok(())
+}
+
+fn require<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
+    json.get(key).ok_or_else(|| format!("missing key '{key}'"))
+}
+
+fn require_u64(json: &Json, key: &str) -> Result<u64, String> {
+    require(json, key)?
+        .as_u64()
+        .ok_or_else(|| format!("'{key}' is not a u64"))
+}
+
+fn require_usize(json: &Json, key: &str) -> Result<usize, String> {
+    require(json, key)?
+        .as_usize()
+        .ok_or_else(|| format!("'{key}' is not a usize"))
+}
+
+fn require_f64(json: &Json, key: &str) -> Result<f64, String> {
+    require(json, key)?
+        .as_f64()
+        .ok_or_else(|| format!("'{key}' is not a number"))
+}
+
+fn require_str<'a>(json: &'a Json, key: &str) -> Result<&'a str, String> {
+    require(json, key)?
+        .as_str()
+        .ok_or_else(|| format!("'{key}' is not a string"))
+}
+
+fn require_array<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    require(json, key)?
+        .as_array()
+        .ok_or_else(|| format!("'{key}' is not an array"))
+}
+
+fn usize_array(json: &Json, key: &str) -> Result<Vec<usize>, String> {
+    require_array(json, key)?
+        .iter()
+        .map(|v| {
+            v.as_usize()
+                .ok_or_else(|| format!("'{key}' holds a non-usize"))
+        })
+        .collect()
+}
+
+fn f64_array(json: &Json, key: &str) -> Result<Vec<f64>, String> {
+    require_array(json, key)?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| format!("'{key}' holds a non-number"))
+        })
+        .collect()
+}
+
+fn encode_shard(shard: ShardSpec) -> Json {
+    Json::Str(shard.to_string())
+}
+
+fn decode_shard(json: &Json) -> Result<ShardSpec, String> {
+    ShardSpec::parse(json.as_str().ok_or("shard is not a string")?)
+}
+
+fn encode_profilers(profilers: &[ProfilerKind]) -> Json {
+    Json::Array(
+        profilers
+            .iter()
+            .map(|kind| Json::Str(kind.name().to_owned()))
+            .collect(),
+    )
+}
+
+fn decode_profilers(json: &Json) -> Result<Vec<ProfilerKind>, String> {
+    json.as_array()
+        .ok_or("profilers is not an array")?
+        .iter()
+        .map(|v| {
+            let name = v.as_str().ok_or("profiler name is not a string")?;
+            ProfilerKind::from_name(name).ok_or_else(|| format!("unknown profiler '{name}'"))
+        })
+        .collect()
+}
+
+fn decode_pattern(name: &str) -> Result<DataPattern, String> {
+    [
+        DataPattern::Charged,
+        DataPattern::Discharged,
+        DataPattern::Checkered,
+        DataPattern::Random,
+    ]
+    .into_iter()
+    .find(|pattern| pattern.name() == name)
+    .ok_or_else(|| format!("unknown data pattern '{name}'"))
+}
+
+/// Encodes a sweep configuration (all fields, so an archive is
+/// self-describing and resume needs no flags).
+pub fn encode_config(config: &EvaluationConfig) -> Json {
+    Json::Object(vec![
+        ("data_bits".into(), Json::from_usize(config.data_bits)),
+        ("num_codes".into(), Json::from_usize(config.num_codes)),
+        (
+            "words_per_code".into(),
+            Json::from_usize(config.words_per_code),
+        ),
+        ("rounds".into(), Json::from_usize(config.rounds)),
+        (
+            "error_counts".into(),
+            Json::Array(
+                config
+                    .error_counts
+                    .iter()
+                    .map(|&c| Json::from_usize(c))
+                    .collect(),
+            ),
+        ),
+        (
+            "probabilities".into(),
+            Json::Array(
+                config
+                    .probabilities
+                    .iter()
+                    .map(|&p| Json::from_f64(p))
+                    .collect(),
+            ),
+        ),
+        (
+            "pattern".into(),
+            Json::Str(config.pattern.name().to_owned()),
+        ),
+        ("base_seed".into(), Json::from_u64(config.base_seed)),
+        ("threads".into(), Json::from_usize(config.threads)),
+    ])
+}
+
+/// Decodes a sweep configuration written by [`encode_config`].
+///
+/// # Errors
+///
+/// Returns a description of the first missing or mistyped field.
+pub fn decode_config(json: &Json) -> Result<EvaluationConfig, String> {
+    Ok(EvaluationConfig {
+        data_bits: require_usize(json, "data_bits")?,
+        num_codes: require_usize(json, "num_codes")?,
+        words_per_code: require_usize(json, "words_per_code")?,
+        rounds: require_usize(json, "rounds")?,
+        error_counts: usize_array(json, "error_counts")?,
+        probabilities: f64_array(json, "probabilities")?,
+        pattern: decode_pattern(require_str(json, "pattern")?)?,
+        base_seed: require_u64(json, "base_seed")?,
+        threads: require_usize(json, "threads")?,
+    })
+}
+
+fn encode_rng_state(state: &ChaCha8RngState) -> Json {
+    Json::Object(vec![
+        (
+            "key".into(),
+            Json::Array(
+                state
+                    .key
+                    .iter()
+                    .map(|&w| Json::from_u64(w as u64))
+                    .collect(),
+            ),
+        ),
+        ("counter".into(), Json::from_u64(state.counter)),
+        ("cursor".into(), Json::from_usize(state.cursor)),
+    ])
+}
+
+fn decode_rng_state(json: &Json) -> Result<ChaCha8RngState, String> {
+    let key_words = require_array(json, "key")?;
+    if key_words.len() != 8 {
+        return Err(format!(
+            "RNG key holds {} words, expected 8",
+            key_words.len()
+        ));
+    }
+    let mut key = [0u32; 8];
+    for (slot, word) in key.iter_mut().zip(key_words) {
+        let value = word.as_u64().ok_or("RNG key word is not a number")?;
+        *slot = u32::try_from(value).map_err(|_| "RNG key word exceeds u32")?;
+    }
+    Ok(ChaCha8RngState {
+        key,
+        counter: require_u64(json, "counter")?,
+        cursor: require_usize(json, "cursor")?,
+    })
+}
+
+fn encode_bit_set(bits: &std::collections::BTreeSet<usize>) -> Json {
+    Json::Array(bits.iter().map(|&b| Json::from_usize(b)).collect())
+}
+
+fn decode_bit_set(json: &Json, what: &str) -> Result<std::collections::BTreeSet<usize>, String> {
+    json.as_array()
+        .ok_or_else(|| format!("{what} is not an array"))?
+        .iter()
+        .map(|v| {
+            v.as_usize()
+                .ok_or_else(|| format!("{what} holds a non-usize"))
+        })
+        .collect()
+}
+
+fn encode_profiler_state(state: &ProfilerState) -> Json {
+    Json::Object(vec![
+        ("identified".into(), encode_bit_set(&state.identified)),
+        (
+            "observed_indirect".into(),
+            encode_bit_set(&state.observed_indirect),
+        ),
+        (
+            "crafted_rounds".into(),
+            Json::from_usize(state.crafted_rounds),
+        ),
+    ])
+}
+
+fn decode_profiler_state(json: &Json) -> Result<ProfilerState, String> {
+    Ok(ProfilerState {
+        identified: decode_bit_set(require(json, "identified")?, "identified")?,
+        observed_indirect: decode_bit_set(
+            require(json, "observed_indirect")?,
+            "observed_indirect",
+        )?,
+        crafted_rounds: require_usize(json, "crafted_rounds")?,
+    })
+}
+
+fn encode_snapshot(snapshot: &harp_profiler::RoundSnapshot) -> Json {
+    Json::Object(vec![
+        ("round".into(), Json::from_usize(snapshot.round)),
+        ("identified".into(), encode_bit_set(&snapshot.identified)),
+        ("predicted".into(), encode_bit_set(&snapshot.predicted)),
+    ])
+}
+
+fn decode_snapshot(json: &Json) -> Result<harp_profiler::RoundSnapshot, String> {
+    Ok(harp_profiler::RoundSnapshot {
+        round: require_usize(json, "round")?,
+        identified: decode_bit_set(require(json, "identified")?, "identified")?,
+        predicted: decode_bit_set(require(json, "predicted")?, "predicted")?,
+    })
+}
+
+fn encode_word_checkpoint(word: &WordCheckpoint) -> Json {
+    Json::Object(vec![
+        ("rng".into(), encode_rng_state(&word.rng)),
+        ("profiler".into(), encode_profiler_state(&word.profiler)),
+        (
+            "snapshots".into(),
+            Json::Array(word.snapshots.iter().map(encode_snapshot).collect()),
+        ),
+    ])
+}
+
+fn decode_word_checkpoint(json: &Json) -> Result<WordCheckpoint, String> {
+    Ok(WordCheckpoint {
+        rng: decode_rng_state(require(json, "rng")?)?,
+        profiler: decode_profiler_state(require(json, "profiler")?)?,
+        snapshots: require_array(json, "snapshots")?
+            .iter()
+            .map(decode_snapshot)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Encodes one frozen campaign (all words of one code group under one
+/// profiler kind).
+pub fn encode_campaign_checkpoint(checkpoint: &CampaignCheckpoint) -> Json {
+    Json::Object(vec![
+        ("kind".into(), Json::Str(checkpoint.kind.name().to_owned())),
+        ("round".into(), Json::from_usize(checkpoint.round)),
+        (
+            "words".into(),
+            Json::Array(
+                checkpoint
+                    .words
+                    .iter()
+                    .map(encode_word_checkpoint)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a campaign checkpoint written by [`encode_campaign_checkpoint`].
+///
+/// # Errors
+///
+/// Returns a description of the first missing or mistyped field.
+pub fn decode_campaign_checkpoint(json: &Json) -> Result<CampaignCheckpoint, String> {
+    let name = require_str(json, "kind")?;
+    Ok(CampaignCheckpoint {
+        kind: ProfilerKind::from_name(name).ok_or_else(|| format!("unknown profiler '{name}'"))?,
+        round: require_usize(json, "round")?,
+        words: require_array(json, "words")?
+            .iter()
+            .map(decode_word_checkpoint)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn encode_group<C: LinearBlockCode + Clone + Send + 'static>(
+    unit: &SweepUnit<C>,
+    round: usize,
+) -> Json {
+    Json::Object(vec![
+        ("schema".into(), Json::from_u64(CHECKPOINT_SCHEMA_VERSION)),
+        ("group_index".into(), Json::from_usize(unit.group_index)),
+        ("cell_index".into(), Json::from_usize(unit.cell_index)),
+        ("code_index".into(), Json::from_usize(unit.code_index)),
+        ("round".into(), Json::from_usize(round)),
+        (
+            "campaigns".into(),
+            Json::Array(
+                unit.runs
+                    .iter()
+                    .map(|run| encode_campaign_checkpoint(&run.checkpoint()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_group(
+    json: &Json,
+    manifest: &Manifest,
+) -> Result<(usize, Vec<CampaignCheckpoint>), String> {
+    check_schema(json)?;
+    let round = require_usize(json, "round")?;
+    let campaigns = require_array(json, "campaigns")?
+        .iter()
+        .map(decode_campaign_checkpoint)
+        .collect::<Result<Vec<_>, _>>()?;
+    for (checkpoint, &kind) in campaigns.iter().zip(&manifest.profilers) {
+        if checkpoint.kind != kind {
+            return Err(format!(
+                "campaign order mismatch: found {}, manifest says {}",
+                checkpoint.kind, kind
+            ));
+        }
+    }
+    Ok((round, campaigns))
+}
+
+fn encode_series(series: &CoverageSeries) -> Json {
+    Json::Object(vec![
+        ("profiler".into(), Json::Str(series.profiler.clone())),
+        (
+            "direct_coverage".into(),
+            Json::Array(
+                series
+                    .direct_coverage
+                    .iter()
+                    .map(|&c| Json::from_f64(c))
+                    .collect(),
+            ),
+        ),
+        (
+            "missed_indirect".into(),
+            Json::Array(
+                series
+                    .missed_indirect
+                    .iter()
+                    .map(|&m| Json::from_usize(m))
+                    .collect(),
+            ),
+        ),
+        (
+            "max_simultaneous".into(),
+            Json::Array(
+                series
+                    .max_simultaneous
+                    .iter()
+                    .map(|&m| Json::from_usize(m))
+                    .collect(),
+            ),
+        ),
+        (
+            "bootstrap_round".into(),
+            match series.bootstrap_round {
+                Some(round) => Json::from_usize(round),
+                None => Json::Null,
+            },
+        ),
+        (
+            "direct_truth_len".into(),
+            Json::from_usize(series.direct_truth_len),
+        ),
+        (
+            "indirect_truth_len".into(),
+            Json::from_usize(series.indirect_truth_len),
+        ),
+    ])
+}
+
+fn decode_series(json: &Json) -> Result<CoverageSeries, String> {
+    let bootstrap = require(json, "bootstrap_round")?;
+    Ok(CoverageSeries {
+        profiler: require_str(json, "profiler")?.to_owned(),
+        direct_coverage: f64_array(json, "direct_coverage")?,
+        missed_indirect: usize_array(json, "missed_indirect")?,
+        max_simultaneous: usize_array(json, "max_simultaneous")?,
+        bootstrap_round: match bootstrap {
+            Json::Null => None,
+            value => Some(value.as_usize().ok_or("'bootstrap_round' is not a usize")?),
+        },
+        direct_truth_len: require_usize(json, "direct_truth_len")?,
+        indirect_truth_len: require_usize(json, "indirect_truth_len")?,
+    })
+}
+
+fn encode_evaluation(evaluation: &WordEvaluation) -> Json {
+    Json::Object(vec![
+        (
+            "error_count".into(),
+            Json::from_usize(evaluation.error_count),
+        ),
+        ("probability".into(), Json::from_f64(evaluation.probability)),
+        (
+            "profiler".into(),
+            Json::Str(evaluation.profiler.name().to_owned()),
+        ),
+        ("series".into(), encode_series(&evaluation.series)),
+    ])
+}
+
+fn decode_evaluation(json: &Json) -> Result<WordEvaluation, String> {
+    let name = require_str(json, "profiler")?;
+    Ok(WordEvaluation {
+        error_count: require_usize(json, "error_count")?,
+        probability: require_f64(json, "probability")?,
+        profiler: ProfilerKind::from_name(name)
+            .ok_or_else(|| format!("unknown profiler '{name}'"))?,
+        series: decode_series(require(json, "series")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::sweep::run_coverage_sweep;
+
+    fn tiny_config() -> EvaluationConfig {
+        EvaluationConfig {
+            num_codes: 2,
+            words_per_code: 2,
+            rounds: 16,
+            error_counts: vec![2, 3],
+            probabilities: vec![0.5],
+            threads: 2,
+            ..EvaluationConfig::quick()
+        }
+    }
+
+    const KINDS: [ProfilerKind; 2] = [ProfilerKind::HarpU, ProfilerKind::Naive];
+
+    fn make_code(config: &EvaluationConfig) -> impl Fn(u64) -> HammingCode + '_ {
+        |seed| HammingCode::random(config.data_bits, seed).expect("valid code")
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("harp_checkpoint_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn shard_spec_parses_and_partitions() {
+        let shard = ShardSpec::parse("1/3").unwrap();
+        assert_eq!(shard, ShardSpec { index: 1, count: 3 });
+        assert_eq!(shard.to_string(), "1/3");
+        assert!(!shard.owns(0) && shard.owns(1) && !shard.owns(2) && shard.owns(4));
+        assert!(ShardSpec::full().owns(17));
+        for bad in ["2", "a/3", "1/x", "3/3", "0/0"] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn resumable_sweep_matches_the_one_shot_path() {
+        let config = tiny_config();
+        let reference = run_coverage_sweep(&config, &KINDS);
+        let mut sweep = ResumableSweep::new(&config, &KINDS, make_code(&config));
+        assert_eq!(sweep.num_groups(), total_groups(&config));
+        sweep.advance(config.rounds);
+        assert!(sweep.is_complete());
+        assert_eq!(sweep.into_sweep(), reference);
+    }
+
+    #[test]
+    fn advancing_in_uneven_chunks_changes_nothing() {
+        let config = tiny_config();
+        let reference = run_coverage_sweep(&config, &KINDS);
+        let mut sweep = ResumableSweep::new(&config, &KINDS, make_code(&config));
+        for chunk in [1, 5, 3, 100] {
+            sweep.advance(chunk);
+        }
+        assert_eq!(sweep.round(), config.rounds);
+        assert_eq!(sweep.into_sweep(), reference);
+    }
+
+    #[test]
+    fn archive_round_trips_through_disk() {
+        let config = tiny_config();
+        let dir = temp_dir("archive");
+        let reference = run_coverage_sweep(&config, &KINDS);
+
+        let mut sweep = ResumableSweep::new(&config, &KINDS, make_code(&config));
+        sweep.advance(7);
+        sweep.write_archive(&dir).unwrap();
+
+        let manifest = read_manifest(&dir).unwrap();
+        assert_eq!(manifest.round, 7);
+        assert_eq!(manifest.config, config);
+        assert_eq!(manifest.profilers, KINDS.to_vec());
+
+        let mut resumed = ResumableSweep::resume(&dir, make_code(&config)).unwrap();
+        assert_eq!(resumed.round(), 7);
+        resumed.advance(config.rounds);
+        assert_eq!(resumed.into_sweep(), reference);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression: a crash *during* `write_archive` can leave group files
+    /// the interrupted generation already renamed into place alongside the
+    /// previous generation's manifest. Such a torn archive must resume (the
+    /// ahead groups hold position while the rest catch up) and finish
+    /// identically to the uninterrupted run — it must not be rejected as
+    /// corrupt, which would strand the campaign.
+    #[test]
+    fn torn_archives_with_ahead_groups_resume_cleanly() {
+        let config = tiny_config();
+        let dir = temp_dir("torn");
+        let newer = temp_dir("torn_newer");
+        let reference = run_coverage_sweep(&config, &KINDS);
+
+        let mut sweep = ResumableSweep::new(&config, &KINDS, make_code(&config));
+        sweep.advance(5);
+        sweep.write_archive(&dir).unwrap();
+        sweep.advance(4);
+        sweep.write_archive(&newer).unwrap();
+
+        // Simulate the interrupted generation: one group file from round 9
+        // lands in the round-5 archive, manifest still says 5.
+        let torn_group = group_file_name(0, 0);
+        std::fs::copy(newer.join(&torn_group), dir.join(&torn_group)).unwrap();
+
+        let mut resumed = ResumableSweep::resume(&dir, make_code(&config)).unwrap();
+        assert_eq!(resumed.round(), 5);
+        resumed.advance(config.rounds);
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.into_sweep(), reference);
+
+        // A group *behind* the manifest is still corruption: write_archive
+        // never renames the manifest before its groups, so an older group
+        // under a newer manifest cannot come from a crash.
+        let stale_group = group_file_name(0, 1);
+        std::fs::copy(dir.join(&stale_group), newer.join(&stale_group)).unwrap();
+        let err = ResumableSweep::<HammingCode>::resume(&newer, make_code(&config)).unwrap_err();
+        assert!(err.to_string().contains("frozen at round"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&newer).unwrap();
+    }
+
+    #[test]
+    fn two_shards_merge_into_the_single_process_sweep() {
+        let config = tiny_config();
+        let dir = temp_dir("merge");
+        std::fs::create_dir_all(&dir).unwrap();
+        let reference = run_coverage_sweep(&config, &KINDS);
+
+        let mut paths = Vec::new();
+        for index in 0..2 {
+            let shard = ShardSpec { index, count: 2 };
+            let mut worker = ResumableSweep::sharded(&config, &KINDS, shard, make_code(&config));
+            assert!(worker.num_groups() < total_groups(&config));
+            worker.advance(config.rounds);
+            let path = dir.join(shard_file_name(shard));
+            worker.write_shard_output(&path).unwrap();
+            paths.push(path);
+        }
+        assert_eq!(merge_shards(&paths).unwrap(), reference);
+
+        // A missing shard is a hard error naming the holes.
+        let err = merge_shards(&paths[..1]).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_and_checkpoint_codecs_round_trip() {
+        let config = tiny_config();
+        assert_eq!(decode_config(&encode_config(&config)).unwrap(), config);
+
+        let code = HammingCode::random(32, 9).unwrap();
+        let batch = CampaignBatch::new(
+            code,
+            vec![BatchWord::new(
+                harp_memsim::FaultModel::uniform(&[3, 17], 0.5),
+                DataPattern::Random,
+                0xFEED_F00D_D00D_5EED,
+            )],
+        );
+        for kind in ProfilerKind::ALL {
+            let mut run = BatchRun::new(&batch, kind);
+            run.advance(9);
+            let checkpoint = run.checkpoint();
+            let json = encode_campaign_checkpoint(&checkpoint);
+            let reparsed = Json::parse(&json.render()).unwrap();
+            assert_eq!(
+                decode_campaign_checkpoint(&reparsed).unwrap(),
+                checkpoint,
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_summary_renders_every_cell() {
+        let config = tiny_config();
+        let sweep = run_coverage_sweep(&config, &KINDS);
+        let rendered = render_sweep_summary(&sweep);
+        assert!(rendered.contains("Coverage sweep: 16 rounds"));
+        assert!(rendered.contains("HARP-U"));
+        assert!(rendered.contains("Naive"));
+    }
+
+    #[test]
+    fn corrupt_archives_are_rejected_not_misread() {
+        let config = tiny_config();
+        let dir = temp_dir("corrupt");
+        let mut sweep = ResumableSweep::new(&config, &KINDS, make_code(&config));
+        sweep.advance(3);
+        sweep.write_archive(&dir).unwrap();
+
+        // Wrong schema version in the manifest.
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&manifest_path).unwrap();
+        std::fs::write(
+            &manifest_path,
+            text.replacen("\"schema\":1", "\"schema\":999", 1),
+        )
+        .unwrap();
+        let err = ResumableSweep::<HammingCode>::resume(&dir, make_code(&config)).unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -74,7 +74,7 @@ pub struct ExtCodesResult {
 /// single implementation all three families go through.
 pub fn run_family<C, F>(config: &EvaluationConfig, make_code: F) -> CodeFamilyResult
 where
-    C: LinearBlockCode + Clone + Sync + 'static,
+    C: LinearBlockCode + Clone + Send + Sync + 'static,
     F: Fn(u64) -> C,
 {
     let reference = make_code(config.seed_for(0, 0, 0xC0DE));

@@ -91,7 +91,7 @@ impl CoverageSweep {
 /// are reduced to compact series as soon as its batch completes, so only the
 /// series stay alive across profilers. This is the single cell-batched
 /// evaluation pipeline behind the coverage sweep *and* the fig10 case study.
-pub(crate) fn code_group_series<C: LinearBlockCode + Clone + 'static>(
+pub(crate) fn code_group_series<C: LinearBlockCode + Clone + Send + 'static>(
     group: &[WordSample<C>],
     profilers: &[ProfilerKind],
     pattern: harp_memsim::pattern::DataPattern,
@@ -122,7 +122,7 @@ pub(crate) fn code_group_series<C: LinearBlockCode + Clone + 'static>(
 /// Evaluates one code group for the sweep, emitting evaluations in
 /// word-major order (word, then profiler) — the same order the historical
 /// per-word loop produced.
-fn evaluate_code_group<C: LinearBlockCode + Clone + 'static>(
+fn evaluate_code_group<C: LinearBlockCode + Clone + Send + 'static>(
     group: &[WordSample<C>],
     profilers: &[ProfilerKind],
     pattern: harp_memsim::pattern::DataPattern,
@@ -155,7 +155,7 @@ pub fn run_coverage_sweep_with<C, F>(
     make_code: F,
 ) -> CoverageSweep
 where
-    C: LinearBlockCode + Clone + Sync + 'static,
+    C: LinearBlockCode + Clone + Send + Sync + 'static,
     F: Fn(u64) -> C,
 {
     config.validate();

@@ -25,8 +25,10 @@
 //! the paper's sample counts (the paper burned ~14 CPU-years on its full
 //! sweep; see DESIGN.md §2 for the scaling argument).
 
+pub mod checkpoint;
 pub mod config;
 pub mod experiments;
+pub mod minijson;
 pub mod report;
 pub mod runner;
 pub mod sample;

@@ -1,0 +1,551 @@
+//! A minimal self-contained JSON tree: writer **and** parser.
+//!
+//! The workspace's vendored `serde_json` renders results for archiving but
+//! deliberately has no parser, which is fine for write-only experiment
+//! archives. Checkpoint/resume needs the round trip: a sweep frozen by one
+//! process must be reloaded — byte-exactly — by another. This module keeps
+//! that round trip honest with two properties the checkpoint layer depends
+//! on:
+//!
+//! * **Numbers are raw literals.** [`Json::Number`] stores the literal text,
+//!   so `u64` seeds and RNG block counters never pass through `f64` (which
+//!   silently truncates above 2^53). Writing a parsed number re-emits the
+//!   original literal unchanged.
+//! * **Floats round-trip exactly.** `f64` values are rendered with Rust's
+//!   shortest round-trip `Display`, so `literal.parse::<f64>()` recovers the
+//!   identical bit pattern.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed or constructed JSON value.
+///
+/// Objects preserve insertion order (they are association lists, not maps),
+/// so a value rendered, parsed, and re-rendered is byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its raw literal text (e.g. `"18446744073709551615"`).
+    Number(String),
+    /// A string (unescaped content).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object as an ordered association list.
+    Object(Vec<(String, Json)>),
+}
+
+/// A parse failure: what went wrong and the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where parsing stopped.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl Json {
+    /// Builds a number from an unsigned integer without loss.
+    pub fn from_u64(value: u64) -> Self {
+        Json::Number(value.to_string())
+    }
+
+    /// Builds a number from a `usize` without loss.
+    pub fn from_usize(value: usize) -> Self {
+        Json::Number(value.to_string())
+    }
+
+    /// Builds a number from a finite `f64` using the shortest representation
+    /// that parses back to the identical value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values (JSON has no representation for them).
+    pub fn from_f64(value: f64) -> Self {
+        assert!(value.is_finite(), "JSON cannot represent {value}");
+        Json::Number(format!("{value}"))
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a number with an exact `u64` literal.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is a number with an exact `usize`
+    /// literal.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(entries) => entries
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| value),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(raw) => out.push_str(raw),
+            Json::Str(s) => render_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text into a tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input or trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+/// Convenience: objects as sorted-key maps for comparisons that must ignore
+/// key order (e.g. schema checks). Arrays keep their order.
+pub fn object_keys(value: &Json) -> BTreeMap<&str, &Json> {
+    match value {
+        Json::Object(entries) => entries
+            .iter()
+            .map(|(key, val)| (key.as_str(), val))
+            .collect(),
+        _ => BTreeMap::new(),
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{literal}'")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'"') => self.parse_string().map(Json::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(entries));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain (non-escape, non-quote) bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is valid UTF-8 and the run breaks only at ASCII
+                // bytes, so the slice lies on char boundaries.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("invalid \\u escape"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.error("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.error("expected digits after '.'"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.error("expected digits in exponent"));
+            }
+        }
+        let raw =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number literals are ASCII");
+        Ok(Json::Number(raw.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_the_scalar_values() {
+        for (value, text) in [
+            (Json::Null, "null"),
+            (Json::Bool(true), "true"),
+            (Json::Bool(false), "false"),
+            (Json::from_u64(42), "42"),
+            (Json::Str("hi".into()), "\"hi\""),
+        ] {
+            assert_eq!(value.render(), text);
+            assert_eq!(Json::parse(text).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn u64_round_trips_above_the_f64_integer_limit() {
+        // 2^53 + 1 and u64::MAX are exactly the values an f64 detour loses.
+        for value in [(1u64 << 53) + 1, u64::MAX, 0x5EED_CAFE_F00D] {
+            let json = Json::from_u64(value);
+            let reparsed = Json::parse(&json.render()).unwrap();
+            assert_eq!(reparsed.as_u64(), Some(value));
+            // The raw literal is preserved verbatim.
+            assert_eq!(reparsed.render(), value.to_string());
+        }
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for value in [0.1, 0.25, 1.0 / 3.0, 1e-12, 123456.789, f64::MIN_POSITIVE] {
+            let reparsed = Json::parse(&Json::from_f64(value).render()).unwrap();
+            assert_eq!(reparsed.as_f64().unwrap().to_bits(), value.to_bits());
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip_byte_identically() {
+        let value = Json::Object(vec![
+            ("schema".into(), Json::from_u64(1)),
+            (
+                "words".into(),
+                Json::Array(vec![
+                    Json::Object(vec![
+                        ("seed".into(), Json::from_u64(u64::MAX)),
+                        ("bits".into(), Json::Array(vec![Json::from_usize(3)])),
+                    ]),
+                    Json::Null,
+                ]),
+            ),
+            ("name".into(), Json::Str("HARP-A+BEEP \"quoted\"\n".into())),
+        ]);
+        let text = value.render();
+        let reparsed = Json::parse(&text).unwrap();
+        assert_eq!(reparsed, value);
+        assert_eq!(reparsed.render(), text);
+    }
+
+    #[test]
+    fn accessors_navigate_objects_and_arrays() {
+        let value = Json::parse(r#"{"a": [1, 2.5, "x"], "b": {"c": true}}"#).unwrap();
+        let items = value.get("a").unwrap().as_array().unwrap();
+        assert_eq!(items[0].as_usize(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[1].as_u64(), None);
+        assert_eq!(items[2].as_str(), Some("x"));
+        assert_eq!(
+            value.get("b").unwrap().get("c").unwrap().as_bool(),
+            Some(true)
+        );
+        assert!(value.get("missing").is_none());
+        assert_eq!(object_keys(&value).len(), 2);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = Json::Str("tab\t nl\n quote\" backslash\\ nul\u{1} é".into());
+        let reparsed = Json::parse(&original.render()).unwrap();
+        assert_eq!(reparsed, original);
+        // Standard escapes from foreign writers parse too.
+        assert_eq!(
+            Json::parse(r#""a\/bA\b\f""#).unwrap(),
+            Json::Str("a/bA\u{8}\u{c}".into())
+        );
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_an_offset() {
+        for bad in ["{", "[1,", "\"open", "12..5", "nul", "{\"a\" 1}", "1 2", ""] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.offset <= bad.len(), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn scientific_notation_parses_and_preserves_its_literal() {
+        let parsed = Json::parse("1.5e-3").unwrap();
+        assert_eq!(parsed.as_f64(), Some(0.0015));
+        assert_eq!(parsed.render(), "1.5e-3");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot represent")]
+    fn non_finite_floats_are_rejected() {
+        let _ = Json::from_f64(f64::NAN);
+    }
+}

@@ -52,6 +52,47 @@ where
         .collect()
 }
 
+/// Maps `f` over mutable `items` using `threads` worker threads (0 = one per
+/// available CPU), preserving input order in the output. The mutable twin of
+/// [`parallel_map`], for stateful work units that are advanced in place —
+/// e.g. resumable campaign engines stepped between checkpoints.
+pub fn parallel_map_mut<T, U, F>(items: &mut [T], threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(&mut T) -> U + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let worker_count = effective_threads(threads).min(items.len());
+    if worker_count <= 1 {
+        return items.iter_mut().map(&f).collect();
+    }
+
+    let mut results: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    let chunk_size = items.len().div_ceil(worker_count);
+
+    std::thread::scope(|scope| {
+        let mut remaining: &mut [Option<U>] = &mut results;
+        for chunk in items.chunks_mut(chunk_size) {
+            let (chunk_results, rest) = remaining.split_at_mut(chunk.len());
+            remaining = rest;
+            let f = &f;
+            scope.spawn(move || {
+                for (i, item) in chunk.iter_mut().enumerate() {
+                    chunk_results[i] = Some(f(item));
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every work item produces a result"))
+        .collect()
+}
+
 /// Resolves a thread-count setting (0 = one per available CPU).
 pub fn effective_threads(requested: usize) -> usize {
     if requested > 0 {
@@ -106,5 +147,38 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let items = [1, 2, 3];
         assert_eq!(parallel_map(&items, 64, |&x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_map_mut_mutates_in_place_and_preserves_order() {
+        let mut items: Vec<usize> = (0..100).collect();
+        let previous = parallel_map_mut(&mut items, 4, |x| {
+            let old = *x;
+            *x += 1;
+            old
+        });
+        assert_eq!(previous, (0..100).collect::<Vec<_>>());
+        assert_eq!(items, (1..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_mut_matches_sequential() {
+        let mut sequential: Vec<u64> = (0..257).collect();
+        let mut parallel = sequential.clone();
+        let step = |x: &mut u64| {
+            *x = x.wrapping_mul(0x9E3779B9);
+            *x
+        };
+        assert_eq!(
+            parallel_map_mut(&mut sequential, 1, step),
+            parallel_map_mut(&mut parallel, 8, step)
+        );
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn parallel_map_mut_handles_empty_input() {
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(parallel_map_mut(&mut empty, 4, |x| *x).is_empty());
     }
 }

@@ -17,8 +17,13 @@ pub fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
-/// The `p`-th percentile (0–100) using nearest-rank interpolation on a copy
-/// of the data. Returns 0.0 for an empty slice.
+/// The `p`-th percentile (0–100) using **linear interpolation between
+/// closest ranks** on a sorted copy of the data (the `C = 1` variant, as in
+/// NumPy's default `linear` method): rank `p/100 * (n-1)` is split into its
+/// integer neighbours and the two order statistics are blended by the
+/// fractional part. This is *not* the nearest-rank method — percentiles may
+/// fall between observed values (see the 50th-percentile example below).
+/// Returns 0.0 for an empty slice.
 ///
 /// # Panics
 ///
@@ -140,8 +145,12 @@ impl Histogram {
 }
 
 /// The profiling-round checkpoints at which coverage curves are reported
-/// (log-spaced like the paper's x-axes: 1, 2, 4, … 128).
+/// (log-spaced like the paper's x-axes: 1, 2, 4, … 128). A campaign of zero
+/// rounds has no checkpoints: the result is empty, not `[0]`.
 pub fn round_checkpoints(max_rounds: usize) -> Vec<usize> {
+    if max_rounds == 0 {
+        return Vec::new();
+    }
     let mut checkpoints = Vec::new();
     let mut r = 1usize;
     while r <= max_rounds {
@@ -228,5 +237,58 @@ mod tests {
         assert_eq!(round_checkpoints(128), vec![1, 2, 4, 8, 16, 32, 64, 128]);
         assert_eq!(round_checkpoints(100), vec![1, 2, 4, 8, 16, 32, 64, 100]);
         assert_eq!(round_checkpoints(1), vec![1]);
+    }
+
+    #[test]
+    fn zero_rounds_has_no_checkpoints() {
+        // Regression: this used to return `[0]` — a phantom "round 0"
+        // checkpoint that indexed one past the end of empty coverage series.
+        assert_eq!(round_checkpoints(0), Vec::<usize>::new());
+    }
+
+    /// Naive textbook reference for linear interpolation between closest
+    /// ranks: sort, split the target rank, blend the two order statistics.
+    fn naive_percentile(values: &[f64], p: f64) -> f64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let low = sorted[rank.floor() as usize];
+        let high = sorted[rank.ceil() as usize];
+        low + (high - low) * (rank - rank.floor())
+    }
+
+    #[test]
+    fn percentile_matches_the_naive_linear_interpolation_reference() {
+        // A light property sweep: deterministic pseudo-random samples of many
+        // sizes, checked at many percentiles against the reference formula
+        // the doc now promises.
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for size in [1usize, 2, 3, 7, 64, 257] {
+            let values: Vec<f64> = (0..size).map(|_| next() * 100.0 - 50.0).collect();
+            for p in [0.0, 1.0, 12.5, 25.0, 50.0, 75.0, 99.0, 100.0] {
+                let ours = percentile(&values, p);
+                let reference = naive_percentile(&values, p);
+                assert!(
+                    (ours - reference).abs() < 1e-9,
+                    "size {size}, p {p}: {ours} != {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_falls_between_observations_unlike_nearest_rank() {
+        // The doc example: a nearest-rank method could only ever return an
+        // element of the sample; the implemented method interpolates.
+        let data = [5.0, 1.0, 9.0, 3.0];
+        let median = percentile(&data, 50.0);
+        assert_eq!(median, 4.0);
+        assert!(!data.contains(&median));
     }
 }

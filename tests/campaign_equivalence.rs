@@ -69,7 +69,7 @@ fn fault_model_for(code: &dyn LinearBlockCode, spec: &WordSpec) -> FaultModel {
 
 /// Asserts that every word of the batched cell produces snapshots
 /// byte-identical to the scalar reference path, for the given profiler kind.
-fn assert_cell_matches_scalar<C: LinearBlockCode + Clone + 'static>(
+fn assert_cell_matches_scalar<C: LinearBlockCode + Clone + Send + 'static>(
     code: &C,
     specs: &[WordSpec],
     kind: ProfilerKind,

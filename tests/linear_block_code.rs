@@ -216,7 +216,7 @@ proptest! {
 /// `decode_with_syndrome_into` (the allocating `decode` fallback). New code
 /// implementations must be correct on the burst path before they override
 /// the fast path; this wrapper proves the default keeps the equivalence.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 struct MinimalCode(HammingCode);
 
 impl LinearBlockCode for MinimalCode {
@@ -295,7 +295,7 @@ fn generic_campaign_reports_only_at_risk_bits_for_every_family() {
     let secded = ExtendedHammingCode::random(32, 5).unwrap();
     let bch = BchCode::dec(32).unwrap();
 
-    fn check<C: LinearBlockCode + Clone + 'static>(code: C, at_risk: &[usize]) {
+    fn check<C: LinearBlockCode + Clone + Send + 'static>(code: C, at_risk: &[usize]) {
         let campaign = ProfilingCampaign::new(
             code,
             FaultModel::uniform(at_risk, 0.75),
