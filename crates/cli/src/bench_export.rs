@@ -41,6 +41,7 @@ pub const REGISTERED_GROUPS: &[&str] = &[
     "fig10",
     "module_path",
     "read_path",
+    "server_path",
     "syndrome_kernel",
     "table02",
 ];

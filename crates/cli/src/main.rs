@@ -51,11 +51,21 @@
 //!   merge FILE...
 //!                fold shard-output files back into the single-process
 //!                sweep report, validating completeness
+//!   submit [--addr HOST:PORT] [--full] [--long-code] [--rounds N]
+//!          [--codes N] [--words N] [--profilers NAME,...]
+//!                submit a sweep job to a running `harpd serve` daemon
+//!   watch JOB [--addr HOST:PORT]
+//!                stream a job's round-by-round coverage until it ends
+//!   jobs / cancel JOB / shutdown [--addr HOST:PORT]
+//!                list the daemon's jobs, cancel one, or stop the daemon
+//!                (checkpointing running jobs); see ROADMAP.md for the
+//!                wire protocol and job lifecycle
 //! ```
 
 use std::process::ExitCode;
 
 mod bench_export;
+mod client_cli;
 mod sweep_cli;
 
 use harp_sim::experiments::{
@@ -324,6 +334,30 @@ fn main() -> ExitCode {
             }
         };
     }
+    // The daemon-client subcommands talk to a running `harpd serve`.
+    type ClientCommand = fn(&[String]) -> Result<(), String>;
+    let client_command: Option<(ClientCommand, &str)> = match args.first().map(String::as_str) {
+        Some("submit") => Some((
+            client_cli::run_submit,
+            "harp submit [--addr HOST:PORT] [--full] [--long-code] [--rounds N] \
+             [--codes N] [--words N] [--profilers NAME,NAME,...]",
+        )),
+        Some("watch") => Some((client_cli::run_watch, "harp watch JOB [--addr HOST:PORT]")),
+        Some("jobs") => Some((client_cli::run_jobs, "harp jobs [--addr HOST:PORT]")),
+        Some("cancel") => Some((client_cli::run_cancel, "harp cancel JOB [--addr HOST:PORT]")),
+        Some("shutdown") => Some((client_cli::run_shutdown, "harp shutdown [--addr HOST:PORT]")),
+        _ => None,
+    };
+    if let Some((run, usage)) = client_command {
+        return match run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("usage: {usage}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("merge") {
         return match sweep_cli::run_merge(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
@@ -343,7 +377,8 @@ fn main() -> ExitCode {
                  ext-bch|ext-beer|ext-module|ext-repair|ext-vrt|ext-codes|extensions|all> \
                  [--full] [--long-code] [--json PATH]\n       \
                  harp sweep [--checkpoint-dir DIR] [--resume] [--shard i/N] ... | \
-                 harp merge FILE... | harp bench-export [--check]"
+                 harp merge FILE... | harp bench-export [--check] | \
+                 harp <submit|watch|jobs|cancel|shutdown> [--addr HOST:PORT] ..."
             );
             return ExitCode::from(2);
         }

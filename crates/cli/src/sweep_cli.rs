@@ -101,8 +101,20 @@ pub fn run_sweep(args: &[String]) -> Result<(), String> {
         let dir = PathBuf::from(options.checkpoint_dir.as_deref().expect("validated"));
         let manifest = read_manifest(&dir).map_err(|e| e.to_string())?;
         let data_bits = manifest.config.data_bits;
+        // The archive is untrusted input: a corrupt `data_bits` must surface
+        // as an error like every other archive-validation failure, not a
+        // panic. Code construction succeeds or fails independently of the
+        // seed (the seed only shuffles candidate columns), so one probe
+        // clears every per-group construction below.
+        HammingCode::random(data_bits, 0).map_err(|e| {
+            format!(
+                "cannot resume from {}: archived data_bits {data_bits} does not \
+                 yield a valid Hamming code: {e}",
+                dir.display()
+            )
+        })?;
         let sweep = ResumableSweep::resume(&dir, |seed| {
-            HammingCode::random(data_bits, seed).expect("archived configuration is valid")
+            HammingCode::random(data_bits, seed).expect("probed above, seed-independent")
         })
         .map_err(|e| e.to_string())?;
         eprintln!(
@@ -255,6 +267,49 @@ mod tests {
     fn merge_requires_file_arguments() {
         assert!(run_merge(&[]).is_err());
         assert!(run_merge(&args(&["--check"])).is_err());
+    }
+
+    /// Regression: `harp sweep --resume` used to panic via
+    /// `.expect("archived configuration is valid")` when a manifest carried
+    /// corrupt `data_bits`. Every flavor of manifest corruption must come
+    /// back as a user-facing `Err`.
+    #[test]
+    fn resume_from_a_corrupt_manifest_is_an_error_not_a_panic() {
+        let dir =
+            std::env::temp_dir().join(format!("harp_sweep_cli_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = harp_sim::EvaluationConfig {
+            num_codes: 1,
+            words_per_code: 1,
+            rounds: 4,
+            error_counts: vec![2],
+            probabilities: vec![0.5],
+            threads: 1,
+            ..harp_sim::EvaluationConfig::quick()
+        };
+        let mut sweep = ResumableSweep::new(&config, &fig6::PROFILERS, |seed| {
+            HammingCode::random(config.data_bits, seed).unwrap()
+        });
+        sweep.advance(2);
+        sweep.write_archive(&dir).unwrap();
+
+        let manifest_path = dir.join("MANIFEST.json");
+        let pristine = std::fs::read_to_string(&manifest_path).unwrap();
+        let resume_args = args(&["--resume", "--checkpoint-dir", dir.to_str().unwrap()]);
+        for corrupt in [
+            pristine.replacen("\"data_bits\":64", "\"data_bits\":0", 1),
+            pristine.replacen("\"data_bits\":64", "\"data_bits\":\"x\"", 1),
+            "not json".to_owned(),
+        ] {
+            std::fs::write(&manifest_path, corrupt).unwrap();
+            let err = run_sweep(&resume_args).unwrap_err();
+            assert!(!err.is_empty());
+        }
+
+        // The pristine archive still resumes and completes.
+        std::fs::write(&manifest_path, pristine).unwrap();
+        run_sweep(&resume_args).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! `harpd serve` — boot the profiling daemon.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use harp_server::daemon::{Daemon, DaemonConfig, DEFAULT_ADDR};
+
+const USAGE: &str = "usage: harpd serve [--addr HOST:PORT] [--state-dir DIR] \
+[--workers N] [--checkpoint-interval N]
+
+Serves profiling sweep jobs over the harp wire protocol (see ROADMAP.md).
+Jobs are checkpointed under the state directory and resume automatically
+after a crash or restart. Defaults: --addr 127.0.0.1:8471, --state-dir
+harpd_state, --workers 2, --checkpoint-interval 8.";
+
+fn parse_args(args: &[String]) -> Result<(String, DaemonConfig), String> {
+    if args.first().map(String::as_str) != Some("serve") {
+        return Err(USAGE.to_owned());
+    }
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut config = DaemonConfig::new("harpd_state");
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        let mut value = || {
+            rest.next()
+                .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value()?.clone(),
+            "--state-dir" => config.state_dir = value()?.into(),
+            "--workers" => {
+                config.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--checkpoint-interval" => {
+                config.checkpoint_interval = value()?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-interval: {e}"))?;
+            }
+            other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+        }
+    }
+    Ok((addr, config))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, config) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let state_dir = config.state_dir.clone();
+    let daemon = match Daemon::start(config) {
+        Ok(daemon) => daemon,
+        Err(err) => {
+            eprintln!("harpd: cannot start: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(listener) => listener,
+        Err(err) => {
+            eprintln!("harpd: cannot bind {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        // The "listening on" line is the readiness signal CI waits for.
+        Ok(local) => println!(
+            "harpd listening on {local} (state dir {})",
+            state_dir.display()
+        ),
+        Err(_) => println!(
+            "harpd listening on {addr} (state dir {})",
+            state_dir.display()
+        ),
+    }
+    if let Err(err) = daemon.serve(listener) {
+        eprintln!("harpd: serve failed: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("harpd: shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,286 @@
+//! Blocking client for the `harpd` protocol.
+//!
+//! One [`Client`] wraps one transport; every method sends a single request
+//! and decodes the daemon's answer, turning `error` frames into `Err`
+//! strings. [`Client::watch`] streams snapshot frames through a callback
+//! until the job reaches a terminal state.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use harp_profiler::ProfilerKind;
+use harp_sim::checkpoint::decode_sweep;
+use harp_sim::experiments::sweep::CoverageSweep;
+use harp_sim::minijson::Json;
+use harp_sim::EvaluationConfig;
+
+use crate::proto::{encode_request, Request};
+use crate::transport::{FrameTransport, TcpTransport};
+
+/// One job's status as reported by a `job` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// The job id.
+    pub job: u64,
+    /// Lifecycle state: `pending`, `running`, `done`, `cancelled`, `failed`.
+    pub state: String,
+    /// Completed rounds.
+    pub round: usize,
+    /// Configured rounds.
+    pub rounds: usize,
+    /// Failure description, for `failed` jobs.
+    pub message: Option<String>,
+}
+
+/// One round's coverage snapshot from a `snapshot` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The job id.
+    pub job: u64,
+    /// Completed rounds at this snapshot.
+    pub round: usize,
+    /// Configured rounds.
+    pub rounds: usize,
+    /// Per-profiler mean direct coverage, in lineup order.
+    pub coverage: Vec<(String, f64)>,
+}
+
+/// How a watched job ended.
+#[derive(Debug, Clone)]
+pub enum WatchOutcome {
+    /// The job completed; this is its full sweep result.
+    Completed(CoverageSweep),
+    /// The job ended without a result (cancelled or failed).
+    Ended(JobStatus),
+}
+
+/// A blocking `harpd` client over any frame transport.
+pub struct Client<T: FrameTransport> {
+    transport: T,
+}
+
+impl Client<TcpTransport> {
+    /// Connects to a daemon over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any resolution or connection failure.
+    pub fn connect(addr: &str) -> Result<Self, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        // Watch streams are round-paced; a generous timeout distinguishes a
+        // hung daemon from a slow round without stalling forever.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(600)))
+            .map_err(|e| e.to_string())?;
+        let transport = TcpTransport::new(stream).map_err(|e| e.to_string())?;
+        Ok(Self::new(transport))
+    }
+}
+
+impl<T: FrameTransport> Client<T> {
+    /// Wraps an already-connected transport (the in-process twin in tests).
+    pub fn new(transport: T) -> Self {
+        Self { transport }
+    }
+
+    fn recv_frame(&mut self) -> Result<Json, String> {
+        match self.transport.recv() {
+            Ok(Some(frame)) => Ok(frame),
+            Ok(None) => Err("daemon closed the connection".to_owned()),
+            Err(err) => Err(err.to_string()),
+        }
+    }
+
+    /// Sends one request and returns the daemon's next frame, with `error`
+    /// frames already turned into `Err`.
+    fn request(&mut self, request: &Request) -> Result<Json, String> {
+        self.transport
+            .send(&encode_request(request))
+            .map_err(|e| e.to_string())?;
+        let frame = self.recv_frame()?;
+        check_error(&frame)?;
+        Ok(frame)
+    }
+
+    /// Submits a sweep job; returns its id once the daemon has it durably on
+    /// disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures and daemon-side rejections (unusable
+    /// configuration, empty profiler lineup).
+    pub fn submit(
+        &mut self,
+        config: &EvaluationConfig,
+        profilers: &[ProfilerKind],
+    ) -> Result<u64, String> {
+        let frame = self.request(&Request::Submit {
+            config: config.clone(),
+            profilers: profilers.to_vec(),
+        })?;
+        expect_type(&frame, "submitted")?;
+        frame
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("submitted frame has no job id: {}", frame.render()))
+    }
+
+    /// Fetches one job's status.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures and `no job <id>` rejections.
+    pub fn status(&mut self, job: u64) -> Result<JobStatus, String> {
+        decode_job_status(&self.request(&Request::Status { job })?)
+    }
+
+    /// Lists every job the daemon knows, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures.
+    pub fn jobs(&mut self) -> Result<Vec<JobStatus>, String> {
+        let frame = self.request(&Request::List)?;
+        expect_type(&frame, "jobs")?;
+        frame
+            .get("jobs")
+            .and_then(Json::as_array)
+            .ok_or("jobs frame has no job list")?
+            .iter()
+            .map(decode_job_status)
+            .collect()
+    }
+
+    /// Requests cancellation and returns the job's status at that moment (a
+    /// running job transitions once its worker observes the request).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures and `no job <id>` rejections.
+    pub fn cancel(&mut self, job: u64) -> Result<JobStatus, String> {
+        decode_job_status(&self.request(&Request::Cancel { job })?)
+    }
+
+    /// Streams the job's coverage snapshots into `on_snapshot` until the job
+    /// ends, then returns how it ended.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures, daemon-side rejections, and undecodable
+    /// result frames.
+    pub fn watch<F: FnMut(&Snapshot)>(
+        &mut self,
+        job: u64,
+        mut on_snapshot: F,
+    ) -> Result<WatchOutcome, String> {
+        let first = self.request(&Request::Watch { job })?;
+        let mut frame = first;
+        loop {
+            match frame.get("type").and_then(Json::as_str) {
+                Some("snapshot") => on_snapshot(&decode_snapshot(&frame)?),
+                Some("result") => {
+                    let sweep = frame.get("sweep").ok_or("result frame has no sweep")?;
+                    return Ok(WatchOutcome::Completed(decode_sweep(sweep)?));
+                }
+                Some("job") => return Ok(WatchOutcome::Ended(decode_job_status(&frame)?)),
+                _ => return Err(format!("unexpected watch frame: {}", frame.render())),
+            }
+            frame = self.recv_frame()?;
+            check_error(&frame)?;
+        }
+    }
+
+    /// Asks the daemon to checkpoint running jobs and stop.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        let frame = self.request(&Request::Shutdown)?;
+        expect_type(&frame, "ok")
+    }
+}
+
+fn check_error(frame: &Json) -> Result<(), String> {
+    if frame.get("type").and_then(Json::as_str) == Some("error") {
+        return Err(frame
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("daemon reported an unspecified error")
+            .to_owned());
+    }
+    Ok(())
+}
+
+fn expect_type(frame: &Json, expected: &str) -> Result<(), String> {
+    match frame.get("type").and_then(Json::as_str) {
+        Some(kind) if kind == expected => Ok(()),
+        _ => Err(format!(
+            "expected a '{expected}' frame, got: {}",
+            frame.render()
+        )),
+    }
+}
+
+fn decode_job_status(frame: &Json) -> Result<JobStatus, String> {
+    expect_type(frame, "job")?;
+    let field = |name: &str| {
+        frame
+            .get(name)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("job frame has no numeric '{name}'"))
+    };
+    Ok(JobStatus {
+        job: frame
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or("job frame has no numeric 'job'")?,
+        state: frame
+            .get("state")
+            .and_then(Json::as_str)
+            .ok_or("job frame has no 'state'")?
+            .to_owned(),
+        round: field("round")?,
+        rounds: field("rounds")?,
+        message: frame
+            .get("message")
+            .and_then(Json::as_str)
+            .map(str::to_owned),
+    })
+}
+
+fn decode_snapshot(frame: &Json) -> Result<Snapshot, String> {
+    let coverage = frame
+        .get("coverage")
+        .and_then(Json::as_array)
+        .ok_or("snapshot frame has no coverage array")?
+        .iter()
+        .map(|entry| {
+            let profiler = entry
+                .get("profiler")
+                .and_then(Json::as_str)
+                .ok_or("coverage entry has no 'profiler'")?;
+            let mean = entry
+                .get("mean_direct_coverage")
+                .and_then(Json::as_f64)
+                .ok_or("coverage entry has no 'mean_direct_coverage'")?;
+            Ok((profiler.to_owned(), mean))
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(Snapshot {
+        job: frame
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or("snapshot frame has no 'job'")?,
+        round: frame
+            .get("round")
+            .and_then(Json::as_usize)
+            .ok_or("snapshot frame has no 'round'")?,
+        rounds: frame
+            .get("rounds")
+            .and_then(Json::as_usize)
+            .ok_or("snapshot frame has no 'rounds'")?,
+        coverage,
+    })
+}

@@ -1,0 +1,796 @@
+//! The `harpd` daemon: a worker pool serving concurrent, durable,
+//! resumable sweep jobs.
+//!
+//! Every job is backed by its own checkpoint archive directory
+//! (`<state_dir>/JOB_<id>/`) in exactly the format `harp sweep
+//! --checkpoint-dir` writes, plus a small `JOB.json` state record and, once
+//! complete, a `RESULT.json` result frame. All three go through
+//! [`write_json_atomically`]'s durable write sequence, and a job is
+//! acknowledged to the submitter only after its archive and record are on
+//! disk — so a `kill -9` at any point leaves a state directory from which
+//! the next daemon start resumes every unfinished job.
+//!
+//! Job lifecycle: `pending` → `running` → `done` | `cancelled` | `failed`,
+//! with `running` falling back to `pending` on daemon shutdown (after a
+//! checkpoint) and on crash-restart. The full lifecycle and wire protocol
+//! are documented in ROADMAP.md.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use harp_ecc::HammingCode;
+use harp_profiler::ProfilerKind;
+use harp_sim::checkpoint::{read_manifest, write_json_atomically, ResumableSweep};
+use harp_sim::minijson::Json;
+use harp_sim::EvaluationConfig;
+
+use crate::proto::{self, Request};
+use crate::transport::{FrameTransport, TcpTransport};
+
+/// Name of the per-job state record inside the job's directory.
+pub const JOB_FILE: &str = "JOB.json";
+
+/// Name of the per-job result frame written on completion.
+pub const RESULT_FILE: &str = "RESULT.json";
+
+/// Default client/daemon rendezvous address.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:8471";
+
+/// How the daemon runs: where job state lives and how eagerly it
+/// checkpoints.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Directory holding one `JOB_<id>/` checkpoint archive per job.
+    pub state_dir: PathBuf,
+    /// Number of sweep worker threads.
+    pub workers: usize,
+    /// Rounds between checkpoint archive writes while a job runs.
+    pub checkpoint_interval: usize,
+}
+
+impl DaemonConfig {
+    /// A configuration with the default worker pool (2) and checkpoint
+    /// cadence (every 8 rounds).
+    pub fn new<P: Into<PathBuf>>(state_dir: P) -> Self {
+        Self {
+            state_dir: state_dir.into(),
+            workers: 2,
+            checkpoint_interval: 8,
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobPhase {
+    Queued,
+    Running,
+    Done,
+    Cancelled,
+    Failed,
+}
+
+impl JobPhase {
+    fn name(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "pending",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Cancelled => "cancelled",
+            JobPhase::Failed => "failed",
+        }
+    }
+
+    fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobPhase::Done | JobPhase::Cancelled | JobPhase::Failed
+        )
+    }
+}
+
+/// Mutable job state shared between the worker advancing the sweep and the
+/// connection threads streaming it to watchers.
+#[derive(Debug)]
+struct JobProgress {
+    phase: JobPhase,
+    round: usize,
+    rounds: usize,
+    /// Snapshot frames in publication order; watchers replay from index 0.
+    frames: Vec<Json>,
+    /// The terminal `result` frame, once the job completes.
+    result: Option<Json>,
+    message: Option<String>,
+    cancel_requested: bool,
+}
+
+struct JobCell {
+    id: u64,
+    dir: PathBuf,
+    state: Mutex<JobProgress>,
+    cv: Condvar,
+}
+
+struct Shared {
+    config: DaemonConfig,
+    jobs: Mutex<BTreeMap<u64, Arc<JobCell>>>,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    serve_addr: Mutex<Option<SocketAddr>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running daemon instance. Cheap to clone; all clones share one worker
+/// pool and job store.
+#[derive(Clone)]
+pub struct Daemon {
+    shared: Arc<Shared>,
+}
+
+impl Daemon {
+    /// Starts the worker pool, after re-enqueueing every unfinished job
+    /// found in the state directory — this is the crash-recovery path: jobs
+    /// recorded `pending` or `running` resume from their last checkpoint
+    /// archive.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or scanning the state directory.
+    pub fn start(config: DaemonConfig) -> io::Result<Self> {
+        std::fs::create_dir_all(&config.state_dir)?;
+        let worker_count = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            config,
+            jobs: Mutex::new(BTreeMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            serve_addr: Mutex::new(None),
+            workers: Mutex::new(Vec::new()),
+        });
+        recover_jobs(&shared)?;
+        let mut workers = shared.workers.lock().expect("worker list lock");
+        for index in 0..worker_count {
+            let worker_shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("harpd-worker-{index}"))
+                    .spawn(move || worker_loop(&worker_shared))?,
+            );
+        }
+        drop(workers);
+        Ok(Self { shared })
+    }
+
+    /// Serves connections on the listener until a `shutdown` request
+    /// arrives, then joins the worker pool. Each connection gets its own
+    /// thread; the in-process twin for tests is [`Daemon::handle`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the listener itself.
+    pub fn serve(&self, listener: TcpListener) -> io::Result<()> {
+        *self.shared.serve_addr.lock().expect("addr lock") = Some(listener.local_addr()?);
+        for stream in listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || {
+                if let Ok(mut transport) = TcpTransport::new(stream) {
+                    handle_transport(&shared, &mut transport);
+                }
+            });
+        }
+        self.join();
+        Ok(())
+    }
+
+    /// Handles one client connection over any transport — the deterministic
+    /// in-process entry point the protocol suite uses via
+    /// [`crate::transport::duplex`].
+    pub fn handle<T: FrameTransport>(&self, mut transport: T) {
+        handle_transport(&self.shared, &mut transport);
+    }
+
+    /// Requests shutdown: running jobs checkpoint and fall back to
+    /// `pending`, workers drain, the accept loop unblocks.
+    pub fn begin_shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Joins the worker pool (idempotent; implies [`Daemon::begin_shutdown`]).
+    pub fn join(&self) {
+        begin_shutdown(&self.shared);
+        let handles: Vec<JoinHandle<()>> = self
+            .shared
+            .workers
+            .lock()
+            .expect("worker list lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn begin_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue_cv.notify_all();
+    for cell in shared.jobs.lock().expect("job table lock").values() {
+        cell.cv.notify_all();
+    }
+    // Unblock the accept loop with a throwaway connection.
+    if let Some(addr) = *shared.serve_addr.lock().expect("addr lock") {
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+    }
+}
+
+/// Rebuilds the job table from the state directory. Unreadable job records
+/// are skipped with a warning (a crash between directory creation and the
+/// first durable write leaves an empty shell); unfinished jobs re-enter the
+/// queue.
+fn recover_jobs(shared: &Arc<Shared>) -> io::Result<()> {
+    let mut max_id = 0u64;
+    for entry in std::fs::read_dir(&shared.config.state_dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(id) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("JOB_"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let dir = entry.path();
+        let record = match std::fs::read_to_string(dir.join(JOB_FILE))
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+        {
+            Ok(record) => record,
+            Err(err) => {
+                eprintln!(
+                    "harpd: skipping {}: unreadable {JOB_FILE}: {err}",
+                    dir.display()
+                );
+                continue;
+            }
+        };
+        let state_name = record
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap_or("pending")
+            .to_owned();
+        let message = record
+            .get("message")
+            .and_then(Json::as_str)
+            .map(str::to_owned);
+        max_id = max_id.max(id.saturating_add(1));
+        let (round, rounds) = match read_manifest(&dir) {
+            Ok(manifest) => (manifest.round, manifest.config.rounds),
+            Err(_) => (0, 0),
+        };
+        let (phase, result) = match state_name.as_str() {
+            "done" => match std::fs::read_to_string(dir.join(RESULT_FILE))
+                .ok()
+                .and_then(|text| Json::parse(&text).ok())
+            {
+                Some(result) => (JobPhase::Done, Some(result)),
+                // A `done` record without a readable result cannot happen
+                // under the durable write order; treat it as corruption.
+                None => (JobPhase::Failed, None),
+            },
+            "cancelled" => (JobPhase::Cancelled, None),
+            "failed" => (JobPhase::Failed, None),
+            // `pending` and `running` (the kill -9 case) both restart from
+            // the last checkpoint archive.
+            _ => (JobPhase::Queued, None),
+        };
+        let cell = Arc::new(JobCell {
+            id,
+            dir,
+            state: Mutex::new(JobProgress {
+                phase,
+                round,
+                rounds,
+                frames: Vec::new(),
+                result,
+                message,
+                cancel_requested: false,
+            }),
+            cv: Condvar::new(),
+        });
+        shared.jobs.lock().expect("job table lock").insert(id, cell);
+        if phase == JobPhase::Queued {
+            shared.queue.lock().expect("queue lock").push_back(id);
+        }
+    }
+    shared.next_id.store(max_id, Ordering::SeqCst);
+    Ok(())
+}
+
+fn persist_job_record(cell: &JobCell, state: &str, message: Option<&str>) -> Result<(), String> {
+    let mut entries = vec![
+        ("schema".to_owned(), Json::from_u64(1)),
+        ("id".to_owned(), Json::from_u64(cell.id)),
+        ("state".to_owned(), Json::Str(state.to_owned())),
+    ];
+    if let Some(message) = message {
+        entries.push(("message".to_owned(), Json::Str(message.to_owned())));
+    }
+    write_json_atomically(&cell.dir.join(JOB_FILE), &Json::Object(entries))
+        .map_err(|e| format!("could not persist job record: {e}"))
+}
+
+fn submit_job(
+    shared: &Arc<Shared>,
+    config: &EvaluationConfig,
+    profilers: &[ProfilerKind],
+) -> Result<u64, String> {
+    let data_bits = config.data_bits;
+    HammingCode::random(data_bits, 0)
+        .map_err(|e| format!("data_bits {data_bits} does not yield a valid code: {e}"))?;
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let dir = shared.config.state_dir.join(format!("JOB_{id}"));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    // The round-0 archive plus the job record make the job durable *before*
+    // the acknowledgement: once the submitter sees an id, a killed daemon
+    // will finish the job after restart.
+    let sweep = ResumableSweep::new(config, profilers, |seed| {
+        HammingCode::random(data_bits, seed).expect("probed above, seed-independent")
+    });
+    sweep
+        .write_archive(&dir)
+        .map_err(|e| format!("could not write job archive: {e}"))?;
+    let cell = Arc::new(JobCell {
+        id,
+        dir,
+        state: Mutex::new(JobProgress {
+            phase: JobPhase::Queued,
+            round: 0,
+            rounds: config.rounds,
+            frames: Vec::new(),
+            result: None,
+            message: None,
+            cancel_requested: false,
+        }),
+        cv: Condvar::new(),
+    });
+    persist_job_record(&cell, "pending", None)?;
+    shared.jobs.lock().expect("job table lock").insert(id, cell);
+    shared.queue.lock().expect("queue lock").push_back(id);
+    shared.queue_cv.notify_one();
+    Ok(id)
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job_id = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(200))
+                    .expect("queue lock");
+                queue = guard;
+            }
+        };
+        let cell = shared
+            .jobs
+            .lock()
+            .expect("job table lock")
+            .get(&job_id)
+            .cloned();
+        if let Some(cell) = cell {
+            run_job(shared, &cell);
+        }
+    }
+}
+
+fn run_job(shared: &Shared, cell: &JobCell) {
+    {
+        let mut state = cell.state.lock().expect("job lock");
+        if state.phase != JobPhase::Queued {
+            // Cancelled while still in the queue.
+            return;
+        }
+        state.phase = JobPhase::Running;
+        cell.cv.notify_all();
+    }
+    let _ = persist_job_record(cell, "running", None);
+    if let Err(message) = drive_job(shared, cell) {
+        let _ = persist_job_record(cell, "failed", Some(&message));
+        let mut state = cell.state.lock().expect("job lock");
+        state.phase = JobPhase::Failed;
+        state.message = Some(message);
+        cell.cv.notify_all();
+    }
+}
+
+/// Advances one job to a terminal state (or to a checkpointed `pending` on
+/// daemon shutdown). Every failure path is a returned `Err` — a corrupt
+/// archive must fail the job, never the daemon.
+fn drive_job(shared: &Shared, cell: &JobCell) -> Result<(), String> {
+    let manifest = read_manifest(&cell.dir).map_err(|e| e.to_string())?;
+    let data_bits = manifest.config.data_bits;
+    HammingCode::random(data_bits, 0)
+        .map_err(|e| format!("archived data_bits {data_bits} does not yield a valid code: {e}"))?;
+    let mut sweep = ResumableSweep::resume(&cell.dir, |seed| {
+        HammingCode::random(data_bits, seed).expect("probed above, seed-independent")
+    })
+    .map_err(|e| e.to_string())?;
+    push_snapshot(cell, &sweep);
+    let interval = shared.config.checkpoint_interval.max(1);
+    while !sweep.is_complete() {
+        let cancelled = cell.state.lock().expect("job lock").cancel_requested;
+        if cancelled {
+            sweep
+                .write_archive(&cell.dir)
+                .map_err(|e| format!("could not checkpoint cancelled job: {e}"))?;
+            persist_job_record(cell, "cancelled", None)?;
+            let mut state = cell.state.lock().expect("job lock");
+            state.phase = JobPhase::Cancelled;
+            cell.cv.notify_all();
+            return Ok(());
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Checkpoint and fall back to `pending`: the next daemon start
+            // (or a later worker, if shutdown is aborted) picks it up.
+            sweep
+                .write_archive(&cell.dir)
+                .map_err(|e| format!("could not checkpoint for shutdown: {e}"))?;
+            persist_job_record(cell, "pending", None)?;
+            let mut state = cell.state.lock().expect("job lock");
+            state.phase = JobPhase::Queued;
+            cell.cv.notify_all();
+            return Ok(());
+        }
+        sweep.advance(1);
+        push_snapshot(cell, &sweep);
+        if sweep.round() % interval == 0 && !sweep.is_complete() {
+            sweep
+                .write_archive(&cell.dir)
+                .map_err(|e| format!("could not write checkpoint: {e}"))?;
+        }
+    }
+    let result = Json::Object(vec![
+        ("type".to_owned(), Json::Str("result".to_owned())),
+        ("job".to_owned(), Json::from_u64(cell.id)),
+        (
+            "sweep".to_owned(),
+            harp_sim::checkpoint::encode_sweep(&sweep.into_sweep()),
+        ),
+    ]);
+    write_json_atomically(&cell.dir.join(RESULT_FILE), &result)
+        .map_err(|e| format!("could not write result: {e}"))?;
+    persist_job_record(cell, "done", None)?;
+    let mut state = cell.state.lock().expect("job lock");
+    state.phase = JobPhase::Done;
+    state.result = Some(result);
+    cell.cv.notify_all();
+    Ok(())
+}
+
+fn push_snapshot(cell: &JobCell, sweep: &ResumableSweep) {
+    let coverage = sweep
+        .progress()
+        .iter()
+        .map(|(kind, mean)| {
+            Json::Object(vec![
+                ("profiler".to_owned(), Json::Str(kind.name().to_owned())),
+                ("mean_direct_coverage".to_owned(), Json::from_f64(*mean)),
+            ])
+        })
+        .collect();
+    let frame = Json::Object(vec![
+        ("type".to_owned(), Json::Str("snapshot".to_owned())),
+        ("job".to_owned(), Json::from_u64(cell.id)),
+        ("round".to_owned(), Json::from_usize(sweep.round())),
+        ("rounds".to_owned(), Json::from_usize(sweep.config().rounds)),
+        ("coverage".to_owned(), Json::Array(coverage)),
+    ]);
+    let mut state = cell.state.lock().expect("job lock");
+    state.round = sweep.round();
+    state.rounds = sweep.config().rounds;
+    state.frames.push(frame);
+    cell.cv.notify_all();
+}
+
+fn job_frame_locked(id: u64, state: &JobProgress) -> Json {
+    let mut entries = vec![
+        ("type".to_owned(), Json::Str("job".to_owned())),
+        ("job".to_owned(), Json::from_u64(id)),
+        ("state".to_owned(), Json::Str(state.phase.name().to_owned())),
+        ("round".to_owned(), Json::from_usize(state.round)),
+        ("rounds".to_owned(), Json::from_usize(state.rounds)),
+    ];
+    if let Some(message) = &state.message {
+        entries.push(("message".to_owned(), Json::Str(message.clone())));
+    }
+    Json::Object(entries)
+}
+
+fn job_frame(cell: &JobCell) -> Json {
+    job_frame_locked(cell.id, &cell.state.lock().expect("job lock"))
+}
+
+fn submitted_frame(id: u64) -> Json {
+    Json::Object(vec![
+        ("type".to_owned(), Json::Str("submitted".to_owned())),
+        ("job".to_owned(), Json::from_u64(id)),
+    ])
+}
+
+fn jobs_frame(shared: &Shared) -> Json {
+    let jobs = shared
+        .jobs
+        .lock()
+        .expect("job table lock")
+        .values()
+        .map(|cell| job_frame(cell))
+        .collect();
+    Json::Object(vec![
+        ("type".to_owned(), Json::Str("jobs".to_owned())),
+        ("jobs".to_owned(), Json::Array(jobs)),
+    ])
+}
+
+fn get_job(shared: &Shared, id: u64) -> Option<Arc<JobCell>> {
+    shared
+        .jobs
+        .lock()
+        .expect("job table lock")
+        .get(&id)
+        .cloned()
+}
+
+fn request_cancel(cell: &JobCell) {
+    let mut state = cell.state.lock().expect("job lock");
+    state.cancel_requested = true;
+    if state.phase == JobPhase::Queued {
+        // Never started: transition here; a worker that later pops the id
+        // sees the terminal phase and skips it.
+        state.phase = JobPhase::Cancelled;
+        drop(state);
+        let _ = persist_job_record(cell, "cancelled", None);
+    }
+    cell.cv.notify_all();
+}
+
+/// Streams the job's snapshot frames from round 0, then exactly one
+/// terminal frame: the stored `result` for completed jobs, a `job` status
+/// frame for cancelled/failed ones.
+fn watch_job<T: FrameTransport>(
+    shared: &Shared,
+    cell: &JobCell,
+    transport: &mut T,
+) -> io::Result<()> {
+    let mut cursor = 0usize;
+    loop {
+        let (pending, terminal) = {
+            let mut state = cell.state.lock().expect("job lock");
+            loop {
+                if cursor < state.frames.len() || state.phase.is_terminal() {
+                    break;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    drop(state);
+                    return transport.send(&proto::error_frame("daemon is shutting down"));
+                }
+                let (guard, _) = cell
+                    .cv
+                    .wait_timeout(state, Duration::from_millis(200))
+                    .expect("job lock");
+                state = guard;
+            }
+            let pending: Vec<Json> = state.frames[cursor..].to_vec();
+            cursor = state.frames.len();
+            let terminal = if state.phase.is_terminal() {
+                Some(match (&state.result, state.phase) {
+                    (Some(result), JobPhase::Done) => result.clone(),
+                    _ => job_frame_locked(cell.id, &state),
+                })
+            } else {
+                None
+            };
+            (pending, terminal)
+        };
+        for frame in &pending {
+            transport.send(frame)?;
+        }
+        if let Some(frame) = terminal {
+            return transport.send(&frame);
+        }
+    }
+}
+
+fn handle_transport<T: FrameTransport>(shared: &Arc<Shared>, transport: &mut T) {
+    loop {
+        let frame = match transport.recv() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(err) => {
+                // Tell the peer what was wrong with its bytes, then drop
+                // the connection: framing is unrecoverable after a bad
+                // frame.
+                let _ = transport.send(&proto::error_frame(&err.to_string()));
+                return;
+            }
+        };
+        let request = match proto::decode_request(&frame) {
+            Ok(request) => request,
+            Err(message) => {
+                if transport.send(&proto::error_frame(&message)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let with_job =
+            |id: u64, transport: &mut T, f: &dyn Fn(&Arc<JobCell>, &mut T) -> io::Result<()>| {
+                match get_job(shared, id) {
+                    Some(cell) => f(&cell, transport),
+                    None => transport.send(&proto::error_frame(&format!("no job {id}"))),
+                }
+            };
+        let outcome = match &request {
+            Request::Submit { config, profilers } => match submit_job(shared, config, profilers) {
+                Ok(id) => transport.send(&submitted_frame(id)),
+                Err(message) => transport.send(&proto::error_frame(&message)),
+            },
+            Request::Status { job } => with_job(*job, transport, &|cell, transport| {
+                transport.send(&job_frame(cell))
+            }),
+            Request::List => transport.send(&jobs_frame(shared)),
+            Request::Watch { job } => with_job(*job, transport, &|cell, transport| {
+                watch_job(shared, cell, transport)
+            }),
+            Request::Cancel { job } => with_job(*job, transport, &|cell, transport| {
+                request_cancel(cell);
+                transport.send(&job_frame(cell))
+            }),
+            Request::Shutdown => {
+                let acked = transport.send(&proto::ok_frame());
+                begin_shutdown(shared);
+                acked
+            }
+        };
+        if outcome.is_err() || matches!(request, Request::Shutdown) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, WatchOutcome};
+    use crate::transport::duplex;
+
+    fn tiny_config() -> EvaluationConfig {
+        EvaluationConfig {
+            num_codes: 1,
+            words_per_code: 2,
+            rounds: 6,
+            error_counts: vec![2],
+            probabilities: vec![0.5],
+            threads: 1,
+            ..EvaluationConfig::quick()
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("harpd_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn connect(daemon: &Daemon) -> Client<crate::transport::PairTransport> {
+        let (client_end, server_end) = duplex();
+        let handler = daemon.clone();
+        std::thread::spawn(move || handler.handle(server_end));
+        Client::new(client_end)
+    }
+
+    #[test]
+    fn submit_watch_and_status_complete_a_job() {
+        let dir = temp_dir("basic");
+        let daemon = Daemon::start(DaemonConfig::new(&dir)).unwrap();
+        let mut client = connect(&daemon);
+        let kinds = vec![ProfilerKind::HarpU, ProfilerKind::Naive];
+        let job = client.submit(&tiny_config(), &kinds).unwrap();
+
+        let mut rounds_seen = Vec::new();
+        let outcome = client
+            .watch(job, |snapshot| rounds_seen.push(snapshot.round))
+            .unwrap();
+        let WatchOutcome::Completed(sweep) = outcome else {
+            panic!("job did not complete: {outcome:?}");
+        };
+        assert_eq!(sweep.rounds, 6);
+        assert_eq!(sweep.profilers, kinds);
+        assert_eq!(*rounds_seen.last().unwrap(), 6);
+        // Snapshots arrive in round order, starting from the resume point.
+        assert!(rounds_seen.windows(2).all(|w| w[0] < w[1]));
+
+        let status = client.status(job).unwrap();
+        assert_eq!(status.state, "done");
+        assert_eq!(status.round, 6);
+        assert!(client.jobs().unwrap().iter().any(|j| j.job == job));
+        // The durable records exist on disk.
+        assert!(dir.join(format!("JOB_{job}")).join(RESULT_FILE).exists());
+
+        client.shutdown().unwrap();
+        daemon.join();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_jobs_and_bad_requests_answer_with_errors() {
+        let dir = temp_dir("errors");
+        let daemon = Daemon::start(DaemonConfig::new(&dir)).unwrap();
+        let mut client = connect(&daemon);
+        assert!(client.status(999).unwrap_err().contains("no job 999"));
+        // The connection survives a protocol-level error.
+        assert!(client.jobs().unwrap().is_empty());
+        client.shutdown().unwrap();
+        daemon.join();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn queued_jobs_cancel_without_running() {
+        let dir = temp_dir("cancel");
+        // Zero-worker pools never pick jobs up, keeping the job queued.
+        let mut config = DaemonConfig::new(&dir);
+        config.workers = 1;
+        let daemon = Daemon::start(config).unwrap();
+        // Occupy the single worker with a longer job, then cancel a queued
+        // one behind it.
+        let mut client = connect(&daemon);
+        let kinds = vec![ProfilerKind::HarpU];
+        let long = client
+            .submit(
+                &EvaluationConfig {
+                    rounds: 64,
+                    ..tiny_config()
+                },
+                &kinds,
+            )
+            .unwrap();
+        let queued = client.submit(&tiny_config(), &kinds).unwrap();
+        let status = client.cancel(queued).unwrap();
+        assert_eq!(status.state, "cancelled");
+        let outcome = client.watch(queued, |_| {}).unwrap();
+        assert!(matches!(outcome, WatchOutcome::Ended(s) if s.state == "cancelled"));
+        // The long job still finishes (or checkpoints at shutdown).
+        let _ = client.cancel(long);
+        client.shutdown().unwrap();
+        daemon.join();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

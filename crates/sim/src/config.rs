@@ -92,34 +92,58 @@ impl EvaluationConfig {
         self.num_codes * self.words_per_code
     }
 
-    /// Validates internal consistency.
+    /// Checks internal consistency, returning a description of the first
+    /// problem found. Use this on configurations from untrusted sources
+    /// (checkpoint archives, wire payloads) where a bad value must surface
+    /// as an error, not a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration is unusable (zero samples,
+    /// probabilities outside `[0, 1]`, or error counts that exceed the
+    /// exhaustive-analysis limit).
+    pub fn check(&self) -> Result<(), String> {
+        if self.data_bits == 0 {
+            return Err("data_bits must be nonzero".to_owned());
+        }
+        if self.num_codes == 0 {
+            return Err("num_codes must be nonzero".to_owned());
+        }
+        if self.words_per_code == 0 {
+            return Err("words_per_code must be nonzero".to_owned());
+        }
+        if self.rounds == 0 {
+            return Err("rounds must be nonzero".to_owned());
+        }
+        if self.error_counts.is_empty() {
+            return Err("error_counts must not be empty".to_owned());
+        }
+        if self.probabilities.is_empty() {
+            return Err("probabilities must not be empty".to_owned());
+        }
+        for &p in &self.probabilities {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("probability {p} outside [0, 1]"));
+            }
+        }
+        for &n in &self.error_counts {
+            if n > harp_ecc::ErrorSpace::MAX_AT_RISK_BITS {
+                return Err(format!(
+                    "error count {n} exceeds the exhaustive-analysis limit"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates internal consistency for locally constructed configurations.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is unusable (zero samples, probabilities
-    /// outside `[0, 1]`, or error counts that exceed the exhaustive-analysis
-    /// limit).
+    /// Panics with the message [`check`](Self::check) would return.
     pub fn validate(&self) {
-        assert!(self.data_bits > 0, "data_bits must be nonzero");
-        assert!(self.num_codes > 0, "num_codes must be nonzero");
-        assert!(self.words_per_code > 0, "words_per_code must be nonzero");
-        assert!(self.rounds > 0, "rounds must be nonzero");
-        assert!(
-            !self.error_counts.is_empty(),
-            "error_counts must not be empty"
-        );
-        assert!(
-            !self.probabilities.is_empty(),
-            "probabilities must not be empty"
-        );
-        for &p in &self.probabilities {
-            assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
-        }
-        for &n in &self.error_counts {
-            assert!(
-                n <= harp_ecc::ErrorSpace::MAX_AT_RISK_BITS,
-                "error count {n} exceeds the exhaustive-analysis limit"
-            );
+        if let Err(message) = self.check() {
+            panic!("{message}");
         }
     }
 
@@ -194,6 +218,22 @@ mod tests {
         let mut config = EvaluationConfig::quick();
         config.probabilities = vec![1.5];
         config.validate();
+    }
+
+    /// The non-panicking twin of `validate`, for configurations decoded from
+    /// archives or wire payloads.
+    #[test]
+    fn check_reports_instead_of_panicking() {
+        assert_eq!(EvaluationConfig::quick().check(), Ok(()));
+        let mut config = EvaluationConfig::quick();
+        config.data_bits = 0;
+        assert_eq!(config.check(), Err("data_bits must be nonzero".to_owned()));
+        let mut config = EvaluationConfig::quick();
+        config.rounds = 0;
+        assert!(config.check().is_err());
+        let mut config = EvaluationConfig::quick();
+        config.probabilities = vec![-0.5];
+        assert!(config.check().unwrap_err().contains("outside [0, 1]"));
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //! * **Floats round-trip exactly.** `f64` values are rendered with Rust's
 //!   shortest round-trip `Display`, so `literal.parse::<f64>()` recovers the
 //!   identical bit pattern.
+//!
+//! The parser is also the daemon's wire codec, so it must stay panic-free on
+//! untrusted bytes: nesting is bounded by [`MAX_DEPTH`] (a deeply nested
+//! `[[[[…]]]]` payload returns a [`ParseError`] instead of overflowing the
+//! stack), and duplicate object keys are rejected at parse time — two
+//! `"rounds"` keys in a corrupt archive are corruption, not a choice for
+//! [`Json::get`] to resolve silently.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -37,6 +44,13 @@ pub enum Json {
     /// An object as an ordered association list.
     Object(Vec<(String, Json)>),
 }
+
+/// Maximum container nesting depth [`Json::parse`] accepts.
+///
+/// Checkpoint archives nest a handful of levels and wire frames even fewer;
+/// 128 is far above any legitimate payload while keeping the recursive
+/// parser's stack usage bounded on adversarial input.
+pub const MAX_DEPTH: usize = 128;
 
 /// A parse failure: what went wrong and the byte offset it was detected at.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,7 +138,9 @@ impl Json {
         }
     }
 
-    /// Looks up a key in an object (first match wins).
+    /// Looks up a key in an object. Parsed objects never hold duplicate keys
+    /// ([`Json::parse`] rejects them); for hand-constructed objects the first
+    /// match wins.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Object(entries) => entries
@@ -178,11 +194,14 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Returns a [`ParseError`] on malformed input or trailing garbage.
+    /// Returns a [`ParseError`] on malformed input or trailing garbage —
+    /// including containers nested deeper than [`MAX_DEPTH`] and objects
+    /// with duplicate keys.
     pub fn parse(text: &str) -> Result<Json, ParseError> {
         let mut parser = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         parser.skip_whitespace();
         let value = parser.parse_value()?;
@@ -227,6 +246,7 @@ fn render_string(s: &str, out: &mut String) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -282,12 +302,27 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Charges one level of the nesting budget for the duration of a
+    /// container body. The recursion this bounds is `parse_value` →
+    /// `parse_array`/`parse_object` → `parse_value`; without the budget a
+    /// deeply nested input aborts the process via stack overflow instead of
+    /// returning an error.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -298,6 +333,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 _ => return Err(self.error("expected ',' or ']' in array")),
@@ -307,15 +343,20 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
-        let mut entries = Vec::new();
+        self.enter()?;
+        let mut entries: Vec<(String, Json)> = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(entries));
         }
         loop {
             self.skip_whitespace();
             let key = self.parse_string()?;
+            if entries.iter().any(|(existing, _)| *existing == key) {
+                return Err(self.error(&format!("duplicate key \"{key}\" in object")));
+            }
             self.skip_whitespace();
             self.expect(b':')?;
             self.skip_whitespace();
@@ -326,6 +367,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(entries));
                 }
                 _ => return Err(self.error("expected ',' or '}' in object")),
@@ -547,5 +589,54 @@ mod tests {
     #[should_panic(expected = "cannot represent")]
     fn non_finite_floats_are_rejected() {
         let _ = Json::from_f64(f64::NAN);
+    }
+
+    /// Regression: before the depth budget, this input recursed once per
+    /// bracket and aborted the process via stack overflow — an abort, not an
+    /// `Err`, so a corrupt archive or a hostile wire payload could kill the
+    /// daemon.
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let depth = 100_000;
+            let text = format!("{}null{}", open.repeat(depth), close.repeat(depth));
+            let err = Json::parse(&text).unwrap_err();
+            assert!(err.message.contains("nesting deeper"), "{err}");
+        }
+    }
+
+    #[test]
+    fn nesting_up_to_the_limit_parses() {
+        let ok = format!("{}null{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!(
+            "{}null{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&too_deep).is_err());
+        // The budget is per-nesting-level, not cumulative: many sibling
+        // containers at modest depth parse fine.
+        let siblings = format!("[{}]", vec!["[[null]]"; 64].join(","));
+        assert!(Json::parse(&siblings).is_ok());
+    }
+
+    /// Regression: duplicate keys used to parse silently, with [`Json::get`]
+    /// returning whichever came first — so a corrupt archive carrying two
+    /// `"rounds"` keys was misread instead of rejected.
+    #[test]
+    fn duplicate_object_keys_are_rejected() {
+        for bad in [
+            r#"{"rounds":1,"rounds":2}"#,
+            r#"{"a":{"x":1,"x":2}}"#,
+            r#"{"a":1,"b":2,"a":3}"#,
+            r#"[{"k":0,"k":0}]"#,
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.message.contains("duplicate key"), "{bad}: {err}");
+        }
+        // The same key in *different* objects is fine.
+        assert!(Json::parse(r#"{"a":{"k":1},"b":{"k":2}}"#).is_ok());
+        assert!(Json::parse(r#"[{"k":1},{"k":2}]"#).is_ok());
     }
 }
