@@ -1,0 +1,85 @@
+//! Benchmarks the live-traffic co-scheduling path.
+//!
+//! * `traffic_path/event_queue/*` — the raw discrete-event queue: push/pop
+//!   throughput with heavy timestamp collisions (the determinism tie-break
+//!   is on this hot path).
+//! * `traffic_path/<code>/run_smoke` — one full co-scheduled run (demand
+//!   reads + scrub bursts + deferred repair updates) at the smoke shape,
+//!   for SEC Hamming and DEC BCH chips.
+//!
+//! Determinism is asserted before timing: the same seed must reproduce the
+//! same report, so the numbers describe the deterministic scheduler, not a
+//! racy shortcut.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use harp_bch::BchCode;
+use harp_ecc::HammingCode;
+use harp_sim::traffic::{run_traffic, EventQueue, TrafficConfig};
+
+/// Events per queue benchmark iteration.
+const QUEUE_EVENTS: u64 = 10_000;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic_path/event_queue");
+    group.bench_function(format!("push_pop_{QUEUE_EVENTS}"), |b| {
+        b.iter(|| {
+            let mut queue = EventQueue::new();
+            // Eight-way timestamp collisions exercise the (time, seq)
+            // tie-break on every pop.
+            for i in 0..QUEUE_EVENTS {
+                queue.push(i / 8, i);
+            }
+            let mut sum = 0u64;
+            while let Some(event) = queue.pop() {
+                sum = sum.wrapping_add(event.kind);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_traffic_runs(c: &mut Criterion) {
+    let config = TrafficConfig {
+        rber: 0.02,
+        ..TrafficConfig::smoke()
+    };
+    // Correctness cross-check before timing: same seed, same report.
+    let reference = run_traffic(&config, HammingCode::random(64, 0x7F).expect("valid code"));
+    assert_eq!(
+        reference,
+        run_traffic(&config, HammingCode::random(64, 0x7F).expect("valid code"))
+    );
+    assert!(reference.demand_reads > 0);
+
+    let mut group = c.benchmark_group("traffic_path/hamming_71_64");
+    group.bench_function("run_smoke", |b| {
+        b.iter(|| {
+            let code = HammingCode::random(64, 0x7F).expect("valid code");
+            black_box(run_traffic(&config, code).demand_reads)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("traffic_path/bch_78_64");
+    group.bench_function("run_smoke", |b| {
+        b.iter(|| {
+            let code = BchCode::dec(64).expect("valid code");
+            black_box(run_traffic(&config, code).demand_reads)
+        })
+    });
+    group.finish();
+}
+
+fn bench_traffic_path(c: &mut Criterion) {
+    bench_event_queue(c);
+    bench_traffic_runs(c);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_traffic_path
+);
+criterion_main!(benches);

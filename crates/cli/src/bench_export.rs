@@ -44,6 +44,7 @@ pub const REGISTERED_GROUPS: &[&str] = &[
     "server_path",
     "syndrome_kernel",
     "table02",
+    "traffic_path",
 ];
 
 /// One benchmark's parsed `bench-json` record.

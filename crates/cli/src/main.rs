@@ -27,7 +27,10 @@
 //!               exact post-correction error profiles of all three families
 //!   ext-vrt     extension 5: VRT errors under reactive scrubbing
 //!   ext-codes   extension 6: one generic HARP campaign across Hamming / SEC-DED / BCH
-//!   extensions  all six extensions, in order
+//!   ext-traffic extension 7: live-traffic co-scheduling — demand-read SLO
+//!               curves vs. scrub aggressiveness, code family, and repair
+//!               mechanism under a deterministic event clock
+//!   extensions  all seven extensions, in order
 //!   all       everything above, in order (paper experiments only)
 //!
 //! options:
@@ -69,8 +72,8 @@ mod client_cli;
 mod sweep_cli;
 
 use harp_sim::experiments::{
-    ablation, ext_bch, ext_beer, ext_codes, ext_module, ext_repair, ext_vrt, fig10, fig2, fig4,
-    fig6, fig7, fig8, fig9, headline, sweep, table2,
+    ablation, ext_bch, ext_beer, ext_codes, ext_module, ext_repair, ext_traffic, ext_vrt, fig10,
+    fig2, fig4, fig6, fig7, fig8, fig9, headline, sweep, table2,
 };
 use harp_sim::EvaluationConfig;
 
@@ -274,6 +277,11 @@ fn run_experiment(options: &cli::Options) -> Result<(), String> {
             println!("{}", result.render());
             dump_json(&options.json, &result);
         }
+        "ext-traffic" => {
+            let result = ext_traffic::run(&config);
+            println!("{}", result.render());
+            dump_json(&options.json, &result);
+        }
         "extensions" => {
             println!("{}", ext_bch::run(&config).render());
             println!("{}", ext_beer::run(&config).render());
@@ -281,6 +289,7 @@ fn run_experiment(options: &cli::Options) -> Result<(), String> {
             println!("{}", ext_repair::run(&config).render());
             println!("{}", ext_vrt::run(&config).render());
             println!("{}", ext_codes::run(&config).render());
+            println!("{}", ext_traffic::run(&config).render());
         }
         "all" => {
             println!("{}", fig2::run().render());
@@ -374,7 +383,8 @@ fn main() -> ExitCode {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: harp <fig2|table2|fig4|fig6|fig7|fig8|fig9|fig10|summary|ablation|\
-                 ext-bch|ext-beer|ext-module|ext-repair|ext-vrt|ext-codes|extensions|all> \
+                 ext-bch|ext-beer|ext-module|ext-repair|ext-vrt|ext-codes|ext-traffic|\
+                 extensions|all> \
                  [--full] [--long-code] [--json PATH]\n       \
                  harp sweep [--checkpoint-dir DIR] [--resume] [--shard i/N] ... | \
                  harp merge FILE... | harp bench-export [--check] | \

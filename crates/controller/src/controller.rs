@@ -146,6 +146,24 @@ impl<C: LinearBlockCode> MemoryController<C> {
         &self.secondary
     }
 
+    /// Applies a deferred repair-table update: marks `bits` of `word` as
+    /// at risk, as an out-of-band profiler would after observing a read
+    /// outcome. Returns how many of the bits were newly marked.
+    ///
+    /// This is the seam the live-traffic co-scheduler uses when reactive
+    /// profiling runs *outside* the read path (the read itself has
+    /// [`MemoryController::set_reactive_profiling`] disabled, and
+    /// identifications land here after a configurable update latency).
+    pub fn apply_repair_update<I: IntoIterator<Item = usize>>(
+        &mut self,
+        word: usize,
+        bits: I,
+    ) -> usize {
+        bits.into_iter()
+            .filter(|&bit| self.repair.profile_mut().mark(word, bit))
+            .count()
+    }
+
     /// Writes a dataword to ECC word `word`.
     ///
     /// # Panics
@@ -439,6 +457,22 @@ mod tests {
         let mut controller = controller_with_faults(&[], 0.0);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         controller.read_range(0..0, &mut rng);
+    }
+
+    #[test]
+    fn apply_repair_update_marks_only_new_bits() {
+        let mut controller = controller_with_faults(&[3, 40], 1.0);
+        assert_eq!(controller.apply_repair_update(0, [3, 40]), 2);
+        // Re-applying the same update is idempotent.
+        assert_eq!(controller.apply_repair_update(0, [3, 40, 55]), 1);
+        for bit in [3, 40, 55] {
+            assert!(controller.profile().contains(0, bit));
+        }
+        // A deferred update has the same effect as inline reactive
+        // profiling: the fully profiled word now reads correctly.
+        controller.write(0, &BitVec::ones(64));
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        assert!(controller.read(0, &mut rng).is_correct());
     }
 
     #[test]

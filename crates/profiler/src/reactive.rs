@@ -75,6 +75,29 @@ impl ReactiveProfiler {
         }
     }
 
+    /// Records a read outcome observed *outside* this profiler — the
+    /// controller's read path reporting which positions its secondary ECC
+    /// identified (`identified`) and whether errors escaped (`escaped`).
+    /// Returns the positions not already known; only those should be
+    /// forwarded as repair-table updates.
+    ///
+    /// This is the out-of-band twin of [`ReactiveProfiler::observe`] for
+    /// callers that already ran the secondary ECC (e.g. the live-traffic
+    /// co-scheduler, which decouples identification from the repair-table
+    /// write by a configurable update latency).
+    pub fn record_outcome(&mut self, identified: &[usize], escaped: bool) -> Vec<usize> {
+        self.observations += 1;
+        if escaped {
+            self.unsafe_events += 1;
+            return Vec::new();
+        }
+        identified
+            .iter()
+            .copied()
+            .filter(|&p| self.identified.insert(p))
+            .collect()
+    }
+
     /// Bits identified by reactive profiling so far.
     pub fn identified(&self) -> &BTreeSet<usize> {
         &self.identified
@@ -153,6 +176,38 @@ mod tests {
         assert_eq!(reactive.observe(&written, &observed), vec![1, 2]);
         assert_eq!(reactive.unsafe_events(), 0);
         assert_eq!(reactive.secondary().correction_capability(), 2);
+    }
+
+    #[test]
+    fn recorded_outcomes_track_identifications_and_escapes() {
+        let mut reactive = ReactiveProfiler::new(SecondaryEcc::ideal_sec());
+        // First sighting of bit 4 is fresh; the repeat is not.
+        assert_eq!(reactive.record_outcome(&[4], false), vec![4]);
+        assert!(reactive.record_outcome(&[4], false).is_empty());
+        assert!(reactive.identified().contains(&4));
+        // An escaped read is an unsafe event and identifies nothing, even
+        // if positions were reported alongside it.
+        assert!(reactive.record_outcome(&[9], true).is_empty());
+        assert_eq!(reactive.unsafe_events(), 1);
+        assert!(!reactive.identified().contains(&9));
+        assert_eq!(reactive.observations(), 3);
+    }
+
+    #[test]
+    fn record_outcome_agrees_with_observe() {
+        // The out-of-band path must count exactly like the in-band one.
+        let written = BitVec::ones(16);
+        let mut observed = written.clone();
+        observed.flip(4);
+
+        let mut in_band = ReactiveProfiler::new(SecondaryEcc::ideal_sec());
+        let newly = in_band.observe(&written, &observed);
+
+        let mut out_of_band = ReactiveProfiler::new(SecondaryEcc::ideal_sec());
+        assert_eq!(out_of_band.record_outcome(&newly, false), newly);
+        assert_eq!(out_of_band.identified(), in_band.identified());
+        assert_eq!(out_of_band.observations(), in_band.observations());
+        assert_eq!(out_of_band.unsafe_events(), in_band.unsafe_events());
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::time::Duration;
 use harp_ecc::HammingCode;
 use harp_profiler::ProfilerKind;
 use harp_sim::checkpoint::{read_manifest, write_json_atomically, ResumableSweep};
-use harp_sim::minijson::Json;
+use harp_sim::minijson::{Json, NonFiniteFloat};
 use harp_sim::EvaluationConfig;
 
 use crate::proto::{self, Request};
@@ -422,13 +422,33 @@ fn run_job(shared: &Shared, cell: &JobCell) {
         cell.cv.notify_all();
     }
     let _ = persist_job_record(cell, "running", None);
-    if let Err(message) = drive_job(shared, cell) {
+    // A panic anywhere in the drive loop must fail the *job*, never the
+    // worker: a job stuck in `running` with its worker thread dead would
+    // never reach a terminal phase, and every watcher would poll its
+    // condvar until daemon shutdown. (The known panic source — non-finite
+    // floats in the render path — is handled as a typed error below, but
+    // the unwind guard keeps the terminal-frame guarantee even for panics
+    // this code has not anticipated.)
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drive_job(shared, cell)))
+            .unwrap_or_else(|panic| Err(panic_message(&panic)));
+    if let Err(message) = outcome {
         let _ = persist_job_record(cell, "failed", Some(&message));
         let mut state = cell.state.lock().expect("job lock");
         state.phase = JobPhase::Failed;
         state.message = Some(message);
         cell.cv.notify_all();
     }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    let detail = panic
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| panic.downcast_ref::<&str>().copied())
+        .unwrap_or("unknown panic");
+    format!("worker panicked: {detail}")
 }
 
 /// Advances one job to a terminal state (or to a checkpointed `pending` on
@@ -443,7 +463,7 @@ fn drive_job(shared: &Shared, cell: &JobCell) -> Result<(), String> {
         HammingCode::random(data_bits, seed).expect("probed above, seed-independent")
     })
     .map_err(|e| e.to_string())?;
-    push_snapshot(cell, &sweep);
+    push_snapshot(cell, &sweep)?;
     let interval = shared.config.checkpoint_interval.max(1);
     while !sweep.is_complete() {
         let cancelled = cell.state.lock().expect("job lock").cancel_requested;
@@ -470,20 +490,19 @@ fn drive_job(shared: &Shared, cell: &JobCell) -> Result<(), String> {
             return Ok(());
         }
         sweep.advance(1);
-        push_snapshot(cell, &sweep);
+        push_snapshot(cell, &sweep)?;
         if sweep.round() % interval == 0 && !sweep.is_complete() {
             sweep
                 .write_archive(&cell.dir)
                 .map_err(|e| format!("could not write checkpoint: {e}"))?;
         }
     }
+    let encoded = harp_sim::checkpoint::try_encode_sweep(&sweep.into_sweep())
+        .map_err(|e| format!("could not render result: {e}"))?;
     let result = Json::Object(vec![
         ("type".to_owned(), Json::Str("result".to_owned())),
         ("job".to_owned(), Json::from_u64(cell.id)),
-        (
-            "sweep".to_owned(),
-            harp_sim::checkpoint::encode_sweep(&sweep.into_sweep()),
-        ),
+        ("sweep".to_owned(), encoded),
     ]);
     write_json_atomically(&cell.dir.join(RESULT_FILE), &result)
         .map_err(|e| format!("could not write result: {e}"))?;
@@ -495,29 +514,50 @@ fn drive_job(shared: &Shared, cell: &JobCell) -> Result<(), String> {
     Ok(())
 }
 
-fn push_snapshot(cell: &JobCell, sweep: &ResumableSweep) {
-    let coverage = sweep
-        .progress()
+/// Builds one watcher snapshot frame. Fallible because the coverage means
+/// pass through JSON: a non-finite value used to panic the worker thread
+/// here, which left the job `running` forever with no thread advancing it.
+fn snapshot_frame(
+    id: u64,
+    round: usize,
+    rounds: usize,
+    progress: &[(ProfilerKind, f64)],
+) -> Result<Json, NonFiniteFloat> {
+    let coverage = progress
         .iter()
         .map(|(kind, mean)| {
-            Json::Object(vec![
+            Ok(Json::Object(vec![
                 ("profiler".to_owned(), Json::Str(kind.name().to_owned())),
-                ("mean_direct_coverage".to_owned(), Json::from_f64(*mean)),
-            ])
+                (
+                    "mean_direct_coverage".to_owned(),
+                    Json::try_from_f64(*mean)?,
+                ),
+            ]))
         })
-        .collect();
-    let frame = Json::Object(vec![
+        .collect::<Result<Vec<Json>, NonFiniteFloat>>()?;
+    Ok(Json::Object(vec![
         ("type".to_owned(), Json::Str("snapshot".to_owned())),
-        ("job".to_owned(), Json::from_u64(cell.id)),
-        ("round".to_owned(), Json::from_usize(sweep.round())),
-        ("rounds".to_owned(), Json::from_usize(sweep.config().rounds)),
+        ("job".to_owned(), Json::from_u64(id)),
+        ("round".to_owned(), Json::from_usize(round)),
+        ("rounds".to_owned(), Json::from_usize(rounds)),
         ("coverage".to_owned(), Json::Array(coverage)),
-    ]);
+    ]))
+}
+
+fn push_snapshot(cell: &JobCell, sweep: &ResumableSweep) -> Result<(), String> {
+    let frame = snapshot_frame(
+        cell.id,
+        sweep.round(),
+        sweep.config().rounds,
+        &sweep.progress(),
+    )
+    .map_err(|e| format!("could not render snapshot: {e}"))?;
     let mut state = cell.state.lock().expect("job lock");
     state.round = sweep.round();
     state.rounds = sweep.config().rounds;
     state.frames.push(frame);
     cell.cv.notify_all();
+    Ok(())
 }
 
 fn job_frame_locked(id: u64, state: &JobProgress) -> Json {
@@ -789,6 +829,120 @@ mod tests {
         assert!(matches!(outcome, WatchOutcome::Ended(s) if s.state == "cancelled"));
         // The long job still finishes (or checkpoints at shutdown).
         let _ = client.cancel(long);
+        client.shutdown().unwrap();
+        daemon.join();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression for the render-path panic: a non-finite coverage mean used
+    /// to abort the worker thread inside the snapshot encoder, leaving the
+    /// job `running` forever with no thread left to advance it (and every
+    /// watcher polling until shutdown). It must be a typed error instead.
+    #[test]
+    fn snapshot_frames_reject_non_finite_coverage_instead_of_panicking() {
+        let err = snapshot_frame(7, 1, 6, &[(ProfilerKind::HarpU, f64::NAN)]).unwrap_err();
+        assert!(err.value.is_nan());
+        assert!(err.to_string().contains("cannot represent"));
+
+        let frame = snapshot_frame(7, 1, 6, &[(ProfilerKind::HarpU, 0.5)]).unwrap();
+        assert_eq!(frame.get("type").and_then(Json::as_str), Some("snapshot"));
+        assert_eq!(
+            frame
+                .get("coverage")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    /// A watcher already streaming snapshots when the job is cancelled must
+    /// receive exactly one terminal frame (the `cancelled` status) rather
+    /// than stalling on a stream that will never produce another snapshot.
+    #[test]
+    fn watchers_of_a_job_cancelled_mid_stream_get_a_terminal_frame() {
+        let dir = temp_dir("cancel_mid_stream");
+        let mut config = DaemonConfig::new(&dir);
+        config.workers = 1;
+        let daemon = Daemon::start(config).unwrap();
+        let mut client = connect(&daemon);
+        let kinds = vec![ProfilerKind::HarpU];
+        // Long enough that the cancel below always lands mid-run.
+        let job = client
+            .submit(
+                &EvaluationConfig {
+                    rounds: 65_536,
+                    ..tiny_config()
+                },
+                &kinds,
+            )
+            .unwrap();
+
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let watcher_daemon = daemon.clone();
+        let watcher = std::thread::spawn(move || {
+            let mut watch_client = connect(&watcher_daemon);
+            let mut snapshots = 0usize;
+            let outcome = watch_client
+                .watch(job, |_| {
+                    snapshots += 1;
+                    if snapshots == 1 {
+                        let _ = started_tx.send(());
+                    }
+                })
+                .unwrap();
+            (snapshots, outcome)
+        });
+
+        // Cancel only once the job is demonstrably running and streaming.
+        started_rx.recv().unwrap();
+        client.cancel(job).unwrap();
+
+        let (snapshots, outcome) = watcher.join().unwrap();
+        assert!(snapshots >= 1);
+        assert!(matches!(outcome, WatchOutcome::Ended(s) if s.state == "cancelled"));
+        client.shutdown().unwrap();
+        daemon.join();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Every drive-loop failure must end as a `failed` job whose watchers
+    /// get a terminal frame — here via a checkpoint archive corrupted while
+    /// the job waits in the queue.
+    #[test]
+    fn corrupt_archives_fail_the_job_and_end_its_watchers() {
+        let dir = temp_dir("corrupt_archive");
+        let mut config = DaemonConfig::new(&dir);
+        config.workers = 1;
+        let daemon = Daemon::start(config).unwrap();
+        let mut client = connect(&daemon);
+        let kinds = vec![ProfilerKind::HarpU];
+        // Occupy the single worker so the second job stays queued while we
+        // corrupt its archive.
+        let long = client
+            .submit(
+                &EvaluationConfig {
+                    rounds: 65_536,
+                    ..tiny_config()
+                },
+                &kinds,
+            )
+            .unwrap();
+        let doomed = client.submit(&tiny_config(), &kinds).unwrap();
+        // The submit acknowledgement means the archive is already durable.
+        std::fs::write(
+            dir.join(format!("JOB_{doomed}"))
+                .join(harp_sim::checkpoint::MANIFEST_FILE),
+            b"not json",
+        )
+        .unwrap();
+        let _ = client.cancel(long);
+
+        let outcome = client.watch(doomed, |_| {}).unwrap();
+        let WatchOutcome::Ended(status) = outcome else {
+            panic!("expected a terminal job frame, got {outcome:?}");
+        };
+        assert_eq!(status.state, "failed");
+        assert!(status.message.is_some(), "failed jobs carry a reason");
         client.shutdown().unwrap();
         daemon.join();
         std::fs::remove_dir_all(&dir).unwrap();

@@ -44,7 +44,7 @@ use rand_chacha::ChaCha8RngState;
 
 use crate::config::EvaluationConfig;
 use crate::experiments::sweep::{CoverageSweep, WordEvaluation};
-use crate::minijson::Json;
+use crate::minijson::{Json, NonFiniteFloat};
 use crate::report::{fixed, TextTable};
 use crate::runner::parallel_map_mut;
 use crate::sample::{group_by_code, sample_words_with};
@@ -1221,19 +1221,17 @@ fn decode_group(
     Ok((round, campaigns))
 }
 
-fn encode_series(series: &CoverageSeries) -> Json {
-    Json::Object(vec![
+/// The fallible series encoder: coverage fractions are *computed* means, so
+/// a NaN escaping a stats pipeline must be reportable, not fatal.
+fn try_encode_series(series: &CoverageSeries) -> Result<Json, NonFiniteFloat> {
+    let direct_coverage = series
+        .direct_coverage
+        .iter()
+        .map(|&c| Json::try_from_f64(c))
+        .collect::<Result<Vec<Json>, NonFiniteFloat>>()?;
+    Ok(Json::Object(vec![
         ("profiler".into(), Json::Str(series.profiler.clone())),
-        (
-            "direct_coverage".into(),
-            Json::Array(
-                series
-                    .direct_coverage
-                    .iter()
-                    .map(|&c| Json::from_f64(c))
-                    .collect(),
-            ),
-        ),
+        ("direct_coverage".into(), Json::Array(direct_coverage)),
         (
             "missed_indirect".into(),
             Json::Array(
@@ -1269,7 +1267,7 @@ fn encode_series(series: &CoverageSeries) -> Json {
             "indirect_truth_len".into(),
             Json::from_usize(series.indirect_truth_len),
         ),
-    ])
+    ]))
 }
 
 fn decode_series(json: &Json) -> Result<CoverageSeries, String> {
@@ -1289,18 +1287,28 @@ fn decode_series(json: &Json) -> Result<CoverageSeries, String> {
 }
 
 fn encode_evaluation(evaluation: &WordEvaluation) -> Json {
-    Json::Object(vec![
+    match try_encode_evaluation(evaluation) {
+        Ok(json) => json,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+fn try_encode_evaluation(evaluation: &WordEvaluation) -> Result<Json, NonFiniteFloat> {
+    Ok(Json::Object(vec![
         (
             "error_count".into(),
             Json::from_usize(evaluation.error_count),
         ),
-        ("probability".into(), Json::from_f64(evaluation.probability)),
+        (
+            "probability".into(),
+            Json::try_from_f64(evaluation.probability)?,
+        ),
         (
             "profiler".into(),
             Json::Str(evaluation.profiler.name().to_owned()),
         ),
-        ("series".into(), encode_series(&evaluation.series)),
-    ])
+        ("series".into(), try_encode_series(&evaluation.series)?),
+    ]))
 }
 
 fn decode_evaluation(json: &Json) -> Result<WordEvaluation, String> {
@@ -1318,8 +1326,38 @@ fn decode_evaluation(json: &Json) -> Result<WordEvaluation, String> {
 /// the unit of the differential byte-identity test: the encoding is fully
 /// deterministic (ordered keys, shortest-round-trip floats), so two sweeps
 /// are equal iff their rendered encodings are byte-identical.
+///
+/// # Panics
+///
+/// Panics if the sweep contains a non-finite float; render paths that must
+/// not panic (the daemon worker) use [`try_encode_sweep`].
 pub fn encode_sweep(sweep: &CoverageSweep) -> Json {
-    Json::Object(vec![
+    match try_encode_sweep(sweep) {
+        Ok(json) => json,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// The fallible twin of [`encode_sweep`]: a NaN/∞ anywhere in the sweep —
+/// e.g. a coverage mean produced by a buggy stats pipeline — surfaces as a
+/// typed [`NonFiniteFloat`] so the daemon can fail the *job* instead of
+/// losing the worker thread to a render panic.
+///
+/// # Errors
+///
+/// Returns the first non-finite float encountered while encoding.
+pub fn try_encode_sweep(sweep: &CoverageSweep) -> Result<Json, NonFiniteFloat> {
+    let probabilities = sweep
+        .probabilities
+        .iter()
+        .map(|&p| Json::try_from_f64(p))
+        .collect::<Result<Vec<Json>, NonFiniteFloat>>()?;
+    let evaluations = sweep
+        .evaluations
+        .iter()
+        .map(try_encode_evaluation)
+        .collect::<Result<Vec<Json>, NonFiniteFloat>>()?;
+    Ok(Json::Object(vec![
         ("schema".into(), Json::from_u64(CHECKPOINT_SCHEMA_VERSION)),
         ("rounds".into(), Json::from_usize(sweep.rounds)),
         (
@@ -1332,22 +1370,10 @@ pub fn encode_sweep(sweep: &CoverageSweep) -> Json {
                     .collect(),
             ),
         ),
-        (
-            "probabilities".into(),
-            Json::Array(
-                sweep
-                    .probabilities
-                    .iter()
-                    .map(|&p| Json::from_f64(p))
-                    .collect(),
-            ),
-        ),
+        ("probabilities".into(), Json::Array(probabilities)),
         ("profilers".into(), encode_profilers(&sweep.profilers)),
-        (
-            "evaluations".into(),
-            Json::Array(sweep.evaluations.iter().map(encode_evaluation).collect()),
-        ),
-    ])
+        ("evaluations".into(), Json::Array(evaluations)),
+    ]))
 }
 
 /// Decodes a sweep written by [`encode_sweep`].
@@ -1777,6 +1803,20 @@ mod tests {
             encode_sweep(&decode_sweep(&reparsed).unwrap()).render(),
             rendered
         );
+    }
+
+    /// Regression: a NaN coverage mean used to panic the encoder (and with
+    /// it the daemon worker rendering `RESULT.json`). The fallible encoder
+    /// must surface it as a typed error instead.
+    #[test]
+    fn try_encode_sweep_reports_non_finite_floats_instead_of_panicking() {
+        let config = tiny_config();
+        let mut sweep = run_coverage_sweep(&config, &KINDS);
+        assert!(try_encode_sweep(&sweep).is_ok());
+        sweep.evaluations[0].series.direct_coverage[0] = f64::NAN;
+        let err = try_encode_sweep(&sweep).unwrap_err();
+        assert!(err.value.is_nan());
+        assert!(err.to_string().contains("cannot represent"));
     }
 
     #[test]

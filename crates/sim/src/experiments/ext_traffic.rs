@@ -1,0 +1,285 @@
+//! Extension 7: live-traffic co-scheduling — SLO curves for demand reads
+//! sharing a channel with background scrub and online repair updates.
+//!
+//! The paper evaluates profiling in closed rounds; this extension asks what
+//! its reactive phase costs — and buys — under live load. The sweep crosses
+//! three axes through [`crate::traffic::run_traffic`]'s deterministic
+//! event clock:
+//!
+//! * **scrub aggressiveness** — how often a scrub burst occupies the
+//!   channel (aggressive / balanced / lazy intervals);
+//! * **on-die ECC family** — SEC Hamming, SEC-DED, DEC BCH, the same
+//!   lineup as the other extensions;
+//! * **repair mechanism** — identifications applied inline, deferred by an
+//!   out-of-band update latency, or dropped entirely (profiling observes
+//!   but never repairs).
+//!
+//! Each cell reports the demand-read latency percentiles (the SLO curve),
+//! the escape count, and the time to full scrub coverage. The expected
+//! trends: aggressive scrub finds at-risk bits sooner but fattens the
+//! demand latency tail; applying repair updates strictly reduces escapes
+//! relative to dropping them; stronger codes escape less.
+
+use serde::{Deserialize, Serialize};
+
+use harp_bch::BchCode;
+use harp_ecc::{ExtendedHammingCode, HammingCode};
+
+use crate::config::EvaluationConfig;
+use crate::report::{fixed, percent, TextTable};
+use crate::runner::parallel_map;
+use crate::traffic::{run_traffic, TrafficConfig, TrafficReport};
+
+/// Scrub aggressiveness levels swept, as (label, ticks between bursts).
+pub const SCRUB_POLICIES: [(&str, u64); 3] =
+    [("aggressive", 128), ("balanced", 512), ("lazy", 2048)];
+
+/// Repair-update policies swept, as (label, update latency).
+pub const REPAIR_POLICIES: [(&str, Option<u64>); 3] = [
+    ("inline", Some(0)),
+    ("deferred", Some(256)),
+    ("dropped", None),
+];
+
+/// One (family, scrub policy, repair policy) cell of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtTrafficCell {
+    /// On-die ECC family label.
+    pub family: String,
+    /// Scrub-aggressiveness label.
+    pub scrub_policy: String,
+    /// Ticks between scrub bursts for this cell.
+    pub scrub_interval: u64,
+    /// Repair-mechanism label.
+    pub repair_policy: String,
+    /// The full traffic report for this cell.
+    pub report: TrafficReport,
+}
+
+/// The full extension-7 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtTrafficResult {
+    /// Virtual-time horizon every cell ran to.
+    pub horizon: u64,
+    /// Words per simulated chip.
+    pub words: usize,
+    /// One cell per (family, scrub policy, repair policy) triple.
+    pub cells: Vec<ExtTrafficCell>,
+}
+
+/// Runs the extension experiment with the default traffic shape.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run(config: &EvaluationConfig) -> ExtTrafficResult {
+    run_with_base(config, &base_traffic(config))
+}
+
+/// The default per-cell traffic shape derived from an evaluation config.
+pub fn base_traffic(config: &EvaluationConfig) -> TrafficConfig {
+    TrafficConfig {
+        words: (config.words_total() * 4).clamp(64, 1024),
+        data_bits: config.data_bits,
+        rber: 0.02,
+        seed: config.seed_for(0, 0, 0x7AF1C),
+        ..TrafficConfig::quick()
+    }
+}
+
+/// Runs the sweep around an explicit base traffic shape (scrub interval,
+/// repair latency, and seed are overridden per cell).
+///
+/// # Panics
+///
+/// Panics if either configuration is invalid.
+pub fn run_with_base(config: &EvaluationConfig, base: &TrafficConfig) -> ExtTrafficResult {
+    config.validate();
+    base.validate();
+    let families = ["SEC Hamming", "SEC-DED", "DEC BCH"];
+    let tasks: Vec<(usize, usize, usize)> = (0..families.len())
+        .flat_map(|family| {
+            (0..SCRUB_POLICIES.len()).flat_map(move |scrub| {
+                (0..REPAIR_POLICIES.len()).map(move |repair| (family, scrub, repair))
+            })
+        })
+        .collect();
+    let cells = parallel_map(&tasks, config.threads, |&(family, scrub, repair)| {
+        let (scrub_label, scrub_interval) = SCRUB_POLICIES[scrub];
+        let (repair_label, repair_latency) = REPAIR_POLICIES[repair];
+        let cell_config = TrafficConfig {
+            scrub_interval,
+            repair_update_latency: repair_latency,
+            // Each family rolls its own fault population; scrub and repair
+            // policies see the *same* population so their curves compare.
+            seed: base.seed ^ ((family as u64 + 1) << 24),
+            ..base.clone()
+        };
+        let code_seed = config.seed_for(family, 0, 0x7F1C);
+        let report = match family {
+            0 => run_traffic(
+                &cell_config,
+                HammingCode::random(base.data_bits, code_seed).expect("valid SEC Hamming code"),
+            ),
+            1 => run_traffic(
+                &cell_config,
+                ExtendedHammingCode::random(base.data_bits, code_seed).expect("valid SEC-DED code"),
+            ),
+            _ => run_traffic(
+                &cell_config,
+                BchCode::dec(base.data_bits).expect("valid DEC BCH code"),
+            ),
+        };
+        ExtTrafficCell {
+            family: families[family].to_owned(),
+            scrub_policy: scrub_label.to_owned(),
+            scrub_interval,
+            repair_policy: repair_label.to_owned(),
+            report,
+        }
+    });
+    ExtTrafficResult {
+        horizon: base.horizon,
+        words: base.words,
+        cells,
+    }
+}
+
+impl ExtTrafficResult {
+    /// Cells matching a (family prefix, scrub label, repair label) filter;
+    /// empty strings match everything.
+    pub fn cells_for(&self, family: &str, scrub: &str, repair: &str) -> Vec<&ExtTrafficCell> {
+        self.cells
+            .iter()
+            .filter(|c| {
+                c.family.starts_with(family)
+                    && c.scrub_policy.starts_with(scrub)
+                    && c.repair_policy.starts_with(repair)
+            })
+            .collect()
+    }
+
+    /// Renders the SLO table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new([
+            "on-die ECC",
+            "scrub",
+            "repair",
+            "reads",
+            "p50",
+            "p95",
+            "p99",
+            "p99.9",
+            "escapes",
+            "escape rate",
+            "full scrub at",
+        ]);
+        let latency = |p: Option<f64>| p.map_or_else(|| "n/a".to_owned(), |v| fixed(v, 1));
+        for cell in &self.cells {
+            let r = &cell.report;
+            table.push_row([
+                cell.family.clone(),
+                format!("{} ({})", cell.scrub_policy, cell.scrub_interval),
+                cell.repair_policy.clone(),
+                r.demand_reads.to_string(),
+                latency(r.latency.p50),
+                latency(r.latency.p95),
+                latency(r.latency.p99),
+                latency(r.latency.p999),
+                r.escapes.to_string(),
+                percent(r.escape_rate),
+                r.time_to_full_coverage
+                    .map_or_else(|| format!(">{}", self.horizon), |t| t.to_string()),
+            ]);
+        }
+        format!(
+            "Extension 7: demand-read SLOs vs. scrub aggressiveness, code family, and repair \
+             mechanism ({} words, horizon {} ticks)\n{}",
+            self.words,
+            self.horizon,
+            table.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_result() -> ExtTrafficResult {
+        let config = EvaluationConfig::smoke();
+        run_with_base(
+            &config,
+            &TrafficConfig {
+                rber: 0.02,
+                ..TrafficConfig::smoke()
+            },
+        )
+    }
+
+    #[test]
+    fn the_full_grid_is_swept() {
+        let result = smoke_result();
+        assert_eq!(result.cells.len(), 3 * 3 * 3);
+        for family in ["SEC Hamming", "SEC-DED", "DEC BCH"] {
+            for (scrub, _) in SCRUB_POLICIES {
+                for (repair, _) in REPAIR_POLICIES {
+                    assert_eq!(result.cells_for(family, scrub, repair).len(), 1);
+                }
+            }
+        }
+        assert!(result.render().contains("Extension 7"));
+    }
+
+    #[test]
+    fn percentiles_are_ordered_within_each_cell() {
+        for cell in &smoke_result().cells {
+            let l = &cell.report.latency;
+            if l.count == 0 {
+                continue;
+            }
+            assert!(l.p50 <= l.p95, "{}: {:?}", cell.family, l);
+            assert!(l.p95 <= l.p99, "{}: {:?}", cell.family, l);
+            assert!(l.p99 <= l.p999, "{}: {:?}", cell.family, l);
+        }
+    }
+
+    #[test]
+    fn applying_repairs_never_escapes_more_than_dropping_them() {
+        let result = smoke_result();
+        for family in ["SEC Hamming", "SEC-DED", "DEC BCH"] {
+            for (scrub, _) in SCRUB_POLICIES {
+                let inline = result.cells_for(family, scrub, "inline")[0];
+                let dropped = result.cells_for(family, scrub, "dropped")[0];
+                assert!(
+                    inline.report.escapes <= dropped.report.escapes,
+                    "{family}/{scrub}: inline {} vs dropped {}",
+                    inline.report.escapes,
+                    dropped.report.escapes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_scrub_reaches_full_coverage_no_later_than_lazy() {
+        let result = smoke_result();
+        for family in ["SEC Hamming", "SEC-DED", "DEC BCH"] {
+            for (repair, _) in REPAIR_POLICIES {
+                let fast = result.cells_for(family, "aggressive", repair)[0]
+                    .report
+                    .time_to_full_coverage;
+                let slow = result.cells_for(family, "lazy", repair)[0]
+                    .report
+                    .time_to_full_coverage;
+                match (fast, slow) {
+                    (Some(fast), Some(slow)) => assert!(fast <= slow, "{family}/{repair}"),
+                    // Lazy may never finish within the horizon; aggressive
+                    // finishing while lazy did not is the expected order.
+                    (Some(_), None) => {}
+                    (None, slow) => assert!(slow.is_none(), "{family}/{repair}"),
+                }
+            }
+        }
+    }
+}

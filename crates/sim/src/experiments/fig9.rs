@@ -97,11 +97,11 @@ pub fn from_sweep(sweep: &CoverageSweep) -> Fig9Result {
                                 .unwrap_or((sweep.rounds + 1) as f64)
                         })
                         .collect();
-                    let p99 = percentile(&per_word, 99.0);
-                    rounds_to_limit.push(if p99 > sweep.rounds as f64 {
-                        None
-                    } else {
-                        Some(p99.ceil() as usize)
+                    // An empty evaluation set has no 99th-percentile word
+                    // (and never reaches the limit), matching the None arm.
+                    rounds_to_limit.push(match percentile(&per_word, 99.0) {
+                        Some(p99) if p99 <= sweep.rounds as f64 => Some(p99.ceil() as usize),
+                        _ => None,
                     });
                 }
                 cells.push(Fig9Cell {

@@ -11,6 +11,7 @@ pub mod ext_beer;
 pub mod ext_codes;
 pub mod ext_module;
 pub mod ext_repair;
+pub mod ext_traffic;
 pub mod ext_vrt;
 pub mod fig10;
 pub mod fig2;

@@ -33,6 +33,7 @@ pub mod report;
 pub mod runner;
 pub mod sample;
 pub mod stats;
+pub mod traffic;
 
 pub use config::EvaluationConfig;
 pub use sample::{group_by_code, WordSample};

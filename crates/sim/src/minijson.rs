@@ -67,6 +67,25 @@ impl std::fmt::Display for ParseError {
     }
 }
 
+/// A render-side failure: a float with no JSON representation (NaN or ±∞).
+///
+/// This is a *typed* error so render paths that handle untrusted or
+/// computed values — the daemon's snapshot and `RESULT.json` frames — can
+/// surface it as a failed job instead of panicking a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteFloat {
+    /// The offending value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for NonFiniteFloat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON cannot represent {}", self.value)
+    }
+}
+
+impl std::error::Error for NonFiniteFloat {}
+
 impl Json {
     /// Builds a number from an unsigned integer without loss.
     pub fn from_u64(value: u64) -> Self {
@@ -81,12 +100,32 @@ impl Json {
     /// Builds a number from a finite `f64` using the shortest representation
     /// that parses back to the identical value.
     ///
+    /// Use [`Json::try_from_f64`] wherever the value is computed rather than
+    /// constructed — a NaN from a stats pipeline must become an error frame,
+    /// not a dead worker thread.
+    ///
     /// # Panics
     ///
     /// Panics on non-finite values (JSON has no representation for them).
     pub fn from_f64(value: f64) -> Self {
-        assert!(value.is_finite(), "JSON cannot represent {value}");
-        Json::Number(format!("{value}"))
+        match Json::try_from_f64(value) {
+            Ok(json) => json,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// The fallible twin of [`Json::from_f64`]: returns a typed
+    /// [`NonFiniteFloat`] error instead of panicking when `value` has no
+    /// JSON representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteFloat`] for NaN and ±∞.
+    pub fn try_from_f64(value: f64) -> Result<Self, NonFiniteFloat> {
+        if !value.is_finite() {
+            return Err(NonFiniteFloat { value });
+        }
+        Ok(Json::Number(format!("{value}")))
     }
 
     /// The value as a bool, if it is one.
@@ -589,6 +628,18 @@ mod tests {
     #[should_panic(expected = "cannot represent")]
     fn non_finite_floats_are_rejected() {
         let _ = Json::from_f64(f64::NAN);
+    }
+
+    /// Regression: render paths that cannot afford a panic (the daemon's
+    /// snapshot/result frames) need a typed error for non-finite floats.
+    #[test]
+    fn try_from_f64_reports_non_finite_values_as_typed_errors() {
+        for value in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Json::try_from_f64(value).unwrap_err();
+            assert_eq!(err.value.to_bits(), value.to_bits());
+            assert!(err.to_string().contains("cannot represent"));
+        }
+        assert_eq!(Json::try_from_f64(0.5), Ok(Json::Number("0.5".to_owned())));
     }
 
     /// Regression: before the depth budget, this input recursed once per

@@ -23,7 +23,10 @@ pub fn mean(values: &[f64]) -> f64 {
 /// integer neighbours and the two order statistics are blended by the
 /// fractional part. This is *not* the nearest-rank method — percentiles may
 /// fall between observed values (see the 50th-percentile example below).
-/// Returns 0.0 for an empty slice.
+///
+/// Returns `None` for an empty slice: an empty sample has no percentiles,
+/// and the old `0.0` sentinel was indistinguishable from a real measurement
+/// (a zero-latency tail or a zero-coverage word look exactly like "no data").
 ///
 /// # Panics
 ///
@@ -33,29 +36,30 @@ pub fn mean(values: &[f64]) -> f64 {
 ///
 /// ```
 /// let data = [5.0, 1.0, 9.0, 3.0];
-/// assert_eq!(harp_sim::stats::percentile(&data, 0.0), 1.0);
-/// assert_eq!(harp_sim::stats::percentile(&data, 100.0), 9.0);
-/// assert_eq!(harp_sim::stats::percentile(&data, 50.0), 4.0);
+/// assert_eq!(harp_sim::stats::percentile(&data, 0.0), Some(1.0));
+/// assert_eq!(harp_sim::stats::percentile(&data, 100.0), Some(9.0));
+/// assert_eq!(harp_sim::stats::percentile(&data, 50.0), Some(4.0));
+/// assert_eq!(harp_sim::stats::percentile(&[], 50.0), None);
 /// ```
-pub fn percentile(values: &[f64], p: f64) -> f64 {
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     assert!(
         (0.0..=100.0).contains(&p),
         "percentile {p} outside [0, 100]"
     );
     if values.is_empty() {
-        return 0.0;
+        return None;
     }
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let low = rank.floor() as usize;
     let high = rank.ceil() as usize;
-    if low == high {
+    Some(if low == high {
         sorted[low]
     } else {
         let frac = rank - low as f64;
         sorted[low] * (1.0 - frac) + sorted[high] * frac
-    }
+    })
 }
 
 /// Summary statistics of a sample: the quartiles the paper's violin / box
@@ -96,14 +100,15 @@ impl Summary {
                 mean: 0.0,
             };
         }
+        let at = |p| percentile(values, p).expect("sample checked non-empty above");
         Self {
             count: values.len(),
-            min: percentile(values, 0.0),
-            p25: percentile(values, 25.0),
-            median: percentile(values, 50.0),
-            p75: percentile(values, 75.0),
-            p99: percentile(values, 99.0),
-            max: percentile(values, 100.0),
+            min: at(0.0),
+            p25: at(25.0),
+            median: at(50.0),
+            p75: at(75.0),
+            p99: at(99.0),
+            max: at(100.0),
             mean: mean(values),
         }
     }
@@ -177,10 +182,21 @@ mod tests {
     #[test]
     fn percentile_interpolates() {
         let data = [0.0, 10.0];
-        assert_eq!(percentile(&data, 50.0), 5.0);
-        assert_eq!(percentile(&data, 25.0), 2.5);
+        assert_eq!(percentile(&data, 50.0), Some(5.0));
+        assert_eq!(percentile(&data, 25.0), Some(2.5));
         let single = [42.0];
-        assert_eq!(percentile(&single, 99.0), 42.0);
+        assert_eq!(percentile(&single, 99.0), Some(42.0));
+    }
+
+    /// Regression: `percentile(&[], p)` used to return `0.0` — a
+    /// plausible-looking sentinel that corrupted latency/coverage tables
+    /// wherever an empty sample slipped through. Empty input must be
+    /// unrepresentable as a measurement.
+    #[test]
+    fn percentile_of_empty_input_is_none_not_zero() {
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[], p), None);
+        }
     }
 
     #[test]
@@ -188,7 +204,7 @@ mod tests {
         let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
         let mut last = f64::NEG_INFINITY;
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
-            let v = percentile(&data, p);
+            let v = percentile(&data, p).unwrap();
             assert!(v >= last, "percentile not monotonic at {p}");
             last = v;
         }
@@ -272,7 +288,7 @@ mod tests {
         for size in [1usize, 2, 3, 7, 64, 257] {
             let values: Vec<f64> = (0..size).map(|_| next() * 100.0 - 50.0).collect();
             for p in [0.0, 1.0, 12.5, 25.0, 50.0, 75.0, 99.0, 100.0] {
-                let ours = percentile(&values, p);
+                let ours = percentile(&values, p).unwrap();
                 let reference = naive_percentile(&values, p);
                 assert!(
                     (ours - reference).abs() < 1e-9,
@@ -287,7 +303,7 @@ mod tests {
         // The doc example: a nearest-rank method could only ever return an
         // element of the sample; the implemented method interpolates.
         let data = [5.0, 1.0, 9.0, 3.0];
-        let median = percentile(&data, 50.0);
+        let median = percentile(&data, 50.0).unwrap();
         assert_eq!(median, 4.0);
         assert!(!data.contains(&median));
     }

@@ -1,0 +1,809 @@
+//! Live-traffic co-scheduling: demand reads vs. background scrub under a
+//! deterministic event clock.
+//!
+//! The paper evaluates profiling coverage in closed rounds; a real system
+//! interleaves three activity streams on one memory channel:
+//!
+//! 1. **Demand reads** arriving at a configurable rate over Zipf-distributed
+//!    addresses (hot words are read often, cold words rarely);
+//! 2. **Background scrub bursts** walking the address space through the
+//!    controller's batched [`MemoryController::read_range`] path;
+//! 3. **Repair-table updates** fed by the reactive profiler, landing a
+//!    configurable latency after the identifying read completes (the
+//!    controller's inline reactive profiling is disabled; identification is
+//!    decoupled from the repair-table write exactly as an out-of-band
+//!    firmware path would behave).
+//!
+//! The scheduler is a discrete-event loop over a virtual clock: every event
+//! carries a `(timestamp, sequence)` key and the queue pops ties in
+//! submission order, so a run is a pure function of its
+//! [`TrafficConfig`] — byte-identical across thread counts and repeat runs.
+//! Demand reads are latency-accounted against a single-server channel model
+//! (a read queues behind any in-flight scrub burst), and the run emits a
+//! [`TrafficReport`]: the service-latency histogram and percentiles, the
+//! scrub-coverage curve over time, and the count of *escapes* — demand
+//! reads that returned uncorrectable or miscorrected data before the
+//! profile had identified (and repaired) the responsible bits.
+
+use std::collections::BinaryHeap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use harp_controller::MemoryController;
+use harp_ecc::{LinearBlockCode, SecondaryEcc};
+use harp_gf2::BitVec;
+use harp_memsim::{FaultModel, MemoryChip};
+use harp_profiler::ReactiveProfiler;
+
+use crate::report::{fixed, TextTable};
+use crate::stats::percentile;
+
+/// Number of power-of-two latency-histogram buckets (`bucket b` counts
+/// latencies in `[2^(b-1), 2^b)`, bucket 0 counts zero-latency reads).
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// One live-traffic run: arrival process, scrub cadence, channel costs, and
+/// the repair-update policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Number of ECC words on the simulated chip.
+    pub words: usize,
+    /// Dataword length of the on-die ECC code.
+    pub data_bits: usize,
+    /// Per-cell probability of being at risk (sampled once per word over the
+    /// whole codeword).
+    pub rber: f64,
+    /// Per-read probability that an at-risk cell actually flips.
+    pub fail_probability: f64,
+    /// Mean demand-read interarrival time in ticks (exponential arrivals).
+    pub mean_interarrival: f64,
+    /// Zipf exponent of the demand address distribution (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Ticks between the starts of consecutive scrub bursts.
+    pub scrub_interval: u64,
+    /// Words scrubbed per burst.
+    pub scrub_burst_words: usize,
+    /// Correction capability of the controller's secondary ECC. The paper's
+    /// Fig. 9 analysis applies: capability 1 only identifies safely once the
+    /// profile already covers every direct bit, so live co-scheduling (which
+    /// starts from an *empty* profile) wants ≥ 2 to identify the
+    /// miscorrection patterns double errors produce.
+    pub secondary_correction: usize,
+    /// Channel occupancy of one demand read, in ticks.
+    pub read_cost: u64,
+    /// Channel occupancy per scrubbed word, in ticks.
+    pub scrub_word_cost: u64,
+    /// Repair-update policy: `None` drops identifications on the floor
+    /// (profiling observes but never repairs), `Some(0)` applies them the
+    /// moment the identifying access completes, `Some(n)` defers them by
+    /// `n` ticks (an out-of-band firmware update path).
+    pub repair_update_latency: Option<u64>,
+    /// Virtual time at which the run stops (events after it are discarded).
+    pub horizon: u64,
+    /// Master seed; the arrival, address, and fault streams derive their own
+    /// deterministic substreams from it.
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// A laptop-friendly configuration exercising every mechanism (queueing,
+    /// scrub wrap-around, deferred updates) in well under a second.
+    pub fn quick() -> Self {
+        Self {
+            words: 256,
+            data_bits: 64,
+            rber: 2e-3,
+            fail_probability: 0.5,
+            mean_interarrival: 8.0,
+            zipf_exponent: 1.0,
+            scrub_interval: 512,
+            scrub_burst_words: 16,
+            secondary_correction: 2,
+            read_cost: 4,
+            scrub_word_cost: 2,
+            repair_update_latency: Some(64),
+            horizon: 50_000,
+            seed: 0x7AF1C,
+        }
+    }
+
+    /// A smaller configuration for unit tests and benches.
+    pub fn smoke() -> Self {
+        Self {
+            words: 64,
+            horizon: 8_000,
+            ..Self::quick()
+        }
+    }
+
+    /// Checks internal consistency, returning the first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration cannot drive a run (zero
+    /// words/costs/horizon, probabilities outside `[0, 1]`, or a
+    /// non-positive arrival rate).
+    pub fn check(&self) -> Result<(), String> {
+        if self.words == 0 {
+            return Err("words must be nonzero".to_owned());
+        }
+        if self.data_bits == 0 {
+            return Err("data_bits must be nonzero".to_owned());
+        }
+        for (name, p) in [
+            ("rber", self.rber),
+            ("fail_probability", self.fail_probability),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} {p} outside [0, 1]"));
+            }
+        }
+        if self.mean_interarrival <= 0.0 || self.mean_interarrival.is_nan() {
+            return Err("mean_interarrival must be positive".to_owned());
+        }
+        if self.zipf_exponent < 0.0 || self.zipf_exponent.is_nan() {
+            return Err("zipf_exponent must be non-negative".to_owned());
+        }
+        if self.scrub_interval == 0 {
+            return Err("scrub_interval must be nonzero".to_owned());
+        }
+        if self.scrub_burst_words == 0 {
+            return Err("scrub_burst_words must be nonzero".to_owned());
+        }
+        if self.secondary_correction == 0 {
+            return Err("secondary_correction must be nonzero".to_owned());
+        }
+        if self.read_cost == 0 || self.scrub_word_cost == 0 {
+            return Err("channel costs must be nonzero".to_owned());
+        }
+        if self.horizon == 0 {
+            return Err("horizon must be nonzero".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Panicking twin of [`TrafficConfig::check`] for locally constructed
+    /// configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the message `check` would return.
+    pub fn validate(&self) {
+        if let Err(message) = self.check() {
+            panic!("{message}");
+        }
+    }
+}
+
+/// One scheduled event, keyed by `(time, seq)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event<K> {
+    /// Virtual timestamp.
+    pub time: u64,
+    /// Monotonic submission sequence number, the deterministic tie-breaker.
+    pub seq: u64,
+    /// The payload.
+    pub kind: K,
+}
+
+/// A deterministic discrete-event queue: events pop in ascending
+/// `(time, seq)` order, so same-timestamp events leave in submission order
+/// regardless of heap internals.
+#[derive(Debug)]
+pub struct EventQueue<K> {
+    heap: BinaryHeap<QueueEntry<K>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct QueueEntry<K>(Event<K>);
+
+// The ordering deliberately ignores `kind`: `(time, seq)` is unique per
+// queue, and a min-heap order over it is all determinism requires.
+impl<K> PartialEq for QueueEntry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.time, self.0.seq) == (other.0.time, other.0.seq)
+    }
+}
+
+impl<K> Eq for QueueEntry<K> {}
+
+impl<K> PartialOrd for QueueEntry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K> Ord for QueueEntry<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.0.time, other.0.seq).cmp(&(self.0.time, self.0.seq))
+    }
+}
+
+impl<K> EventQueue<K> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at `time`, returning the assigned sequence number.
+    pub fn push(&mut self, time: u64, kind: K) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueueEntry(Event { time, seq, kind }));
+        seq
+    }
+
+    /// Pops the earliest event (`(time, seq)`-minimal).
+    pub fn pop(&mut self) -> Option<Event<K>> {
+        self.heap.pop().map(|entry| entry.0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<K> Default for EventQueue<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Inverse-CDF sampler over a Zipf distribution on `0..n` (rank 0 is the
+/// hottest address). Exponent 0 degenerates to uniform.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Precomputes the normalized cumulative weight table for `n` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `exponent` is negative.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(exponent >= 0.0, "Zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += (rank as f64).powf(-exponent);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Self { cumulative }
+    }
+
+    /// Draws one rank via binary search over the cumulative table.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let index = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cumulative weights"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        index.min(self.cumulative.len() - 1)
+    }
+}
+
+/// Service-latency distribution of the demand-read stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of demand reads measured.
+    pub count: usize,
+    /// Median latency, in ticks (`None` when no reads arrived).
+    pub p50: Option<f64>,
+    /// 95th percentile.
+    pub p95: Option<f64>,
+    /// 99th percentile.
+    pub p99: Option<f64>,
+    /// 99.9th percentile.
+    pub p999: Option<f64>,
+    /// Arithmetic mean (0.0 when no reads arrived).
+    pub mean: f64,
+    /// Worst observed latency.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a latency sample (in ticks).
+    pub fn of(latencies: &[u64]) -> Self {
+        let values: Vec<f64> = latencies.iter().map(|&l| l as f64).collect();
+        Self {
+            count: latencies.len(),
+            p50: percentile(&values, 50.0),
+            p95: percentile(&values, 95.0),
+            p99: percentile(&values, 99.0),
+            p999: percentile(&values, 99.9),
+            mean: crate::stats::mean(&values),
+            max: latencies.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// One point of the scrub-coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoveragePoint {
+    /// Virtual time at which the burst completed.
+    pub time: u64,
+    /// Fraction of the address space scrubbed at least once by then.
+    pub covered: f64,
+}
+
+/// Everything one live-traffic run reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Virtual time the run covered.
+    pub horizon: u64,
+    /// Demand reads served.
+    pub demand_reads: usize,
+    /// Scrub bursts issued.
+    pub scrub_bursts: usize,
+    /// Words scrubbed (with repetition across passes).
+    pub words_scrubbed: usize,
+    /// Demand reads that returned uncorrectable or miscorrected data before
+    /// the profile had identified the responsible bits.
+    pub escapes: usize,
+    /// `escapes / demand_reads` (0.0 when no reads arrived).
+    pub escape_rate: f64,
+    /// Scrub-path reads whose errors exceeded the secondary ECC.
+    pub scrub_escapes: usize,
+    /// Repair-table updates that landed (dropped-policy runs stay at 0).
+    pub repair_updates_applied: usize,
+    /// At-risk bits newly installed into the repair table by those updates.
+    pub repair_bits_installed: usize,
+    /// Distinct positions the reactive profilers identified (whether or not
+    /// the update policy let them reach the repair table).
+    pub positions_identified: usize,
+    /// Demand-read service-latency distribution.
+    pub latency: LatencySummary,
+    /// Power-of-two latency histogram (`LATENCY_BUCKETS` buckets).
+    pub latency_histogram: Vec<usize>,
+    /// Scrub coverage over time, one point per completed burst.
+    pub coverage_curve: Vec<CoveragePoint>,
+    /// Virtual time at which every word had been scrubbed at least once.
+    pub time_to_full_coverage: Option<u64>,
+}
+
+impl TrafficReport {
+    /// Renders the report as a short plain-text summary.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(["metric", "value"]);
+        let latency = |p: Option<f64>| p.map_or_else(|| "n/a".to_owned(), |v| fixed(v, 1));
+        table.push_row(["demand reads".to_owned(), self.demand_reads.to_string()]);
+        table.push_row(["p50 latency".to_owned(), latency(self.latency.p50)]);
+        table.push_row(["p95 latency".to_owned(), latency(self.latency.p95)]);
+        table.push_row(["p99 latency".to_owned(), latency(self.latency.p99)]);
+        table.push_row(["p99.9 latency".to_owned(), latency(self.latency.p999)]);
+        table.push_row(["escapes".to_owned(), self.escapes.to_string()]);
+        table.push_row(["scrub bursts".to_owned(), self.scrub_bursts.to_string()]);
+        table.push_row([
+            "repair updates".to_owned(),
+            self.repair_updates_applied.to_string(),
+        ]);
+        table.push_row([
+            "full scrub coverage at".to_owned(),
+            self.time_to_full_coverage
+                .map_or_else(|| format!(">{}", self.horizon), |t| t.to_string()),
+        ]);
+        format!(
+            "Live traffic over {} ticks ({} words)\n{}",
+            self.horizon,
+            self.coverage_curve.len().max(1),
+            table.render()
+        )
+    }
+}
+
+/// The three event streams of the co-scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TrafficEvent {
+    /// A demand read of one Zipf-drawn word.
+    DemandRead { word: usize },
+    /// A scrub burst starting at `start_word`.
+    ScrubBurst { start_word: usize },
+    /// A deferred repair-table update for `word`.
+    RepairUpdate { word: usize, bits: Vec<usize> },
+}
+
+/// Runs one live-traffic co-schedule over a chip protected by `code`.
+///
+/// The controller's inline reactive profiling is disabled; identifications
+/// flow through per-word [`ReactiveProfiler`]s and re-enter the repair
+/// table as [`MemoryController::apply_repair_update`] calls according to
+/// the configured update policy. The run is single-threaded and a pure
+/// function of `config` and `code`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`TrafficConfig::check`]).
+pub fn run_traffic<C: LinearBlockCode>(config: &TrafficConfig, code: C) -> TrafficReport {
+    config.validate();
+    let codeword_len = code.codeword_len();
+    let mut fault_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xFA17);
+    let mut chip = MemoryChip::new(code, config.words);
+    for word in 0..config.words {
+        let at_risk: Vec<usize> = (0..codeword_len)
+            .filter(|_| fault_rng.gen_bool(config.rber))
+            .collect();
+        if !at_risk.is_empty() {
+            chip.set_fault_model(word, FaultModel::uniform(&at_risk, config.fail_probability));
+        }
+    }
+    let mut controller =
+        MemoryController::new(chip, SecondaryEcc::ideal(config.secondary_correction));
+    // Identification is decoupled from the repair-table write: the read path
+    // only *observes*; updates land as RepairUpdate events (or never).
+    controller.set_reactive_profiling(false);
+    for word in 0..config.words {
+        controller.write(word, &BitVec::ones(config.data_bits));
+    }
+    let mut profilers: Vec<ReactiveProfiler> = (0..config.words)
+        .map(|_| ReactiveProfiler::new(SecondaryEcc::ideal(config.secondary_correction)))
+        .collect();
+
+    let mut arrival_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xA881);
+    let mut address_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xADD8);
+    let zipf = ZipfSampler::new(config.words, config.zipf_exponent);
+    let mut queue: EventQueue<TrafficEvent> = EventQueue::new();
+
+    let next_arrival = |rng: &mut ChaCha8Rng| -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        (-(1.0 - u).ln() * config.mean_interarrival)
+            .round()
+            .max(1.0) as u64
+    };
+    queue.push(
+        next_arrival(&mut arrival_rng),
+        TrafficEvent::DemandRead {
+            word: zipf.sample(&mut address_rng),
+        },
+    );
+    queue.push(
+        config.scrub_interval,
+        TrafficEvent::ScrubBurst { start_word: 0 },
+    );
+
+    // Single-server channel model: whoever arrives while the channel is
+    // busy waits for it.
+    let mut busy_until = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut histogram = vec![0usize; LATENCY_BUCKETS];
+    let mut escapes = 0usize;
+    let mut scrub_escapes = 0usize;
+    let mut scrub_bursts = 0usize;
+    let mut words_scrubbed = 0usize;
+    let mut repair_updates_applied = 0usize;
+    let mut repair_bits_installed = 0usize;
+    let mut scrubbed = vec![false; config.words];
+    let mut scrubbed_count = 0usize;
+    let mut coverage_curve = Vec::new();
+    let mut time_to_full_coverage = None;
+
+    while let Some(event) = queue.pop() {
+        if event.time > config.horizon {
+            break;
+        }
+        match event.kind {
+            TrafficEvent::DemandRead { word } => {
+                let start = event.time.max(busy_until);
+                let complete = start + config.read_cost;
+                busy_until = complete;
+                let latency = complete - event.time;
+                histogram[latency_bucket(latency)] += 1;
+                latencies.push(latency);
+
+                let outcome = controller.read(word, &mut fault_rng);
+                if !outcome.is_correct() {
+                    escapes += 1;
+                }
+                let fresh = profilers[word]
+                    .record_outcome(&outcome.newly_identified, !outcome.is_correct());
+                if let (Some(lat), false) = (config.repair_update_latency, fresh.is_empty()) {
+                    queue.push(
+                        complete + lat,
+                        TrafficEvent::RepairUpdate { word, bits: fresh },
+                    );
+                }
+
+                let arrival = complete.max(event.time) + next_arrival(&mut arrival_rng);
+                queue.push(
+                    arrival,
+                    TrafficEvent::DemandRead {
+                        word: zipf.sample(&mut address_rng),
+                    },
+                );
+            }
+            TrafficEvent::ScrubBurst { start_word } => {
+                let end_word = (start_word + config.scrub_burst_words).min(config.words);
+                let burst_len = end_word - start_word;
+                let start = event.time.max(busy_until);
+                let complete = start + burst_len as u64 * config.scrub_word_cost;
+                busy_until = complete;
+                scrub_bursts += 1;
+                words_scrubbed += burst_len;
+
+                let outcomes = controller.read_range(start_word..end_word, &mut fault_rng);
+                for (offset, outcome) in outcomes.iter().enumerate() {
+                    let word = start_word + offset;
+                    if !outcome.is_correct() {
+                        scrub_escapes += 1;
+                    }
+                    let fresh = profilers[word]
+                        .record_outcome(&outcome.newly_identified, !outcome.is_correct());
+                    if let (Some(lat), false) = (config.repair_update_latency, fresh.is_empty()) {
+                        queue.push(
+                            complete + lat,
+                            TrafficEvent::RepairUpdate { word, bits: fresh },
+                        );
+                    }
+                    if !scrubbed[word] {
+                        scrubbed[word] = true;
+                        scrubbed_count += 1;
+                    }
+                }
+                coverage_curve.push(CoveragePoint {
+                    time: complete,
+                    covered: scrubbed_count as f64 / config.words as f64,
+                });
+                if scrubbed_count == config.words && time_to_full_coverage.is_none() {
+                    time_to_full_coverage = Some(complete);
+                }
+
+                let next_start = if end_word >= config.words {
+                    0
+                } else {
+                    end_word
+                };
+                queue.push(
+                    event.time + config.scrub_interval,
+                    TrafficEvent::ScrubBurst {
+                        start_word: next_start,
+                    },
+                );
+            }
+            TrafficEvent::RepairUpdate { word, bits } => {
+                let installed = controller.apply_repair_update(word, bits);
+                repair_updates_applied += 1;
+                repair_bits_installed += installed;
+            }
+        }
+    }
+
+    let positions_identified = profilers.iter().map(|p| p.identified().len()).sum();
+    let escape_rate = if latencies.is_empty() {
+        0.0
+    } else {
+        escapes as f64 / latencies.len() as f64
+    };
+    TrafficReport {
+        horizon: config.horizon,
+        demand_reads: latencies.len(),
+        scrub_bursts,
+        words_scrubbed,
+        escapes,
+        escape_rate,
+        scrub_escapes,
+        repair_updates_applied,
+        repair_bits_installed,
+        positions_identified,
+        latency: LatencySummary::of(&latencies),
+        latency_histogram: histogram,
+        coverage_curve,
+        time_to_full_coverage,
+    }
+}
+
+/// Power-of-two histogram bucket for one latency value.
+fn latency_bucket(latency: u64) -> usize {
+    if latency == 0 {
+        return 0;
+    }
+    ((u64::BITS - latency.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_ecc::HammingCode;
+
+    fn smoke_code(config: &TrafficConfig) -> HammingCode {
+        HammingCode::random(config.data_bits, 0x7F).unwrap()
+    }
+
+    #[test]
+    fn event_queue_pops_in_time_then_submission_order() {
+        let mut queue = EventQueue::new();
+        queue.push(5, "late");
+        queue.push(1, "first-at-1");
+        queue.push(1, "second-at-1");
+        queue.push(3, "middle");
+        queue.push(1, "third-at-1");
+        let order: Vec<(u64, u64, &str)> = std::iter::from_fn(|| queue.pop())
+            .map(|e| (e.time, e.seq, e.kind))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (1, 1, "first-at-1"),
+                (1, 2, "second-at-1"),
+                (1, 4, "third-at-1"),
+                (3, 3, "middle"),
+                (5, 0, "late"),
+            ]
+        );
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn zipf_sampler_prefers_low_ranks() {
+        let zipf = ZipfSampler::new(64, 1.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut counts = vec![0usize; 64];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[63]);
+        // Every draw stayed in range (the count vector absorbed them all).
+        assert_eq!(counts.iter().sum::<usize>(), 4000);
+    }
+
+    #[test]
+    fn uniform_zipf_exponent_spreads_draws() {
+        let zipf = ZipfSampler::new(16, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut counts = vec![0usize; 16];
+        for _ in 0..8000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            // 500 expected per bucket; uniformity within a loose band.
+            assert!((250..=750).contains(&c), "counts: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn latency_summary_of_empty_sample_has_no_percentiles() {
+        let summary = LatencySummary::of(&[]);
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.p50, None);
+        assert_eq!(summary.p999, None);
+        assert_eq!(summary.max, 0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_report_byte_for_byte() {
+        let config = TrafficConfig::smoke();
+        let a = run_traffic(&config, smoke_code(&config));
+        let b = run_traffic(&config, smoke_code(&config));
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn traffic_serves_reads_and_scrubs_the_whole_chip() {
+        let config = TrafficConfig::smoke();
+        let report = run_traffic(&config, smoke_code(&config));
+        assert!(report.demand_reads > 100, "got {}", report.demand_reads);
+        assert!(report.scrub_bursts > 0);
+        // The smoke horizon is long enough to scrub all 64 words.
+        assert!(report.time_to_full_coverage.is_some());
+        assert_eq!(report.latency.count, report.demand_reads);
+        assert_eq!(
+            report.latency_histogram.iter().sum::<usize>(),
+            report.demand_reads
+        );
+        // Coverage is monotone and ends at 1.0.
+        for pair in report.coverage_curve.windows(2) {
+            assert!(pair[0].covered <= pair[1].covered);
+        }
+        assert_eq!(report.coverage_curve.last().map(|p| p.covered), Some(1.0));
+        assert!(report.render().contains("p99 latency"));
+    }
+
+    #[test]
+    fn inline_repair_updates_install_identified_bits() {
+        let config = TrafficConfig {
+            repair_update_latency: Some(0),
+            rber: 0.02,
+            ..TrafficConfig::smoke()
+        };
+        let report = run_traffic(&config, smoke_code(&config));
+        assert!(report.positions_identified > 0);
+        assert!(report.repair_updates_applied > 0);
+        assert!(report.repair_bits_installed > 0);
+        assert!(report.repair_bits_installed <= report.positions_identified);
+    }
+
+    #[test]
+    fn dropped_updates_never_touch_the_repair_table() {
+        let config = TrafficConfig {
+            repair_update_latency: None,
+            rber: 0.02,
+            ..TrafficConfig::smoke()
+        };
+        let report = run_traffic(&config, smoke_code(&config));
+        assert_eq!(report.repair_updates_applied, 0);
+        assert_eq!(report.repair_bits_installed, 0);
+        // Profiling still observes.
+        assert!(report.positions_identified > 0);
+    }
+
+    #[test]
+    fn repairing_never_increases_escapes() {
+        // With updates applied, identified bits stop failing; dropping the
+        // updates leaves every identified bit exposed forever.
+        let base = TrafficConfig {
+            rber: 0.02,
+            ..TrafficConfig::smoke()
+        };
+        let repaired = run_traffic(
+            &TrafficConfig {
+                repair_update_latency: Some(0),
+                ..base.clone()
+            },
+            smoke_code(&base),
+        );
+        let dropped = run_traffic(
+            &TrafficConfig {
+                repair_update_latency: None,
+                ..base.clone()
+            },
+            smoke_code(&base),
+        );
+        assert!(
+            repaired.escapes <= dropped.escapes,
+            "repaired {} vs dropped {}",
+            repaired.escapes,
+            dropped.escapes
+        );
+    }
+
+    #[test]
+    fn queueing_behind_scrub_shows_up_in_the_latency_tail() {
+        // With scrub bursts large enough to occupy the channel for a long
+        // stretch, some demand read must observe more than the bare
+        // read_cost.
+        let config = TrafficConfig {
+            scrub_burst_words: 64,
+            scrub_word_cost: 16,
+            ..TrafficConfig::smoke()
+        };
+        let report = run_traffic(&config, smoke_code(&config));
+        assert!(report.latency.max > config.read_cost);
+        // And the minimum possible latency is the bare read cost.
+        assert!(report.latency.p50.unwrap() >= config.read_cost as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean_interarrival must be positive")]
+    fn invalid_configs_are_rejected() {
+        let config = TrafficConfig {
+            mean_interarrival: 0.0,
+            ..TrafficConfig::smoke()
+        };
+        run_traffic(&config, HammingCode::random(64, 1).unwrap());
+    }
+}

@@ -2,7 +2,8 @@
 //! the qualitative claim it was built to demonstrate at smoke scale.
 
 use harp_module::SecondaryLayout;
-use harp_sim::experiments::{ext_bch, ext_beer, ext_module, ext_repair, ext_vrt};
+use harp_sim::experiments::{ext_bch, ext_beer, ext_module, ext_repair, ext_traffic, ext_vrt};
+use harp_sim::traffic::TrafficConfig;
 use harp_sim::EvaluationConfig;
 
 fn smoke() -> EvaluationConfig {
@@ -132,4 +133,42 @@ fn ext5_reactive_scrubbing_coverage_grows_with_time_and_toggle_rate() {
         .copied()
         .unwrap();
     assert!(fast >= slow);
+}
+
+#[test]
+fn ext7_scrub_aggressiveness_trades_demand_tail_for_coverage() {
+    let base = TrafficConfig {
+        rber: 0.02,
+        ..TrafficConfig::smoke()
+    };
+    let result = ext_traffic::run_with_base(&smoke(), &base);
+    assert_eq!(result.cells.len(), 27);
+    for family in ["SEC Hamming", "SEC-DED", "DEC BCH"] {
+        let aggressive = result.cells_for(family, "aggressive", "inline")[0];
+        let lazy = result.cells_for(family, "lazy", "inline")[0];
+        // More frequent scrub bursts occupy the channel more often: the
+        // demand p95 can only be as good as or worse than under lazy scrub…
+        assert!(
+            aggressive.report.latency.p95 >= lazy.report.latency.p95,
+            "{family}: aggressive p95 {:?} vs lazy {:?}",
+            aggressive.report.latency.p95,
+            lazy.report.latency.p95
+        );
+        // …and in exchange full coverage arrives no later.
+        match (
+            aggressive.report.time_to_full_coverage,
+            lazy.report.time_to_full_coverage,
+        ) {
+            (Some(fast), Some(slow)) => assert!(fast <= slow, "{family}"),
+            (Some(_), None) => {}
+            (None, slow) => assert!(slow.is_none(), "{family}"),
+        }
+        // Profiling under load pays off: applying identifications escapes
+        // no more than observing without repairing.
+        let dropped = result.cells_for(family, "aggressive", "dropped")[0];
+        assert!(
+            aggressive.report.escapes <= dropped.report.escapes,
+            "{family}"
+        );
+    }
 }

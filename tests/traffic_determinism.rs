@@ -1,0 +1,224 @@
+//! Determinism suite for the live-traffic co-scheduler
+//! (`harp_sim::traffic` and `harp_sim::experiments::ext_traffic`).
+//!
+//! The event clock's whole value is that the same seed reproduces the same
+//! interleaving of demand reads, scrub bursts, and repair updates — no
+//! matter the code family or how many worker threads carry the extension
+//! sweep. Four contracts:
+//!
+//! 1. **Same seed, same report** — `run_traffic` is byte-identical across
+//!    repeated runs for SEC Hamming, SEC-DED, and DEC BCH chips (struct
+//!    equality *and* serialized-JSON equality, so hidden float drift has
+//!    nowhere to hide).
+//! 2. **Thread-count independence** — the extension-7 sweep at
+//!    `threads = 1` equals the sweep at `threads = 8`, value for value and
+//!    byte for byte.
+//! 3. **Percentile properties** — latency percentiles are monotone in `p`
+//!    and agree with a naive sort-and-interpolate reference.
+//! 4. **Tie-break order** — the event queue pops equal timestamps in
+//!    submission order, for arbitrary push sequences.
+//!
+//! The nightly CI job runs this suite at elevated `PROPTEST_CASES`, next
+//! to `campaign_equivalence` and the other differential suites.
+
+use proptest::prelude::*;
+
+use harp_bch::BchCode;
+use harp_ecc::{ExtendedHammingCode, HammingCode};
+use harp_sim::config::EvaluationConfig;
+use harp_sim::experiments::ext_traffic;
+use harp_sim::traffic::{run_traffic, EventQueue, LatencySummary, TrafficConfig, TrafficReport};
+
+/// The smoke-sized traffic shape used by the per-family identity checks,
+/// with enough raw errors that repair updates actually flow.
+fn smoke_traffic() -> TrafficConfig {
+    TrafficConfig {
+        rber: 0.02,
+        ..TrafficConfig::smoke()
+    }
+}
+
+/// Runs the config twice with independently constructed codes and demands
+/// byte identity; returns the report for follow-up assertions.
+fn assert_reproducible<C, F>(config: &TrafficConfig, family: &str, make_code: F) -> TrafficReport
+where
+    C: harp_ecc::LinearBlockCode,
+    F: Fn() -> C,
+{
+    let first = run_traffic(config, make_code());
+    let second = run_traffic(config, make_code());
+    assert_eq!(first, second, "{family}: reports differ across runs");
+    let first_json = serde_json::to_string(&first).expect("report serializes");
+    let second_json = serde_json::to_string(&second).expect("report serializes");
+    assert_eq!(
+        first_json, second_json,
+        "{family}: serialized reports differ across runs"
+    );
+    first
+}
+
+#[test]
+fn same_seed_is_byte_identical_for_every_code_family() {
+    let config = smoke_traffic();
+    let hamming = assert_reproducible(&config, "SEC Hamming", || {
+        HammingCode::random(config.data_bits, 0x7F).expect("valid SEC Hamming code")
+    });
+    let secded = assert_reproducible(&config, "SEC-DED", || {
+        ExtendedHammingCode::random(config.data_bits, 0x7F).expect("valid SEC-DED code")
+    });
+    let bch = assert_reproducible(&config, "DEC BCH", || {
+        BchCode::dec(config.data_bits).expect("valid DEC BCH code")
+    });
+    // Sanity: the runs actually exercised the co-scheduled path.
+    for (family, report) in [
+        ("SEC Hamming", &hamming),
+        ("SEC-DED", &secded),
+        ("DEC BCH", &bch),
+    ] {
+        assert!(report.demand_reads > 0, "{family}: no demand reads served");
+        assert!(report.scrub_bursts > 0, "{family}: no scrub bursts issued");
+    }
+}
+
+#[test]
+fn seeds_actually_steer_the_traffic() {
+    // The complement of the identity check: a different seed must produce a
+    // different trace (otherwise the identity test proves nothing).
+    let config = smoke_traffic();
+    let reseeded = TrafficConfig {
+        seed: config.seed ^ 0xDEAD_BEEF,
+        ..config.clone()
+    };
+    let code = || HammingCode::random(config.data_bits, 0x7F).expect("valid code");
+    assert_ne!(run_traffic(&config, code()), run_traffic(&reseeded, code()));
+}
+
+#[test]
+fn extension_sweep_is_identical_across_thread_counts() {
+    // The extension sweep shards (family, scrub, repair) cells across worker
+    // threads; results must not depend on the shard layout. A
+    // single-threaded run is the reference: an 8-thread run of the same
+    // sweep must produce identical reports, value for value and byte for
+    // byte.
+    let mut config = EvaluationConfig::smoke();
+    let base = TrafficConfig {
+        rber: 0.02,
+        ..TrafficConfig::smoke()
+    };
+    config.threads = 1;
+    let single = ext_traffic::run_with_base(&config, &base);
+    config.threads = 8;
+    let multi = ext_traffic::run_with_base(&config, &base);
+
+    assert_eq!(single, multi, "sweep differs across thread counts");
+    assert_eq!(
+        serde_json::to_string(&single).expect("result serializes"),
+        serde_json::to_string(&multi).expect("result serializes"),
+        "serialized sweeps differ across thread counts"
+    );
+    assert_eq!(single.render(), multi.render());
+}
+
+/// The reference percentile definition: sort, take the linearly
+/// interpolated rank `p/100 * (n-1)`, written independently of
+/// `harp_sim::stats::percentile`.
+fn naive_percentile(latencies: &[u64], p: f64) -> Option<f64> {
+    if latencies.is_empty() {
+        return None;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    let frac = rank - low as f64;
+    Some(sorted[low] as f64 * (1.0 - frac) + sorted[high] as f64 * frac)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Latency percentiles are monotone in `p` and match the naive
+    /// sort-and-interpolate reference, for arbitrary samples.
+    #[test]
+    fn latency_percentiles_are_monotone_and_match_reference(
+        latencies in proptest::collection::vec(0u64..10_000, 1..200),
+    ) {
+        let summary = LatencySummary::of(&latencies);
+        prop_assert_eq!(summary.count, latencies.len());
+        let points = [
+            (50.0, summary.p50),
+            (95.0, summary.p95),
+            (99.0, summary.p99),
+            (99.9, summary.p999),
+        ];
+        let mut previous = f64::NEG_INFINITY;
+        for (p, value) in points {
+            let value = value.expect("non-empty sample has percentiles");
+            let reference = naive_percentile(&latencies, p).expect("non-empty");
+            prop_assert!(
+                (value - reference).abs() < 1e-9,
+                "p{}: summary {} vs reference {}", p, value, reference
+            );
+            prop_assert!(value >= previous, "p{} = {} < p_prev = {}", p, value, previous);
+            previous = value;
+        }
+        let max = *latencies.iter().max().expect("non-empty") as f64;
+        prop_assert!(previous <= max, "p99.9 {} above max {}", previous, max);
+        prop_assert_eq!(summary.max as f64, max);
+    }
+
+    /// Arbitrary percentile pairs from the shared helper are ordered too —
+    /// the summary's fixed grid is not a special case.
+    #[test]
+    fn percentile_pairs_are_ordered(
+        values in proptest::collection::vec(0u64..10_000, 1..100),
+        lo_permille in 0u32..=1000,
+        hi_permille in 0u32..=1000,
+    ) {
+        // Percentiles as permille of 100 (the vendored proptest has no
+        // float range strategy).
+        let (lo, hi) = if lo_permille <= hi_permille {
+            (lo_permille, hi_permille)
+        } else {
+            (hi_permille, lo_permille)
+        };
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        let at = |permille: u32| {
+            harp_sim::stats::percentile(&floats, f64::from(permille) / 10.0)
+                .expect("non-empty sample")
+        };
+        prop_assert!(at(lo) <= at(hi), "p{} > p{}", lo, hi);
+    }
+
+    /// The event queue pops in (timestamp, submission) order for arbitrary
+    /// push sequences — ties always drain in the order they were pushed.
+    #[test]
+    fn event_queue_breaks_timestamp_ties_by_submission_order(
+        times in proptest::collection::vec(0u64..8, 1..200),
+    ) {
+        // Timestamps drawn from a tiny range so collisions are the norm.
+        let mut queue = EventQueue::new();
+        for (index, &time) in times.iter().enumerate() {
+            let seq = queue.push(time, index);
+            prop_assert_eq!(seq, index as u64, "sequence numbers are the push order");
+        }
+
+        let mut popped = Vec::new();
+        while let Some(event) = queue.pop() {
+            popped.push((event.time, event.seq, event.kind));
+        }
+        prop_assert!(queue.is_empty());
+        prop_assert_eq!(popped.len(), times.len());
+
+        // The reference order: a stable sort by timestamp alone, which
+        // preserves push order within each timestamp.
+        let mut expected: Vec<(u64, u64, usize)> = times
+            .iter()
+            .enumerate()
+            .map(|(index, &time)| (time, index as u64, index))
+            .collect();
+        expected.sort_by_key(|&(time, _, _)| time);
+        prop_assert_eq!(popped, expected);
+    }
+}
