@@ -168,6 +168,7 @@ impl BeerCampaign {
                 &BitVec::from_indices(self.data_bits, charged.iter().copied()),
             );
         }
+        // lint:allow(rng-salt) the seed is this campaign's API parameter; callers choose the stream
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut scratch = BurstScratch::new();
         for _ in 0..self.trials_per_pattern {
@@ -306,6 +307,7 @@ impl BeerCampaign {
             self.data_bits,
             chip.code().data_len()
         );
+        // lint:allow(rng-salt) the seed is this campaign's API parameter; callers choose the stream
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut pairs = BTreeMap::new();
         for i in 0..self.data_bits {

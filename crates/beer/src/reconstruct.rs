@@ -331,6 +331,7 @@ fn search_assignment<T>(
     let basis_matrix = Gf2Matrix::from_rows(&basis);
     let dim = basis.len();
 
+    // lint:allow(rng-salt) the seed is this search's API parameter; callers choose the stream
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut attempts = 0;
     while attempts < max_attempts {

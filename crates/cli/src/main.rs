@@ -54,6 +54,11 @@
 //!   merge FILE...
 //!                fold shard-output files back into the single-process
 //!                sweep report, validating completeness
+//!   lint [--check] [--json PATH] [--root DIR]
+//!                static invariant analysis over the workspace source:
+//!                panic-freedom, determinism discipline, RNG salt
+//!                discipline, bench-registry coherence, scalar-twin
+//!                coverage; --check exits non-zero on findings (CI gate)
 //!   submit [--addr HOST:PORT] [--full] [--long-code] [--rounds N]
 //!          [--codes N] [--words N] [--profilers NAME,...]
 //!                submit a sweep job to a running `harpd serve` daemon
@@ -329,6 +334,18 @@ fn main() -> ExitCode {
             }
         };
     }
+    // Likewise for the workspace invariant analyzer (see crates/lint).
+    if args.first().map(String::as_str) == Some("lint") {
+        return match harp_lint::run_cli(&args[1..]) {
+            Ok(0) => ExitCode::SUCCESS,
+            Ok(_) => ExitCode::FAILURE,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("usage: harp lint [--check] [--json PATH] [--root DIR]");
+                ExitCode::from(2)
+            }
+        };
+    }
     // Likewise for the checkpointed-sweep worker and merge coordinator.
     if args.first().map(String::as_str) == Some("sweep") {
         return match sweep_cli::run_sweep(&args[1..]) {
@@ -387,7 +404,7 @@ fn main() -> ExitCode {
                  extensions|all> \
                  [--full] [--long-code] [--json PATH]\n       \
                  harp sweep [--checkpoint-dir DIR] [--resume] [--shard i/N] ... | \
-                 harp merge FILE... | harp bench-export [--check] | \
+                 harp merge FILE... | harp bench-export [--check] | harp lint [--check] | \
                  harp <submit|watch|jobs|cancel|shutdown> [--addr HOST:PORT] ..."
             );
             return ExitCode::from(2);

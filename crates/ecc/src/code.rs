@@ -297,6 +297,7 @@ impl HammingCode {
             return Err(CodeError::EmptyDataword);
         }
         let p = CodeShape::min_parity_bits(data_bits);
+        // lint:allow(rng-salt) the seed is this constructor's API parameter; callers choose the stream
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         // Candidate columns: all nonzero p-bit vectors with weight >= 2.
         let mut candidates: Vec<BitVec> = (1u64..(1u64 << p))

@@ -1,0 +1,523 @@
+//! A minimal, dependency-free Rust lexer: just enough token structure for
+//! the rule engine to reason about identifiers, literals, and comments
+//! without ever mistaking string contents for code.
+//!
+//! The lexer handles the constructs that defeat regex-based scanning:
+//!
+//! * raw strings `r"…"` / `r#"…"#` with any number of `#` guards (and the
+//!   byte variants `br"…"`, `br#"…"#`),
+//! * nested block comments `/* /* … */ */`,
+//! * lifetimes `'a` vs. char literals `'a'` (including escapes like `'\''`
+//!   and `'\u{1F600}'`),
+//! * raw identifiers `r#type`.
+//!
+//! Tokens carry byte spans into the original source, so the concatenation
+//! of all token texts plus the whitespace between them reconstructs the
+//! input exactly — the round-trip property the lexer's property suite
+//! exercises (`crates/lint/tests/lexer_props.rs`).
+
+/// What a token is; rules mostly care about `Ident`, the literal kinds,
+/// and the comment kinds (for `lint:allow` directives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `HashMap`).
+    Ident,
+    /// A raw identifier, `r#type`.
+    RawIdent,
+    /// A lifetime or loop label, `'a` (no closing quote).
+    Lifetime,
+    /// A char literal `'a'` or byte-char literal `b'a'`.
+    CharLit,
+    /// A string literal `"…"` or byte-string `b"…"`.
+    StrLit,
+    /// A raw (byte) string literal `r#"…"#` / `br"…"`.
+    RawStrLit,
+    /// A numeric literal (`42`, `0xC0DE`, `1.5e-3`).
+    NumLit,
+    /// A single punctuation byte (`.`, `!`, `{`, …).
+    Punct,
+    /// A `//`-comment (including `///` and `//!` doc comments), without the
+    /// trailing newline.
+    LineComment,
+    /// A (possibly nested) `/* … */` comment.
+    BlockComment,
+}
+
+/// One lexed token: kind plus its byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+
+    /// Whether this is a comment token.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is an identifier with exactly the given text.
+    pub fn is_ident(&self, source: &str, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(source) == name
+    }
+
+    /// Whether this is the given single punctuation byte.
+    pub fn is_punct(&self, source: &str, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text(source).starts_with(ch)
+    }
+
+    /// For `StrLit`/`RawStrLit` tokens: the literal's inner text, with the
+    /// quotes, prefixes, and `#` guards stripped (escape sequences are left
+    /// as written; the rules only match plain ASCII names).
+    pub fn str_inner<'s>(&self, source: &'s str) -> &'s str {
+        let text = self.text(source);
+        match self.kind {
+            TokenKind::StrLit => {
+                let text = text.strip_prefix('b').unwrap_or(text);
+                text.strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"'))
+                    .unwrap_or("")
+            }
+            TokenKind::RawStrLit => {
+                let text = text.strip_prefix('b').unwrap_or(text);
+                let text = text.strip_prefix('r').unwrap_or(text);
+                let guards = text.bytes().take_while(|&b| b == b'#').count();
+                let inner = &text[guards..text.len() - guards];
+                inner
+                    .strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"'))
+                    .unwrap_or("")
+            }
+            _ => "",
+        }
+    }
+}
+
+/// A lexing failure: the source construct that never terminated, with its
+/// starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes Rust source. Whitespace is skipped (spans make it
+/// recoverable); comments are kept as tokens so `lint:allow` directives
+/// survive.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated strings, chars, or block
+/// comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn error(&self, at_line: u32, message: &str) -> LexError {
+        LexError {
+            line: at_line,
+            message: message.to_owned(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut tokens = Vec::new();
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let start = self.pos;
+            let line = self.line;
+            let kind = match b {
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                    TokenKind::LineComment
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment(line)?;
+                    TokenKind::BlockComment
+                }
+                b'r' if self.raw_string_guard(1).is_some() => {
+                    let guards = self.raw_string_guard(1).unwrap_or(0);
+                    self.pos += 1;
+                    self.raw_string(guards, line)?;
+                    TokenKind::RawStrLit
+                }
+                b'r' if self.peek(1) == Some(b'#')
+                    && self.peek(2).is_some_and(is_ident_start)
+                    && self.peek(2) != Some(b'"') =>
+                {
+                    self.pos += 2;
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.pos += 1;
+                    }
+                    TokenKind::RawIdent
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 2;
+                    self.quoted_string(line)?;
+                    TokenKind::StrLit
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_literal(line)?;
+                    TokenKind::CharLit
+                }
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_guard(2).is_some() => {
+                    let guards = self.raw_string_guard(2).unwrap_or(0);
+                    self.pos += 2;
+                    self.raw_string(guards, line)?;
+                    TokenKind::RawStrLit
+                }
+                b'"' => {
+                    self.pos += 1;
+                    self.quoted_string(line)?;
+                    TokenKind::StrLit
+                }
+                b'\'' => self.lifetime_or_char(line)?,
+                _ if is_ident_start(b) => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.pos += 1;
+                    }
+                    TokenKind::Ident
+                }
+                _ if b.is_ascii_digit() => {
+                    self.number();
+                    TokenKind::NumLit
+                }
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Punct
+                }
+            };
+            tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        Ok(tokens)
+    }
+
+    /// If the bytes at `offset` (relative to `pos`) start a raw-string body
+    /// (`#`* followed by `"`), returns the number of `#` guards.
+    fn raw_string_guard(&self, offset: usize) -> Option<usize> {
+        let mut guards = 0;
+        while self.peek(offset + guards) == Some(b'#') {
+            guards += 1;
+        }
+        (self.peek(offset + guards) == Some(b'"')).then_some(guards)
+    }
+
+    /// Consumes a nested block comment; `pos` is on the opening `/`.
+    fn block_comment(&mut self, line: u32) -> Result<(), LexError> {
+        let mut depth = 0usize;
+        loop {
+            if self.pos >= self.bytes.len() {
+                return Err(self.error(line, "unterminated block comment"));
+            }
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    return Ok(());
+                }
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a raw string body; `pos` is on the first `#` (or the `"`
+    /// when there are no guards).
+    fn raw_string(&mut self, guards: usize, line: u32) -> Result<(), LexError> {
+        self.pos += guards + 1; // past the guards and the opening quote
+        loop {
+            if self.pos >= self.bytes.len() {
+                return Err(self.error(line, "unterminated raw string"));
+            }
+            if self.bytes[self.pos] == b'"' && (0..guards).all(|i| self.peek(1 + i) == Some(b'#')) {
+                self.pos += 1 + guards;
+                return Ok(());
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes an escaped string body; `pos` is one past the opening `"`.
+    fn quoted_string(&mut self, line: u32) -> Result<(), LexError> {
+        loop {
+            match self.peek(0) {
+                None => return Err(self.error(line, "unterminated string literal")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek(0).is_none() {
+                        return Err(self.error(line, "unterminated string literal"));
+                    }
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` (char literal); `pos` is on
+    /// the opening `'`.
+    fn lifetime_or_char(&mut self, line: u32) -> Result<TokenKind, LexError> {
+        match self.peek(1) {
+            Some(b'\\') => {
+                self.pos += 1;
+                self.char_literal(line)?;
+                Ok(TokenKind::CharLit)
+            }
+            Some(b) if is_ident_start(b) => {
+                // Scan the identifier run after the quote: a closing quote
+                // right after it makes this a char literal ('a', 'é'),
+                // anything else a lifetime or loop label ('a, 'outer:).
+                let mut end = self.pos + 2;
+                while self.bytes.get(end).copied().is_some_and(is_ident_continue) {
+                    end += 1;
+                }
+                if self.bytes.get(end) == Some(&b'\'') {
+                    self.pos = end + 1;
+                    Ok(TokenKind::CharLit)
+                } else {
+                    self.pos = end;
+                    Ok(TokenKind::Lifetime)
+                }
+            }
+            Some(_) => {
+                self.pos += 1;
+                self.char_literal(line)?;
+                Ok(TokenKind::CharLit)
+            }
+            None => Err(self.error(line, "unterminated char literal")),
+        }
+    }
+
+    /// Consumes a char-literal body; `pos` is one past the opening `'`.
+    fn char_literal(&mut self, line: u32) -> Result<(), LexError> {
+        // `pos` sits one past the opening quote (on a backslash, a plain
+        // char's first byte, or — for `b'…'` — still on the quote).
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+        loop {
+            match self.peek(0) {
+                None => return Err(self.error(line, "unterminated char literal")),
+                Some(b'\'') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek(0).is_none() {
+                        return Err(self.error(line, "unterminated char literal"));
+                    }
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a numeric literal: digits, radix prefixes, `_` separators,
+    /// one decimal point, and a signed exponent (decimal literals only —
+    /// `0xAE - 1` must stay three tokens).
+    fn number(&mut self) {
+        let start = self.pos;
+        let radix_prefixed = self.bytes[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O'));
+        let mut seen_dot = false;
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                Some(b) if b.is_ascii_alphanumeric() || b == b'_' => self.pos += 1,
+                Some(b'.')
+                    if !seen_dot
+                        && !radix_prefixed
+                        && self.peek(1).is_some_and(|b| b.is_ascii_digit()) =>
+                {
+                    seen_dot = true;
+                    self.pos += 1;
+                }
+                Some(b'+' | b'-')
+                    if !radix_prefixed
+                        && matches!(
+                            self.bytes.get(self.pos - 1),
+                            Some(b'e' | b'E') if self.pos > start + 1
+                        )
+                        && self.peek(1).is_some_and(|b| b.is_ascii_digit()) =>
+                {
+                    self.pos += 1;
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+/// Byte ranges of test-only code: `#[cfg(test)]`-gated items, `#[test]`
+/// functions, and `mod tests { … }` blocks. Rules skip findings inside
+/// these spans — the panic-freedom and salt-discipline contracts are about
+/// shipping code, and tests legitimately `unwrap()` and seed ad hoc.
+pub fn test_spans(tokens: &[Token], source: &str) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        // `mod tests { … }` — the workspace's unit-test convention, marked
+        // even without the attribute so a missing cfg-gate cannot smuggle
+        // panics into the "non-test" universe.
+        if code[i].is_ident(source, "mod")
+            && i + 2 < code.len()
+            && code[i + 1].is_ident(source, "tests")
+            && code[i + 2].is_punct(source, '{')
+        {
+            let close = match_delimiter(&code, i + 2, '{', '}', source);
+            spans.push((code[i].start, code[close].end));
+            i = close + 1;
+            continue;
+        }
+        if code[i].is_punct(source, '#') && i + 1 < code.len() && code[i + 1].is_punct(source, '[')
+        {
+            let close = match_delimiter(&code, i + 1, '[', ']', source);
+            let inner = &code[i + 2..close];
+            // Exactly `#[test]` or `#[cfg(test)]` — NOT `#[cfg(not(test))]`,
+            // which gates *non*-test code.
+            let is_test_attr = matches!(inner, [t] if t.is_ident(source, "test"))
+                || matches!(
+                    inner,
+                    [c, o, t, p]
+                        if c.is_ident(source, "cfg")
+                            && o.is_punct(source, '(')
+                            && t.is_ident(source, "test")
+                            && p.is_punct(source, ')')
+                );
+            if !is_test_attr {
+                i = close + 1;
+                continue;
+            }
+            // Skip any further attributes on the same item.
+            let mut j = close + 1;
+            while j + 1 < code.len()
+                && code[j].is_punct(source, '#')
+                && code[j + 1].is_punct(source, '[')
+            {
+                j = match_delimiter(&code, j + 1, '[', ']', source) + 1;
+            }
+            // The gated item runs to its closing brace (fn/mod/impl) or to
+            // the first `;` (use declarations, statics).
+            let mut k = j;
+            while k < code.len() && !code[k].is_punct(source, '{') && !code[k].is_punct(source, ';')
+            {
+                k += 1;
+            }
+            if k >= code.len() {
+                spans.push((code[i].start, source.len()));
+                break;
+            }
+            let end = if code[k].is_punct(source, '{') {
+                match_delimiter(&code, k, '{', '}', source)
+            } else {
+                k
+            };
+            spans.push((code[i].start, code[end].end));
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Index of the token closing the delimiter opened at `open` (which must be
+/// an `open_ch` punct). Returns the last token index when unbalanced — the
+/// span then runs to end-of-file, which over-approximates the test region
+/// (safe: it can only suppress findings in code that does not parse).
+pub(crate) fn match_delimiter(
+    code: &[&Token],
+    open: usize,
+    open_ch: char,
+    close_ch: char,
+    source: &str,
+) -> usize {
+    let mut depth = 0usize;
+    for (index, token) in code.iter().enumerate().skip(open) {
+        if token.is_punct(source, open_ch) {
+            depth += 1;
+        } else if token.is_punct(source, close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return index;
+            }
+        }
+    }
+    code.len() - 1
+}
+
+/// Whether `offset` falls inside any of the (sorted or unsorted) spans.
+pub fn in_spans(spans: &[(usize, usize)], offset: usize) -> bool {
+    spans
+        .iter()
+        .any(|&(start, end)| offset >= start && offset < end)
+}

@@ -1,0 +1,12 @@
+//! Standalone entry point for CI: `cargo run -p harp_lint -- --check`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match harp_lint::run_cli(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(err) => {
+            eprintln!("harp_lint: {err}");
+            std::process::exit(2);
+        }
+    }
+}

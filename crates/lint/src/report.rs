@@ -1,0 +1,190 @@
+//! Diagnostics and the machine-readable report.
+//!
+//! The JSON emitter is hand-rolled (the lint crate is dependency-free by
+//! design — it must stay buildable even when the analysis finds the
+//! vendored serde stand-ins broken) and deterministic: diagnostics and
+//! allowed sites are sorted before rendering, and all maps upstream are
+//! `BTreeMap`.
+
+/// One finding: a rule fired at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Repo-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule key, e.g. `panic`.
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// A site where a rule *would* have fired but a `lint:allow` directive
+/// suppressed it; tallied so waivers stay visible.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowedSite {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    /// The justification text after the directive.
+    pub reason: String,
+}
+
+/// The full result of an analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub allowed: Vec<AllowedSite>,
+    /// Files scanned, for the summary line.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts findings into the canonical (file, line, rule) order. Call
+    /// once after all rules have run.
+    pub fn finish(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.allowed
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Human-readable rendering, one line per finding plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                d.file, d.line, d.rule, d.message
+            ));
+        }
+        if !self.allowed.is_empty() {
+            out.push_str(&format!(
+                "{} allowed site{} (lint:allow):\n",
+                self.allowed.len(),
+                if self.allowed.len() == 1 { "" } else { "s" }
+            ));
+            for a in &self.allowed {
+                out.push_str(&format!(
+                    "  {}:{}: [{}] {}\n",
+                    a.file, a.line, a.rule, a.reason
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{} file{} scanned, {} finding{}\n",
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+            self.diagnostics.len(),
+            if self.diagnostics.len() == 1 { "" } else { "s" },
+        ));
+        out
+    }
+
+    /// Machine-readable rendering for CI artifact upload.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"findings\": {},\n", self.diagnostics.len()));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_string(&d.file),
+                d.line,
+                json_string(d.rule),
+                json_string(&d.message)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"allowed\": [");
+        for (i, a) in self.allowed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}",
+                json_string(&a.file),
+                a.line,
+                json_string(a.rule),
+                json_string(&a.reason)
+            ));
+        }
+        if !self.allowed.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes the report can actually contain
+/// (paths and rule messages are ASCII; control bytes are escaped anyway
+/// for safety).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_sorts_and_renders() {
+        let mut report = Report {
+            diagnostics: vec![
+                Diagnostic {
+                    file: "b.rs".into(),
+                    line: 2,
+                    rule: "panic",
+                    message: "x".into(),
+                },
+                Diagnostic {
+                    file: "a.rs".into(),
+                    line: 9,
+                    rule: "panic",
+                    message: "y".into(),
+                },
+            ],
+            allowed: Vec::new(),
+            files_scanned: 2,
+        };
+        report.finish();
+        assert_eq!(report.diagnostics[0].file, "a.rs");
+        let text = report.render_text();
+        assert!(text.starts_with("a.rs:9: [panic] y\n"));
+        assert!(text.ends_with("2 files scanned, 2 findings\n"));
+        let json = report.render_json();
+        assert!(json.contains("\"findings\": 2"));
+        assert!(json.contains("\"file\": \"a.rs\""));
+    }
+}

@@ -1,0 +1,303 @@
+//! Property suite for the lint lexer (`harp_lint::lexer`).
+//!
+//! The rules are only as trustworthy as the lexer underneath them: a
+//! mis-lexed raw string or block comment would let `unwrap` inside a
+//! string literal masquerade as code (false positive) or — worse — let a
+//! string terminate early and hide real code from the rules (false
+//! negative). These properties pin the constructs that defeat regex
+//! scanning: raw strings with arbitrary `#` guards, nested block
+//! comments, lifetimes vs. char literals, byte strings, and the global
+//! span invariants (ordered, non-overlapping, whitespace-only gaps).
+
+use harp_lint::lexer::{in_spans, lex, test_spans, Token, TokenKind};
+use proptest::prelude::*;
+
+fn chars_of(alphabet: &str) -> Vec<char> {
+    alphabet.chars().collect()
+}
+
+/// A plausible identifier: `[a-z_][a-z0-9_]{0,7}`.
+fn ident() -> impl Strategy<Value = String> {
+    let first = proptest::sample::select(chars_of("abcdefghijklmnopqrstuvwxyz_"));
+    let rest = proptest::collection::vec(
+        proptest::sample::select(chars_of("abcdefghijklmnopqrstuvwxyz0123456789_")),
+        0..8,
+    );
+    (first, rest).prop_map(|(first, rest)| {
+        let mut s = String::new();
+        s.push(first);
+        s.extend(rest);
+        s
+    })
+}
+
+/// Raw-string content over an alphabet that includes the dangerous bytes:
+/// quotes, hashes, and backslashes (which must NOT act as escapes inside
+/// raw strings).
+fn raw_content() -> impl Strategy<Value = String> {
+    proptest::collection::vec(proptest::sample::select(chars_of("ab \n\"#\\x0")), 0..24)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// The minimum number of `#` guards that make `content` embeddable in a
+/// raw string: one more than the longest `#`-run immediately following a
+/// `"` inside the content (and at least one if any `"` appears at all).
+fn required_guards(content: &str) -> usize {
+    let bytes = content.as_bytes();
+    let mut needed = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut run = 0;
+            while i + 1 + run < bytes.len() && bytes[i + 1 + run] == b'#' {
+                run += 1;
+            }
+            needed = needed.max(run + 1);
+            i += 1 + run;
+        } else {
+            i += 1;
+        }
+    }
+    needed
+}
+
+/// Comment padding that cannot form `/*` or `*/` at a seam.
+fn comment_pad() -> impl Strategy<Value = String> {
+    proptest::collection::vec(proptest::sample::select(chars_of("ab c\nxyz")), 0..6)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Token-shaped snippets for the span-integrity property. Each entry lexes
+/// to at least one token on its own; separators keep them apart.
+fn snippet() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(vec![
+        "fn",
+        "some_ident",
+        "r#type",
+        "42",
+        "0xC0DE",
+        "1.5e-3",
+        "1_000",
+        "\"plain \\\" string\"",
+        "r\"raw\"",
+        "r#\"guarded \" quote\"#",
+        "b\"bytes\"",
+        "br#\"raw bytes\"#",
+        "'a",
+        "'static",
+        "'x'",
+        "'\\n'",
+        "b'\\0'",
+        "// a line comment",
+        "/* a /* nested */ block */",
+        "{",
+        "}",
+        "(",
+        ")",
+        ".",
+        "!",
+        "#",
+        ";",
+        "::",
+    ])
+}
+
+fn separator() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(vec![" ", "\n", "\t", "  ", "\n\n"])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A raw string with the computed guard count lexes to exactly one
+    /// `RawStrLit` spanning the whole source, and `str_inner` recovers the
+    /// content byte-for-byte — quotes, hashes, and backslashes included.
+    #[test]
+    fn raw_string_round_trips(content in raw_content(), extra in 0usize..3) {
+        let guards = "#".repeat(required_guards(&content) + extra);
+        let source = format!("r{guards}\"{content}\"{guards}");
+        let tokens = lex(&source).expect("raw string must lex");
+        prop_assert_eq!(tokens.len(), 1);
+        prop_assert_eq!(tokens[0].kind, TokenKind::RawStrLit);
+        prop_assert_eq!(tokens[0].start, 0);
+        prop_assert_eq!(tokens[0].end, source.len());
+        prop_assert_eq!(tokens[0].str_inner(&source), content.as_str());
+    }
+
+    /// Same for the byte variant `br#"…"#`.
+    #[test]
+    fn byte_raw_string_round_trips(content in raw_content()) {
+        let guards = "#".repeat(required_guards(&content));
+        let source = format!("br{guards}\"{content}\"{guards}");
+        let tokens = lex(&source).expect("byte raw string must lex");
+        prop_assert_eq!(tokens.len(), 1);
+        prop_assert_eq!(tokens[0].kind, TokenKind::RawStrLit);
+        prop_assert_eq!(tokens[0].str_inner(&source), content.as_str());
+    }
+
+    /// Arbitrarily nested block comments lex to one `BlockComment` token
+    /// covering the full span.
+    #[test]
+    fn nested_block_comments_stay_one_token(
+        depth in 1usize..=4,
+        open_pad in comment_pad(),
+        mid in comment_pad(),
+        close_pad in comment_pad(),
+    ) {
+        let mut source = String::new();
+        for _ in 0..depth {
+            source.push_str("/*");
+            source.push_str(&open_pad);
+        }
+        source.push_str(&mid);
+        for _ in 0..depth {
+            source.push_str(&close_pad);
+            source.push_str("*/");
+        }
+        let tokens = lex(&source).expect("balanced comment must lex");
+        prop_assert_eq!(tokens.len(), 1);
+        prop_assert_eq!(tokens[0].kind, TokenKind::BlockComment);
+        prop_assert_eq!(tokens[0].end, source.len());
+    }
+
+    /// `'name` is a lifetime; `'name'` is a char literal — for any
+    /// identifier-shaped name, in isolation and in generic-parameter
+    /// position.
+    #[test]
+    fn lifetimes_and_chars_disambiguate(name in ident()) {
+        let lifetime_src = format!("'{name}");
+        let tokens = lex(&lifetime_src).expect("lifetime must lex");
+        prop_assert_eq!(tokens.len(), 1);
+        prop_assert_eq!(tokens[0].kind, TokenKind::Lifetime);
+
+        let char_src = format!("'{name}'");
+        let tokens = lex(&char_src).expect("char literal must lex");
+        prop_assert_eq!(tokens.len(), 1);
+        prop_assert_eq!(tokens[0].kind, TokenKind::CharLit);
+
+        let generic_src = format!("fn f<'{name}>(x: &'{name} u32) {{}}");
+        let tokens = lex(&generic_src).expect("generic fn must lex");
+        let lifetimes = tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let chars = tokens.iter().filter(|t| t.kind == TokenKind::CharLit).count();
+        prop_assert_eq!(lifetimes, 2);
+        prop_assert_eq!(chars, 0);
+    }
+
+    /// Rule-triggering names inside a string literal never surface as
+    /// identifier tokens — the false-positive class the lexer exists to
+    /// prevent.
+    #[test]
+    fn string_contents_are_never_code(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "unwrap()", "expect()", "panic!", "unreachable!",
+                "seed_from_u64", "HashMap", "Instant", "thread_rng",
+            ]),
+            1..6,
+        ),
+        raw in proptest::any::<bool>(),
+    ) {
+        let content = words.join(" ");
+        let source = if raw {
+            format!("let s = r#\"{content}\"#;")
+        } else {
+            format!("let s = \"{content}\";")
+        };
+        let tokens = lex(&source).expect("string stmt must lex");
+        // let, s, =, <string>, ;
+        prop_assert_eq!(tokens.len(), 5);
+        prop_assert_eq!(tokens[3].str_inner(&source), content.as_str());
+        for banned in ["unwrap", "expect", "panic", "seed_from_u64", "HashMap"] {
+            prop_assert!(
+                !tokens.iter().any(|t| t.kind == TokenKind::Ident && t.text(&source) == banned),
+                "`{}` leaked out of a string literal in {:?}",
+                banned,
+                source
+            );
+        }
+    }
+
+    /// Global span invariants over arbitrary snippet soup: lexing succeeds,
+    /// spans are ordered and non-overlapping, stay in bounds, and every
+    /// inter-token gap is pure whitespace (so token texts + gaps
+    /// reconstruct the source exactly).
+    #[test]
+    fn spans_are_ordered_disjoint_and_whitespace_separated(
+        parts in proptest::collection::vec((snippet(), separator()), 0..20),
+    ) {
+        let mut source = String::new();
+        for (snip, sep) in &parts {
+            source.push_str(snip);
+            source.push_str(sep);
+        }
+        let tokens = lex(&source).expect("snippet soup must lex");
+        let mut prev_end = 0usize;
+        for token in &tokens {
+            prop_assert!(token.start >= prev_end, "overlap in {:?}", source);
+            prop_assert!(token.end > token.start);
+            prop_assert!(token.end <= source.len());
+            prop_assert!(
+                source[prev_end..token.start].bytes().all(|b| b.is_ascii_whitespace()),
+                "non-whitespace gap in {:?}",
+                source
+            );
+            prev_end = token.end;
+        }
+        prop_assert!(
+            source[prev_end..].bytes().all(|b| b.is_ascii_whitespace()),
+            "trailing non-whitespace unlexed in {:?}",
+            source
+        );
+    }
+
+    /// `#[cfg(test)] mod tests` bodies land inside `test_spans` while the
+    /// production code above them stays outside, whatever the test is
+    /// named.
+    #[test]
+    fn cfg_test_mod_is_span_tracked(name in ident()) {
+        let source = format!(
+            "pub fn live(value: Option<u8>) -> u8 {{\n    value.unwrap()\n}}\n\
+             #[cfg(test)]\nmod tests {{\n    #[test]\n    fn {name}() {{\n        \
+             other.unwrap();\n    }}\n}}\n"
+        );
+        let tokens = lex(&source).expect("module must lex");
+        let spans = test_spans(&tokens, &source);
+        let unwraps: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text(&source) == "unwrap")
+            .collect();
+        prop_assert_eq!(unwraps.len(), 2);
+        prop_assert!(!in_spans(&spans, unwraps[0].start), "production unwrap marked as test");
+        prop_assert!(in_spans(&spans, unwraps[1].start), "test unwrap not marked as test");
+    }
+}
+
+#[test]
+fn unterminated_constructs_error_with_their_start_line() {
+    for (source, what) in [
+        ("let s = \"never closed", "string"),
+        ("/* still open", "comment"),
+        ("let c = '\\", "char"),
+        ("let r = r#\"open", "raw string"),
+    ] {
+        let err = lex(source).expect_err(what);
+        assert_eq!(err.line, 1, "{what}: {err}");
+    }
+    let err = lex("fn ok() {}\n\nlet s = \"open").expect_err("late string");
+    assert_eq!(err.line, 3);
+}
+
+#[test]
+fn cfg_not_test_is_not_a_test_span() {
+    let source = "#[cfg(not(test))]\nfn production() {\n    value.unwrap();\n}\n";
+    let tokens = lex(source).expect("must lex");
+    let spans = test_spans(&tokens, source);
+    let unwrap = tokens
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && t.text(source) == "unwrap")
+        .expect("unwrap token");
+    assert!(
+        !in_spans(&spans, unwrap.start),
+        "#[cfg(not(test))] gates non-test code and must stay visible to the rules"
+    );
+}

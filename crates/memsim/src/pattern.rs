@@ -17,6 +17,11 @@ use serde::{Deserialize, Serialize};
 
 use harp_gf2::BitVec;
 
+/// Salt mixing the pair index into the schedule seed for
+/// [`DataPattern::Random`] words (the 64-bit golden-ratio multiplier, so
+/// consecutive pairs land on well-separated streams).
+const RANDOM_PAIR_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// A memory data-pattern family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DataPattern {
@@ -151,9 +156,8 @@ impl PatternSchedule {
             // schedule seed so rounds can be queried in any order, drawing
             // 64 uniform bits per RNG word instead of one full RNG word per
             // bit.
-            let mut rng = ChaCha8Rng::seed_from_u64(
-                self.seed ^ (pair as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(self.seed ^ (pair as u64).wrapping_mul(RANDOM_PAIR_SALT));
             let base = if self.data_bits <= 64 {
                 BitVec::from_u64(self.data_bits, rng.next_u64())
             } else {

@@ -135,6 +135,17 @@ pub struct Daemon {
     shared: Arc<Shared>,
 }
 
+/// Locks a mutex, recovering the data even when a previous holder
+/// panicked. Worker panics are already converted into failed jobs by the
+/// `catch_unwind` net in [`run_job`], so the protected state is consistent
+/// at unlock; propagating poisoning here would instead let one bad job
+/// panic every thread that later touches shared state.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl Daemon {
     /// Starts the worker pool, after re-enqueueing every unfinished job
     /// found in the state directory — this is the crash-recovery path: jobs
@@ -158,7 +169,7 @@ impl Daemon {
             workers: Mutex::new(Vec::new()),
         });
         recover_jobs(&shared)?;
-        let mut workers = shared.workers.lock().expect("worker list lock");
+        let mut workers = lock_unpoisoned(&shared.workers);
         for index in 0..worker_count {
             let worker_shared = Arc::clone(&shared);
             workers.push(
@@ -179,7 +190,7 @@ impl Daemon {
     ///
     /// Returns any I/O error from the listener itself.
     pub fn serve(&self, listener: TcpListener) -> io::Result<()> {
-        *self.shared.serve_addr.lock().expect("addr lock") = Some(listener.local_addr()?);
+        *lock_unpoisoned(&self.shared.serve_addr) = Some(listener.local_addr()?);
         for stream in listener.incoming() {
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -217,13 +228,8 @@ impl Daemon {
     /// Joins the worker pool (idempotent; implies [`Daemon::begin_shutdown`]).
     pub fn join(&self) {
         begin_shutdown(&self.shared);
-        let handles: Vec<JoinHandle<()>> = self
-            .shared
-            .workers
-            .lock()
-            .expect("worker list lock")
-            .drain(..)
-            .collect();
+        let handles: Vec<JoinHandle<()>> =
+            lock_unpoisoned(&self.shared.workers).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
@@ -235,11 +241,11 @@ fn begin_shutdown(shared: &Shared) {
         return;
     }
     shared.queue_cv.notify_all();
-    for cell in shared.jobs.lock().expect("job table lock").values() {
+    for cell in lock_unpoisoned(&shared.jobs).values() {
         cell.cv.notify_all();
     }
     // Unblock the accept loop with a throwaway connection.
-    if let Some(addr) = *shared.serve_addr.lock().expect("addr lock") {
+    if let Some(addr) = *lock_unpoisoned(&shared.serve_addr) {
         let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
     }
 }
@@ -318,9 +324,9 @@ fn recover_jobs(shared: &Arc<Shared>) -> io::Result<()> {
             }),
             cv: Condvar::new(),
         });
-        shared.jobs.lock().expect("job table lock").insert(id, cell);
+        lock_unpoisoned(&shared.jobs).insert(id, cell);
         if phase == JobPhase::Queued {
-            shared.queue.lock().expect("queue lock").push_back(id);
+            lock_unpoisoned(&shared.queue).push_back(id);
         }
     }
     shared.next_id.store(max_id, Ordering::SeqCst);
@@ -355,6 +361,7 @@ fn submit_job(
     // the acknowledgement: once the submitter sees an id, a killed daemon
     // will finish the job after restart.
     let sweep = ResumableSweep::new(config, profilers, |seed| {
+        // lint:allow(panic) validity is seed-independent and was probed above; the factory closure has no error channel
         HammingCode::random(data_bits, seed).expect("probed above, seed-independent")
     });
     sweep
@@ -375,8 +382,8 @@ fn submit_job(
         cv: Condvar::new(),
     });
     persist_job_record(&cell, "pending", None)?;
-    shared.jobs.lock().expect("job table lock").insert(id, cell);
-    shared.queue.lock().expect("queue lock").push_back(id);
+    lock_unpoisoned(&shared.jobs).insert(id, cell);
+    lock_unpoisoned(&shared.queue).push_back(id);
     shared.queue_cv.notify_one();
     Ok(id)
 }
@@ -384,7 +391,7 @@ fn submit_job(
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job_id = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = lock_unpoisoned(&shared.queue);
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -395,16 +402,11 @@ fn worker_loop(shared: &Arc<Shared>) {
                 let (guard, _) = shared
                     .queue_cv
                     .wait_timeout(queue, Duration::from_millis(200))
-                    .expect("queue lock");
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 queue = guard;
             }
         };
-        let cell = shared
-            .jobs
-            .lock()
-            .expect("job table lock")
-            .get(&job_id)
-            .cloned();
+        let cell = lock_unpoisoned(&shared.jobs).get(&job_id).cloned();
         if let Some(cell) = cell {
             run_job(shared, &cell);
         }
@@ -413,7 +415,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 fn run_job(shared: &Shared, cell: &JobCell) {
     {
-        let mut state = cell.state.lock().expect("job lock");
+        let mut state = lock_unpoisoned(&cell.state);
         if state.phase != JobPhase::Queued {
             // Cancelled while still in the queue.
             return;
@@ -434,7 +436,7 @@ fn run_job(shared: &Shared, cell: &JobCell) {
             .unwrap_or_else(|panic| Err(panic_message(&panic)));
     if let Err(message) = outcome {
         let _ = persist_job_record(cell, "failed", Some(&message));
-        let mut state = cell.state.lock().expect("job lock");
+        let mut state = lock_unpoisoned(&cell.state);
         state.phase = JobPhase::Failed;
         state.message = Some(message);
         cell.cv.notify_all();
@@ -460,19 +462,20 @@ fn drive_job(shared: &Shared, cell: &JobCell) -> Result<(), String> {
     HammingCode::random(data_bits, 0)
         .map_err(|e| format!("archived data_bits {data_bits} does not yield a valid code: {e}"))?;
     let mut sweep = ResumableSweep::resume(&cell.dir, |seed| {
+        // lint:allow(panic) validity is seed-independent and was probed above; the factory closure has no error channel
         HammingCode::random(data_bits, seed).expect("probed above, seed-independent")
     })
     .map_err(|e| e.to_string())?;
     push_snapshot(cell, &sweep)?;
     let interval = shared.config.checkpoint_interval.max(1);
     while !sweep.is_complete() {
-        let cancelled = cell.state.lock().expect("job lock").cancel_requested;
+        let cancelled = lock_unpoisoned(&cell.state).cancel_requested;
         if cancelled {
             sweep
                 .write_archive(&cell.dir)
                 .map_err(|e| format!("could not checkpoint cancelled job: {e}"))?;
             persist_job_record(cell, "cancelled", None)?;
-            let mut state = cell.state.lock().expect("job lock");
+            let mut state = lock_unpoisoned(&cell.state);
             state.phase = JobPhase::Cancelled;
             cell.cv.notify_all();
             return Ok(());
@@ -484,7 +487,7 @@ fn drive_job(shared: &Shared, cell: &JobCell) -> Result<(), String> {
                 .write_archive(&cell.dir)
                 .map_err(|e| format!("could not checkpoint for shutdown: {e}"))?;
             persist_job_record(cell, "pending", None)?;
-            let mut state = cell.state.lock().expect("job lock");
+            let mut state = lock_unpoisoned(&cell.state);
             state.phase = JobPhase::Queued;
             cell.cv.notify_all();
             return Ok(());
@@ -507,7 +510,7 @@ fn drive_job(shared: &Shared, cell: &JobCell) -> Result<(), String> {
     write_json_atomically(&cell.dir.join(RESULT_FILE), &result)
         .map_err(|e| format!("could not write result: {e}"))?;
     persist_job_record(cell, "done", None)?;
-    let mut state = cell.state.lock().expect("job lock");
+    let mut state = lock_unpoisoned(&cell.state);
     state.phase = JobPhase::Done;
     state.result = Some(result);
     cell.cv.notify_all();
@@ -552,7 +555,7 @@ fn push_snapshot(cell: &JobCell, sweep: &ResumableSweep) -> Result<(), String> {
         &sweep.progress(),
     )
     .map_err(|e| format!("could not render snapshot: {e}"))?;
-    let mut state = cell.state.lock().expect("job lock");
+    let mut state = lock_unpoisoned(&cell.state);
     state.round = sweep.round();
     state.rounds = sweep.config().rounds;
     state.frames.push(frame);
@@ -575,7 +578,7 @@ fn job_frame_locked(id: u64, state: &JobProgress) -> Json {
 }
 
 fn job_frame(cell: &JobCell) -> Json {
-    job_frame_locked(cell.id, &cell.state.lock().expect("job lock"))
+    job_frame_locked(cell.id, &lock_unpoisoned(&cell.state))
 }
 
 fn submitted_frame(id: u64) -> Json {
@@ -586,10 +589,7 @@ fn submitted_frame(id: u64) -> Json {
 }
 
 fn jobs_frame(shared: &Shared) -> Json {
-    let jobs = shared
-        .jobs
-        .lock()
-        .expect("job table lock")
+    let jobs = lock_unpoisoned(&shared.jobs)
         .values()
         .map(|cell| job_frame(cell))
         .collect();
@@ -600,16 +600,11 @@ fn jobs_frame(shared: &Shared) -> Json {
 }
 
 fn get_job(shared: &Shared, id: u64) -> Option<Arc<JobCell>> {
-    shared
-        .jobs
-        .lock()
-        .expect("job table lock")
-        .get(&id)
-        .cloned()
+    lock_unpoisoned(&shared.jobs).get(&id).cloned()
 }
 
 fn request_cancel(cell: &JobCell) {
-    let mut state = cell.state.lock().expect("job lock");
+    let mut state = lock_unpoisoned(&cell.state);
     state.cancel_requested = true;
     if state.phase == JobPhase::Queued {
         // Never started: transition here; a worker that later pops the id
@@ -632,7 +627,7 @@ fn watch_job<T: FrameTransport>(
     let mut cursor = 0usize;
     loop {
         let (pending, terminal) = {
-            let mut state = cell.state.lock().expect("job lock");
+            let mut state = lock_unpoisoned(&cell.state);
             loop {
                 if cursor < state.frames.len() || state.phase.is_terminal() {
                     break;
@@ -644,7 +639,7 @@ fn watch_job<T: FrameTransport>(
                 let (guard, _) = cell
                     .cv
                     .wait_timeout(state, Duration::from_millis(200))
-                    .expect("job lock");
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 state = guard;
             }
             let pending: Vec<Json> = state.frames[cursor..].to_vec();

@@ -481,7 +481,9 @@ impl<C: LinearBlockCode + Clone + Send + 'static> ResumableSweep<C> {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from writing the file.
+    /// Returns any I/O error from writing the file, or an
+    /// `InvalidData` error if an evaluation contains a non-finite float
+    /// (the shard writer runs on worker paths that must not panic).
     ///
     /// # Panics
     ///
@@ -491,15 +493,17 @@ impl<C: LinearBlockCode + Clone + Send + 'static> ResumableSweep<C> {
             .owned_evaluations()
             .into_iter()
             .map(|(group_index, evaluations)| {
-                Json::Object(vec![
+                let evaluations = evaluations
+                    .iter()
+                    .map(try_encode_evaluation)
+                    .collect::<Result<Vec<Json>, _>>()
+                    .map_err(|e| invalid(e.to_string()))?;
+                Ok(Json::Object(vec![
                     ("group_index".into(), Json::from_usize(group_index)),
-                    (
-                        "evaluations".into(),
-                        Json::Array(evaluations.iter().map(encode_evaluation).collect()),
-                    ),
-                ])
+                    ("evaluations".into(), Json::Array(evaluations)),
+                ]))
             })
-            .collect();
+            .collect::<io::Result<Vec<Json>>>()?;
         let json = Json::Object(vec![
             ("schema".into(), Json::from_u64(CHECKPOINT_SCHEMA_VERSION)),
             ("shard".into(), encode_shard(self.shard)),
@@ -631,7 +635,9 @@ pub fn merge_shards(paths: &[PathBuf]) -> io::Result<CoverageSweep> {
             }
         }
     }
-    let (config, profilers) = reference.expect("at least one shard file was read");
+    let Some((config, profilers)) = reference else {
+        return Err(invalid("no shard files were provided to merge"));
+    };
     let expected = total_groups(&config);
     if groups.len() != expected {
         let missing: Vec<String> = (0..expected)
@@ -1286,13 +1292,6 @@ fn decode_series(json: &Json) -> Result<CoverageSeries, String> {
     })
 }
 
-fn encode_evaluation(evaluation: &WordEvaluation) -> Json {
-    match try_encode_evaluation(evaluation) {
-        Ok(json) => json,
-        Err(err) => panic!("{err}"),
-    }
-}
-
 fn try_encode_evaluation(evaluation: &WordEvaluation) -> Result<Json, NonFiniteFloat> {
     Ok(Json::Object(vec![
         (
@@ -1334,6 +1333,7 @@ fn decode_evaluation(json: &Json) -> Result<WordEvaluation, String> {
 pub fn encode_sweep(sweep: &CoverageSweep) -> Json {
     match try_encode_sweep(sweep) {
         Ok(json) => json,
+        // lint:allow(panic) documented-panicking convenience twin; panic-free callers use try_encode_sweep
         Err(err) => panic!("{err}"),
     }
 }

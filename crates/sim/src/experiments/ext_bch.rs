@@ -86,6 +86,12 @@ pub struct Ext1BchResult {
     pub cells: Vec<Ext1Cell>,
 }
 
+/// Salt keying each `(word, error_count)` cell's base RNG stream.
+const BCH_WORD_SALT: u64 = 0xB0;
+
+/// Salt separating the DEC profiling stream from the word's base stream.
+const BCH_PROFILE_SALT: u64 = 0xDEC;
+
 /// Runs the extension experiment.
 ///
 /// # Panics
@@ -112,7 +118,7 @@ pub fn run(config: &EvaluationConfig) -> Ext1BchResult {
         .collect();
 
     let per_word = parallel_map(&items, config.threads, |&(error_count, word)| {
-        let seed = config.seed_for(word, error_count, 0xB0);
+        let seed = config.seed_for(word, error_count, BCH_WORD_SALT);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let hamming = HammingCode::random(config.data_bits, seed ^ 0x5EC).expect("SEC code");
 
@@ -213,7 +219,7 @@ fn profile_dec_chip(code: &BchCode, at_risk: &[usize], rounds: usize, seed: u64)
     chip.set_fault_model(0, FaultModel::uniform(at_risk, 0.5));
     chip.write(0, &BitVec::ones(code.data_len()));
 
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDEC);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ BCH_PROFILE_SALT);
     let mut harpu = BTreeSet::new();
     let mut naive = BTreeSet::new();
     // One-word bursts through the batched decode path; the scratch persists

@@ -83,6 +83,9 @@ pub struct Ext3ModuleResult {
     pub stress: Vec<Ext3FamilyStress>,
 }
 
+/// Salt keying each `(trial, faulty_chips)` stress cell's RNG stream.
+const MODULE_TRIAL_SALT: u64 = 0x30D;
+
 /// Runs the extension experiment.
 ///
 /// # Panics
@@ -142,7 +145,7 @@ where
     E: std::fmt::Debug,
     F: Fn(u64) -> Result<C, E> + Sync,
 {
-    let reference = make_code(config.seed_for(0, 0, 0x30D)).expect("family code");
+    let reference = make_code(config.seed_for(0, 0, MODULE_TRIAL_SALT)).expect("family code");
     // Memoizes the subset search for deterministic families (every BCH chip
     // shares the one `BchCode::dec` code); randomly drawn codes miss and
     // search their own pattern.
@@ -152,7 +155,7 @@ where
     let rows = parallel_map(&faulty_counts, config.threads, |&faulty_chips| {
         let mut worst = vec![0usize; SecondaryLayout::ALL.len()];
         for trial in 0..trials {
-            let seed = config.seed_for(trial, faulty_chips, 0x30D);
+            let seed = config.seed_for(trial, faulty_chips, MODULE_TRIAL_SALT);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let mut module =
                 MemoryModule::heterogeneous_with(geometry, 1, seed ^ 0xC0DE, &make_code)

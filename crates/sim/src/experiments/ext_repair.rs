@@ -150,13 +150,19 @@ fn build_families(
 /// codeword* with probability `rber`, and the word's exact post-correction
 /// error space (direct bits plus achievable miscorrection targets) is
 /// profiled.
+/// Salt keying the profile RNG stream by the RBER sweep point (the raw
+/// bit pattern keeps arbitrarily close RBERs on distinct streams).
+fn rber_salt(rber: f64) -> u64 {
+    rber.to_bits()
+}
+
 fn family_profile(
     config: &EvaluationConfig,
     codes: &[Box<dyn LinearBlockCode + Send + Sync>],
     words: usize,
     rber: f64,
 ) -> ErrorProfile {
-    let mut rng = ChaCha8Rng::seed_from_u64(config.base_seed ^ rber.to_bits());
+    let mut rng = ChaCha8Rng::seed_from_u64(config.base_seed ^ rber_salt(rber));
     let mut profile = ErrorProfile::new();
     for word in 0..words {
         let code = codes[word % codes.len()].as_ref();

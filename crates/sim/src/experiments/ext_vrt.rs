@@ -152,6 +152,13 @@ impl WordOutcome {
     }
 }
 
+/// Salt keying a word's RNG stream by its toggle probability, so sweeping
+/// the toggle axis never reuses a stream (micro-units keep distinct sweep
+/// points distinct after the integer cast).
+fn toggle_salt(toggle: f64) -> u64 {
+    (toggle * 1e6) as u64
+}
+
 fn simulate_word(
     config: &EvaluationConfig,
     word: usize,
@@ -159,7 +166,7 @@ fn simulate_word(
     vrt_cells_per_word: usize,
     scrub_intervals: usize,
 ) -> WordOutcome {
-    let seed = config.seed_for(word, 0, (toggle * 1e6) as u64);
+    let seed = config.seed_for(word, 0, toggle_salt(toggle));
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let code = HammingCode::random(config.data_bits, seed ^ 0x7123).expect("code");
 

@@ -52,6 +52,10 @@ pub struct Fig4Result {
 /// The pre-correction error counts swept in the paper's Fig. 4.
 pub const ERROR_COUNTS: [usize; 7] = [2, 3, 4, 5, 6, 7, 8];
 
+/// Salt separating the Monte-Carlo error-space draw from the campaign's
+/// own stream for the same word.
+const FIG4_SPACE_SALT: u64 = 0xF164;
+
 /// Runs the Fig. 4 experiment with the paper's parameters (p = 0.5, charged
 /// data pattern).
 pub fn run(config: &EvaluationConfig) -> Fig4Result {
@@ -73,7 +77,7 @@ pub fn run_with(
                 // Each word is programmed with the charged (0xFF) pattern.
                 let data = BitVec::ones(sample.code.data_len());
                 let encoded = sample.code.encode(&data);
-                let mut rng = ChaCha8Rng::seed_from_u64(sample.campaign_seed ^ 0xF164);
+                let mut rng = ChaCha8Rng::seed_from_u64(sample.campaign_seed ^ FIG4_SPACE_SALT);
                 let at_risk = sample.faults.at_risk_positions();
                 let space = harp_ecc::ErrorSpace::enumerate(
                     &sample.code,

@@ -110,6 +110,7 @@ impl Json {
     pub fn from_f64(value: f64) -> Self {
         match Json::try_from_f64(value) {
             Ok(json) => json,
+            // lint:allow(panic) documented-panicking convenience twin; panic-free callers use try_from_f64
             Err(err) => panic!("{err}"),
         }
     }
@@ -310,7 +311,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), ParseError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -355,7 +356,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         self.enter()?;
         let mut items = Vec::new();
         self.skip_whitespace();
@@ -381,7 +382,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         self.enter()?;
         let mut entries: Vec<(String, Json)> = Vec::new();
         self.skip_whitespace();
@@ -397,7 +398,7 @@ impl<'a> Parser<'a> {
                 return Err(self.error(&format!("duplicate key \"{key}\" in object")));
             }
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_whitespace();
             let value = self.parse_value()?;
             entries.push((key, value));
@@ -415,7 +416,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -515,8 +516,9 @@ impl<'a> Parser<'a> {
                 return Err(self.error("expected digits in exponent"));
             }
         }
-        let raw =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number literals are ASCII");
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            // lint:allow(panic) the scanned range contains only ASCII digits, sign, dot, and exponent bytes
+            .expect("number literals are ASCII");
         Ok(Json::Number(raw.to_owned()))
     }
 }

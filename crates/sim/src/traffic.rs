@@ -424,6 +424,16 @@ enum TrafficEvent {
     RepairUpdate { word: usize, bits: Vec<usize> },
 }
 
+/// Salt separating the fault-placement RNG stream from the other streams
+/// derived from the same `config.seed`.
+const TRAFFIC_FAULT_SALT: u64 = 0xFA17;
+
+/// Salt for the request interarrival-time RNG stream.
+const TRAFFIC_ARRIVAL_SALT: u64 = 0xA881;
+
+/// Salt for the request address-selection RNG stream.
+const TRAFFIC_ADDRESS_SALT: u64 = 0xADD8;
+
 /// Runs one live-traffic co-schedule over a chip protected by `code`.
 ///
 /// The controller's inline reactive profiling is disabled; identifications
@@ -438,7 +448,7 @@ enum TrafficEvent {
 pub fn run_traffic<C: LinearBlockCode>(config: &TrafficConfig, code: C) -> TrafficReport {
     config.validate();
     let codeword_len = code.codeword_len();
-    let mut fault_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xFA17);
+    let mut fault_rng = ChaCha8Rng::seed_from_u64(config.seed ^ TRAFFIC_FAULT_SALT);
     let mut chip = MemoryChip::new(code, config.words);
     for word in 0..config.words {
         let at_risk: Vec<usize> = (0..codeword_len)
@@ -460,8 +470,8 @@ pub fn run_traffic<C: LinearBlockCode>(config: &TrafficConfig, code: C) -> Traff
         .map(|_| ReactiveProfiler::new(SecondaryEcc::ideal(config.secondary_correction)))
         .collect();
 
-    let mut arrival_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xA881);
-    let mut address_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xADD8);
+    let mut arrival_rng = ChaCha8Rng::seed_from_u64(config.seed ^ TRAFFIC_ARRIVAL_SALT);
+    let mut address_rng = ChaCha8Rng::seed_from_u64(config.seed ^ TRAFFIC_ADDRESS_SALT);
     let zipf = ZipfSampler::new(config.words, config.zipf_exponent);
     let mut queue: EventQueue<TrafficEvent> = EventQueue::new();
 
